@@ -1,0 +1,42 @@
+"""Beyond the paper: per-root-cause ablation benches.
+
+DESIGN.md calls out the toggles; this bench quantifies how much of the
+gap each one closes (supplementing Figs. 4/6/15 and Sec. IX-B).
+"""
+
+import pytest
+
+from conftest import IVF_PARAMS, K, N_QUERIES, NPROBE
+from repro.core.ablation import run_ablation
+from repro.core.root_causes import RootCause
+
+
+def test_ablation_sgemm(benchmark, sift):
+    result = benchmark.pedantic(
+        lambda: run_ablation(RootCause.SGEMM, sift, dict(IVF_PARAMS)),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.gap_without_cause < result.gap_with_cause
+
+
+def test_ablation_heap_size(sift):
+    result = run_ablation(
+        RootCause.HEAP_SIZE, sift, dict(IVF_PARAMS), k=K, nprobe=NPROBE, n_queries=N_QUERIES
+    )
+    # The k-heap must not make PASE slower; usually it helps a little.
+    assert result.gap_without_cause < result.gap_with_cause * 1.3
+
+
+def test_ablation_pctable(sift):
+    params = {"clusters": 24, "m": 16, "c_pq": 32, "sample_ratio": 0.5, "seed": 42}
+    result = run_ablation(
+        RootCause.PRECOMPUTED_TABLE, sift, params, k=K, nprobe=NPROBE, n_queries=N_QUERIES
+    )
+    assert result.gap_without_cause < result.gap_with_cause * 1.2
+
+
+def test_architectural_causes_measured_elsewhere(sift):
+    for cause in (RootCause.MEMORY_MANAGEMENT, RootCause.PARALLEL_EXECUTION, RootCause.PAGE_STRUCTURE):
+        with pytest.raises(KeyError):
+            run_ablation(cause, sift, {})

@@ -1,0 +1,58 @@
+"""Fig. 2: generalized vector databases compared (PASE vs pgvector).
+
+Paper shape: PASE is the fastest open-sourced generalized system;
+pgvector trails because its index stores only TIDs and must fetch
+every candidate's vector from the heap table.
+"""
+
+import pytest
+
+from conftest import IVF_PARAMS, K, N_QUERIES, NPROBE
+from repro.core.study import GeneralizedVectorDB
+
+
+@pytest.fixture(scope="module")
+def engines(sift):
+    out = {}
+    for label, am in (("pase", "pase_ivfflat"), ("pgvector", "ivfflat")):
+        gen = GeneralizedVectorDB()
+        gen.load(sift.base)
+        opts = ", ".join(f"{k} = {v}" for k, v in IVF_PARAMS.items())
+        gen.db.execute(
+            f"CREATE INDEX {gen.index_name} ON {gen.table_name} USING {am} (vec) WITH ({opts})"
+        )
+        gen.am = gen.db.catalog.find_index(gen.index_name).am
+        out[label] = gen
+    return out
+
+
+def test_fig2_pase_search(benchmark, engines, sift):
+    gen = engines["pase"]
+
+    def run():
+        for q in sift.queries[:N_QUERIES]:
+            gen.search(q, K, nprobe=NPROBE)
+
+    benchmark(run)
+
+
+def test_fig2_pgvector_search(benchmark, engines, sift):
+    gen = engines["pgvector"]
+
+    def run():
+        for q in sift.queries[:N_QUERIES]:
+            gen.search(q, K, nprobe=NPROBE)
+
+    benchmark(run)
+
+
+def test_fig2_shape_pase_faster(engines, sift):
+    import time
+
+    times = {}
+    for label, gen in engines.items():
+        start = time.perf_counter()
+        for q in sift.queries[:N_QUERIES]:
+            gen.search(q, K, nprobe=NPROBE)
+        times[label] = time.perf_counter() - start
+    assert times["pase"] < times["pgvector"]

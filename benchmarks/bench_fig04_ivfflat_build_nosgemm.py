@@ -1,0 +1,35 @@
+"""Fig. 4: IVF_FLAT construction with SGEMM disabled in Faiss (RC#1).
+
+Paper shape: without SGEMM the adding phases converge (gap ~1x).
+"""
+
+import pytest
+
+from conftest import IVF_PARAMS
+from repro.core.study import GeneralizedVectorDB, SpecializedVectorDB
+
+
+@pytest.fixture(scope="module")
+def measured(sift):
+    gen = GeneralizedVectorDB()
+    gen.load(sift.base)
+    gen_stats = gen.create_index("ivf_flat", **IVF_PARAMS)
+    spec = SpecializedVectorDB()
+    spec.load(sift.base)
+    spec_stats = spec.create_index("ivf_flat", use_sgemm=False, **IVF_PARAMS)
+    return gen_stats, spec_stats
+
+
+def test_fig4_faiss_build_nosgemm(benchmark, sift):
+    def build():
+        spec = SpecializedVectorDB()
+        spec.load(sift.base)
+        return spec.create_index("ivf_flat", use_sgemm=False, **IVF_PARAMS)
+
+    benchmark.pedantic(build, rounds=1, iterations=1)
+
+
+def test_fig4_shape_adding_gap_closes(measured):
+    gen, spec = measured
+    ratio = gen.add_seconds / spec.add_seconds
+    assert 0.4 < ratio < 3.0  # converged, vs >3x with SGEMM on

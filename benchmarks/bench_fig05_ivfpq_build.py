@@ -1,0 +1,32 @@
+"""Fig. 5: IVF_PQ construction time, PASE vs Faiss.
+
+Paper shape: PASE 6.5x-20.2x slower, same trend as IVF_FLAT.
+"""
+
+import pytest
+
+from conftest import PQ_PARAMS
+from repro.core.study import GeneralizedVectorDB, SpecializedVectorDB
+
+
+def test_fig5_pase_build(benchmark, sift):
+    def build():
+        gen = GeneralizedVectorDB()
+        gen.load(sift.base)
+        return gen.create_index("ivf_pq", **PQ_PARAMS)
+
+    benchmark.pedantic(build, rounds=1, iterations=1)
+
+
+def test_fig5_faiss_build(benchmark, sift):
+    def build():
+        spec = SpecializedVectorDB()
+        spec.load(sift.base)
+        return spec.create_index("ivf_pq", **PQ_PARAMS)
+
+    benchmark.pedantic(build, rounds=1, iterations=1)
+
+
+def test_fig5_shape(pq_study):
+    cmp = pq_study.compare_build()
+    assert cmp.gap > 1.0

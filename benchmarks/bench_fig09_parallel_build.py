@@ -1,0 +1,39 @@
+"""Fig. 9: parallel IVF construction in Faiss, SGEMM on/off (RC#3).
+
+Paper shape: every configuration scales with threads except IVF_FLAT
+with SGEMM, whose adding phase is already too fast to benefit.
+"""
+
+import pytest
+
+from conftest import IVF_PARAMS
+from repro.core.study import make_specialized_index
+from repro.specialized.parallel import simulate_parallel_build
+
+THREADS = [1, 2, 4, 8]
+
+
+def _curve(dataset, use_sgemm):
+    params = dict(IVF_PARAMS)
+    params["use_sgemm"] = use_sgemm
+    index = make_specialized_index("ivf_flat", dataset.dim, params)
+    index.train(dataset.base)
+    return simulate_parallel_build(index, dataset.base, THREADS)
+
+
+def test_fig9_parallel_add_with_sgemm(benchmark, sift):
+    curve = benchmark.pedantic(lambda: _curve(sift, True), rounds=1, iterations=1)
+    assert set(curve) == set(THREADS)
+
+
+def test_fig9_parallel_add_no_sgemm(benchmark, sift):
+    curve = benchmark.pedantic(lambda: _curve(sift, False), rounds=1, iterations=1)
+    assert set(curve) == set(THREADS)
+
+
+def test_fig9_shape_no_sgemm_scales_better(sift):
+    with_sgemm = _curve(sift, True)
+    without = _curve(sift, False)
+    speedup_with = with_sgemm[1] / with_sgemm[8]
+    speedup_without = without[1] / without[8]
+    assert speedup_without > speedup_with

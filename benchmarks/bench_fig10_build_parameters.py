@@ -1,0 +1,42 @@
+"""Fig. 10: construction gap vs c (IVF) and bnn (HNSW).
+
+Paper shape: the gap grows as c and bnn grow.
+"""
+
+import pytest
+
+from repro.common.datasets import load_dataset
+from repro.core.study import ComparativeStudy
+
+
+@pytest.fixture(scope="module")
+def tiny_sift():
+    return load_dataset("sift1m", scale=6e-4)
+
+
+def _build_gap(dataset, index_type, **params):
+    study = ComparativeStudy(dataset, index_type, params)
+    return study.compare_build().gap
+
+
+def test_fig10_gap_sweep_c(benchmark, tiny_sift):
+    def sweep():
+        return [
+            _build_gap(tiny_sift, "ivf_flat", clusters=c, sample_ratio=0.3, seed=42)
+            for c in (8, 24, 48)
+        ]
+
+    gaps = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert len(gaps) == 3
+
+
+def test_fig10_shape_pq_gap_grows_with_c(tiny_sift):
+    small = _build_gap(tiny_sift, "ivf_pq", clusters=8, m=16, c_pq=32, sample_ratio=0.5, seed=42)
+    large = _build_gap(tiny_sift, "ivf_pq", clusters=48, m=16, c_pq=32, sample_ratio=0.5, seed=42)
+    assert large > small * 0.8  # growth, modulo micro-scale noise
+
+
+def test_fig10_shape_hnsw_gap_present_at_all_bnn(tiny_sift):
+    for bnn in (8, 16):
+        gap = _build_gap(tiny_sift, "hnsw", bnn=bnn, efb=24, seed=42)
+        assert gap > 1.2

@@ -1,0 +1,15 @@
+"""Fig. 11: IVF_FLAT index size.
+
+Paper shape: almost the same in PASE and Faiss — the page layout
+aligns with the memory layout for this index.
+"""
+
+
+def test_fig11_size_measurement(benchmark, ivf_study):
+    cmp = benchmark(ivf_study.compare_size)
+    assert cmp.generalized.allocated_bytes > 0
+
+
+def test_fig11_shape_sizes_comparable(ivf_study):
+    cmp = ivf_study.compare_size()
+    assert 0.7 < cmp.gap < 2.0  # paper: ~1x

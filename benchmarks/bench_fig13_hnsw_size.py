@@ -1,0 +1,21 @@
+"""Fig. 13: HNSW index size.
+
+Paper shape: PASE 2.9x-13.3x larger (RC#4): 24-byte neighbor tuples
+and one fresh page per adjacency list.
+"""
+
+
+def test_fig13_size_measurement(benchmark, hnsw_study):
+    cmp = benchmark(hnsw_study.compare_size)
+    assert cmp.generalized.page_count > 0
+
+
+def test_fig13_shape_pase_much_larger(hnsw_study):
+    cmp = hnsw_study.compare_size()
+    assert cmp.gap > 2.5  # paper: 2.9x-13.3x
+
+
+def test_fig13_waste_comes_from_neighbor_pages(hnsw_study):
+    info = hnsw_study.generalized.index_size()
+    assert info.detail["neighbors_pages"] > info.detail["data_pages"]
+    assert info.waste_ratio > 0.5

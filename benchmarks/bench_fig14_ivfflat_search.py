@@ -1,0 +1,32 @@
+"""Fig. 14: IVF_FLAT search time, PASE vs Faiss.
+
+Paper shape: PASE 2.0x-3.4x slower (larger in Python, same ordering).
+"""
+
+from conftest import K, N_QUERIES, NPROBE, search_batch
+
+
+def test_fig14_pase_search(benchmark, ivf_study):
+    benchmark(
+        search_batch,
+        ivf_study.generalized,
+        ivf_study.dataset.queries[:N_QUERIES],
+        nprobe=NPROBE,
+    )
+
+
+def test_fig14_faiss_search(benchmark, ivf_study):
+    benchmark(
+        search_batch,
+        ivf_study.specialized,
+        ivf_study.dataset.queries[:N_QUERIES],
+        nprobe=NPROBE,
+    )
+
+
+def test_fig14_shape(ivf_study):
+    cmp = ivf_study.compare_search(k=K, nprobe=NPROBE, n_queries=N_QUERIES, recall=True)
+    assert cmp.gap > 1.5
+    assert cmp.generalized_recall == cmp.specialized_recall or abs(
+        cmp.generalized_recall - cmp.specialized_recall
+    ) < 0.3

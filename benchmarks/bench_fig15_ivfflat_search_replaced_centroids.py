@@ -1,0 +1,41 @@
+"""Fig. 15: IVF_FLAT search with PASE's centroids transplanted (RC#5).
+
+Paper shape: with identical clusters (Faiss*), the remaining gap is
+pure tuple access + heap, and PASE/Faiss* results match exactly.
+"""
+
+import pytest
+
+from conftest import IVF_PARAMS, K, N_QUERIES, NPROBE
+from repro.core.study import ComparativeStudy
+
+
+@pytest.fixture(scope="module")
+def transplanted(sift):
+    study = ComparativeStudy(sift, "ivf_flat", dict(IVF_PARAMS))
+    study.compare_build()
+    study.transplant_centroids()
+    return study
+
+
+def test_fig15_faiss_star_search(benchmark, transplanted):
+    spec = transplanted.specialized
+
+    def run():
+        for q in transplanted.dataset.queries[:N_QUERIES]:
+            spec.search(q, K, nprobe=NPROBE)
+
+    benchmark(run)
+
+
+def test_fig15_shape_identical_results_after_transplant(transplanted):
+    for q in transplanted.dataset.queries[:4]:
+        gen_ids = transplanted.generalized.search(q, K, nprobe=NPROBE).ids
+        spec_ids = transplanted.specialized.search(q, K, nprobe=NPROBE).ids
+        assert gen_ids == spec_ids
+
+
+def test_fig15_shape_gap_still_present(transplanted):
+    """Even with RC#5 removed, RC#2/RC#6 keep PASE slower."""
+    cmp = transplanted.compare_search(k=K, nprobe=NPROBE, n_queries=N_QUERIES)
+    assert cmp.gap > 1.5

@@ -1,0 +1,32 @@
+"""Fig. 16: IVF_PQ search time, PASE vs Faiss.
+
+Paper shape: PASE 3.9x-11.2x slower; the naive precomputed table
+(RC#7) makes the PQ gap larger than the FLAT gap.
+"""
+
+from conftest import K, N_QUERIES, NPROBE, search_batch
+
+
+def test_fig16_pase_search(benchmark, pq_study):
+    benchmark(
+        search_batch,
+        pq_study.generalized,
+        pq_study.dataset.queries[:N_QUERIES],
+        nprobe=NPROBE,
+    )
+
+
+def test_fig16_faiss_search(benchmark, pq_study):
+    benchmark(
+        search_batch,
+        pq_study.specialized,
+        pq_study.dataset.queries[:N_QUERIES],
+        nprobe=NPROBE,
+    )
+
+
+def test_fig16_shape_gap_larger_than_flat(pq_study, ivf_study):
+    pq_gap = pq_study.compare_search(k=K, nprobe=NPROBE, n_queries=N_QUERIES).gap
+    flat_gap = ivf_study.compare_search(k=K, nprobe=NPROBE, n_queries=N_QUERIES).gap
+    assert pq_gap > 1.5
+    assert pq_gap > flat_gap * 0.8  # PQ gap at least comparable, usually larger

@@ -1,0 +1,29 @@
+"""Fig. 17: HNSW search time, PASE vs Faiss.
+
+Paper shape: PASE 2.2x-7.3x slower, almost entirely tuple access (RC#2).
+"""
+
+from conftest import EFS, K, N_QUERIES, search_batch
+
+
+def test_fig17_pase_search(benchmark, hnsw_study):
+    benchmark(
+        search_batch,
+        hnsw_study.generalized,
+        hnsw_study.dataset.queries[:N_QUERIES],
+        efs=EFS,
+    )
+
+
+def test_fig17_faiss_search(benchmark, hnsw_study):
+    benchmark(
+        search_batch,
+        hnsw_study.specialized,
+        hnsw_study.dataset.queries[:N_QUERIES],
+        efs=EFS,
+    )
+
+
+def test_fig17_shape(hnsw_study):
+    cmp = hnsw_study.compare_search(k=K, nprobe=None, efs=EFS, n_queries=N_QUERIES)
+    assert 1.5 < cmp.gap < 30.0

@@ -1,0 +1,31 @@
+"""Fig. 19: search gap vs nprobe (IVF) and efs (HNSW).
+
+Paper shape: IVF_FLAT gap roughly flat in nprobe; IVF_PQ gap grows;
+HNSW gap grows with efs.
+"""
+
+from conftest import K, N_QUERIES
+
+
+def _gap(study, **kw):
+    return study.compare_search(k=K, n_queries=N_QUERIES, **kw).gap
+
+
+def test_fig19_nprobe_sweep_flat(benchmark, ivf_study):
+    gaps = benchmark.pedantic(
+        lambda: [_gap(ivf_study, nprobe=p) for p in (4, 8, 16)],
+        rounds=1,
+        iterations=1,
+    )
+    assert all(g > 1.0 for g in gaps)
+
+
+def test_fig19_shape_pq_gap_grows_or_holds(pq_study):
+    low = _gap(pq_study, nprobe=4)
+    high = _gap(pq_study, nprobe=16)
+    assert high > low * 0.7  # grows (or holds within noise)
+
+
+def test_fig19_shape_hnsw_gap_present_across_efs(hnsw_study):
+    for efs in (16, 60):
+        assert _gap(hnsw_study, nprobe=None, efs=efs) > 1.3

@@ -1,0 +1,53 @@
+"""Table V: IVF_FLAT search-time breakdown.
+
+Paper shape: Faiss spends ~95% in fvec_L2sqr; PASE's distance share is
+much lower, with large Tuple Access and Min-heap shares.
+"""
+
+import pytest
+
+from conftest import IVF_PARAMS, K, N_QUERIES, NPROBE
+from repro.common.profiling import Profiler
+from repro.core.study import ComparativeStudy, GeneralizedVectorDB, SpecializedVectorDB
+
+
+@pytest.fixture(scope="module")
+def profiles(sift):
+    profs = {"PASE": Profiler(), "Faiss": Profiler()}
+    study = ComparativeStudy(
+        sift,
+        "ivf_flat",
+        dict(IVF_PARAMS),
+        generalized=GeneralizedVectorDB(profiler=profs["PASE"]),
+        specialized=SpecializedVectorDB(profiler=profs["Faiss"]),
+    )
+    study.compare_search(k=K, nprobe=NPROBE, n_queries=N_QUERIES)
+    return {
+        name: {r.name: r for r in prof.breakdown()} for name, prof in profs.items()
+    }
+
+
+def test_tab5_profiled_search(benchmark, ivf_study):
+    prof = Profiler()
+    ivf_study.generalized.am.profiler = prof
+
+    def run():
+        for q in ivf_study.dataset.queries[:N_QUERIES]:
+            ivf_study.generalized.search(q, K, nprobe=NPROBE)
+
+    benchmark(run)
+    ivf_study.generalized.am.profiler = Profiler(enabled=False)
+
+
+def test_tab5_shape_faiss_distance_dominates(profiles):
+    faiss = profiles["Faiss"]
+    assert faiss["fvec_L2sqr"].fraction > 0.35
+    assert faiss["fvec_L2sqr"].fraction == max(r.fraction for r in faiss.values())
+
+
+def test_tab5_shape_pase_tuple_access_large(profiles):
+    pase = profiles["PASE"]
+    assert pase["Tuple Access"].fraction > 0.2
+    assert pase["Min-heap"].fraction > 0.05
+    # PASE's distance share is well below Faiss's.
+    assert pase["fvec_L2sqr"].fraction < profiles["Faiss"]["fvec_L2sqr"].fraction

@@ -1,0 +1,76 @@
+"""Shared fixtures for the per-figure/table benchmark suite.
+
+Each ``bench_*`` file regenerates one artifact of the paper at a
+micro scale chosen so the whole suite runs in minutes.  Builds that
+several figures share (notably the slow page-backed HNSW build) are
+session-scoped fixtures.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.datasets import Dataset, load_dataset
+from repro.core.study import ComparativeStudy, GeneralizedVectorDB, SpecializedVectorDB
+
+#: Scale relative to the paper's dataset sizes (SIFT1M -> 1000 rows).
+BENCH_SCALE = 1e-3
+
+#: Smaller still for graph builds, which dominate suite runtime.
+HNSW_SCALE = 6e-4
+
+IVF_PARAMS = {"clusters": 24, "sample_ratio": 0.25, "seed": 42}
+PQ_PARAMS = {"clusters": 24, "m": 16, "c_pq": 32, "sample_ratio": 0.5, "seed": 42}
+HNSW_PARAMS = {"bnn": 12, "efb": 32, "seed": 42}
+
+K = 20
+NPROBE = 8
+EFS = 60
+N_QUERIES = 8
+
+
+@pytest.fixture(scope="session")
+def sift() -> Dataset:
+    return load_dataset("sift1m", scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def deep() -> Dataset:
+    return load_dataset("deep1m", scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def sift_hnsw() -> Dataset:
+    return load_dataset("sift1m", scale=HNSW_SCALE)
+
+
+def build_study(dataset: Dataset, index_type: str, params: dict) -> ComparativeStudy:
+    study = ComparativeStudy(dataset, index_type, dict(params))
+    study.compare_build()
+    return study
+
+
+@pytest.fixture(scope="session")
+def ivf_study(sift) -> ComparativeStudy:
+    """IVF_FLAT built on both engines (shared by search/size benches)."""
+    return build_study(sift, "ivf_flat", IVF_PARAMS)
+
+
+@pytest.fixture(scope="session")
+def pq_study(sift) -> ComparativeStudy:
+    return build_study(sift, "ivf_pq", PQ_PARAMS)
+
+
+@pytest.fixture(scope="session")
+def hnsw_study(sift_hnsw) -> ComparativeStudy:
+    return build_study(sift_hnsw, "hnsw", HNSW_PARAMS)
+
+
+def search_batch(engine, queries, k=K, **opts) -> None:
+    """One timed unit of work: a small query batch on one engine."""
+    for q in queries:
+        engine.search(q, k, **opts)

@@ -1,0 +1,111 @@
+"""A guided tour of the paper's seven root causes, measured live.
+
+For each root cause (Sec. IX-B) this script runs the smallest
+experiment that exhibits it on a scaled-down dataset, prints the
+measured effect, and ends with the Sec. IX-C guideline checklist that
+turns the findings into a design recipe.
+
+Run:  python examples/root_cause_tour.py
+"""
+
+from repro.common.datasets import load_dataset
+from repro.common.parallel import speedups
+from repro.common.profiling import Profiler
+from repro.core import guidelines
+from repro.core.ablation import run_ablation
+from repro.core.root_causes import ROOT_CAUSES, RootCause
+from repro.core.study import ComparativeStudy, GeneralizedVectorDB, SpecializedVectorDB
+from repro.pase import parallel as pase_parallel
+from repro.specialized import parallel as spec_parallel
+
+PARAMS = {"clusters": 32, "sample_ratio": 0.2, "seed": 13}
+PQ_PARAMS = {"clusters": 32, "m": 16, "c_pq": 128, "sample_ratio": 0.4, "seed": 13}
+
+
+def banner(cause: RootCause) -> None:
+    info = ROOT_CAUSES[cause]
+    print(f"\n=== RC#{cause.value}: {info.title} " + "=" * max(0, 40 - len(info.title)))
+    print(f"    {info.summary}")
+
+
+def main() -> None:
+    dataset = load_dataset("sift1m", scale=1.5e-3)
+    small = load_dataset("sift1m", scale=8e-4)
+
+    banner(RootCause.SGEMM)
+    result = run_ablation(RootCause.SGEMM, dataset, dict(PARAMS))
+    print(f"    build gap with SGEMM in Faiss:    {result.gap_with_cause:.1f}x")
+    print(f"    build gap with SGEMM disabled:    {result.gap_without_cause:.1f}x")
+
+    banner(RootCause.MEMORY_MANAGEMENT)
+    prof = Profiler()
+    study = ComparativeStudy(
+        small, "hnsw", {"bnn": 10, "efb": 24, "seed": 13},
+        generalized=GeneralizedVectorDB(profiler=prof),
+    )
+    study.compare_build()
+    rows = {r.name: r for r in prof.breakdown(within="SearchNbToAdd")}
+    touch = sum(rows[n].seconds for n in ("Tuple Access", "pasepfirst", "HVTGet") if n in rows)
+    dist = rows["fvec_L2sqr"].seconds if "fvec_L2sqr" in rows else 0.0
+    print(f"    PASE HNSW build, inside SearchNbToAdd:")
+    print(f"      page indirection (Tuple Access + pasepfirst + HVTGet): {touch * 1e3:.0f}ms")
+    print(f"      actual distance computation (fvec_L2sqr):              {dist * 1e3:.0f}ms")
+
+    banner(RootCause.PARALLEL_EXECUTION)
+    ivf = ComparativeStudy(dataset, "ivf_flat", dict(PARAMS))
+    ivf.compare_build()
+    q = dataset.queries[0]
+    __, spec_curve = spec_parallel.parallel_search(ivf.specialized.index, q, 20, 10, [1, 8])
+    __, pase_curve = pase_parallel.parallel_search(ivf.generalized.am, q, 20, 10, [1, 8])
+    print(f"    8-thread intra-query speedup, Faiss local heaps:    "
+          f"{speedups(spec_curve)[8]:.1f}x")
+    print(f"    8-thread intra-query speedup, PASE global lock:     "
+          f"{speedups(pase_curve)[8]:.1f}x")
+
+    banner(RootCause.PAGE_STRUCTURE)
+    hnsw = ComparativeStudy(small, "hnsw", {"bnn": 10, "efb": 24, "seed": 13})
+    size = hnsw.compare_size()
+    info = hnsw.generalized.index_size()
+    print(f"    HNSW index size: PASE {size.generalized.allocated_mib:.1f}MiB vs "
+          f"Faiss {size.specialized.allocated_mib:.2f}MiB ({size.gap:.1f}x)")
+    print(f"    PASE page waste ratio: {info.waste_ratio:.0%} "
+          "(24-byte neighbor tuples + one fresh page per adjacency list)")
+
+    banner(RootCause.KMEANS_IMPLEMENTATION)
+    flat = ComparativeStudy(dataset, "ivf_flat", dict(PARAMS))
+    flat.compare_build()
+    pase_cents = flat.generalized.pase_centroids()
+    faiss_cents = flat.specialized.index.centroids
+    drift = float(abs(pase_cents - faiss_cents).mean())
+    print(f"    mean |PASE centroid - Faiss centroid| = {drift:.4f} "
+          "(different clusters from the same data)")
+    flat.transplant_centroids()
+    same = flat.generalized.search(q, 10, nprobe=10).ids == flat.specialized.search(
+        q, 10, nprobe=10
+    ).ids
+    print(f"    after transplanting PASE's centroids into Faiss: identical results = {same}")
+
+    banner(RootCause.HEAP_SIZE)
+    result = run_ablation(RootCause.HEAP_SIZE, dataset, dict(PARAMS), k=20, nprobe=10)
+    print(f"    search gap with PASE's n-sized heap:   {result.gap_with_cause:.1f}x")
+    print(f"    search gap with a k-sized heap (SET pase.fixed_heap): "
+          f"{result.gap_without_cause:.1f}x")
+
+    banner(RootCause.PRECOMPUTED_TABLE)
+    result = run_ablation(RootCause.PRECOMPUTED_TABLE, dataset, dict(PQ_PARAMS), k=20, nprobe=5)
+    print(f"    IVF_PQ search gap with the naive ADC table:     {result.gap_with_cause:.1f}x")
+    print(f"    ... with the optimized (norms + inner product): {result.gap_without_cause:.1f}x")
+
+    print("\n=== Sec. IX-C: how to bridge the gap " + "=" * 22)
+    print("A future generalized vector database, scored against the guidelines:")
+    print("\nfaithful PASE reproduction:")
+    print(guidelines.evaluate(guidelines.PASE_PROFILE).report())
+    print("\nspecialized engine (what Step#1-#5 buy you):")
+    print(guidelines.evaluate(guidelines.SPECIALIZED_PROFILE).report())
+    print("\nConclusion (Sec. IX-A): every root cause above is an implementation")
+    print("issue — there is no fundamental limitation in supporting vector")
+    print("search inside a relational database.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without PEP 660 editable support.
+
+The project is configured in pyproject.toml; this file only enables
+``python setup.py develop`` / legacy ``pip install -e .`` on toolchains
+that lack the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

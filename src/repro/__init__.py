@@ -1,0 +1,23 @@
+"""Reproduction of "Are There Fundamental Limitations in Supporting
+Vector Data Management in Relational Databases? A Case Study of
+PostgreSQL" (Zhang, Liu, Wang — ICDE 2024).
+
+Public API tour:
+
+- :mod:`repro.core` — the comparative study framework (the paper's
+  contribution): :class:`~repro.core.ComparativeStudy`, the root-cause
+  catalogue, ablations and guidelines.
+- :mod:`repro.specialized` — the Faiss-like in-memory vector engine.
+- :mod:`repro.pgsim` — the PostgreSQL-like relational substrate
+  (pages, buffer manager, WAL, SQL).
+- :mod:`repro.pase` — PASE's vector index access methods on pgsim.
+- :mod:`repro.pgvector` — the pgvector-like comparator.
+- :mod:`repro.common` — shared kernels (distances, k-means, PQ,
+  heaps, datasets, metrics, profiling, parallel model).
+- :mod:`repro.bench` — the harness regenerating every paper
+  figure/table (``repro-bench --experiment fig3``).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

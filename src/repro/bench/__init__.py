@@ -1,0 +1,14 @@
+"""Benchmark harness regenerating every figure and table of the paper.
+
+One experiment function per paper artifact (Figs. 2-19, Tables
+III-V), all registered in :data:`repro.bench.experiments.EXPERIMENTS`
+and runnable via ``python -m repro.bench --experiment fig3`` or the
+``repro-bench`` console script.  Each experiment prints the same
+rows/series the paper reports, so the output can be compared to the
+paper shape by shape (EXPERIMENTS.md records that comparison).
+"""
+
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+from repro.bench.runner import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "ExperimentResult", "run_experiment"]

@@ -1,0 +1,5 @@
+"""``python -m repro.bench`` delegates to the CLI."""
+
+from repro.bench.cli import main
+
+raise SystemExit(main())

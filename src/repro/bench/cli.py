@@ -1,0 +1,70 @@
+"""Command-line entry point: ``repro-bench`` / ``python -m repro.bench``.
+
+Examples::
+
+    repro-bench --list
+    repro-bench --experiment fig3
+    repro-bench --experiment fig14 --scale 0.002
+    repro-bench --all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI driver; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the figures/tables of the PASE-vs-Faiss ICDE'24 study.",
+    )
+    parser.add_argument(
+        "--experiment",
+        "-e",
+        action="append",
+        default=None,
+        help="experiment id (repeatable), e.g. fig3, tab5, ablation",
+    )
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="dataset scale relative to the paper's sizes (default: profile scale)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for exp_id in EXPERIMENTS:
+            print(exp_id)
+        return 0
+
+    if args.all:
+        targets = list(EXPERIMENTS)
+    elif args.experiment:
+        targets = args.experiment
+    else:
+        parser.print_help()
+        return 2
+
+    for exp_id in targets:
+        start = time.perf_counter()
+        try:
+            result = run_experiment(exp_id, scale=args.scale)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        elapsed = time.perf_counter() - start
+        print(result)
+        print(f"\n[{exp_id} completed in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - thin wrapper
+    raise SystemExit(main())

@@ -1,0 +1,114 @@
+"""Index-size experiments: Figs. 11-13 and Table IV."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bench.runner import (
+    ALL_DATASETS,
+    HNSW_DATASETS,
+    ExperimentResult,
+    bench_dataset,
+    default_params,
+)
+from repro.bench.exp_build import _hnsw_scale
+from repro.core.report import render_grouped_series, render_table, format_bytes
+from repro.core.study import ComparativeStudy, GeneralizedVectorDB
+
+
+def _size_series(
+    index_type: str, datasets: Sequence[str], scale: float | None, hnsw_scaled: bool = False
+) -> tuple[list[str], dict[str, list[float]]]:
+    groups: list[str] = []
+    series: dict[str, list[float]] = {"PASE": [], "Faiss": []}
+    for name in datasets:
+        ds_scale = _hnsw_scale(scale, name) if hnsw_scaled else scale
+        ds = bench_dataset(name, scale=ds_scale)
+        params = default_params(ds, index_type)
+        cmp = ComparativeStudy(ds, index_type, params).compare_size()
+        groups.append(f"{name}(n={ds.n})")
+        series["PASE"].append(float(cmp.generalized.allocated_bytes))
+        series["Faiss"].append(float(cmp.specialized.allocated_bytes))
+    return groups, series
+
+
+def fig11(scale: float | None = None, datasets: Sequence[str] = ALL_DATASETS) -> ExperimentResult:
+    """IVF_FLAT index size (Fig. 11): nearly identical in both systems."""
+    groups, series = _size_series("ivf_flat", datasets, scale)
+    rendered = render_grouped_series(
+        "IVF_FLAT size", groups, series, unit="bytes", gap_of=("PASE", "Faiss")
+    )
+    return ExperimentResult(
+        exp_id="fig11",
+        title="IVF_FLAT index size",
+        expected_shape="almost the same in PASE and Faiss (page layout aligns with memory layout)",
+        rendered=rendered,
+        data={"groups": groups, "series": series},
+    )
+
+
+def fig12(scale: float | None = None, datasets: Sequence[str] = ALL_DATASETS) -> ExperimentResult:
+    """IVF_PQ index size (Fig. 12): again nearly identical."""
+    groups, series = _size_series("ivf_pq", datasets, scale)
+    rendered = render_grouped_series(
+        "IVF_PQ size", groups, series, unit="bytes", gap_of=("PASE", "Faiss")
+    )
+    return ExperimentResult(
+        exp_id="fig12",
+        title="IVF_PQ index size",
+        expected_shape="no significant size difference",
+        rendered=rendered,
+        data={"groups": groups, "series": series},
+    )
+
+
+def fig13(scale: float | None = None, datasets: Sequence[str] = HNSW_DATASETS) -> ExperimentResult:
+    """HNSW index size (Fig. 13): PASE several times larger (RC#4)."""
+    groups, series = _size_series("hnsw", datasets, scale, hnsw_scaled=True)
+    rendered = render_grouped_series(
+        "HNSW size", groups, series, unit="bytes", gap_of=("PASE", "Faiss")
+    )
+    return ExperimentResult(
+        exp_id="fig13",
+        title="HNSW index size",
+        expected_shape=(
+            "PASE 2.9x-13.3x larger: 24-byte neighbor tuples plus one fresh "
+            "page per adjacency list"
+        ),
+        rendered=rendered,
+        data={"groups": groups, "series": series},
+    )
+
+
+def tab04(scale: float | None = None, datasets: Sequence[str] = HNSW_DATASETS) -> ExperimentResult:
+    """PASE HNSW size at 8 KB vs 4 KB pages (the paper's Table IV)."""
+    rows = []
+    data: dict[str, dict[int, int]] = {}
+    for name in datasets:
+        ds = bench_dataset(name, scale=_hnsw_scale(scale, name))
+        params = default_params(ds, "hnsw")
+        sizes: dict[int, int] = {}
+        for page_size in (8192, 4096):
+            gen = GeneralizedVectorDB(page_size=page_size)
+            gen.load(ds.base)
+            gen.create_index("hnsw", **params)
+            sizes[page_size] = gen.index_size().allocated_bytes
+        data[name] = sizes
+        rows.append(
+            [
+                f"{name}(n={ds.n})",
+                format_bytes(sizes[8192]),
+                format_bytes(sizes[4096]),
+                f"{sizes[8192] / sizes[4096]:.2f}x",
+            ]
+        )
+    rendered = render_table(
+        ["dataset", "8KB pages", "4KB pages", "ratio"], rows
+    )
+    return ExperimentResult(
+        exp_id="tab4",
+        title="PASE HNSW index size with 8KB/4KB page size",
+        expected_shape="halving the page size roughly halves the index (ratio ~2x)",
+        rendered=rendered,
+        data=data,
+    )

@@ -1,0 +1,48 @@
+"""Experiment registry: one entry per paper figure/table."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.bench import exp_ablation, exp_build, exp_parallel, exp_recall, exp_search, exp_size
+from repro.bench.runner import ExperimentResult
+
+#: experiment id -> function(scale=None, **kwargs) -> ExperimentResult.
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "fig2": exp_search.fig02,
+    "fig3": exp_build.fig03,
+    "fig4": exp_build.fig04,
+    "fig5": exp_build.fig05,
+    "fig6": exp_build.fig06,
+    "fig7": exp_build.fig07,
+    "tab3": exp_build.tab03,
+    "fig8": exp_build.fig08,
+    "fig9": exp_parallel.fig09,
+    "fig10": exp_build.fig10,
+    "fig11": exp_size.fig11,
+    "fig12": exp_size.fig12,
+    "fig13": exp_size.fig13,
+    "tab4": exp_size.tab04,
+    "fig14": exp_search.fig14,
+    "tab5": exp_search.tab05,
+    "fig15": exp_search.fig15,
+    "fig16": exp_search.fig16,
+    "fig17": exp_search.fig17,
+    "fig18": exp_parallel.fig18,
+    "fig19": exp_search.fig19,
+    "ablation": exp_ablation.ablation,
+    "recall": exp_recall.recall_parity,
+}
+
+
+def run_experiment(exp_id: str, **kwargs: Any) -> ExperimentResult:
+    """Run one registered experiment by id.
+
+    Raises:
+        KeyError: with the known ids listed.
+    """
+    key = exp_id.lower()
+    if key not in EXPERIMENTS:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {exp_id!r}; known: {known}")
+    return EXPERIMENTS[key](**kwargs)

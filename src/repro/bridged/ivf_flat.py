@@ -1,0 +1,222 @@
+"""Bridged IVF_FLAT: PASE's page layout + the Sec. IX-C optimizations.
+
+Storage-compatible with :class:`repro.pase.ivf_flat.PaseIVFFlat` (same
+meta/centroid/data forks, so durability and DROP cleanup are
+inherited), but construction and search follow the paper's five
+guidelines: SGEMM assignment, Faiss-flavour k-means, a memory-resident
+mirror of the index served without buffer-manager indirection, and a
+k-sized heap.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.common.distance import batch_kernel, squared_norms
+from repro.common.heap import BoundedMaxHeap
+from repro.common.kmeans import assign_nearest_batch, faiss_kmeans, sample_training_rows
+from repro.common.parallel import WorkUnit
+from repro.pase.ivf_flat import PaseIVFFlat
+from repro.pgsim.am import register_am
+from repro.pgsim.heapam import TID
+
+
+@dataclass(slots=True)
+class _MemoryMirror:
+    """Step#1: the memory-optimized table serving the hot path."""
+
+    centroids: np.ndarray
+    centroid_sq_norms: np.ndarray
+    bucket_vectors: list[np.ndarray]
+    bucket_tids: list[list[TID]] = field(default_factory=list)
+
+
+@register_am
+class BridgedIVFFlat(PaseIVFFlat):
+    """IVF_FLAT with all seven root causes neutralized (Sec. IX-C)."""
+
+    amname = "bridged_ivfflat"
+    aliases = ()
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._mirror: _MemoryMirror | None = None
+
+    # ------------------------------------------------------------------
+    # build (Steps #2 and #5)
+    # ------------------------------------------------------------------
+    def build(self) -> None:
+        rows = [(tid, values[self.column_index]) for tid, values in self.table.scan()]
+        if not rows:
+            raise RuntimeError("cannot build an IVF index over an empty table")
+        vectors = np.vstack([v for __, v in rows]).astype(np.float32)
+        self.dim = int(vectors.shape[1])
+        n_clusters = min(self.opts.clusters, vectors.shape[0])
+
+        start = time.perf_counter()
+        sample = sample_training_rows(
+            vectors, self.opts.sample_ratio, n_clusters, self.opts.seed
+        )
+        # Step#5: the well-tuned k-means flavour (RC#5).
+        result = faiss_kmeans(
+            sample, n_clusters, self.opts.kmeans_iterations, seed=self.opts.seed
+        )
+        centroids = result.centroids
+        self.build_stats.train_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        # Step#2: SGEMM-batched assignment (RC#1).
+        assignments, __ = assign_nearest_batch(vectors, centroids)
+        self.build_stats.distance_computations += len(rows) * n_clusters
+        buckets: list[list[tuple[TID, np.ndarray]]] = [[] for __ in range(n_clusters)]
+        for (tid, vec), bucket in zip(rows, assignments.tolist()):
+            buckets[bucket].append((tid, vec))
+
+        # Durability: persist the same page layout PASE uses.
+        heads = [self._write_bucket(bucket) for bucket in buckets]
+        self._write_centroids(centroids, heads)
+        self._write_meta(n_clusters)
+        self._build_mirror(centroids, buckets)
+        self.build_stats.add_seconds = time.perf_counter() - start
+        self.build_stats.vectors_added = len(rows)
+
+    def _build_mirror(
+        self, centroids: np.ndarray, buckets: list[list[tuple[TID, np.ndarray]]]
+    ) -> None:
+        bucket_vectors = []
+        bucket_tids = []
+        for bucket in buckets:
+            if bucket:
+                bucket_vectors.append(
+                    np.vstack([v for __, v in bucket]).astype(np.float32)
+                )
+            else:
+                bucket_vectors.append(np.empty((0, self.dim), dtype=np.float32))
+            bucket_tids.append([tid for tid, __ in bucket])
+        self._mirror = _MemoryMirror(
+            centroids=np.ascontiguousarray(centroids, dtype=np.float32),
+            centroid_sq_norms=squared_norms(centroids),
+            bucket_vectors=bucket_vectors,
+            bucket_tids=bucket_tids,
+        )
+
+    # ------------------------------------------------------------------
+    # insert — pages first (durability), then the mirror
+    # ------------------------------------------------------------------
+    def insert(self, tid: TID, value: Any) -> None:
+        super().insert(tid, value)
+        if self._mirror is None:
+            return
+        vec = np.ascontiguousarray(value, dtype=np.float32)
+        dists = (
+            self._mirror.centroid_sq_norms
+            - 2.0 * (self._mirror.centroids @ vec)
+        )
+        bucket = int(np.argmin(dists))
+        self._mirror.bucket_vectors[bucket] = np.vstack(
+            [self._mirror.bucket_vectors[bucket], vec.reshape(1, -1)]
+        )
+        self._mirror.bucket_tids[bucket].append(tid)
+
+    # ------------------------------------------------------------------
+    # search (Steps #1, #2, #3)
+    # ------------------------------------------------------------------
+    def scan(self, query: np.ndarray, k: int) -> Iterator[tuple[TID, float]]:
+        mirror = self._ensure_mirror()
+        query = np.ascontiguousarray(query, dtype=np.float32)
+        if query.shape != (self.dim,):
+            raise ValueError(f"query must be {self.dim}-dim, got shape {query.shape}")
+        nprobe = int(self.catalog.get_setting("pase.nprobe"))
+        kernel = batch_kernel(self.opts.distance_type)
+
+        cent_dists = kernel(query, mirror.centroids)[0]
+        nprobe = min(max(nprobe, 1), mirror.centroids.shape[0])
+        part = np.argpartition(cent_dists, nprobe - 1)[:nprobe]
+        probes = part[np.argsort(cent_dists[part], kind="stable")]
+
+        heap = BoundedMaxHeap(k)
+        results: list[tuple[TID, float]] = []
+        for bucket in probes.tolist():
+            vectors = mirror.bucket_vectors[bucket]
+            if vectors.shape[0] == 0:
+                continue
+            dists = kernel(query, vectors)[0]
+            take = min(k, dists.shape[0])
+            if take < dists.shape[0]:
+                sel = np.argpartition(dists, take - 1)[:take]
+            else:
+                sel = np.arange(dists.shape[0])
+            worst = heap.worst_distance
+            tids = mirror.bucket_tids[bucket]
+            for j, d in zip(sel.tolist(), dists[sel].tolist()):
+                if d < worst:
+                    heap.push(d, _pack(tids[j]))
+                    worst = heap.worst_distance
+        for neighbor in heap.results():
+            yield _unpack(neighbor.vector_id), neighbor.distance
+
+    def _ensure_mirror(self) -> _MemoryMirror:
+        if self._mirror is not None:
+            return self._mirror
+        if self.dim is None:
+            raise RuntimeError("index has not been built")
+        # Rebuild the mirror from the durable pages (restart path).
+        centroids = []
+        heads = []
+        for __, head, vec in self._iter_centroids():
+            centroids.append(vec.copy())
+            heads.append(head)
+        buckets: list[list[tuple[TID, np.ndarray]]] = []
+        for head in heads:
+            buckets.append([(tid, vec.copy()) for tid, vec in self._iter_bucket(head)])
+        self._build_mirror(np.vstack(centroids), buckets)
+        assert self._mirror is not None
+        return self._mirror
+
+    # ------------------------------------------------------------------
+    # Step#4: parallel search with local heaps
+    # ------------------------------------------------------------------
+    def parallel_search_units(
+        self, query: np.ndarray, k: int, nprobe: int
+    ) -> tuple[list[tuple[TID, float]], list[WorkUnit]]:
+        """Scan each probed bucket as a unit with a *local* heap.
+
+        Returns the merged results and the measured work units (zero
+        serial sections except the final lock-free merge), ready for
+        :func:`repro.common.parallel.scaling_curve`.
+        """
+        mirror = self._ensure_mirror()
+        query = np.ascontiguousarray(query, dtype=np.float32)
+        kernel = batch_kernel(self.opts.distance_type)
+        cent_dists = kernel(query, mirror.centroids)[0]
+        nprobe = min(max(nprobe, 1), mirror.centroids.shape[0])
+        part = np.argpartition(cent_dists, nprobe - 1)[:nprobe]
+
+        global_heap = BoundedMaxHeap(k)
+        units: list[WorkUnit] = []
+        for bucket in part.tolist():
+            start = time.perf_counter()
+            local = BoundedMaxHeap(k)
+            vectors = mirror.bucket_vectors[bucket]
+            if vectors.shape[0]:
+                dists = kernel(query, vectors)[0]
+                tids = mirror.bucket_tids[bucket]
+                for j, d in enumerate(dists.tolist()):
+                    local.push(d, _pack(tids[j]))
+            cost = time.perf_counter() - start
+            global_heap.merge(local)
+            units.append(WorkUnit(compute_seconds=cost, serial_ops=1))
+        merged = [(_unpack(n.vector_id), n.distance) for n in global_heap.results()]
+        return merged, units
+
+
+def _pack(tid: TID) -> int:
+    return (tid.blkno << 16) | tid.offset
+
+
+def _unpack(key: int) -> TID:
+    return TID(key >> 16, key & 0xFFFF)

@@ -1,0 +1,34 @@
+"""Shared kernels and utilities used by both database engines.
+
+This subpackage contains everything that is common to the specialized
+(Faiss-like) engine in :mod:`repro.specialized` and the generalized
+(PASE-on-PostgreSQL-like) engine in :mod:`repro.pase`:
+
+- distance kernels (scalar pair-wise and SGEMM-style batched),
+- two k-means implementations (the paper's RC#5),
+- top-k heaps of size *k* and size *n* (the paper's RC#6),
+- product-quantization codecs with naive and optimized precomputed
+  tables (the paper's RC#7),
+- synthetic dataset generators standing in for SIFT/GIST/Deep/Turing,
+- evaluation metrics (recall@k, latency statistics),
+- a ``perf``-like category profiler used to regenerate the paper's
+  time-breakdown tables, and
+- a deterministic parallel-execution simulator used for the paper's
+  multi-threading experiments (the paper's RC#3).
+"""
+
+from repro.common.types import (
+    BuildStats,
+    DistanceType,
+    IndexSizeInfo,
+    Neighbor,
+    SearchResult,
+)
+
+__all__ = [
+    "BuildStats",
+    "DistanceType",
+    "IndexSizeInfo",
+    "Neighbor",
+    "SearchResult",
+]

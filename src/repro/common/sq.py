@@ -1,0 +1,86 @@
+"""Scalar quantization (SQ8) codec.
+
+IVF_SQ8 is the third quantization index the paper's background names
+(Sec. II-B, after IVF_FLAT and IVF_PQ): each dimension is linearly
+quantized to one byte using per-dimension [min, max] ranges learned
+from a training sample.  Reconstruction error is bounded by half a
+quantization step per dimension, making SQ8 far more accurate than PQ
+at 4x the code size (one byte per dimension vs ``m`` bytes total).
+
+Both engines share this codec; they differ only in how codes are
+stored and scanned (arrays vs pages), exactly like the other indexes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Quantization levels for one byte.
+LEVELS = 255
+
+
+@dataclass(slots=True)
+class SQ8Codec:
+    """Per-dimension linear quantizer to uint8.
+
+    Attributes:
+        vmin: ``(d,)`` float32 lower bounds.
+        vdiff: ``(d,)`` float32 ranges (``max - min``); zero ranges are
+            clamped to 1 so constant dimensions decode exactly.
+    """
+
+    vmin: np.ndarray
+    vdiff: np.ndarray
+
+    @property
+    def dim(self) -> int:
+        """Vector dimensionality."""
+        return int(self.vmin.shape[0])
+
+    def nbytes(self) -> int:
+        """Size of the codec parameters."""
+        return int(self.vmin.nbytes + self.vdiff.nbytes)
+
+
+def train_codec(training_data: np.ndarray) -> SQ8Codec:
+    """Learn per-dimension ranges from a sample."""
+    arr = np.ascontiguousarray(training_data, dtype=np.float32)
+    if arr.ndim != 2 or arr.shape[0] < 1:
+        raise ValueError("training data must be a non-empty (n, d) matrix")
+    vmin = arr.min(axis=0)
+    vdiff = arr.max(axis=0) - vmin
+    vdiff[vdiff == 0.0] = 1.0
+    return SQ8Codec(vmin=vmin.astype(np.float32), vdiff=vdiff.astype(np.float32))
+
+
+def encode(codec: SQ8Codec, vectors: np.ndarray) -> np.ndarray:
+    """Quantize ``(n, d)`` vectors to ``(n, d)`` uint8 codes.
+
+    Out-of-range values (queries or later inserts beyond the training
+    sample's range) clamp to the byte range, as in Faiss.
+    """
+    arr = np.atleast_2d(np.asarray(vectors, dtype=np.float32))
+    if arr.shape[1] != codec.dim:
+        raise ValueError(f"vectors have dim {arr.shape[1]}, codec has {codec.dim}")
+    scaled = (arr - codec.vmin) / codec.vdiff * LEVELS
+    return np.clip(np.rint(scaled), 0, LEVELS).astype(np.uint8)
+
+
+def decode(codec: SQ8Codec, codes: np.ndarray) -> np.ndarray:
+    """Dequantize codes back to approximate float32 vectors."""
+    arr = np.atleast_2d(np.asarray(codes, dtype=np.uint8))
+    if arr.shape[1] != codec.dim:
+        raise ValueError(f"codes have dim {arr.shape[1]}, codec has {codec.dim}")
+    return (arr.astype(np.float32) / LEVELS) * codec.vdiff + codec.vmin
+
+
+def reconstruction_error_bound(codec: SQ8Codec) -> float:
+    """Worst-case squared L2 reconstruction error for in-range vectors.
+
+    Each dimension errs by at most half a step; the bound is the sum of
+    squared half-steps.
+    """
+    half_steps = codec.vdiff / LEVELS / 2.0
+    return float(np.sum(half_steps.astype(np.float64) ** 2))

@@ -1,0 +1,146 @@
+"""Core value types shared across the library.
+
+These dataclasses are the vocabulary of the whole reproduction: every
+index (specialized or generalized) reports construction statistics as a
+:class:`BuildStats`, sizes as an :class:`IndexSizeInfo`, and query
+answers as a :class:`SearchResult`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class DistanceType(enum.IntEnum):
+    """Similarity function identifiers.
+
+    The integer values follow PASE's SQL convention where the index
+    option ``distance_type = 0`` selects Euclidean distance (see the
+    ``CREATE INDEX`` example in Sec. II-E of the paper).
+    """
+
+    L2 = 0
+    INNER_PRODUCT = 1
+    COSINE = 2
+
+
+@dataclass(frozen=True, slots=True)
+class Neighbor:
+    """A single answer of a vector similarity search."""
+
+    vector_id: int
+    distance: float
+
+    def __lt__(self, other: "Neighbor") -> bool:
+        return (self.distance, self.vector_id) < (other.distance, other.vector_id)
+
+
+@dataclass(slots=True)
+class SearchResult:
+    """Result of one top-k query.
+
+    Attributes:
+        neighbors: the k nearest neighbors, sorted ascending by distance.
+        elapsed_seconds: wall-clock time of the search call.
+        distance_computations: number of full-vector (or ADC) distance
+            evaluations performed — the paper's primary work metric.
+        tuples_accessed: number of tuple fetches that went through the
+            buffer manager (always 0 for the specialized engine, which
+            dereferences memory directly; see RC#2).
+    """
+
+    neighbors: list[Neighbor]
+    elapsed_seconds: float = 0.0
+    distance_computations: int = 0
+    tuples_accessed: int = 0
+
+    @property
+    def ids(self) -> list[int]:
+        """Vector ids of the neighbors, nearest first."""
+        return [n.vector_id for n in self.neighbors]
+
+    @property
+    def distances(self) -> list[float]:
+        """Distances of the neighbors, ascending."""
+        return [n.distance for n in self.neighbors]
+
+
+@dataclass(slots=True)
+class BuildStats:
+    """Timing of an index construction run.
+
+    The paper splits quantization-index construction into a *training*
+    phase (k-means over a sample) and an *adding* phase (assigning every
+    base vector to a bucket); graph indexes only have an adding phase.
+    """
+
+    train_seconds: float = 0.0
+    add_seconds: float = 0.0
+    vectors_added: int = 0
+    distance_computations: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end construction time."""
+        return self.train_seconds + self.add_seconds
+
+
+@dataclass(slots=True)
+class IndexSizeInfo:
+    """Byte-level size accounting of a built index.
+
+    ``used_bytes`` counts bytes that hold live index payload;
+    ``allocated_bytes`` counts what the storage layer actually reserved
+    (for the page-structured PASE indexes this includes per-page waste,
+    which is the essence of RC#4).
+    """
+
+    allocated_bytes: int
+    used_bytes: int
+    page_count: int = 0
+    detail: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def waste_ratio(self) -> float:
+        """Fraction of allocated space not holding live payload."""
+        if self.allocated_bytes == 0:
+            return 0.0
+        return 1.0 - self.used_bytes / self.allocated_bytes
+
+    @property
+    def allocated_mib(self) -> float:
+        """Allocated size in MiB, the unit the paper's figures use."""
+        return self.allocated_bytes / (1024 * 1024)
+
+
+def as_float32_matrix(data: np.ndarray) -> np.ndarray:
+    """Validate and coerce ``data`` to a C-contiguous float32 matrix.
+
+    Every public entry point of both engines funnels vector data through
+    this helper so kernels can assume a uniform layout (the same role
+    ``float*`` plays in Faiss).
+
+    Raises:
+        ValueError: if ``data`` is not two-dimensional or is empty.
+    """
+    arr = np.ascontiguousarray(data, dtype=np.float32)
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2:
+        raise ValueError(f"expected a 2-D array of vectors, got ndim={arr.ndim}")
+    if arr.size == 0:
+        raise ValueError("expected a non-empty array of vectors")
+    return arr
+
+
+def as_float32_vector(vec: np.ndarray) -> np.ndarray:
+    """Validate and coerce ``vec`` to a contiguous 1-D float32 vector."""
+    arr = np.ascontiguousarray(vec, dtype=np.float32)
+    if arr.ndim != 1:
+        arr = arr.reshape(-1)
+    if arr.size == 0:
+        raise ValueError("expected a non-empty vector")
+    return arr

@@ -1,0 +1,42 @@
+"""The paper's primary contribution: the comparative root-cause study.
+
+The paper's deliverable is not a system but a *methodology and its
+findings*: run the same index with the same parameters on a
+generalized (PASE/PostgreSQL) and a specialized (Faiss) vector
+database, profile both, and attribute every gap to a root cause
+(RC#1–RC#7).  This subpackage packages that methodology:
+
+- :mod:`repro.core.root_causes` — the seven root causes as data,
+  with affected phases and bridging guidance (Sec. IX-B);
+- :mod:`repro.core.study` — :class:`ComparativeStudy`, which pairs
+  the two engines on one dataset/index/parameter set and measures
+  build time, index size and search latency side by side;
+- :mod:`repro.core.ablation` — the switch registry mapping each
+  root cause to the configuration toggles that neutralize it, plus a
+  runner measuring gap-with vs. gap-without;
+- :mod:`repro.core.guidelines` — the Sec. IX-C actionable guidelines
+  as an executable checklist;
+- :mod:`repro.core.report` — ASCII renderers for the paper's
+  figure/table formats.
+"""
+
+from repro.core.root_causes import RootCause, ROOT_CAUSES
+from repro.core.study import (
+    BuildComparison,
+    ComparativeStudy,
+    GeneralizedVectorDB,
+    SearchComparison,
+    SizeComparison,
+    SpecializedVectorDB,
+)
+
+__all__ = [
+    "ROOT_CAUSES",
+    "BuildComparison",
+    "ComparativeStudy",
+    "GeneralizedVectorDB",
+    "RootCause",
+    "SearchComparison",
+    "SizeComparison",
+    "SpecializedVectorDB",
+]

@@ -1,0 +1,136 @@
+"""The paper's actionable guidelines (Sec. IX-C) as a checklist.
+
+"How to bridge the gap?"  The paper closes with five steps for
+building a generalized vector database that matches a specialized
+one.  Each step is encoded with a predicate over a system-description
+dict so a design can be *scored* against the guidelines — used by the
+``root_cause_tour`` example and by tests that assert the specialized
+engine scores 5/5 and the faithful PASE reproduction scores low.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.core.root_causes import RootCause
+
+
+@dataclass(frozen=True, slots=True)
+class Guideline:
+    """One of the Sec. IX-C steps."""
+
+    step: int
+    title: str
+    detail: str
+    addresses: tuple[RootCause, ...]
+    check: Callable[[Mapping[str, Any]], bool]
+
+
+#: Keys a system description may carry (all default falsy):
+#: in_memory_layout, uses_sgemm, k_sized_heap, parallel_build,
+#: parallel_search_local_heaps, compact_page_layout, tuned_kmeans,
+#: optimized_pctable.
+GUIDELINES: tuple[Guideline, ...] = (
+    Guideline(
+        step=1,
+        title="Start from an in-memory database",
+        detail=(
+            "Bypass the buffer manager and page indirection when data fits "
+            "in memory (memory-optimized table design)."
+        ),
+        addresses=(RootCause.MEMORY_MANAGEMENT,),
+        check=lambda s: bool(s.get("in_memory_layout")),
+    ),
+    Guideline(
+        step=2,
+        title="Enable SGEMM",
+        detail="Batch distance computation through BLAS matrix multiplication.",
+        addresses=(RootCause.SGEMM,),
+        check=lambda s: bool(s.get("uses_sgemm")),
+    ),
+    Guideline(
+        step=3,
+        title="Optimized top-k computation",
+        detail="Use a heap of size k, not n, for top-k selection.",
+        addresses=(RootCause.HEAP_SIZE,),
+        check=lambda s: bool(s.get("k_sized_heap")),
+    ),
+    Guideline(
+        step=4,
+        title="Parallelism",
+        detail=(
+            "Parallel index construction and intra-query search with "
+            "per-thread local heaps merged lock-free."
+        ),
+        addresses=(RootCause.PARALLEL_EXECUTION,),
+        check=lambda s: bool(s.get("parallel_build")) and bool(s.get("parallel_search_local_heaps")),
+    ),
+    Guideline(
+        step=5,
+        title="More optimized implementations",
+        detail=(
+            "Reduce space amplification (compact layout), adopt a tuned "
+            "k-means, and use the optimized PQ precomputed table."
+        ),
+        addresses=(
+            RootCause.PAGE_STRUCTURE,
+            RootCause.KMEANS_IMPLEMENTATION,
+            RootCause.PRECOMPUTED_TABLE,
+        ),
+        check=lambda s: (
+            bool(s.get("compact_page_layout"))
+            and bool(s.get("tuned_kmeans"))
+            and bool(s.get("optimized_pctable"))
+        ),
+    ),
+)
+
+
+#: How the two engines in this reproduction score (used in tests and
+#: the tour example).  The specialized engine embodies all five steps;
+#: faithful PASE none of them — that difference *is* the paper.
+SPECIALIZED_PROFILE: dict[str, bool] = {
+    "in_memory_layout": True,
+    "uses_sgemm": True,
+    "k_sized_heap": True,
+    "parallel_build": True,
+    "parallel_search_local_heaps": True,
+    "compact_page_layout": True,
+    "tuned_kmeans": True,
+    "optimized_pctable": True,
+}
+
+PASE_PROFILE: dict[str, bool] = {key: False for key in SPECIALIZED_PROFILE}
+
+
+@dataclass(slots=True)
+class ChecklistResult:
+    """Outcome of evaluating a system against the guidelines."""
+
+    satisfied: list[Guideline]
+    missing: list[Guideline]
+
+    @property
+    def score(self) -> int:
+        return len(self.satisfied)
+
+    @property
+    def total(self) -> int:
+        return len(self.satisfied) + len(self.missing)
+
+    def report(self) -> str:
+        lines = []
+        for g in self.satisfied:
+            lines.append(f"[x] Step#{g.step}: {g.title}")
+        for g in self.missing:
+            causes = ", ".join(f"RC#{c.value}" for c in g.addresses)
+            lines.append(f"[ ] Step#{g.step}: {g.title}  (leaves {causes} open)")
+        return "\n".join(lines)
+
+
+def evaluate(system: Mapping[str, Any]) -> ChecklistResult:
+    """Score a system description against the five guidelines."""
+    satisfied = [g for g in GUIDELINES if g.check(system)]
+    missing = [g for g in GUIDELINES if not g.check(system)]
+    return ChecklistResult(satisfied=satisfied, missing=missing)

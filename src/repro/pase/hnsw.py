@@ -1,0 +1,352 @@
+"""PASE HNSW: page-structured graph store + access method.
+
+The graph algorithm is shared with the specialized engine
+(:mod:`repro.common.graph`); what this module supplies is PASE's
+substrate, with the two properties the paper's Secs. V-C and VI-C
+trace root causes to:
+
+- **RC#2** — every vector fetch, neighbor-list traversal and
+  visited-check goes through the buffer manager and page decoding.
+  ``vectors()`` gathers one tuple at a time; ``neighbors()`` walks
+  neighbor pages (``pasepfirst``); the visited set resolves a
+  node to its ``HNSWGlobalId`` before each membership test
+  (``HVTGet``).
+- **RC#4** — every adjacency list starts on a **fresh page**, and each
+  neighbor entry is a 24-byte ``HNSWNeighborTuple``::
+
+      PaseTuple pointer (8 B) | nblkid (u32) | dblkid (u32)
+      | doffset (u16) | alignment padding (6 B)       = 24 bytes
+
+  versus Faiss's 4-byte ids — the paper's exact Sec. VI-C2 numbers.
+
+Vectors live in packed data-fork tuples:
+``node_id (u32) | heap_blkno (u32) | heap_offset (u16) | level (u16) |
+vector``.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+from repro.common import graph
+from repro.common.profiling import NULL_PROFILER
+from repro.common.rng import make_rng
+from repro.common.types import BuildStats, IndexSizeInfo
+from repro.pase.options import parse_hnsw_options
+from repro.pgsim.am import IndexAmRoutine, register_am
+from repro.pgsim.heapam import TID
+from repro.pgsim.page import Page, PageFullError
+
+#: The 24-byte HNSWNeighborTuple (Sec. VI-C2).  The 8-byte PaseTuple
+#: pointer field carries the neighbor's node id — the role the char
+#: pointer ("virtual link") plays in PASE.
+_NEIGHBOR = struct.Struct("<QIIH6x")
+assert _NEIGHBOR.size == 24
+
+_DATA_HEAD = struct.Struct("<IIHH")  # node id, heap blkno, heap offset, level
+_NEXT = struct.Struct("<I")
+_NO_BLOCK = 0xFFFFFFFF
+
+
+@dataclass(slots=True)
+class _NodeMeta:
+    """In-memory handle of one graph node (PASE's virtual-link role)."""
+
+    data_blkno: int
+    data_offset: int
+    level: int
+    neighbor_heads: list[int]  # head block per level
+
+
+class _TupleVisited:
+    """PASE-style visited set (the paper's ``HVTGet``).
+
+    Membership is tested against the node's composed ``HNSWGlobalId``
+    — (neighbor block, data block, data offset) — which must be looked
+    up and assembled per check, instead of indexing a flat array.
+    """
+
+    __slots__ = ("_store", "_seen")
+
+    def __init__(self, store: "PageGraphStore") -> None:
+        self._store = store
+        self._seen: set[tuple[int, int, int]] = set()
+
+    def _global_id(self, node: int) -> tuple[int, int, int]:
+        meta = self._store._nodes[node]
+        nblkid = meta.neighbor_heads[0] if meta.neighbor_heads else _NO_BLOCK
+        return (nblkid, meta.data_blkno, meta.data_offset)
+
+    def add(self, node: int) -> None:
+        self._seen.add(self._global_id(node))
+
+    def __contains__(self, node: int) -> bool:
+        return self._global_id(node) in self._seen
+
+
+class PageGraphStore:
+    """Page-backed :class:`repro.common.graph.GraphStore`."""
+
+    def __init__(self, am: "PaseHNSW") -> None:
+        self.am = am
+        self.buffer = am.buffer
+        self.profiler = am.profiler
+        self.counters = graph.GraphCounters()
+        self.entry_point: int | None = None
+        self.max_level = -1
+        self._nodes: list[_NodeMeta] = []
+        self.data_rel = am.create_fork("data")
+        self.neighbor_rel = am.create_fork("neighbors")
+        self._data_insert_block: int | None = None
+
+    # ------------------------------------------------------------------
+    # GraphStore protocol
+    # ------------------------------------------------------------------
+    def vector(self, node: int) -> np.ndarray:
+        meta = self._nodes[node]
+        with self.buffer.page(self.data_rel, meta.data_blkno) as page:
+            view = page.get_item_view(meta.data_offset)
+            return np.frombuffer(view, dtype=np.float32, offset=_DATA_HEAD.size).copy()
+
+    def vectors(self, nodes: Sequence[int]) -> np.ndarray:
+        # One buffer-manager round trip per vector: PASE cannot gather
+        # with a single pointer dereference the way Faiss does (RC#2).
+        out = np.empty((len(nodes), self.am.dim), dtype=np.float32)
+        buffer = self.buffer
+        rel = self.data_rel
+        for i, node in enumerate(nodes):
+            meta = self._nodes[node]
+            frame = buffer.pin(rel, meta.data_blkno)
+            try:
+                view = frame.page.get_item_view(meta.data_offset)
+                out[i] = np.frombuffer(view, dtype=np.float32, offset=_DATA_HEAD.size)
+            finally:
+                buffer.unpin(frame)
+        return out
+
+    def neighbors(self, node: int, level: int) -> list[int]:
+        meta = self._nodes[node]
+        if level >= len(meta.neighbor_heads):
+            return []
+        ids: list[int] = []
+        blkno = meta.neighbor_heads[level]
+        while blkno != _NO_BLOCK:
+            frame = self.buffer.pin(self.neighbor_rel, blkno)
+            try:
+                page = frame.page
+                for off in range(1, page.item_count + 1):
+                    view = page.get_item_view(off)
+                    node_id, __, __, __ = _NEIGHBOR.unpack_from(view, 0)
+                    ids.append(node_id)
+                (blkno,) = _NEXT.unpack(page.read_special())
+            finally:
+                self.buffer.unpin(frame)
+        return ids
+
+    def set_neighbors(self, node: int, level: int, ids: Sequence[int]) -> None:
+        meta = self._nodes[node]
+        if level >= len(meta.neighbor_heads):
+            raise IndexError(f"node {node} has no level {level}")
+        head = meta.neighbor_heads[level]
+        # The head page is dedicated to this adjacency list (fresh page
+        # per list, RC#4), so rewriting in place is safe.
+        blkno = head
+        remaining = [self._neighbor_tuple(nid) for nid in ids]
+        while True:
+            frame = self.buffer.pin(self.neighbor_rel, blkno)
+            try:
+                (next_blk,) = _NEXT.unpack(frame.page.read_special())
+                _reset_page(frame.page, special=_NEXT.pack(next_blk))
+                while remaining:
+                    try:
+                        frame.page.insert_item(remaining[0])
+                    except PageFullError:
+                        break
+                    remaining.pop(0)
+            finally:
+                self.buffer.unpin(frame, dirty=True)
+            if not remaining:
+                break
+            if next_blk == _NO_BLOCK:
+                next_blk = self._new_neighbor_page()
+                self._link_next(blkno, next_blk)
+            blkno = next_blk
+
+    def add_node(self, vector: np.ndarray, level: int) -> int:
+        node_id = len(self._nodes)
+        data_blkno, data_offset = self._insert_data_tuple(node_id, level, vector)
+        # RC#4: one fresh page per adjacency list, at every level.
+        heads = [self._new_neighbor_page() for _ in range(level + 1)]
+        self._nodes.append(_NodeMeta(data_blkno, data_offset, level, heads))
+        return node_id
+
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    def make_visited(self) -> _TupleVisited:
+        return _TupleVisited(self)
+
+    # ------------------------------------------------------------------
+    # page plumbing
+    # ------------------------------------------------------------------
+    def _neighbor_tuple(self, node_id: int) -> bytes:
+        meta = self._nodes[node_id]
+        nblkid = meta.neighbor_heads[0] if meta.neighbor_heads else _NO_BLOCK
+        return _NEIGHBOR.pack(node_id, nblkid, meta.data_blkno, meta.data_offset)
+
+    def _new_neighbor_page(self) -> int:
+        blkno, frame = self.buffer.new_page(self.neighbor_rel, special_size=_NEXT.size)
+        try:
+            frame.page.write_special(_NEXT.pack(_NO_BLOCK))
+        finally:
+            self.buffer.unpin(frame, dirty=True)
+        return blkno
+
+    def _link_next(self, blkno: int, next_blk: int) -> None:
+        frame = self.buffer.pin(self.neighbor_rel, blkno)
+        try:
+            frame.page.write_special(_NEXT.pack(next_blk))
+        finally:
+            self.buffer.unpin(frame, dirty=True)
+
+    def _insert_data_tuple(
+        self, node_id: int, level: int, vector: np.ndarray
+    ) -> tuple[int, int]:
+        item = (
+            _DATA_HEAD.pack(node_id, 0, 0, level)
+            + np.ascontiguousarray(vector, dtype=np.float32).tobytes()
+        )
+        if self._data_insert_block is not None:
+            frame = self.buffer.pin(self.data_rel, self._data_insert_block)
+            try:
+                offset = frame.page.insert_item(item)
+            except PageFullError:
+                self.buffer.unpin(frame)
+            else:
+                self.buffer.unpin(frame, dirty=True)
+                return self._data_insert_block, offset
+        blkno, frame = self.buffer.new_page(self.data_rel)
+        try:
+            offset = frame.page.insert_item(item)
+        finally:
+            self.buffer.unpin(frame, dirty=True)
+        self._data_insert_block = blkno
+        return blkno, offset
+
+    def set_heap_tid(self, node: int, tid: TID) -> None:
+        """Stamp the owning heap tuple's TID into a node's data tuple."""
+        meta = self._nodes[node]
+        frame = self.buffer.pin(self.data_rel, meta.data_blkno)
+        try:
+            view = frame.page.get_item_view(meta.data_offset)
+            struct.pack_into("<IH", view, 4, tid.blkno, tid.offset)
+        finally:
+            self.buffer.unpin(frame, dirty=True)
+
+    def heap_tid(self, node: int) -> TID:
+        """Read back the heap TID stored in a node's data tuple."""
+        meta = self._nodes[node]
+        with self.buffer.page(self.data_rel, meta.data_blkno) as page:
+            view = page.get_item_view(meta.data_offset)
+            __, heap_blk, heap_off, __ = _DATA_HEAD.unpack_from(view, 0)
+            return TID(heap_blk, heap_off)
+
+
+def _reset_page(page: Page, special: bytes) -> None:
+    """Re-format a page in place, preserving its special-space size."""
+    fresh = Page.init(page.page_size, special_size=len(special))
+    page.buf[:] = fresh.buf
+    page.write_special(special)
+
+
+@register_am
+class PaseHNSW(IndexAmRoutine):
+    """HNSW access method (PASE page layout)."""
+
+    amname = "pase_hnsw"
+    aliases = ("hnsw_fun",)
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.opts = parse_hnsw_options(self.options)
+        self.profiler = NULL_PROFILER
+        self.build_stats = BuildStats()
+        self.params = graph.HNSWParams(bnn=self.opts.bnn, efb=self.opts.efb)
+        self.dim: int | None = None
+        self.store: PageGraphStore | None = None
+        self._rng = make_rng(self.opts.seed)
+
+    # ------------------------------------------------------------------
+    # build / insert
+    # ------------------------------------------------------------------
+    def build(self) -> None:
+        self.store = PageGraphStore(self)
+        start = time.perf_counter()
+        count = 0
+        for tid, values in self.table.scan():
+            vec = np.ascontiguousarray(values[self.column_index], dtype=np.float32)
+            if self.dim is None:
+                self.dim = int(vec.shape[0])
+            node = graph.insert(self.store, self.params, vec, self._rng)
+            self.store.set_heap_tid(node, tid)
+            count += 1
+        self.build_stats.add_seconds = time.perf_counter() - start
+        self.build_stats.vectors_added = count
+        self.build_stats.distance_computations = self.store.counters.distance_computations
+
+    def insert(self, tid: TID, value: Any) -> None:
+        if self.store is None:
+            self.store = PageGraphStore(self)
+        vec = np.ascontiguousarray(value, dtype=np.float32)
+        if self.dim is None:
+            self.dim = int(vec.shape[0])
+        node = graph.insert(self.store, self.params, vec, self._rng)
+        self.store.set_heap_tid(node, tid)
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+    def scan(self, query: np.ndarray, k: int) -> Iterator[tuple[TID, float]]:
+        if self.store is None or self.store.node_count() == 0:
+            return
+        efs = int(self.catalog.get_setting("pase.efs"))
+        query = np.ascontiguousarray(query, dtype=np.float32)
+        # Refresh the store's profiler in case the harness replaced ours.
+        self.store.profiler = self.profiler
+        for neighbor in graph.search(self.store, self.params, query, k, efs=efs):
+            yield self.store.heap_tid(neighbor.vector_id), neighbor.distance
+
+    # ------------------------------------------------------------------
+    # size accounting
+    # ------------------------------------------------------------------
+    def relations(self) -> list[str]:
+        """Page-file names owned by this index."""
+        return [self.relation_name(f) for f in ("data", "neighbors")]
+
+    def size_info(self) -> IndexSizeInfo:
+        page_size = self.buffer.disk.page_size
+        detail: dict[str, int] = {}
+        pages = 0
+        used = 0
+        for fork in ("data", "neighbors"):
+            rel = self.relation_name(fork)
+            if not self.buffer.disk.relation_exists(rel):
+                continue
+            n = self.buffer.disk.n_blocks(rel)
+            pages += n
+            detail[f"{fork}_pages"] = n
+            for blkno in range(n):
+                with self.buffer.page(rel, blkno) as page:
+                    for off in page.live_items():
+                        used += len(page.get_item_view(off))
+        return IndexSizeInfo(
+            allocated_bytes=pages * page_size,
+            used_bytes=used,
+            page_count=pages,
+            detail=detail,
+        )

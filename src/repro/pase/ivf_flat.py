@@ -1,0 +1,345 @@
+"""PASE IVF_FLAT: a page-structured inverted-file index.
+
+Layout (following the paper's description of PASE, Sec. II-E/VI-A):
+
+- **meta fork** — one page, one tuple: ``(dim, clusters, distance_type)``.
+- **centroid fork** — fixed-size centroid tuples packed into pages:
+  ``centroid_id (u32) | bucket_head_blkno (u32) | vector (d * f32)``.
+  Because tuples are fixed-size, centroid *i*'s page and offset are
+  computable, like PASE's centroid pages.
+- **data fork** — per-bucket chains of data pages.  Each data tuple is
+  ``heap_blkno (u32) | heap_offset (u16) | pad (2) | vector (d * f32)``;
+  each page's 8-byte special space holds the next block in the chain.
+
+Construction trains centroids with PASE's k-means flavour (RC#5) and
+assigns base vectors one at a time without SGEMM (RC#1).  Search walks
+centroid pages and bucket chains through the buffer manager — paying
+the per-tuple toll of RC#2 — and collects candidates into a size-*n*
+heap (RC#6) unless ``SET pase.fixed_heap = true``.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.common.distance import pairwise_kernel
+from repro.common.heap import BoundedMaxHeap, NaiveTopK
+from repro.common.kmeans import pase_kmeans, sample_training_rows
+from repro.common.profiling import NULL_PROFILER
+from repro.common.types import BuildStats, IndexSizeInfo
+from repro.pase.options import parse_ivf_options
+from repro.pgsim.am import IndexAmRoutine, register_am
+from repro.pgsim.constants import LINE_POINTER_SIZE, PAGE_HEADER_SIZE
+from repro.pgsim.heapam import TID
+from repro.pgsim.page import Page, PageFullError
+
+_META = struct.Struct("<III")  # dim, clusters, distance_type
+_CENTROID_HEAD = struct.Struct("<II")  # centroid_id, bucket_head_blkno
+_DATA_HEAD = struct.Struct("<IHxx")  # heap blkno, heap offset, pad
+_NEXT = struct.Struct("<I")  # chain pointer in the special space
+
+#: "no bucket page" sentinel.
+_NO_BLOCK = 0xFFFFFFFF
+
+SEC_DISTANCE = "fvec_L2sqr"
+SEC_TUPLE_ACCESS = "Tuple Access"
+SEC_HEAP = "Min-heap"
+
+
+@register_am
+class PaseIVFFlat(IndexAmRoutine):
+    """IVF_FLAT access method (PASE page layout)."""
+
+    amname = "pase_ivfflat"
+    aliases = ("ivfflat_fun",)
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.opts = parse_ivf_options(self.options)
+        self.profiler = NULL_PROFILER
+        self.build_stats = BuildStats()
+        self.dim: int | None = None
+        self._centroids_per_page: int | None = None
+
+    # ------------------------------------------------------------------
+    # build
+    # ------------------------------------------------------------------
+    def build(self) -> None:
+        rows = [(tid, values[self.column_index]) for tid, values in self.table.scan()]
+        if not rows:
+            raise RuntimeError("cannot build an IVF index over an empty table")
+        vectors = np.vstack([v for __, v in rows]).astype(np.float32)
+        self.dim = int(vectors.shape[1])
+        n_clusters = min(self.opts.clusters, vectors.shape[0])
+
+        start = time.perf_counter()
+        sample = sample_training_rows(
+            vectors, self.opts.sample_ratio, n_clusters, self.opts.seed
+        )
+        result = pase_kmeans(sample, n_clusters, self.opts.kmeans_iterations)
+        centroids = result.centroids
+        self.build_stats.train_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        buckets: list[list[tuple[TID, np.ndarray]]] = [[] for _ in range(n_clusters)]
+        # PASE's adding phase: one distance row per base vector, no
+        # SGEMM (the paper's RC#1).
+        for tid, vec in rows:
+            diff = centroids - vec
+            dists = np.einsum("ij,ij->i", diff, diff)
+            buckets[int(np.argmin(dists))].append((tid, vec))
+        self.build_stats.distance_computations += len(rows) * n_clusters
+
+        heads = [self._write_bucket(bucket) for bucket in buckets]
+        self._write_centroids(centroids, heads)
+        self._write_meta(n_clusters)
+        self.build_stats.add_seconds = time.perf_counter() - start
+        self.build_stats.vectors_added = len(rows)
+
+    def _write_meta(self, n_clusters: int) -> None:
+        rel = self.create_fork("meta")
+        blkno, frame = self.buffer.new_page(rel)
+        try:
+            frame.page.insert_item(
+                _META.pack(self.dim, n_clusters, int(self.opts.distance_type))
+            )
+        finally:
+            self.buffer.unpin(frame, dirty=True)
+
+    def _write_centroids(self, centroids: np.ndarray, heads: list[int]) -> None:
+        rel = self.create_fork("centroid")
+        tuple_size = _CENTROID_HEAD.size + centroids.shape[1] * 4
+        self._centroids_per_page = max(
+            (self.buffer.disk.page_size - PAGE_HEADER_SIZE)
+            // (tuple_size + LINE_POINTER_SIZE),
+            1,
+        )
+        frame = None
+        blkno = -1
+        for i, (centroid, head) in enumerate(zip(centroids, heads)):
+            if i % self._centroids_per_page == 0:
+                if frame is not None:
+                    self.buffer.unpin(frame, dirty=True)
+                blkno, frame = self.buffer.new_page(rel)
+            item = _CENTROID_HEAD.pack(i, head) + centroid.tobytes()
+            frame.page.insert_item(item)
+        if frame is not None:
+            self.buffer.unpin(frame, dirty=True)
+
+    def _write_bucket(self, bucket: list[tuple[TID, np.ndarray]]) -> int:
+        """Write one bucket as a page chain; returns its head block."""
+        rel = self.create_fork("data")
+        head = _NO_BLOCK
+        frame = None
+        for tid, vec in bucket:
+            item = _DATA_HEAD.pack(tid.blkno, tid.offset) + vec.astype(np.float32).tobytes()
+            if frame is not None:
+                try:
+                    frame.page.insert_item(item)
+                    continue
+                except PageFullError:
+                    self.buffer.unpin(frame, dirty=True)
+                    frame = None
+            blkno, frame = self.buffer.new_page(rel, special_size=_NEXT.size)
+            frame.page.write_special(_NEXT.pack(head))
+            head = blkno
+            frame.page.insert_item(item)
+        if frame is not None:
+            self.buffer.unpin(frame, dirty=True)
+        return head
+
+    # ------------------------------------------------------------------
+    # insert
+    # ------------------------------------------------------------------
+    def insert(self, tid: TID, value: Any) -> None:
+        if self.dim is None:
+            raise RuntimeError("index must be built before single inserts")
+        vec = np.ascontiguousarray(value, dtype=np.float32)
+        if vec.shape != (self.dim,):
+            raise ValueError(f"expected a {self.dim}-dim vector, got shape {vec.shape}")
+        best_id, best_dist = -1, float("inf")
+        for cent_id, __, centroid in self._iter_centroids():
+            diff = centroid - vec
+            dist = float(np.dot(diff, diff))
+            if dist < best_dist:
+                best_id, best_dist = cent_id, dist
+        item = _DATA_HEAD.pack(tid.blkno, tid.offset) + vec.tobytes()
+        head = self._bucket_head(best_id)
+        rel = self.relation_name("data")
+        if head != _NO_BLOCK:
+            frame = self.buffer.pin(rel, head)
+            try:
+                frame.page.insert_item(item)
+            except PageFullError:
+                self.buffer.unpin(frame)
+            else:
+                self.buffer.unpin(frame, dirty=True)
+                return
+        blkno, frame = self.buffer.new_page(rel, special_size=_NEXT.size)
+        try:
+            frame.page.write_special(_NEXT.pack(head))
+            frame.page.insert_item(item)
+        finally:
+            self.buffer.unpin(frame, dirty=True)
+        self._set_bucket_head(best_id, blkno)
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+    def scan(self, query: np.ndarray, k: int) -> Iterator[tuple[TID, float]]:
+        if self.dim is None:
+            raise RuntimeError("index has not been built")
+        prof = self.profiler
+        query = np.ascontiguousarray(query, dtype=np.float32)
+        if query.shape != (self.dim,):
+            raise ValueError(f"query must be {self.dim}-dim, got shape {query.shape}")
+        nprobe = int(self.catalog.get_setting("pase.nprobe"))
+        fixed_heap = bool(self.catalog.get_setting("pase.fixed_heap"))
+        kernel = pairwise_kernel(self.opts.distance_type)
+
+        cent_dists: list[float] = []
+        heads: list[int] = []
+        for __, head, centroid in self._iter_centroids():
+            with prof.section(SEC_DISTANCE):
+                cent_dists.append(kernel(query, centroid))
+            heads.append(head)
+        order = np.argsort(np.asarray(cent_dists), kind="stable")[: max(nprobe, 1)]
+
+        if fixed_heap:
+            # RC#6 neutralized: k-sized heap, candidates rejected with a
+            # single comparison against the current worst survivor.
+            heap = BoundedMaxHeap(k)
+            worst = heap.worst_distance
+            for bucket in order.tolist():
+                for tid, vec in self._iter_bucket(heads[bucket]):
+                    with prof.section(SEC_DISTANCE):
+                        dist = kernel(query, vec)
+                    with prof.section(SEC_HEAP):
+                        if dist < worst:
+                            heap.push(dist, _tid_key(tid))
+                            worst = heap.worst_distance
+        else:
+            # PASE's design: every candidate enters a size-n heap.
+            heap = NaiveTopK(k)
+            for bucket in order.tolist():
+                for tid, vec in self._iter_bucket(heads[bucket]):
+                    with prof.section(SEC_DISTANCE):
+                        dist = kernel(query, vec)
+                    with prof.section(SEC_HEAP):
+                        heap.push(dist, _tid_key(tid))
+        with prof.section(SEC_HEAP):
+            results = heap.results()
+        for neighbor in results:
+            yield _key_tid(neighbor.vector_id), neighbor.distance
+
+    # ------------------------------------------------------------------
+    # page iteration
+    # ------------------------------------------------------------------
+    def _iter_centroids(self) -> Iterator[tuple[int, int, np.ndarray]]:
+        """Yield ``(centroid_id, bucket_head, vector)`` from centroid pages."""
+        rel = self.relation_name("centroid")
+        prof = self.profiler
+        n_blocks = self.buffer.disk.n_blocks(rel)
+        for blkno in range(n_blocks):
+            frame = self.buffer.pin(rel, blkno)
+            try:
+                page = frame.page
+                for off in range(1, page.item_count + 1):
+                    with prof.section(SEC_TUPLE_ACCESS):
+                        view = page.get_item_view(off)
+                        cent_id, head = _CENTROID_HEAD.unpack_from(view, 0)
+                        vec = np.frombuffer(view, dtype=np.float32, offset=_CENTROID_HEAD.size)
+                    yield cent_id, head, vec
+            finally:
+                self.buffer.unpin(frame)
+
+    def _iter_bucket(self, head: int) -> Iterator[tuple[TID, np.ndarray]]:
+        """Walk one bucket's page chain, yielding ``(heap tid, vector)``."""
+        rel = self.relation_name("data")
+        prof = self.profiler
+        blkno = head
+        while blkno != _NO_BLOCK:
+            frame = self.buffer.pin(rel, blkno)
+            try:
+                page = frame.page
+                for off in range(1, page.item_count + 1):
+                    with prof.section(SEC_TUPLE_ACCESS):
+                        view = page.get_item_view(off)
+                        heap_blk, heap_off = _DATA_HEAD.unpack_from(view, 0)
+                        vec = np.frombuffer(view, dtype=np.float32, offset=_DATA_HEAD.size)
+                    yield TID(heap_blk, heap_off), vec
+                (blkno,) = _NEXT.unpack(page.read_special())
+            finally:
+                self.buffer.unpin(frame)
+
+    # ------------------------------------------------------------------
+    # centroid tuple updates
+    # ------------------------------------------------------------------
+    def _centroid_location(self, centroid_id: int) -> tuple[int, int]:
+        assert self._centroids_per_page is not None
+        return (
+            centroid_id // self._centroids_per_page,
+            centroid_id % self._centroids_per_page + 1,
+        )
+
+    def _bucket_head(self, centroid_id: int) -> int:
+        blkno, off = self._centroid_location(centroid_id)
+        with self.buffer.page(self.relation_name("centroid"), blkno) as page:
+            return _CENTROID_HEAD.unpack_from(page.get_item_view(off), 0)[1]
+
+    def _set_bucket_head(self, centroid_id: int, head: int) -> None:
+        blkno, off = self._centroid_location(centroid_id)
+        frame = self.buffer.pin(self.relation_name("centroid"), blkno)
+        try:
+            view = frame.page.get_item_view(off)
+            struct.pack_into("<I", view, 4, head)
+        finally:
+            self.buffer.unpin(frame, dirty=True)
+
+    # ------------------------------------------------------------------
+    # size accounting
+    # ------------------------------------------------------------------
+    def relations(self) -> list[str]:
+        """Page-file names owned by this index (for DROP cleanup)."""
+        return [self.relation_name(f) for f in ("meta", "centroid", "data")]
+
+    def size_info(self) -> IndexSizeInfo:
+        page_size = self.buffer.disk.page_size
+        detail: dict[str, int] = {}
+        pages = 0
+        used = 0
+        for fork in ("meta", "centroid", "data"):
+            rel = self.relation_name(fork)
+            if not self.buffer.disk.relation_exists(rel):
+                continue
+            n = self.buffer.disk.n_blocks(rel)
+            pages += n
+            detail[f"{fork}_pages"] = n
+            used += self._live_bytes(rel)
+        return IndexSizeInfo(
+            allocated_bytes=pages * page_size,
+            used_bytes=used,
+            page_count=pages,
+            detail=detail,
+        )
+
+    def _live_bytes(self, rel: str) -> int:
+        total = 0
+        for blkno in range(self.buffer.disk.n_blocks(rel)):
+            with self.buffer.page(rel, blkno) as page:
+                for off in page.live_items():
+                    total += len(page.get_item_view(off))
+        return total
+
+
+def _tid_key(tid: TID) -> int:
+    """Pack a TID into one int for heap entries."""
+    return (tid.blkno << 16) | tid.offset
+
+
+def _key_tid(key: int) -> TID:
+    return TID(key >> 16, key & 0xFFFF)

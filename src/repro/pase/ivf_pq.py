@@ -1,0 +1,393 @@
+"""PASE IVF_PQ: inverted file with product-quantized data pages.
+
+Same skeleton as :mod:`repro.pase.ivf_flat` with two PQ-specific
+pieces:
+
+- a **codebook fork** storing the ``m * c_pq`` codeword sub-vectors as
+  page tuples (``sub_space (u16) | codeword (u16) | sub-vector``);
+  the decoded codebook is cached in memory after build/first load,
+  like PASE's memory-resident PQ metadata — the paper's RC#7 is about
+  how the *per-query table* is computed, not codebook storage;
+- data tuples carry PQ codes instead of raw vectors:
+  ``heap_blkno (u32) | heap_offset (u16) | pad | code (m bytes)``.
+
+Search builds the per-query ADC table the PASE way — one
+``fvec_L2sqr`` per table cell (RC#7) — unless
+``SET pase.optimized_pctable = true`` enables the Faiss-style
+decomposition, then scans bucket chains scoring one tuple at a time.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.common import pq
+from repro.common.heap import BoundedMaxHeap, NaiveTopK
+from repro.common.kmeans import pase_kmeans, sample_training_rows
+from repro.common.profiling import NULL_PROFILER
+from repro.common.types import BuildStats, IndexSizeInfo
+from repro.pase.ivf_flat import _key_tid, _tid_key
+from repro.pase.options import parse_ivfpq_options
+from repro.pgsim.am import IndexAmRoutine, register_am
+from repro.pgsim.constants import LINE_POINTER_SIZE, PAGE_HEADER_SIZE
+from repro.pgsim.heapam import TID
+from repro.pgsim.page import PageFullError
+
+_META = struct.Struct("<IIIII")  # dim, clusters, distance_type, m, c_pq
+_CENTROID_HEAD = struct.Struct("<II")
+_DATA_HEAD = struct.Struct("<IHxx")
+_CODEBOOK_HEAD = struct.Struct("<HH")  # sub-space, codeword id
+_NEXT = struct.Struct("<I")
+
+_NO_BLOCK = 0xFFFFFFFF
+
+SEC_DISTANCE = "fvec_L2sqr"
+SEC_TUPLE_ACCESS = "Tuple Access"
+SEC_HEAP = "Min-heap"
+SEC_PCTABLE = "Pctable"
+
+
+@register_am
+class PaseIVFPQ(IndexAmRoutine):
+    """IVF_PQ access method (PASE page layout)."""
+
+    amname = "pase_ivfpq"
+    aliases = ("ivfpq_fun",)
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.opts = parse_ivfpq_options(self.options)
+        self.profiler = NULL_PROFILER
+        self.build_stats = BuildStats()
+        self.dim: int | None = None
+        self._centroids_per_page: int | None = None
+        self._codebook: pq.PQCodebook | None = None
+
+    # ------------------------------------------------------------------
+    # build
+    # ------------------------------------------------------------------
+    def build(self) -> None:
+        rows = [(tid, values[self.column_index]) for tid, values in self.table.scan()]
+        if not rows:
+            raise RuntimeError("cannot build an IVF index over an empty table")
+        vectors = np.vstack([v for __, v in rows]).astype(np.float32)
+        self.dim = int(vectors.shape[1])
+        if self.dim % self.opts.m != 0:
+            raise ValueError(
+                f"vector dim {self.dim} is not divisible by m={self.opts.m}"
+            )
+        n_clusters = min(self.opts.ivf.clusters, vectors.shape[0])
+        c_pq = min(self.opts.c_pq, vectors.shape[0])
+
+        start = time.perf_counter()
+        sample = sample_training_rows(
+            vectors, self.opts.ivf.sample_ratio, max(n_clusters, c_pq), self.opts.ivf.seed
+        )
+        coarse = pase_kmeans(sample, n_clusters, self.opts.ivf.kmeans_iterations)
+        self._codebook = pq.train_codebook(
+            sample,
+            self.opts.m,
+            c_pq,
+            max_iterations=self.opts.ivf.kmeans_iterations,
+            seed=self.opts.ivf.seed,
+            style="pase",
+        )
+        self.build_stats.train_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        codes = pq.encode(self._codebook, vectors)
+        buckets: list[list[tuple[TID, np.ndarray]]] = [[] for _ in range(n_clusters)]
+        centroids = coarse.centroids
+        for i, (tid, __) in enumerate(rows):
+            diff = centroids - vectors[i]
+            dists = np.einsum("ij,ij->i", diff, diff)
+            buckets[int(np.argmin(dists))].append((tid, codes[i]))
+        self.build_stats.distance_computations += len(rows) * n_clusters
+
+        heads = [self._write_bucket(bucket) for bucket in buckets]
+        self._write_centroids(centroids, heads)
+        self._write_codebook()
+        self._write_meta(n_clusters, c_pq)
+        self.build_stats.add_seconds = time.perf_counter() - start
+        self.build_stats.vectors_added = len(rows)
+
+    def _write_meta(self, n_clusters: int, c_pq: int) -> None:
+        rel = self.create_fork("meta")
+        __, frame = self.buffer.new_page(rel)
+        try:
+            frame.page.insert_item(
+                _META.pack(
+                    self.dim,
+                    n_clusters,
+                    int(self.opts.ivf.distance_type),
+                    self.opts.m,
+                    c_pq,
+                )
+            )
+        finally:
+            self.buffer.unpin(frame, dirty=True)
+
+    def _write_centroids(self, centroids: np.ndarray, heads: list[int]) -> None:
+        rel = self.create_fork("centroid")
+        tuple_size = _CENTROID_HEAD.size + centroids.shape[1] * 4
+        self._centroids_per_page = max(
+            (self.buffer.disk.page_size - PAGE_HEADER_SIZE)
+            // (tuple_size + LINE_POINTER_SIZE),
+            1,
+        )
+        frame = None
+        for i, (centroid, head) in enumerate(zip(centroids, heads)):
+            if i % self._centroids_per_page == 0:
+                if frame is not None:
+                    self.buffer.unpin(frame, dirty=True)
+                __, frame = self.buffer.new_page(rel)
+            frame.page.insert_item(_CENTROID_HEAD.pack(i, head) + centroid.tobytes())
+        if frame is not None:
+            self.buffer.unpin(frame, dirty=True)
+
+    def _write_codebook(self) -> None:
+        assert self._codebook is not None
+        rel = self.create_fork("codebook")
+        frame = None
+        for j in range(self._codebook.m):
+            for c in range(self._codebook.c_pq):
+                item = _CODEBOOK_HEAD.pack(j, c) + self._codebook.codebooks[j, c].tobytes()
+                if frame is not None:
+                    try:
+                        frame.page.insert_item(item)
+                        continue
+                    except PageFullError:
+                        self.buffer.unpin(frame, dirty=True)
+                        frame = None
+                __, frame = self.buffer.new_page(rel)
+                frame.page.insert_item(item)
+        if frame is not None:
+            self.buffer.unpin(frame, dirty=True)
+
+    def _write_bucket(self, bucket: list[tuple[TID, np.ndarray]]) -> int:
+        rel = self.create_fork("data")
+        head = _NO_BLOCK
+        frame = None
+        for tid, code in bucket:
+            item = _DATA_HEAD.pack(tid.blkno, tid.offset) + code.tobytes()
+            if frame is not None:
+                try:
+                    frame.page.insert_item(item)
+                    continue
+                except PageFullError:
+                    self.buffer.unpin(frame, dirty=True)
+                    frame = None
+            blkno, frame = self.buffer.new_page(rel, special_size=_NEXT.size)
+            frame.page.write_special(_NEXT.pack(head))
+            head = blkno
+            frame.page.insert_item(item)
+        if frame is not None:
+            self.buffer.unpin(frame, dirty=True)
+        return head
+
+    # ------------------------------------------------------------------
+    # insert
+    # ------------------------------------------------------------------
+    def insert(self, tid: TID, value: Any) -> None:
+        if self.dim is None or self._codebook is None:
+            raise RuntimeError("index must be built before single inserts")
+        vec = np.ascontiguousarray(value, dtype=np.float32)
+        if vec.shape != (self.dim,):
+            raise ValueError(f"expected a {self.dim}-dim vector, got shape {vec.shape}")
+        code = pq.encode(self._codebook, vec.reshape(1, -1))[0]
+        best_id, best_dist = -1, float("inf")
+        for cent_id, __, centroid in self._iter_centroids():
+            diff = centroid - vec
+            dist = float(np.dot(diff, diff))
+            if dist < best_dist:
+                best_id, best_dist = cent_id, dist
+        item = _DATA_HEAD.pack(tid.blkno, tid.offset) + code.tobytes()
+        head = self._bucket_head(best_id)
+        rel = self.relation_name("data")
+        if head != _NO_BLOCK:
+            frame = self.buffer.pin(rel, head)
+            try:
+                frame.page.insert_item(item)
+            except PageFullError:
+                self.buffer.unpin(frame)
+            else:
+                self.buffer.unpin(frame, dirty=True)
+                return
+        blkno, frame = self.buffer.new_page(rel, special_size=_NEXT.size)
+        try:
+            frame.page.write_special(_NEXT.pack(head))
+            frame.page.insert_item(item)
+        finally:
+            self.buffer.unpin(frame, dirty=True)
+        self._set_bucket_head(best_id, blkno)
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+    def scan(self, query: np.ndarray, k: int) -> Iterator[tuple[TID, float]]:
+        if self.dim is None:
+            raise RuntimeError("index has not been built")
+        prof = self.profiler
+        query = np.ascontiguousarray(query, dtype=np.float32)
+        if query.shape != (self.dim,):
+            raise ValueError(f"query must be {self.dim}-dim, got shape {query.shape}")
+        nprobe = int(self.catalog.get_setting("pase.nprobe"))
+        fixed_heap = bool(self.catalog.get_setting("pase.fixed_heap"))
+        optimized = bool(self.catalog.get_setting("pase.optimized_pctable"))
+        codebook = self._load_codebook()
+
+        cent_dists: list[float] = []
+        heads: list[int] = []
+        for __, head, centroid in self._iter_centroids():
+            with prof.section(SEC_DISTANCE):
+                diff = centroid - query
+                cent_dists.append(float(np.dot(diff, diff)))
+            heads.append(head)
+        order = np.argsort(np.asarray(cent_dists), kind="stable")[: max(nprobe, 1)]
+
+        with prof.section(SEC_PCTABLE):
+            if optimized:
+                table = pq.optimized_adc_table(codebook, query)
+            else:
+                table = pq.naive_adc_table(codebook, query)
+
+        if fixed_heap:
+            heap = BoundedMaxHeap(k)
+            worst = heap.worst_distance
+            for bucket in order.tolist():
+                for tid, code in self._iter_bucket(heads[bucket]):
+                    with prof.section(SEC_DISTANCE):
+                        dist = pq.adc_distance_single(table, code)
+                    with prof.section(SEC_HEAP):
+                        if dist < worst:
+                            heap.push(dist, _tid_key(tid))
+                            worst = heap.worst_distance
+        else:
+            heap = NaiveTopK(k)
+            for bucket in order.tolist():
+                for tid, code in self._iter_bucket(heads[bucket]):
+                    with prof.section(SEC_DISTANCE):
+                        dist = pq.adc_distance_single(table, code)
+                    with prof.section(SEC_HEAP):
+                        heap.push(dist, _tid_key(tid))
+        with prof.section(SEC_HEAP):
+            results = heap.results()
+        for neighbor in results:
+            yield _key_tid(neighbor.vector_id), neighbor.distance
+
+    # ------------------------------------------------------------------
+    # page iteration
+    # ------------------------------------------------------------------
+    def _iter_centroids(self) -> Iterator[tuple[int, int, np.ndarray]]:
+        rel = self.relation_name("centroid")
+        prof = self.profiler
+        for blkno in range(self.buffer.disk.n_blocks(rel)):
+            frame = self.buffer.pin(rel, blkno)
+            try:
+                page = frame.page
+                for off in range(1, page.item_count + 1):
+                    with prof.section(SEC_TUPLE_ACCESS):
+                        view = page.get_item_view(off)
+                        cent_id, head = _CENTROID_HEAD.unpack_from(view, 0)
+                        vec = np.frombuffer(view, dtype=np.float32, offset=_CENTROID_HEAD.size)
+                    yield cent_id, head, vec
+            finally:
+                self.buffer.unpin(frame)
+
+    def _iter_bucket(self, head: int) -> Iterator[tuple[TID, np.ndarray]]:
+        rel = self.relation_name("data")
+        prof = self.profiler
+        blkno = head
+        while blkno != _NO_BLOCK:
+            frame = self.buffer.pin(rel, blkno)
+            try:
+                page = frame.page
+                for off in range(1, page.item_count + 1):
+                    with prof.section(SEC_TUPLE_ACCESS):
+                        view = page.get_item_view(off)
+                        heap_blk, heap_off = _DATA_HEAD.unpack_from(view, 0)
+                        code = np.frombuffer(view, dtype=np.uint8, offset=_DATA_HEAD.size)
+                    yield TID(heap_blk, heap_off), code
+                (blkno,) = _NEXT.unpack(page.read_special())
+            finally:
+                self.buffer.unpin(frame)
+
+    def _load_codebook(self) -> pq.PQCodebook:
+        """Decode codebook pages once and cache (PASE keeps it resident)."""
+        if self._codebook is not None:
+            return self._codebook
+        rel = self.relation_name("codebook")
+        with self.buffer.page(self.relation_name("meta"), 0) as page:
+            dim, __, __, m, c_pq = _META.unpack_from(page.get_item_view(1), 0)
+        d_sub = dim // m
+        books = np.empty((m, c_pq, d_sub), dtype=np.float32)
+        for blkno in range(self.buffer.disk.n_blocks(rel)):
+            with self.buffer.page(rel, blkno) as page:
+                for off in page.live_items():
+                    view = page.get_item_view(off)
+                    j, c = _CODEBOOK_HEAD.unpack_from(view, 0)
+                    books[j, c] = np.frombuffer(
+                        view, dtype=np.float32, offset=_CODEBOOK_HEAD.size
+                    )
+        norms = np.stack(
+            [np.einsum("ij,ij->i", books[j], books[j]) for j in range(m)]
+        )
+        self._codebook = pq.PQCodebook(codebooks=books, codeword_sq_norms=norms)
+        return self._codebook
+
+    # ------------------------------------------------------------------
+    # centroid tuple updates (same addressing as IVF_FLAT)
+    # ------------------------------------------------------------------
+    def _centroid_location(self, centroid_id: int) -> tuple[int, int]:
+        assert self._centroids_per_page is not None
+        return (
+            centroid_id // self._centroids_per_page,
+            centroid_id % self._centroids_per_page + 1,
+        )
+
+    def _bucket_head(self, centroid_id: int) -> int:
+        blkno, off = self._centroid_location(centroid_id)
+        with self.buffer.page(self.relation_name("centroid"), blkno) as page:
+            return _CENTROID_HEAD.unpack_from(page.get_item_view(off), 0)[1]
+
+    def _set_bucket_head(self, centroid_id: int, head: int) -> None:
+        blkno, off = self._centroid_location(centroid_id)
+        frame = self.buffer.pin(self.relation_name("centroid"), blkno)
+        try:
+            struct.pack_into("<I", frame.page.get_item_view(off), 4, head)
+        finally:
+            self.buffer.unpin(frame, dirty=True)
+
+    # ------------------------------------------------------------------
+    # size accounting
+    # ------------------------------------------------------------------
+    def relations(self) -> list[str]:
+        """Page-file names owned by this index."""
+        return [self.relation_name(f) for f in ("meta", "centroid", "codebook", "data")]
+
+    def size_info(self) -> IndexSizeInfo:
+        page_size = self.buffer.disk.page_size
+        detail: dict[str, int] = {}
+        pages = 0
+        used = 0
+        for fork in ("meta", "centroid", "codebook", "data"):
+            rel = self.relation_name(fork)
+            if not self.buffer.disk.relation_exists(rel):
+                continue
+            n = self.buffer.disk.n_blocks(rel)
+            pages += n
+            detail[f"{fork}_pages"] = n
+            for blkno in range(n):
+                with self.buffer.page(rel, blkno) as page:
+                    for off in page.live_items():
+                        used += len(page.get_item_view(off))
+        return IndexSizeInfo(
+            allocated_bytes=pages * page_size,
+            used_bytes=used,
+            page_count=pages,
+            detail=detail,
+        )

@@ -1,0 +1,78 @@
+"""PASE-style intra-query parallelism: global heap + lock (RC#3).
+
+The paper finds (Sec. VII-D) that PASE's parallel IVF search does not
+scale because all worker threads "directly use a global heap with
+locks to support concurrent insertions".  This driver executes the
+bucket scans for real (one work unit per probed bucket), routes every
+candidate through a :class:`~repro.common.heap.LockedGlobalHeap`, and
+feeds the measured unit costs plus the counted lock operations into
+the deterministic scheduler — each heap push is a serial critical
+section, which is precisely why the curves in Fig. 18 stay flat.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.common import pq as pq_mod
+from repro.common.heap import LockedGlobalHeap
+from repro.common.parallel import ScheduleResult, WorkUnit, scaling_curve
+from repro.common.types import SearchResult
+from repro.pase.ivf_flat import PaseIVFFlat, _tid_key
+from repro.pase.ivf_pq import PaseIVFPQ
+
+
+def parallel_search(
+    am: PaseIVFFlat | PaseIVFPQ,
+    query: np.ndarray,
+    k: int,
+    nprobe: int,
+    thread_counts: list[int],
+) -> tuple[SearchResult, dict[int, ScheduleResult]]:
+    """Intra-query parallel IVF search, PASE's shared-heap design.
+
+    Returns the (correct) search result plus simulated wall-clock per
+    thread count.
+    """
+    query = np.ascontiguousarray(query, dtype=np.float32)
+    is_pq = isinstance(am, PaseIVFPQ)
+
+    cent_dists: list[float] = []
+    heads: list[int] = []
+    for __, head, centroid in am._iter_centroids():
+        diff = centroid - query
+        cent_dists.append(float(np.dot(diff, diff)))
+        heads.append(head)
+    order = np.argsort(np.asarray(cent_dists), kind="stable")[: max(nprobe, 1)]
+
+    table = None
+    if is_pq:
+        codebook = am._load_codebook()
+        table = pq_mod.naive_adc_table(codebook, query)
+
+    heap = LockedGlobalHeap(k)
+    units: list[WorkUnit] = []
+    for bucket in order.tolist():
+        start = time.perf_counter()
+        ops_before = heap.lock_acquisitions
+        for tid, payload in am._iter_bucket(heads[bucket]):
+            if is_pq:
+                dist = pq_mod.adc_distance_single(table, payload)
+            else:
+                diff = payload - query
+                dist = float(np.dot(diff, diff))
+            # Every candidate goes through the global locked heap.
+            heap.push(dist, _tid_key(tid))
+        cost = time.perf_counter() - start
+        units.append(
+            WorkUnit(
+                compute_seconds=cost,
+                serial_ops=heap.lock_acquisitions - ops_before,
+            )
+        )
+
+    curve = scaling_curve(units, thread_counts)
+    neighbors = heap.results()
+    return SearchResult(neighbors=neighbors), curve

@@ -1,0 +1,31 @@
+"""``pgsim`` — a from-scratch PostgreSQL-like storage & SQL engine.
+
+This subpackage is the reproduction's relational substrate: the role
+PostgreSQL plays for PASE in the paper.  It implements, in Python,
+the architectural pieces whose costs the paper traces its root causes
+to:
+
+- **slotted 8 KB pages** with PostgreSQL-style headers and line
+  pointers (:mod:`repro.pgsim.page`) — the layout behind RC#4;
+- a **buffer manager** with pinning and clock-sweep eviction
+  (:mod:`repro.pgsim.buffer`) — the page indirection behind RC#2;
+- a **disk manager** holding relations as page files
+  (:mod:`repro.pgsim.storage`), with an in-memory "tmpfs" mode
+  mirroring the paper's I/O-exclusion experiment (Sec. V-A2);
+- a **write-ahead log** with redo recovery (:mod:`repro.pgsim.wal`);
+- a **heap access method** with tuple headers and TIDs
+  (:mod:`repro.pgsim.heapam`) and a binary **tuple/datum codec**
+  (:mod:`repro.pgsim.tuple_format`);
+- a **catalog** and GUC settings (:mod:`repro.pgsim.catalog`);
+- an **index access-method interface** mirroring PostgreSQL's
+  ``IndexAmRoutine`` (:mod:`repro.pgsim.am`), which the PASE and
+  pgvector index implementations plug into; and
+- a **SQL front end**: lexer, parser, planner and Volcano-style
+  executor (:mod:`repro.pgsim.sql`, :mod:`repro.pgsim.planner`,
+  :mod:`repro.pgsim.executor`), exposing the paper's exact SQL
+  surface (``ORDER BY vec <-> '...'::PASE LIMIT k``).
+"""
+
+from repro.pgsim.database import PgSimDatabase
+
+__all__ = ["PgSimDatabase"]

@@ -1,0 +1,123 @@
+"""Index access-method interface (PostgreSQL's ``IndexAmRoutine``).
+
+The paper notes that for a new index "to be compatible with the
+existing SQL query plan, the index implementation has to follow
+certain rules": implement ``build()``, ``insert()``, ``delete()`` and
+``scan()`` through the ``IndexAmRoutine`` interface, and lay its pages
+out so the buffer manager can serve them (Sec. II-E).  This module is
+that contract: the PASE and pgvector index types subclass
+:class:`IndexAmRoutine` and register themselves in :data:`AM_REGISTRY`
+so ``CREATE INDEX ... USING <am>`` can find them.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.common.types import IndexSizeInfo
+from repro.pgsim.buffer import BufferManager
+from repro.pgsim.catalog import Catalog
+from repro.pgsim.heapam import TID, HeapTable
+
+
+class IndexAmRoutine(abc.ABC):
+    """One index instance bound to (table, column).
+
+    Subclasses own their page layout; pgsim only requires the
+    lifecycle below.  ``amname`` identifies the AM in SQL
+    (``CREATE INDEX ... USING <amname>``).
+    """
+
+    amname: str = ""
+    #: alternative SQL names for the AM (PASE exposes e.g.
+    #: ``ivfflat_fun``, the name used in the paper's CREATE INDEX).
+    aliases: tuple[str, ...] = ()
+
+    def __init__(
+        self,
+        index_name: str,
+        table: HeapTable,
+        column_index: int,
+        buffer: BufferManager,
+        catalog: Catalog,
+        options: dict[str, Any],
+    ) -> None:
+        self.index_name = index_name
+        self.table = table
+        self.column_index = column_index
+        self.buffer = buffer
+        self.catalog = catalog
+        self.options = dict(options)
+
+    # ------------------------------------------------------------------
+    # lifecycle (ambuild / aminsert / ambulkdelete / amgettuple)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def build(self) -> None:
+        """Build the index over the table's current contents."""
+
+    @abc.abstractmethod
+    def insert(self, tid: TID, value: Any) -> None:
+        """Index one newly inserted heap tuple."""
+
+    @abc.abstractmethod
+    def scan(self, query: np.ndarray, k: int) -> Iterator[tuple[TID, float]]:
+        """Ordered scan: yield ``(tid, distance)`` nearest-first.
+
+        This is the ``amgettuple`` path the executor pulls from for
+        ``ORDER BY vec <-> q LIMIT k`` plans.
+        """
+
+    def delete(self, tid: TID) -> None:
+        """Unindex a heap tuple (default: not supported)."""
+        raise NotImplementedError(f"{self.amname} does not support deletes")
+
+    @abc.abstractmethod
+    def size_info(self) -> IndexSizeInfo:
+        """Byte-level size accounting (drives the Figs. 11-13 benches)."""
+
+    # ------------------------------------------------------------------
+    # helpers shared by vector AMs
+    # ------------------------------------------------------------------
+    def relation_name(self, fork: str) -> str:
+        """Page-file name for one of this index's forks."""
+        return f"{self.index_name}.{fork}"
+
+    def create_fork(self, fork: str) -> str:
+        """Create (or reuse) a page file for a fork; returns its name."""
+        rel = self.relation_name(fork)
+        if not self.buffer.disk.relation_exists(rel):
+            self.buffer.disk.create_relation(rel)
+        return rel
+
+
+#: amname -> IndexAmRoutine subclass.  PASE/pgvector register here at
+#: import time; ``CREATE INDEX ... USING <amname>`` looks the AM up.
+AM_REGISTRY: dict[str, type[IndexAmRoutine]] = {}
+
+
+def register_am(cls: type[IndexAmRoutine]) -> type[IndexAmRoutine]:
+    """Class decorator adding an AM (and its aliases) to the registry."""
+    if not cls.amname:
+        raise ValueError(f"{cls.__name__} must set amname")
+    for name in (cls.amname, *cls.aliases):
+        if name in AM_REGISTRY:
+            raise ValueError(f"access method {name!r} already registered")
+        AM_REGISTRY[name] = cls
+    return cls
+
+
+def lookup_am(amname: str) -> type[IndexAmRoutine]:
+    """Resolve an AM by name.
+
+    Raises:
+        KeyError: with the known AM names listed.
+    """
+    try:
+        return AM_REGISTRY[amname]
+    except KeyError:
+        known = ", ".join(sorted(AM_REGISTRY)) or "(none)"
+        raise KeyError(f"unknown access method {amname!r}; known: {known}") from None

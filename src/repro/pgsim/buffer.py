@@ -1,0 +1,218 @@
+"""Buffer manager: the page indirection behind the paper's RC#2.
+
+Every tuple access in pgsim goes through this layer: look up the
+``(relation, block)`` in the frame table, pin the frame, decode the
+wanted tuple out of the page, unpin.  Faiss-style engines skip all of
+this and dereference a pointer — the paper measures that difference as
+the ``Tuple Access`` rows of Tables III/V and Fig. 8.
+
+The implementation is a faithful miniature of PostgreSQL's shared
+buffers: fixed capacity, pin counts, usage counters with clock-sweep
+eviction, dirty-page write-back with checksum stamping, and hit/miss
+statistics.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.pgsim.constants import DEFAULT_BUFFER_POOL_PAGES
+from repro.pgsim.page import Page
+from repro.pgsim.storage import DiskManager
+
+#: Usage count ceiling, as in PostgreSQL's clock sweep.
+MAX_USAGE_COUNT = 5
+
+
+class BufferPoolExhaustedError(RuntimeError):
+    """Raised when every frame is pinned and a new page is needed."""
+
+
+class Frame:
+    """One buffer-pool slot holding a page image."""
+
+    __slots__ = ("rel", "blkno", "page", "pin_count", "dirty", "usage")
+
+    def __init__(self, rel: str, blkno: int, page: Page) -> None:
+        self.rel = rel
+        self.blkno = blkno
+        self.page = page
+        self.pin_count = 0
+        self.dirty = False
+        self.usage = 1
+
+
+@dataclass(slots=True)
+class BufferStats:
+    """Access statistics (the reproduction's ``pg_stat_io``)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    dirty_writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+
+class BufferManager:
+    """Fixed-capacity page cache with clock-sweep replacement."""
+
+    def __init__(
+        self,
+        disk: DiskManager,
+        capacity: int = DEFAULT_BUFFER_POOL_PAGES,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.disk = disk
+        self.capacity = capacity
+        self.stats = BufferStats()
+        self._frames: dict[tuple[str, int], Frame] = {}
+        self._clock_keys: list[tuple[str, int]] = []
+        self._hand = 0
+
+    # ------------------------------------------------------------------
+    # pin/unpin
+    # ------------------------------------------------------------------
+    def pin(self, rel: str, blkno: int) -> Frame:
+        """Pin a page into the pool, reading from disk on a miss."""
+        key = (rel, blkno)
+        frame = self._frames.get(key)
+        if frame is not None:
+            self.stats.hits += 1
+            frame.pin_count += 1
+            if frame.usage < MAX_USAGE_COUNT:
+                frame.usage += 1
+            return frame
+        self.stats.misses += 1
+        if len(self._frames) >= self.capacity:
+            self._evict_one()
+        page = Page(bytearray(self.disk.read_block(rel, blkno)))
+        page.verify_checksum()
+        frame = Frame(rel, blkno, page)
+        frame.pin_count = 1
+        self._frames[key] = frame
+        self._clock_keys.append(key)
+        return frame
+
+    def unpin(self, frame: Frame, dirty: bool = False) -> None:
+        """Release a pin, optionally marking the page dirty."""
+        if frame.pin_count <= 0:
+            raise RuntimeError(f"frame ({frame.rel}, {frame.blkno}) is not pinned")
+        frame.pin_count -= 1
+        if dirty:
+            frame.dirty = True
+
+    @contextmanager
+    def page(self, rel: str, blkno: int, dirty: bool = False) -> Iterator[Page]:
+        """Scoped pin: ``with buffer.page(rel, blk) as page: ...``."""
+        frame = self.pin(rel, blkno)
+        try:
+            yield frame.page
+        finally:
+            self.unpin(frame, dirty=dirty)
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+    def new_page(self, rel: str, special_size: int = 0) -> tuple[int, Frame]:
+        """Allocate a fresh formatted page at the end of ``rel``.
+
+        Returns ``(blkno, pinned frame)``; the frame is already marked
+        dirty and must be unpinned by the caller.
+        """
+        page = Page.init(self.disk.page_size, special_size=special_size)
+        blkno = self.disk.extend(rel, bytes(page.buf))
+        key = (rel, blkno)
+        if len(self._frames) >= self.capacity:
+            self._evict_one()
+        frame = Frame(rel, blkno, page)
+        frame.pin_count = 1
+        frame.dirty = True
+        self._frames[key] = frame
+        self._clock_keys.append(key)
+        return blkno, frame
+
+    # ------------------------------------------------------------------
+    # write-back
+    # ------------------------------------------------------------------
+    def flush_frame(self, frame: Frame) -> None:
+        """Write one dirty frame back to disk (checksum stamped)."""
+        if not frame.dirty:
+            return
+        frame.page.update_checksum()
+        self.disk.write_block(frame.rel, frame.blkno, bytes(frame.page.buf))
+        frame.dirty = False
+        self.stats.dirty_writebacks += 1
+
+    def flush_all(self) -> None:
+        """Write back every dirty frame (checkpoint)."""
+        for frame in self._frames.values():
+            self.flush_frame(frame)
+
+    def drop_relation(self, rel: str) -> None:
+        """Invalidate all cached frames of a dropped relation."""
+        keys = [k for k in self._frames if k[0] == rel]
+        for key in keys:
+            frame = self._frames[key]
+            if frame.pin_count:
+                raise RuntimeError(f"cannot drop {rel!r}: block {key[1]} is pinned")
+            del self._frames[key]
+        self._clock_keys = [k for k in self._clock_keys if k[0] != rel]
+        self._hand = 0
+
+    # ------------------------------------------------------------------
+    # eviction
+    # ------------------------------------------------------------------
+    def _evict_one(self) -> None:
+        """Clock sweep: find an unpinned frame with zero usage, evict it."""
+        if not self._clock_keys:
+            raise BufferPoolExhaustedError("buffer pool is empty but full?")
+        sweeps = 0
+        # Worst case each unpinned frame needs MAX_USAGE_COUNT
+        # decrements before it becomes a victim.
+        max_sweeps = (MAX_USAGE_COUNT + 1) * len(self._clock_keys) + 1
+        while sweeps < max_sweeps:
+            if self._hand >= len(self._clock_keys):
+                self._hand = 0
+            key = self._clock_keys[self._hand]
+            frame = self._frames[key]
+            if frame.pin_count == 0:
+                if frame.usage > 0:
+                    frame.usage -= 1
+                else:
+                    self.flush_frame(frame)
+                    del self._frames[key]
+                    # Swap-remove to keep the ring compact.
+                    last = self._clock_keys.pop()
+                    if last != key:
+                        self._clock_keys[self._hand] = last
+                    self.stats.evictions += 1
+                    return
+            self._hand += 1
+            sweeps += 1
+        raise BufferPoolExhaustedError(
+            f"all {len(self._clock_keys)} buffer frames are pinned"
+        )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def cached_pages(self) -> int:
+        """Number of pages currently resident."""
+        return len(self._frames)
+
+    def pinned_pages(self) -> int:
+        """Number of frames with a positive pin count (leak detector)."""
+        return sum(1 for f in self._frames.values() if f.pin_count > 0)

@@ -1,0 +1,130 @@
+"""System catalog and GUC-style settings.
+
+Tracks tables, their schemas, and their indexes — the role of
+``pg_class``/``pg_attribute``/``pg_index`` — plus a settings store for
+the runtime parameters PASE exposes through ``SET`` (e.g.
+``pase.nprobe``, the paper's Table II search knobs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.pgsim.heapam import HeapTable
+from repro.pgsim.tuple_format import Column
+
+
+class CatalogError(RuntimeError):
+    """Raised for catalog violations (duplicate names, missing objects)."""
+
+
+@dataclass
+class IndexInfo:
+    """Catalog entry for one index."""
+
+    name: str
+    table_name: str
+    column_name: str
+    am_name: str
+    options: dict[str, Any]
+    am: Any  # the IndexAmRoutine instance (typed loosely to avoid cycles)
+
+
+@dataclass
+class TableInfo:
+    """Catalog entry for one table."""
+
+    name: str
+    columns: list[Column]
+    heap: HeapTable
+    indexes: dict[str, IndexInfo] = field(default_factory=dict)
+
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+
+#: Default GUC values; names follow PASE's SQL examples and Table II.
+DEFAULT_SETTINGS: dict[str, Any] = {
+    "pase.nprobe": 20,
+    "pase.efs": 200,
+    "pase.fixed_heap": False,  # RC#6 ablation: use a k-sized heap
+    "pase.optimized_pctable": False,  # RC#7 ablation
+    "enable_indexscan": True,
+    "enable_seqscan": True,
+}
+
+
+class Catalog:
+    """In-memory catalog of tables, indexes and settings."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, TableInfo] = {}
+        self.settings: dict[str, Any] = dict(DEFAULT_SETTINGS)
+
+    # ------------------------------------------------------------------
+    # tables
+    # ------------------------------------------------------------------
+    def add_table(self, info: TableInfo) -> None:
+        if info.name in self._tables:
+            raise CatalogError(f"table {info.name!r} already exists")
+        self._tables[info.name] = info
+
+    def drop_table(self, name: str) -> TableInfo:
+        info = self.table(name)
+        del self._tables[name]
+        return info
+
+    def table(self, name: str) -> TableInfo:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"no such table: {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    # ------------------------------------------------------------------
+    # indexes
+    # ------------------------------------------------------------------
+    def add_index(self, info: IndexInfo) -> None:
+        table = self.table(info.table_name)
+        if self.find_index(info.name) is not None:
+            raise CatalogError(f"index {info.name!r} already exists")
+        table.indexes[info.name] = info
+
+    def drop_index(self, name: str) -> IndexInfo:
+        for table in self._tables.values():
+            if name in table.indexes:
+                return table.indexes.pop(name)
+        raise CatalogError(f"no such index: {name!r}")
+
+    def find_index(self, name: str) -> IndexInfo | None:
+        for table in self._tables.values():
+            if name in table.indexes:
+                return table.indexes[name]
+        return None
+
+    def indexes_on(self, table_name: str, column_name: str | None = None) -> list[IndexInfo]:
+        """Indexes of a table, optionally restricted to one column."""
+        table = self.table(table_name)
+        out = list(table.indexes.values())
+        if column_name is not None:
+            out = [ix for ix in out if ix.column_name == column_name]
+        return out
+
+    # ------------------------------------------------------------------
+    # settings
+    # ------------------------------------------------------------------
+    def set_setting(self, name: str, value: Any) -> None:
+        """SET name = value (names are case-insensitive)."""
+        self.settings[name.lower()] = value
+
+    def get_setting(self, name: str) -> Any:
+        try:
+            return self.settings[name.lower()]
+        except KeyError:
+            raise CatalogError(f"unrecognized configuration parameter: {name!r}") from None

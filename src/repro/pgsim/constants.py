@@ -1,0 +1,41 @@
+"""Layout constants of the pgsim storage engine.
+
+Values mirror PostgreSQL where the paper depends on them: the default
+page size is 8 KB (Table IV halves it to 4 KB to demonstrate RC#4's
+space waste), page headers are 24 bytes, line pointers 4 bytes.
+"""
+
+from __future__ import annotations
+
+#: Default page size in bytes (PostgreSQL's default; see Table IV).
+DEFAULT_PAGE_SIZE = 8192
+
+#: Smallest page size the engine accepts (header + one pointer + a
+#: minimal tuple must fit).
+MIN_PAGE_SIZE = 256
+
+#: Page header bytes: lsn(8) checksum(2) flags(2) lower(2) upper(2)
+#: special(2) pagesize_version(2) prune_xid(4) — PostgreSQL's layout.
+PAGE_HEADER_SIZE = 24
+
+#: Line pointer (item id) bytes: offset(2) + length(2).
+LINE_POINTER_SIZE = 4
+
+#: Heap tuple header bytes: xmin(4) xmax(4) natts(2) infomask(2).
+TUPLE_HEADER_SIZE = 12
+
+#: Default buffer-pool capacity in pages (128 MB at 8 KB pages) —
+#: large enough that warmed-up experiments run fully cached, matching
+#: the paper's all-in-memory setting (Sec. III).
+DEFAULT_BUFFER_POOL_PAGES = 16384
+
+#: Datum alignment, PostgreSQL's MAXALIGN.
+MAXALIGN = 8
+
+#: Invalid block number sentinel.
+INVALID_BLOCK = 0xFFFFFFFF
+
+
+def maxalign(size: int) -> int:
+    """Round ``size`` up to the next :data:`MAXALIGN` boundary."""
+    return (size + MAXALIGN - 1) & ~(MAXALIGN - 1)

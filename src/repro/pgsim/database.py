@@ -1,0 +1,181 @@
+"""Database facade: the ``psql`` of pgsim.
+
+Wires disk, buffer manager, WAL, catalog and executor together and
+exposes ``execute(sql)``.  Creating a database also registers the
+vector index access methods (PASE and pgvector) so the paper's
+``CREATE INDEX ... USING ivfflat_fun`` statements work out of the box.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from repro.pgsim.buffer import BufferManager
+from repro.pgsim.catalog import Catalog
+from repro.pgsim.constants import DEFAULT_BUFFER_POOL_PAGES, DEFAULT_PAGE_SIZE
+from repro.pgsim.executor import Executor
+from repro.pgsim.plan import QueryResult
+from repro.pgsim.sql import parse_sql
+from repro.pgsim.sql import ast
+from repro.pgsim.storage import DiskManager, FileDisk, MemoryDisk
+from repro.pgsim.wal import WriteAheadLog, replay
+
+
+def _register_default_ams() -> None:
+    """Import the vector AM packages so they self-register.
+
+    Function-level imports break the package-initialization cycle
+    (those packages import :mod:`repro.pgsim` themselves).
+    """
+    import repro.bridged  # noqa: F401  (registers bridged_* AMs)
+    import repro.pase  # noqa: F401  (registers pase_* AMs)
+    import repro.pgvector  # noqa: F401  (registers the pgvector AM)
+
+
+class PgSimDatabase:
+    """One pgsim database instance.
+
+    Args:
+        page_size: storage page size; the paper's Table IV runs the
+            HNSW size experiment at both 8192 and 4096.
+        buffer_pool_pages: buffer-manager capacity.
+        data_dir: when given, pages persist in files under this
+            directory; otherwise everything lives in memory (the
+            "tmpfs" configuration the paper uses to exclude I/O).
+    """
+
+    def __init__(
+        self,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        buffer_pool_pages: int = DEFAULT_BUFFER_POOL_PAGES,
+        data_dir: str | Path | None = None,
+        disk: DiskManager | None = None,
+    ) -> None:
+        self._catalog_log: Path | None = None
+        if disk is not None:
+            self.disk = disk
+        elif data_dir is not None:
+            self.disk = FileDisk(data_dir, page_size=page_size)
+        else:
+            self.disk = MemoryDisk(page_size=page_size)
+        if data_dir is not None:
+            wal_path = Path(data_dir) / "wal.log"
+            self.wal = WriteAheadLog(wal_path)
+            self._catalog_log = Path(data_dir) / "catalog.sql"
+        else:
+            self.wal = WriteAheadLog()
+        self.buffer = BufferManager(self.disk, capacity=buffer_pool_pages)
+        self.catalog = Catalog()
+        self.executor = Executor(self.catalog, self.buffer, self.wal)
+        _register_default_ams()
+        self._replaying_catalog = False
+        if data_dir is not None:
+            self._recover()
+
+    # ------------------------------------------------------------------
+    # SQL entry points
+    # ------------------------------------------------------------------
+    def execute(self, sql: str) -> QueryResult:
+        """Run one or more statements; returns the last result."""
+        statements = parse_sql(sql)
+        if not statements:
+            raise ValueError("no SQL statements to execute")
+        result: QueryResult | None = None
+        for stmt in statements:
+            result = self.executor.execute_statement(stmt)
+            self._log_ddl(stmt)
+        assert result is not None
+        return result
+
+    def execute_all(self, sql: str) -> list[QueryResult]:
+        """Run statements and return every result."""
+        return [self.executor.execute_statement(s) for s in parse_sql(sql)]
+
+    def query(self, sql: str) -> list[tuple[Any, ...]]:
+        """Run a query and return its rows."""
+        return self.execute(sql).rows
+
+    def explain(self, sql: str) -> str:
+        """EXPLAIN a query, returning the plan listing."""
+        result = self.execute(f"EXPLAIN {sql.rstrip().rstrip(';')}")
+        return "\n".join(row[0] for row in result.rows)
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    def _recover(self) -> None:
+        """Crash recovery for file-backed databases.
+
+        1. Redo committed WAL records onto the page files.
+        2. Replay the DDL log (catalog.sql) to rebuild the catalog;
+           CREATE TABLE re-attaches to the recovered heap pages and
+           CREATE INDEX rebuilds the index from them.
+        """
+        replay(self.wal, self.disk)
+        assert self._catalog_log is not None
+        if not self._catalog_log.exists():
+            return
+        ddl = self._catalog_log.read_text()
+        if not ddl.strip():
+            return
+        self._replaying_catalog = True
+        try:
+            for stmt in parse_sql(ddl):
+                self.executor.execute_statement(stmt)
+        finally:
+            self._replaying_catalog = False
+
+    def _log_ddl(self, stmt) -> None:
+        """Append catalog-shaping statements to the DDL log."""
+        if self._catalog_log is None or self._replaying_catalog:
+            return
+        sql = _ddl_to_sql(stmt)
+        if sql is None:
+            return
+        with self._catalog_log.open("a") as f:
+            f.write(sql + ";\n")
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> None:
+        """Flush all dirty pages and mark the WAL."""
+        self.buffer.flush_all()
+        self.wal.log_checkpoint()
+        self.wal.flush()
+
+    @property
+    def buffer_stats(self):
+        """Buffer-manager hit/miss statistics."""
+        return self.buffer.stats
+
+    def settings(self) -> dict[str, Any]:
+        """Copy of the current GUC settings."""
+        return dict(self.catalog.settings)
+
+
+def _ddl_to_sql(stmt) -> str | None:
+    """Canonical SQL for catalog-shaping statements (the DDL log)."""
+    if isinstance(stmt, ast.CreateTable):
+        cols = ", ".join(f"{c.name} {c.type_name}" for c in stmt.columns)
+        return f"CREATE TABLE IF NOT EXISTS {stmt.name} ({cols})"
+    if isinstance(stmt, ast.DropTable):
+        return f"DROP TABLE IF EXISTS {stmt.name}"
+    if isinstance(stmt, ast.CreateIndex):
+        sql = f"CREATE INDEX {stmt.name} ON {stmt.table} USING {stmt.am} ({stmt.column})"
+        if stmt.options:
+            parts = []
+            for key, value in stmt.options:
+                if isinstance(value, bool):
+                    rendered = "true" if value else "false"
+                elif isinstance(value, (int, float)):
+                    rendered = repr(value)
+                else:
+                    rendered = "'" + str(value).replace("'", "''") + "'"
+                parts.append(f"{key} = {rendered}")
+            sql += " WITH (" + ", ".join(parts) + ")"
+        return sql
+    if isinstance(stmt, ast.DropIndex):
+        return f"DROP INDEX IF EXISTS {stmt.name}"
+    return None

@@ -1,0 +1,484 @@
+"""Volcano-style plan execution and statement dispatch.
+
+The executor pulls row dicts through the plan tree.  For the paper's
+search path the interesting part is :meth:`Executor._index_scan_rows`:
+the index AM yields ``(tid, distance)`` nearest-first and the executor
+fetches each result row from the heap by TID — one more buffer-manager
+round trip per result, exactly PostgreSQL's index-scan contract.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Any, Iterator
+
+from repro.pgsim import expr as E
+from repro.pgsim import plan as P
+from repro.pgsim.am import lookup_am
+from repro.pgsim.buffer import BufferManager
+from repro.pgsim.catalog import Catalog, CatalogError, IndexInfo, TableInfo
+from repro.pgsim.heapam import HeapTable
+from repro.pgsim.planner import explain_plan, plan_select
+from repro.pgsim.sql import ast
+from repro.pgsim.tuple_format import Column, TypeOid
+from repro.pgsim.wal import WriteAheadLog
+
+
+class ExecutionError(RuntimeError):
+    """Raised for runtime statement failures."""
+
+
+class Executor:
+    """Statement dispatcher bound to one database instance."""
+
+    def __init__(self, catalog: Catalog, buffer: BufferManager, wal: WriteAheadLog) -> None:
+        self.catalog = catalog
+        self.buffer = buffer
+        self.wal = wal
+        self._next_xid = 2  # xid 1 is reserved for bootstrap rows
+        #: Profiler installed on index AMs before build (set by
+        #: harnesses that need construction-time breakdowns).
+        self.am_profiler = None
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def execute_statement(self, stmt: ast.Statement) -> P.QueryResult:
+        if isinstance(stmt, ast.CreateTable):
+            return self._create_table(stmt)
+        if isinstance(stmt, ast.DropTable):
+            return self._drop_table(stmt)
+        if isinstance(stmt, ast.CreateIndex):
+            return self._create_index(stmt)
+        if isinstance(stmt, ast.DropIndex):
+            return self._drop_index(stmt)
+        if isinstance(stmt, ast.Insert):
+            return self._insert(stmt)
+        if isinstance(stmt, ast.Delete):
+            return self._delete(stmt)
+        if isinstance(stmt, ast.Update):
+            return self._update(stmt)
+        if isinstance(stmt, ast.Select):
+            return self._select(stmt)
+        if isinstance(stmt, ast.SetStatement):
+            self.catalog.set_setting(stmt.name, stmt.value)
+            return P.QueryResult(command="SET")
+        if isinstance(stmt, ast.ShowStatement):
+            if stmt.name == "all":
+                rows = sorted(self.catalog.settings.items())
+                return P.QueryResult(command="SHOW", columns=["name", "setting"], rows=rows)
+            value = self.catalog.get_setting(stmt.name)
+            return P.QueryResult(command="SHOW", columns=[stmt.name], rows=[(value,)])
+        if isinstance(stmt, ast.Explain):
+            return self._explain(stmt)
+        if isinstance(stmt, ast.Vacuum):
+            table = self.catalog.table(stmt.table)
+            reclaimed = table.heap.vacuum()
+            return P.QueryResult(command=f"VACUUM {reclaimed}")
+        if isinstance(stmt, ast.Reindex):
+            return self._reindex(stmt)
+        raise ExecutionError(f"unsupported statement: {type(stmt).__name__}")
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+    def _create_table(self, stmt: ast.CreateTable) -> P.QueryResult:
+        if self.catalog.has_table(stmt.name):
+            if stmt.if_not_exists:
+                return P.QueryResult(command="CREATE TABLE (exists)")
+            raise CatalogError(f"table {stmt.name!r} already exists")
+        columns = [Column.from_sql(c.name, c.type_name) for c in stmt.columns]
+        if len({c.name for c in columns}) != len(columns):
+            raise CatalogError("duplicate column names")
+        heap = HeapTable(stmt.name, columns, self.buffer, self.wal)
+        self.catalog.add_table(TableInfo(name=stmt.name, columns=columns, heap=heap))
+        return P.QueryResult(command="CREATE TABLE")
+
+    def _drop_table(self, stmt: ast.DropTable) -> P.QueryResult:
+        if not self.catalog.has_table(stmt.name):
+            if stmt.if_exists:
+                return P.QueryResult(command="DROP TABLE (skipped)")
+            raise CatalogError(f"no such table: {stmt.name!r}")
+        info = self.catalog.drop_table(stmt.name)
+        for index in list(info.indexes.values()):
+            self._release_index_storage(index)
+        self.buffer.drop_relation(info.heap.relation)
+        self.buffer.disk.drop_relation(info.heap.relation)
+        return P.QueryResult(command="DROP TABLE")
+
+    def _create_index(self, stmt: ast.CreateIndex) -> P.QueryResult:
+        table = self.catalog.table(stmt.table)
+        if self.catalog.find_index(stmt.name) is not None:
+            raise CatalogError(f"index {stmt.name!r} already exists")
+        am_cls = lookup_am(stmt.am)
+        column_index = table.heap.column_index(stmt.column)
+        if table.columns[column_index].type_oid != TypeOid.FLOAT4_ARRAY:
+            raise ExecutionError(
+                f"access method {stmt.am!r} requires a float[] column, "
+                f"got {table.columns[column_index].type_oid.name}"
+            )
+        options = dict(stmt.options)
+        # Clear stale page files from a previous incarnation of this
+        # index (crash recovery re-runs CREATE INDEX over old forks).
+        self._drop_relations_with_prefix(f"{stmt.name}.")
+        am = am_cls(
+            index_name=stmt.name,
+            table=table.heap,
+            column_index=column_index,
+            buffer=self.buffer,
+            catalog=self.catalog,
+            options=options,
+        )
+        if self.am_profiler is not None:
+            am.profiler = self.am_profiler
+        am.build()
+        self.catalog.add_index(
+            IndexInfo(
+                name=stmt.name,
+                table_name=stmt.table,
+                column_name=stmt.column,
+                am_name=stmt.am,
+                options=options,
+                am=am,
+            )
+        )
+        return P.QueryResult(command="CREATE INDEX")
+
+    def _drop_index(self, stmt: ast.DropIndex) -> P.QueryResult:
+        if self.catalog.find_index(stmt.name) is None:
+            if stmt.if_exists:
+                return P.QueryResult(command="DROP INDEX (skipped)")
+            raise CatalogError(f"no such index: {stmt.name!r}")
+        info = self.catalog.drop_index(stmt.name)
+        self._release_index_storage(info)
+        return P.QueryResult(command="DROP INDEX")
+
+    def _release_index_storage(self, info: IndexInfo) -> None:
+        for rel in getattr(info.am, "relations", lambda: [])():
+            if self.buffer.disk.relation_exists(rel):
+                self.buffer.drop_relation(rel)
+                self.buffer.disk.drop_relation(rel)
+
+    def _reindex(self, stmt: ast.Reindex) -> P.QueryResult:
+        """Rebuild an index in place, dropping dead index entries."""
+        info = self.catalog.find_index(stmt.index)
+        if info is None:
+            raise CatalogError(f"no such index: {stmt.index!r}")
+        self.catalog.drop_index(stmt.index)
+        self._release_index_storage(info)
+        create = ast.CreateIndex(
+            name=info.name,
+            table=info.table_name,
+            am=info.am_name,
+            column=info.column_name,
+            options=tuple(info.options.items()),
+        )
+        self._create_index(create)
+        return P.QueryResult(command="REINDEX")
+
+    def _drop_relations_with_prefix(self, prefix: str) -> None:
+        lister = getattr(self.buffer.disk, "list_relations", None)
+        if lister is None:
+            return
+        for rel in lister():
+            if rel.startswith(prefix):
+                self.buffer.drop_relation(rel)
+                self.buffer.disk.drop_relation(rel)
+
+    # ------------------------------------------------------------------
+    # DML
+    # ------------------------------------------------------------------
+    def _insert(self, stmt: ast.Insert) -> P.QueryResult:
+        table = self.catalog.table(stmt.table)
+        schema = table.columns
+        names = table.column_names()
+        if stmt.columns is not None:
+            unknown = set(stmt.columns) - set(names)
+            if unknown:
+                raise ExecutionError(f"unknown columns in INSERT: {sorted(unknown)}")
+        xid = self._next_xid
+        self._next_xid += 1
+        inserted = 0
+        indexes = list(table.indexes.values())
+        for row_exprs in stmt.rows:
+            values = self._row_values(schema, names, stmt.columns, row_exprs)
+            tid = table.heap.insert(values, xid=xid)
+            for index in indexes:
+                index.am.insert(tid, values[table.heap.column_index(index.column_name)])
+            inserted += 1
+        self.wal.log_commit(xid)
+        return P.QueryResult(command=f"INSERT 0 {inserted}")
+
+    def _row_values(
+        self,
+        schema: list[Column],
+        names: list[str],
+        target_columns: tuple[str, ...] | None,
+        row_exprs: tuple[ast.Expr, ...],
+    ) -> list[Any]:
+        provided = list(target_columns) if target_columns is not None else names
+        if len(row_exprs) != len(provided):
+            raise ExecutionError(
+                f"INSERT has {len(row_exprs)} values for {len(provided)} columns"
+            )
+        by_name = {name: E.evaluate(e, row=None) for name, e in zip(provided, row_exprs)}
+        values: list[Any] = []
+        for col in schema:
+            if col.name not in by_name:
+                values.append(None)
+                continue
+            values.append(_coerce_for_column(col, by_name[col.name]))
+        return values
+
+    def _delete(self, stmt: ast.Delete) -> P.QueryResult:
+        """DELETE marks heap tuples dead; index entries remain until
+        vacuum, and index scans skip them (PostgreSQL's model)."""
+        table = self.catalog.table(stmt.table)
+        names = table.column_names()
+        xid = self._next_xid
+        self._next_xid += 1
+        victims = []
+        for tid, values in table.heap.scan():
+            if stmt.where is None or E.evaluate(stmt.where, dict(zip(names, values))):
+                victims.append(tid)
+        for tid in victims:
+            table.heap.delete(tid, xid=xid)
+        self.wal.log_commit(xid)
+        return P.QueryResult(command=f"DELETE {len(victims)}")
+
+    def _update(self, stmt: ast.Update) -> P.QueryResult:
+        """UPDATE = delete + re-insert (new TID), like PostgreSQL."""
+        table = self.catalog.table(stmt.table)
+        names = table.column_names()
+        unknown = {col for col, __ in stmt.assignments} - set(names)
+        if unknown:
+            raise ExecutionError(f"unknown columns in UPDATE: {sorted(unknown)}")
+        xid = self._next_xid
+        self._next_xid += 1
+        targets = []
+        for tid, values in table.heap.scan():
+            row = dict(zip(names, values))
+            if stmt.where is None or E.evaluate(stmt.where, row):
+                targets.append((tid, values, row))
+        indexes = list(table.indexes.values())
+        for tid, values, row in targets:
+            new_values = list(values)
+            for col, expr in stmt.assignments:
+                idx = table.heap.column_index(col)
+                new_values[idx] = _coerce_for_column(table.columns[idx], E.evaluate(expr, row))
+            table.heap.delete(tid, xid=xid)
+            new_tid = table.heap.insert(new_values, xid=xid)
+            for index in indexes:
+                index.am.insert(
+                    new_tid, new_values[table.heap.column_index(index.column_name)]
+                )
+        self.wal.log_commit(xid)
+        return P.QueryResult(command=f"UPDATE {len(targets)}")
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def _select(self, stmt: ast.Select) -> P.QueryResult:
+        plan = plan_select(stmt, self.catalog)
+        assert isinstance(plan, P.Project)
+        rows = list(self._project_rows(plan))
+        return P.QueryResult(command=f"SELECT {len(rows)}", columns=plan.columns, rows=rows)
+
+    def _explain(self, stmt: ast.Explain) -> P.QueryResult:
+        inner = stmt.statement
+        if not isinstance(inner, ast.Select):
+            raise ExecutionError("EXPLAIN supports only SELECT statements")
+        plan = plan_select(inner, self.catalog)
+        if not stmt.analyze:
+            lines = explain_plan(plan).splitlines()
+            return P.QueryResult(
+                command="EXPLAIN",
+                columns=["QUERY PLAN"],
+                rows=[(line,) for line in lines],
+            )
+        # EXPLAIN ANALYZE: execute the plan with per-node counters.
+        instrument: dict[int, list] = {}
+        start = time.perf_counter()
+        assert isinstance(plan, P.Project)
+        n_rows = sum(1 for __ in self._project_rows(plan, instrument))
+        total = time.perf_counter() - start
+        lines = self._annotated_lines(plan, 0, instrument)
+        lines.append(f"Execution: {n_rows} rows in {total * 1e3:.3f} ms")
+        return P.QueryResult(
+            command="EXPLAIN",
+            columns=["QUERY PLAN"],
+            rows=[(line,) for line in lines],
+        )
+
+    def _annotated_lines(
+        self, node: P.PlanNode, depth: int, instrument: dict[int, list]
+    ) -> list[str]:
+        """Plan listing annotated with actual rows/time per node."""
+        own = node.explain_lines(depth)[0]
+        entry = instrument.get(id(node))
+        if entry is not None:
+            own += f" (actual rows={entry[0]} time={entry[1] * 1e3:.3f} ms)"
+        lines = [own]
+        child = getattr(node, "child", None)
+        if child is not None:
+            lines.extend(self._annotated_lines(child, depth + 1, instrument))
+        return lines
+
+    def _project_rows(
+        self, project: P.Project, instrument: dict[int, list] | None = None
+    ) -> Iterator[tuple[Any, ...]]:
+        if project.aggregated:
+            assert isinstance(project.child, (P.Aggregate, P.Limit))
+            for row in self._plan_rows(project.child, instrument):
+                yield (row["__agg__"],)
+            return
+        for row in self._plan_rows(project.child, instrument):
+            out: list[Any] = []
+            for target in project.targets:
+                if isinstance(target.expr, ast.Star):
+                    out.extend(row[name] for name in row if not name.startswith("__"))
+                else:
+                    out.append(E.evaluate(target.expr, row))
+            yield tuple(out)
+
+    def _plan_rows(
+        self, node: P.PlanNode, instrument: dict[int, list] | None = None
+    ) -> Iterator[dict[str, Any]]:
+        gen = self._plan_rows_inner(node, instrument)
+        if instrument is None:
+            return gen
+        return self._instrumented(gen, node, instrument)
+
+    def _instrumented(
+        self, gen: Iterator[dict[str, Any]], node: P.PlanNode, instrument: dict[int, list]
+    ) -> Iterator[dict[str, Any]]:
+        """Wrap a node's row stream with row/time accounting."""
+        entry = instrument.setdefault(id(node), [0, 0.0])
+        while True:
+            start = time.perf_counter()
+            try:
+                row = next(gen)
+            except StopIteration:
+                entry[1] += time.perf_counter() - start
+                return
+            entry[1] += time.perf_counter() - start
+            entry[0] += 1
+            yield row
+
+    def _plan_rows_inner(
+        self, node: P.PlanNode, instrument: dict[int, list] | None = None
+    ) -> Iterator[dict[str, Any]]:
+        if isinstance(node, P.OneRow):
+            yield {}
+            return
+        if isinstance(node, P.SeqScan):
+            names = node.table.column_names()
+            for tid, values in node.table.heap.scan():
+                row = dict(zip(names, values))
+                row["__tid__"] = tid
+                yield row
+            return
+        if isinstance(node, P.IndexScan):
+            yield from self._index_scan_rows(node)
+            return
+        if isinstance(node, P.Filter):
+            for row in self._plan_rows(node.child, instrument):
+                if E.evaluate(node.predicate, row):
+                    yield row
+            return
+        if isinstance(node, P.Sort):
+            rows = list(self._plan_rows(node.child, instrument))
+            rows.sort(key=lambda r: E.evaluate(node.key, r), reverse=not node.ascending)
+            yield from rows
+            return
+        if isinstance(node, P.Limit):
+            yield from itertools.islice(self._plan_rows(node.child, instrument), node.count)
+            return
+        if isinstance(node, P.Aggregate):
+            yield self._aggregate_row(node, instrument)
+            return
+        if isinstance(node, P.Project):
+            # Nested projection (not produced by the current planner).
+            names = node.columns
+            for out in self._project_rows(node):
+                yield dict(zip(names, out))
+            return
+        raise ExecutionError(f"unknown plan node: {type(node).__name__}")
+
+    def _index_scan_rows(self, node: P.IndexScan) -> Iterator[dict[str, Any]]:
+        """Pull index hits nearest-first, skipping dead heap tuples.
+
+        Deleted rows keep their index entries until vacuum (as in
+        PostgreSQL/PASE), so the heap fetch may find a dead tuple.  If
+        skips leave fewer than k live rows, the scan retries with a
+        widened k until satisfied or the index is exhausted.
+        """
+        names = node.table.column_names()
+        heap = node.table.heap
+        k = node.k
+        emitted: set = set()
+        while True:
+            hits = list(node.index.am.scan(node.query_vector, k))
+            live = 0
+            for tid, distance in hits:
+                if tid in emitted:
+                    live += 1
+                    continue
+                try:
+                    values = heap.fetch(tid)
+                except KeyError:
+                    continue  # dead tuple: index entry awaiting vacuum
+                emitted.add(tid)
+                live += 1
+                row = dict(zip(names, values))
+                row["__tid__"] = tid
+                row["__distance__"] = distance
+                yield row
+                if len(emitted) >= node.k:
+                    return
+            if live >= len(hits) or len(hits) < k:
+                return  # no dead entries left to compensate, or index exhausted
+            k *= 2
+
+    def _aggregate_row(
+        self, node: P.Aggregate, instrument: dict[int, list] | None = None
+    ) -> dict[str, Any]:
+        values: list[Any] = []
+        count = 0
+        for row in self._plan_rows(node.child, instrument):
+            count += 1
+            if node.arg is not None:
+                values.append(E.evaluate(node.arg, row))
+        func = node.func
+        if func == "count":
+            result: Any = count if node.arg is None else sum(v is not None for v in values)
+        elif not values:
+            result = None
+        elif func == "sum":
+            result = sum(values)
+        elif func == "min":
+            result = min(values)
+        elif func == "max":
+            result = max(values)
+        elif func == "avg":
+            result = sum(values) / len(values)
+        else:
+            raise ExecutionError(f"unknown aggregate {func!r}")
+        return {"__agg__": result}
+
+
+def _coerce_for_column(col: Column, value: Any) -> Any:
+    """Coerce an evaluated INSERT value to the column's storage type."""
+    if value is None:
+        return None
+    oid = col.type_oid
+    if oid in (TypeOid.INT4, TypeOid.INT8):
+        return int(value)
+    if oid in (TypeOid.FLOAT4, TypeOid.FLOAT8):
+        return float(value)
+    if oid == TypeOid.TEXT:
+        return str(value)
+    if oid == TypeOid.FLOAT4_ARRAY:
+        return E.coerce_vector(value)
+    raise ExecutionError(f"unsupported column type {oid!r}")

@@ -1,0 +1,191 @@
+"""SQL expression evaluation, including vector operators.
+
+Distance semantics: like Faiss, all engines in this reproduction
+return *squared* Euclidean distance for ``<->`` (ordering is identical
+to true Euclidean, and the paper's figures compare times, not
+distance values).  ``<#>`` returns the negated inner product and
+``<=>`` the cosine distance, both "smaller is more similar".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.common.distance import cosine_distance, inner_product, l2_sqr
+from repro.pgsim.sql import ast
+
+
+class ExpressionError(ValueError):
+    """Raised when an expression cannot be evaluated."""
+
+
+def parse_vector_text(text: str) -> np.ndarray:
+    """Parse a SQL vector literal body.
+
+    Accepts both PASE's bare form (``'0.1,0.2,0.3'``) and pgvector's
+    bracketed form (``'[0.1,0.2,0.3]'``).
+    """
+    body = text.strip()
+    if body.startswith("[") and body.endswith("]"):
+        body = body[1:-1]
+    if not body:
+        raise ExpressionError("empty vector literal")
+    try:
+        values = [float(part) for part in body.split(",")]
+    except ValueError as exc:
+        raise ExpressionError(f"bad vector literal {text!r}: {exc}") from None
+    return np.asarray(values, dtype=np.float32)
+
+
+#: SQL type names that coerce a string literal to a vector.
+VECTOR_TYPE_NAMES = {"pase", "vector", "float[]", "float4[]"}
+
+
+def coerce_vector(value: Any) -> np.ndarray:
+    """Coerce an evaluated value to a float32 vector."""
+    if isinstance(value, np.ndarray):
+        return np.ascontiguousarray(value, dtype=np.float32)
+    if isinstance(value, str):
+        return parse_vector_text(value)
+    if isinstance(value, (list, tuple)):
+        return np.asarray(value, dtype=np.float32)
+    raise ExpressionError(f"cannot interpret {type(value).__name__} as a vector")
+
+
+def evaluate(expr: ast.Expr, row: Mapping[str, Any] | None = None) -> Any:
+    """Evaluate ``expr`` against a row (column name -> value)."""
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    if isinstance(expr, ast.ColumnRef):
+        if row is None:
+            raise ExpressionError(f"column {expr.name!r} referenced without a row")
+        try:
+            return row[expr.name]
+        except KeyError:
+            raise ExpressionError(f"no such column: {expr.name!r}") from None
+    if isinstance(expr, ast.ArrayLiteral):
+        return np.asarray(
+            [evaluate(item, row) for item in expr.items], dtype=np.float32
+        )
+    if isinstance(expr, ast.Cast):
+        return _cast(evaluate(expr.operand, row), expr.type_name)
+    if isinstance(expr, ast.UnaryOp):
+        value = evaluate(expr.operand, row)
+        if expr.op == "-":
+            return -value
+        if expr.op == "not":
+            return not value
+        raise ExpressionError(f"unknown unary operator {expr.op!r}")
+    if isinstance(expr, ast.BinaryOp):
+        return _binary(expr, row)
+    if isinstance(expr, ast.FuncCall):
+        return _call(expr, row)
+    if isinstance(expr, ast.Star):
+        raise ExpressionError("'*' is only valid as a SELECT target or in count(*)")
+    raise ExpressionError(f"cannot evaluate {type(expr).__name__}")
+
+
+def _cast(value: Any, type_name: str) -> Any:
+    name = type_name.lower()
+    if name in VECTOR_TYPE_NAMES:
+        return coerce_vector(value)
+    if name in ("int", "int4", "integer", "bigint", "int8"):
+        return int(value)
+    if name in ("float", "float4", "float8", "real", "double"):
+        return float(value)
+    if name in ("text", "varchar"):
+        return str(value)
+    raise ExpressionError(f"unknown cast target {type_name!r}")
+
+
+def _binary(expr: ast.BinaryOp, row: Mapping[str, Any] | None) -> Any:
+    op = expr.op
+    if op == "and":
+        return bool(evaluate(expr.left, row)) and bool(evaluate(expr.right, row))
+    if op == "or":
+        return bool(evaluate(expr.left, row)) or bool(evaluate(expr.right, row))
+
+    left = evaluate(expr.left, row)
+    right = evaluate(expr.right, row)
+    if op in ast.DISTANCE_OPERATORS:
+        a = coerce_vector(left)
+        b = coerce_vector(right)
+        if a.shape != b.shape:
+            raise ExpressionError(
+                f"vector dimension mismatch: {a.shape[0]} vs {b.shape[0]}"
+            )
+        metric = ast.DISTANCE_OPERATORS[op]
+        if metric == "l2":
+            return l2_sqr(a, b)
+        if metric == "inner_product":
+            return -inner_product(a, b)
+        return cosine_distance(a, b)
+    if op == "=":
+        return _equals(left, right)
+    if op in ("<>", "!="):
+        return not _equals(left, right)
+    if op == "<":
+        return left < right
+    if op == ">":
+        return left > right
+    if op == "<=":
+        return left <= right
+    if op == ">=":
+        return left >= right
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise ExpressionError("division by zero")
+        return left / right
+    raise ExpressionError(f"unknown operator {op!r}")
+
+
+def _equals(left: Any, right: Any) -> bool:
+    if isinstance(left, np.ndarray) or isinstance(right, np.ndarray):
+        a = coerce_vector(left)
+        b = coerce_vector(right)
+        return a.shape == b.shape and bool(np.array_equal(a, b))
+    return left == right
+
+
+_SCALAR_FUNCS = {
+    "abs": abs,
+    "sqrt": math.sqrt,
+    "floor": math.floor,
+    "ceil": math.ceil,
+}
+
+
+def _call(expr: ast.FuncCall, row: Mapping[str, Any] | None) -> Any:
+    name = expr.name.lower()
+    if name in _SCALAR_FUNCS:
+        if len(expr.args) != 1:
+            raise ExpressionError(f"{name}() takes exactly one argument")
+        return _SCALAR_FUNCS[name](evaluate(expr.args[0], row))
+    if name == "vector_dims":
+        vec = coerce_vector(evaluate(expr.args[0], row))
+        return int(vec.shape[0])
+    if name in ("l2_distance", "inner_product", "cosine_distance"):
+        if len(expr.args) != 2:
+            raise ExpressionError(f"{name}() takes exactly two arguments")
+        a = coerce_vector(evaluate(expr.args[0], row))
+        b = coerce_vector(evaluate(expr.args[1], row))
+        if name == "l2_distance":
+            return l2_sqr(a, b)
+        if name == "inner_product":
+            return inner_product(a, b)
+        return cosine_distance(a, b)
+    raise ExpressionError(f"unknown function {expr.name!r}")
+
+
+def is_constant(expr: ast.Expr) -> bool:
+    """True when ``expr`` references no columns (planner utility)."""
+    return not any(isinstance(e, ast.ColumnRef) for e in ast.walk(expr))

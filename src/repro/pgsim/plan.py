@@ -1,0 +1,153 @@
+"""Query plan nodes.
+
+The planner (:mod:`repro.pgsim.planner`) turns a parsed SELECT into a
+tree of these nodes; the executor (:mod:`repro.pgsim.executor`) runs
+them Volcano-style.  The node the whole paper revolves around is
+:class:`IndexScan`: an ordered scan pulling ``(tid, distance)`` pairs
+from a vector index AM, produced for
+``ORDER BY vec <-> '...'::PASE LIMIT k`` queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.pgsim.catalog import IndexInfo, TableInfo
+from repro.pgsim.sql import ast
+
+
+class PlanNode:
+    """Base plan node."""
+
+    def explain_lines(self, depth: int = 0) -> list[str]:
+        raise NotImplementedError
+
+
+def _line(depth: int, text: str) -> str:
+    prefix = "" if depth == 0 else "  " * (depth - 1) + "->  "
+    return prefix + text
+
+
+@dataclass
+class OneRow(PlanNode):
+    """Produces exactly one empty row (``SELECT 1``-style queries)."""
+
+    def explain_lines(self, depth: int = 0) -> list[str]:
+        return [_line(depth, "Result")]
+
+
+@dataclass
+class SeqScan(PlanNode):
+    """Full scan of a heap table."""
+
+    table: TableInfo
+
+    def explain_lines(self, depth: int = 0) -> list[str]:
+        return [_line(depth, f"Seq Scan on {self.table.name}")]
+
+
+@dataclass
+class IndexScan(PlanNode):
+    """Ordered vector-index scan (the paper's search path)."""
+
+    table: TableInfo
+    index: IndexInfo
+    query_vector: np.ndarray
+    k: int
+    order_expr: ast.Expr
+
+    def explain_lines(self, depth: int = 0) -> list[str]:
+        return [
+            _line(
+                depth,
+                f"Index Scan using {self.index.name} on {self.table.name} "
+                f"({self.index.am_name}, k={self.k})",
+            )
+        ]
+
+
+@dataclass
+class Filter(PlanNode):
+    """Predicate filter over a child plan."""
+
+    child: PlanNode
+    predicate: ast.Expr
+
+    def explain_lines(self, depth: int = 0) -> list[str]:
+        return [_line(depth, "Filter")] + self.child.explain_lines(depth + 1)
+
+
+@dataclass
+class Sort(PlanNode):
+    """Full in-memory sort by one expression."""
+
+    child: PlanNode
+    key: ast.Expr
+    ascending: bool = True
+
+    def explain_lines(self, depth: int = 0) -> list[str]:
+        direction = "ASC" if self.ascending else "DESC"
+        return [_line(depth, f"Sort ({direction})")] + self.child.explain_lines(depth + 1)
+
+
+@dataclass
+class Limit(PlanNode):
+    """Stop after ``count`` rows."""
+
+    child: PlanNode
+    count: int
+
+    def explain_lines(self, depth: int = 0) -> list[str]:
+        return [_line(depth, f"Limit (count={self.count})")] + self.child.explain_lines(depth + 1)
+
+
+@dataclass
+class Project(PlanNode):
+    """Compute the SELECT target list."""
+
+    child: PlanNode
+    targets: tuple[ast.SelectTarget, ...]
+    columns: list[str] = field(default_factory=list)
+    #: True when the child is a single-group Aggregate whose one value
+    #: is the only output column.
+    aggregated: bool = False
+
+    def explain_lines(self, depth: int = 0) -> list[str]:
+        return [_line(depth, "Project")] + self.child.explain_lines(depth + 1)
+
+
+@dataclass
+class Aggregate(PlanNode):
+    """Single-group aggregate (``count(*)`` and friends)."""
+
+    child: PlanNode
+    func: str
+    arg: ast.Expr | None
+
+    def explain_lines(self, depth: int = 0) -> list[str]:
+        return [_line(depth, f"Aggregate ({self.func})")] + self.child.explain_lines(depth + 1)
+
+
+@dataclass
+class QueryResult:
+    """Rows (or a command tag) returned by the executor."""
+
+    command: str
+    columns: list[str] = field(default_factory=list)
+    rows: list[tuple[Any, ...]] = field(default_factory=list)
+
+    def scalar(self) -> Any:
+        """First column of the first row (raises if empty)."""
+        if not self.rows:
+            raise ValueError(f"query returned no rows ({self.command})")
+        return self.rows[0][0]
+
+    def column(self, index: int = 0) -> list[Any]:
+        """All values of one output column."""
+        return [row[index] for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)

@@ -1,0 +1,172 @@
+"""Query planner.
+
+The one planning decision that matters for the paper: a query shaped
+
+.. code-block:: sql
+
+    SELECT ... FROM t
+    ORDER BY vec <op> '...'::PASE ASC
+    LIMIT k
+
+over a column with a vector index becomes an ordered
+:class:`~repro.pgsim.plan.IndexScan` — PASE's ``amgettuple`` path
+(Sec. II-E).  Everything else falls back to seq-scan + sort + limit,
+exactly how PostgreSQL treats an unindexed ORDER BY.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.types import DistanceType
+from repro.pgsim import expr as expr_eval
+from repro.pgsim import plan as P
+from repro.pgsim.catalog import Catalog, TableInfo
+from repro.pgsim.sql import ast
+
+#: distance-operator metric name -> DistanceType (index option value).
+_METRIC_TO_TYPE = {
+    "l2": DistanceType.L2,
+    "inner_product": DistanceType.INNER_PRODUCT,
+    "cosine": DistanceType.COSINE,
+}
+
+
+class PlanningError(ValueError):
+    """Raised for semantically invalid queries."""
+
+
+def plan_select(stmt: ast.Select, catalog: Catalog) -> P.PlanNode:
+    """Build the plan tree for a SELECT statement."""
+    if stmt.table is None:
+        node: P.PlanNode = P.OneRow()
+        return _project(node, stmt.targets, table=None)
+
+    table = catalog.table(stmt.table)
+    node = _scan_node(stmt, table, catalog)
+
+    aggregate = _single_aggregate(stmt.targets)
+    if aggregate is not None:
+        if stmt.order_by is not None:
+            raise PlanningError("ORDER BY is not supported with aggregates")
+        func, arg = aggregate
+        agg: P.PlanNode = P.Aggregate(node, func, arg)
+        if stmt.limit is not None:
+            agg = P.Limit(agg, stmt.limit)
+        return _project(agg, stmt.targets, table, aggregated=True)
+
+    if stmt.limit is not None and not isinstance(node, P.IndexScan):
+        node = P.Limit(node, stmt.limit)
+    elif stmt.limit is not None and isinstance(node, P.IndexScan):
+        # The index scan already stops at k, but LIMIT stays in the
+        # plan so WHERE filters above it cannot widen the result.
+        node = P.Limit(node, stmt.limit)
+    return _project(node, stmt.targets, table)
+
+
+def _scan_node(stmt: ast.Select, table: TableInfo, catalog: Catalog) -> P.PlanNode:
+    index_scan = _try_index_scan(stmt, table, catalog)
+    if index_scan is not None:
+        node: P.PlanNode = index_scan
+        if stmt.where is not None:
+            node = P.Filter(node, stmt.where)
+        return node
+    node = P.SeqScan(table)
+    if stmt.where is not None:
+        node = P.Filter(node, stmt.where)
+    if stmt.order_by is not None:
+        node = P.Sort(node, stmt.order_by.expr, stmt.order_by.ascending)
+    return node
+
+
+def _try_index_scan(
+    stmt: ast.Select, table: TableInfo, catalog: Catalog
+) -> P.IndexScan | None:
+    if stmt.order_by is None or stmt.limit is None:
+        return None
+    if not stmt.order_by.ascending:
+        return None  # farthest-first is not an index-supported order
+    if not catalog.get_setting("enable_indexscan"):
+        return None
+    order_expr = stmt.order_by.expr
+    if not isinstance(order_expr, ast.BinaryOp):
+        return None
+    if order_expr.op not in ast.DISTANCE_OPERATORS:
+        return None
+    column, const_side = _split_distance_operands(order_expr)
+    if column is None or const_side is None:
+        return None
+    metric = _METRIC_TO_TYPE[ast.DISTANCE_OPERATORS[order_expr.op]]
+    for index in catalog.indexes_on(table.name, column):
+        index_metric = DistanceType(index.options.get("distance_type", DistanceType.L2))
+        if index_metric != metric:
+            continue
+        query = expr_eval.coerce_vector(expr_eval.evaluate(const_side, row=None))
+        return P.IndexScan(
+            table=table,
+            index=index,
+            query_vector=np.ascontiguousarray(query, dtype=np.float32),
+            k=stmt.limit,
+            order_expr=order_expr,
+        )
+    return None
+
+
+def _split_distance_operands(
+    op: ast.BinaryOp,
+) -> tuple[str | None, ast.Expr | None]:
+    """Identify the (column, constant) sides of a distance expression."""
+    left_col = isinstance(op.left, ast.ColumnRef)
+    right_col = isinstance(op.right, ast.ColumnRef)
+    if left_col and expr_eval.is_constant(op.right):
+        return op.left.name, op.right
+    if right_col and expr_eval.is_constant(op.left):
+        return op.right.name, op.left
+    return None, None
+
+
+def _single_aggregate(
+    targets: tuple[ast.SelectTarget, ...]
+) -> tuple[str, ast.Expr | None] | None:
+    """Detect ``SELECT count(*)``-style single-aggregate queries."""
+    if len(targets) != 1:
+        return None
+    expr = targets[0].expr
+    if not isinstance(expr, ast.FuncCall):
+        return None
+    name = expr.name.lower()
+    if name not in ("count", "sum", "min", "max", "avg"):
+        return None
+    if name == "count" and expr.args and isinstance(expr.args[0], ast.Star):
+        return "count", None
+    if len(expr.args) != 1:
+        raise PlanningError(f"{name}() takes exactly one argument")
+    return name, expr.args[0]
+
+
+def _project(
+    node: P.PlanNode,
+    targets: tuple[ast.SelectTarget, ...],
+    table: TableInfo | None,
+    aggregated: bool = False,
+) -> P.Project:
+    columns: list[str] = []
+    for i, target in enumerate(targets):
+        if target.alias:
+            columns.append(target.alias)
+        elif isinstance(target.expr, ast.Star):
+            if table is None:
+                raise PlanningError("SELECT * requires a FROM table")
+            columns.extend(table.column_names())
+        elif isinstance(target.expr, ast.ColumnRef):
+            columns.append(target.expr.name)
+        elif isinstance(target.expr, ast.FuncCall):
+            columns.append(target.expr.name.lower())
+        else:
+            columns.append(f"column{i + 1}")
+    return P.Project(node, targets, columns, aggregated=aggregated)
+
+
+def explain_plan(node: P.PlanNode) -> str:
+    """Render an EXPLAIN listing for a plan tree."""
+    return "\n".join(node.explain_lines())

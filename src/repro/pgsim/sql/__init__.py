@@ -1,0 +1,11 @@
+"""SQL front end: lexer, AST and parser.
+
+Implements the SQL surface the paper demonstrates for PASE
+(Sec. II-E): DDL with ``CREATE INDEX ... USING <am> WITH (...)``,
+vector literals cast with ``::PASE``, and similarity search expressed
+as ``ORDER BY vec <-> '...'::PASE ASC LIMIT k``.
+"""
+
+from repro.pgsim.sql.parser import parse_sql
+
+__all__ = ["parse_sql"]

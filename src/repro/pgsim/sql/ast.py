@@ -1,0 +1,238 @@
+"""SQL abstract syntax tree nodes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+class Node:
+    """Base of all AST nodes."""
+
+
+# ----------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------
+class Expr(Node):
+    """Base of all expression nodes."""
+
+
+@dataclass(frozen=True, slots=True)
+class ColumnRef(Expr):
+    """A (possibly qualified) column reference."""
+
+    name: str
+    table: str | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class Literal(Expr):
+    """A constant: int, float, str, bool or None."""
+
+    value: Any
+
+
+@dataclass(frozen=True, slots=True)
+class ArrayLiteral(Expr):
+    """``ARRAY[e1, e2, ...]``."""
+
+    items: tuple[Expr, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Cast(Expr):
+    """``expr::type`` — PASE vector literals are ``'...'::PASE``."""
+
+    operand: Expr
+    type_name: str
+
+
+@dataclass(frozen=True, slots=True)
+class BinaryOp(Expr):
+    """Binary operation; ``op`` is the SQL operator lexeme."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class UnaryOp(Expr):
+    """Unary ``-`` or ``NOT``."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class FuncCall(Expr):
+    """Function call; ``count(*)`` is ``FuncCall('count', (Star(),))``."""
+
+    name: str
+    args: tuple[Expr, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Star(Expr):
+    """``*`` in a target list or ``count(*)``."""
+
+
+#: The three vector distance operators and their semantics.
+DISTANCE_OPERATORS = {"<->": "l2", "<#>": "inner_product", "<=>": "cosine"}
+
+
+# ----------------------------------------------------------------------
+# statements
+# ----------------------------------------------------------------------
+class Statement(Node):
+    """Base of all statement nodes."""
+
+
+@dataclass(frozen=True, slots=True)
+class ColumnDef(Node):
+    """One column in CREATE TABLE."""
+
+    name: str
+    type_name: str
+
+
+@dataclass(frozen=True, slots=True)
+class CreateTable(Statement):
+    """``CREATE TABLE [IF NOT EXISTS] name (col type, ...)``."""
+
+    name: str
+    columns: tuple[ColumnDef, ...]
+    if_not_exists: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class DropTable(Statement):
+    """``DROP TABLE [IF EXISTS] name``."""
+
+    name: str
+    if_exists: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class CreateIndex(Statement):
+    """``CREATE INDEX name ON table USING am (column) WITH (...)``."""
+
+    name: str
+    table: str
+    am: str
+    column: str
+    options: tuple[tuple[str, Any], ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class DropIndex(Statement):
+    """``DROP INDEX [IF EXISTS] name``."""
+
+    name: str
+    if_exists: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class Insert(Statement):
+    """``INSERT INTO table [(cols)] VALUES (...), ...``."""
+
+    table: str
+    columns: tuple[str, ...] | None
+    rows: tuple[tuple[Expr, ...], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class SelectTarget(Node):
+    """One SELECT output expression with an optional alias."""
+
+    expr: Expr
+    alias: str | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class OrderBy(Node):
+    """One ORDER BY key with its direction."""
+
+    expr: Expr
+    ascending: bool = True
+
+
+@dataclass(frozen=True, slots=True)
+class Select(Statement):
+    """``SELECT targets [FROM t] [WHERE] [ORDER BY] [LIMIT]``."""
+
+    targets: tuple[SelectTarget, ...]
+    table: str | None = None
+    where: Expr | None = None
+    order_by: OrderBy | None = None
+    limit: int | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class Delete(Statement):
+    """``DELETE FROM table [WHERE expr]``."""
+
+    table: str
+    where: Expr | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class Update(Statement):
+    """``UPDATE table SET col = expr [, ...] [WHERE expr]``."""
+
+    table: str
+    assignments: tuple[tuple[str, Expr], ...]
+    where: Expr | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class SetStatement(Statement):
+    """``SET name = value`` (GUC-style settings)."""
+
+    name: str
+    value: Any
+
+
+@dataclass(frozen=True, slots=True)
+class ShowStatement(Statement):
+    """``SHOW name`` or ``SHOW ALL``."""
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class Explain(Statement):
+    """``EXPLAIN [ANALYZE] <select>``."""
+
+    statement: Statement
+    analyze: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class Vacuum(Statement):
+    """``VACUUM table`` — reclaim dead heap tuples."""
+
+    table: str
+
+
+@dataclass(frozen=True, slots=True)
+class Reindex(Statement):
+    """``REINDEX name`` — rebuild an index from its table's live rows."""
+
+    index: str
+
+
+def walk(expr: Expr):
+    """Yield ``expr`` and every sub-expression, depth-first."""
+    yield expr
+    if isinstance(expr, BinaryOp):
+        yield from walk(expr.left)
+        yield from walk(expr.right)
+    elif isinstance(expr, UnaryOp):
+        yield from walk(expr.operand)
+    elif isinstance(expr, Cast):
+        yield from walk(expr.operand)
+    elif isinstance(expr, (FuncCall, ArrayLiteral)):
+        items = expr.args if isinstance(expr, FuncCall) else expr.items
+        for item in items:
+            yield from walk(item)

@@ -1,0 +1,194 @@
+"""Disk manager: relations as arrays of fixed-size pages.
+
+Two backends are provided:
+
+- :class:`MemoryDisk` — pages live in process memory.  This is the
+  reproduction's analogue of the paper's ``tmpfs`` experiment
+  (Sec. V-A2): it removes physical I/O while keeping every layer of
+  page indirection, which is exactly the configuration under which the
+  paper still observed the 35–85× construction gap.
+- :class:`FileDisk` — pages live in one file per relation, for
+  demonstrating durability (WAL recovery tests run against it).
+
+Both expose the same interface, so every layer above is oblivious to
+the backend.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.pgsim.constants import DEFAULT_PAGE_SIZE
+
+
+class RelationNotFoundError(KeyError):
+    """Raised when a relation name is unknown to the disk manager."""
+
+
+class DiskManager:
+    """Abstract page-file store (see module docstring)."""
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        self.page_size = page_size
+        self.reads = 0
+        self.writes = 0
+
+    # -- interface ------------------------------------------------------
+    def create_relation(self, name: str) -> None:
+        raise NotImplementedError
+
+    def drop_relation(self, name: str) -> None:
+        raise NotImplementedError
+
+    def relation_exists(self, name: str) -> bool:
+        raise NotImplementedError
+
+    def n_blocks(self, name: str) -> int:
+        raise NotImplementedError
+
+    def read_block(self, name: str, blkno: int) -> bytes:
+        raise NotImplementedError
+
+    def write_block(self, name: str, blkno: int, data: bytes) -> None:
+        raise NotImplementedError
+
+    def extend(self, name: str, data: bytes) -> int:
+        """Append a page; returns its block number."""
+        raise NotImplementedError
+
+    # -- shared helpers ---------------------------------------------------
+    def relation_bytes(self, name: str) -> int:
+        """Allocated size of a relation in bytes."""
+        return self.n_blocks(name) * self.page_size
+
+    def _check_page(self, data: bytes) -> None:
+        if len(data) != self.page_size:
+            raise ValueError(f"page must be {self.page_size} bytes, got {len(data)}")
+
+
+class MemoryDisk(DiskManager):
+    """All relations held in memory (the "tmpfs" configuration)."""
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        super().__init__(page_size)
+        self._relations: dict[str, list[bytes]] = {}
+
+    def create_relation(self, name: str) -> None:
+        if name in self._relations:
+            raise ValueError(f"relation {name!r} already exists")
+        self._relations[name] = []
+
+    def drop_relation(self, name: str) -> None:
+        self._pages(name)
+        del self._relations[name]
+
+    def relation_exists(self, name: str) -> bool:
+        return name in self._relations
+
+    def list_relations(self) -> list[str]:
+        """Names of all relations (diagnostics/tests)."""
+        return sorted(self._relations)
+
+    def n_blocks(self, name: str) -> int:
+        return len(self._pages(name))
+
+    def read_block(self, name: str, blkno: int) -> bytes:
+        pages = self._pages(name)
+        self.reads += 1
+        try:
+            return pages[blkno]
+        except IndexError:
+            raise IndexError(f"block {blkno} beyond end of {name!r} ({len(pages)} blocks)") from None
+
+    def write_block(self, name: str, blkno: int, data: bytes) -> None:
+        self._check_page(data)
+        pages = self._pages(name)
+        if not 0 <= blkno < len(pages):
+            raise IndexError(f"block {blkno} beyond end of {name!r} ({len(pages)} blocks)")
+        pages[blkno] = bytes(data)
+        self.writes += 1
+
+    def extend(self, name: str, data: bytes) -> int:
+        self._check_page(data)
+        pages = self._pages(name)
+        pages.append(bytes(data))
+        self.writes += 1
+        return len(pages) - 1
+
+    def _pages(self, name: str) -> list[bytes]:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise RelationNotFoundError(f"no such relation: {name!r}") from None
+
+
+class FileDisk(DiskManager):
+    """One binary file per relation under a data directory."""
+
+    def __init__(self, data_dir: str | Path, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        super().__init__(page_size)
+        self.data_dir = Path(data_dir)
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, name: str) -> Path:
+        if "/" in name or name.startswith("."):
+            raise ValueError(f"invalid relation name: {name!r}")
+        return self.data_dir / f"{name}.rel"
+
+    def create_relation(self, name: str) -> None:
+        path = self._path(name)
+        if path.exists():
+            raise ValueError(f"relation {name!r} already exists")
+        path.touch()
+
+    def drop_relation(self, name: str) -> None:
+        path = self._existing(name)
+        path.unlink()
+
+    def relation_exists(self, name: str) -> bool:
+        return self._path(name).exists()
+
+    def list_relations(self) -> list[str]:
+        """Names of all relations on disk."""
+        return sorted(p.stem for p in self.data_dir.glob("*.rel"))
+
+    def n_blocks(self, name: str) -> int:
+        return self._existing(name).stat().st_size // self.page_size
+
+    def read_block(self, name: str, blkno: int) -> bytes:
+        path = self._existing(name)
+        self.reads += 1
+        with path.open("rb") as f:
+            f.seek(blkno * self.page_size)
+            data = f.read(self.page_size)
+        if len(data) != self.page_size:
+            raise IndexError(f"block {blkno} beyond end of {name!r}")
+        return data
+
+    def write_block(self, name: str, blkno: int, data: bytes) -> None:
+        self._check_page(data)
+        path = self._existing(name)
+        if blkno >= self.n_blocks(name):
+            raise IndexError(f"block {blkno} beyond end of {name!r}")
+        with path.open("r+b") as f:
+            f.seek(blkno * self.page_size)
+            f.write(data)
+        self.writes += 1
+
+    def extend(self, name: str, data: bytes) -> int:
+        self._check_page(data)
+        path = self._existing(name)
+        with path.open("ab") as f:
+            blkno = f.tell() // self.page_size
+            f.write(data)
+            f.flush()
+            os.fsync(f.fileno())
+        self.writes += 1
+        return blkno
+
+    def _existing(self, name: str) -> Path:
+        path = self._path(name)
+        if not path.exists():
+            raise RelationNotFoundError(f"no such relation: {name!r}")
+        return path

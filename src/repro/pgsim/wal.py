@@ -1,0 +1,223 @@
+"""Minimal write-ahead log with redo recovery.
+
+pgsim keeps the WAL deliberately small — full-page images plus commit
+records — because the paper's experiments never exercise crash
+recovery; the log exists so the substrate is an honest database (and
+so recovery is testable), not to reproduce PostgreSQL's record zoo.
+
+Protocol:
+
+- every page mutation appends a :data:`REC_PAGE_IMAGE` record *before*
+  the buffer manager may write the page back (enforced by the caller
+  via LSN stamping);
+- a transaction's changes become durable at its :data:`REC_COMMIT`;
+- :func:`replay` scans the log and applies page images belonging to
+  committed transactions, in order.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.pgsim.storage import DiskManager
+
+REC_PAGE_IMAGE = 1
+REC_COMMIT = 2
+REC_CHECKPOINT = 3
+REC_INSERT = 4
+REC_DELETE = 5
+
+_REC_HEADER = struct.Struct("<QBIH")  # lsn, type, xid, rel name length
+
+
+@dataclass(slots=True)
+class WalRecord:
+    """One decoded WAL record."""
+
+    lsn: int
+    rec_type: int
+    xid: int
+    rel: str = ""
+    blkno: int = 0
+    payload: bytes = b""
+
+
+class WriteAheadLog:
+    """Append-only log of serialized records.
+
+    With ``path=None`` the log lives only in memory (the default for
+    in-memory databases).  With a path, :meth:`flush` appends the
+    durable prefix to the file with an fsync, and an existing file is
+    loaded on open — so a file-backed database recovers committed work
+    after a crash (see :meth:`repro.pgsim.database.PgSimDatabase`).
+    """
+
+    #: Framing: 4-byte little-endian record length before each record.
+    _FRAME = struct.Struct("<I")
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self._records: list[bytes] = []
+        self._next_lsn = 1
+        self.flushed_lsn = 0
+        self._durable_count = 0
+        self.path = Path(path) if path is not None else None
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        assert self.path is not None
+        raw = self.path.read_bytes()
+        pos = 0
+        while pos + self._FRAME.size <= len(raw):
+            (length,) = self._FRAME.unpack_from(raw, pos)
+            pos += self._FRAME.size
+            if pos + length > len(raw):
+                break  # torn tail write: ignore, like real WAL replay
+            self._records.append(raw[pos : pos + length])
+            pos += length
+        self._durable_count = len(self._records)
+        if self._records:
+            last_lsn = _REC_HEADER.unpack_from(self._records[-1], 0)[0]
+            self._next_lsn = last_lsn + 1
+            self.flushed_lsn = last_lsn
+
+    # ------------------------------------------------------------------
+    # append
+    # ------------------------------------------------------------------
+    def log_page_image(self, xid: int, rel: str, blkno: int, image: bytes) -> int:
+        """Record a full page image; returns the assigned LSN."""
+        return self._append(REC_PAGE_IMAGE, xid, rel, blkno, image)
+
+    def log_insert(self, xid: int, rel: str, blkno: int, tuple_bytes: bytes) -> int:
+        """Record a heap insert (payload = serialized tuple)."""
+        return self._append(REC_INSERT, xid, rel, blkno, tuple_bytes)
+
+    def log_delete(self, xid: int, rel: str, blkno: int, offset_number: int) -> int:
+        """Record a heap delete (payload = 2-byte offset number)."""
+        return self._append(REC_DELETE, xid, rel, blkno, struct.pack("<H", offset_number))
+
+    def log_commit(self, xid: int) -> int:
+        """Record a transaction commit and flush the log."""
+        lsn = self._append(REC_COMMIT, xid, "", 0, b"")
+        self.flush()
+        return lsn
+
+    def log_checkpoint(self) -> int:
+        """Record a checkpoint boundary."""
+        return self._append(REC_CHECKPOINT, 0, "", 0, b"")
+
+    def flush(self) -> None:
+        """Make everything appended so far durable."""
+        self.flushed_lsn = self._next_lsn - 1
+        if self.path is None or self._durable_count == len(self._records):
+            return
+        with self.path.open("ab") as f:
+            for record in self._records[self._durable_count :]:
+                f.write(self._FRAME.pack(len(record)))
+                f.write(record)
+            f.flush()
+            os.fsync(f.fileno())
+        self._durable_count = len(self._records)
+
+    def _append(self, rec_type: int, xid: int, rel: str, blkno: int, payload: bytes) -> int:
+        lsn = self._next_lsn
+        self._next_lsn += 1
+        rel_bytes = rel.encode("utf-8")
+        record = (
+            _REC_HEADER.pack(lsn, rec_type, xid, len(rel_bytes))
+            + rel_bytes
+            + struct.pack("<I", blkno)
+            + payload
+        )
+        self._records.append(record)
+        return lsn
+
+    # ------------------------------------------------------------------
+    # read back
+    # ------------------------------------------------------------------
+    def records(self) -> list[WalRecord]:
+        """Decode all records in append order."""
+        out: list[WalRecord] = []
+        for raw in self._records:
+            lsn, rec_type, xid, rel_len = _REC_HEADER.unpack_from(raw, 0)
+            pos = _REC_HEADER.size
+            rel = raw[pos : pos + rel_len].decode("utf-8")
+            pos += rel_len
+            (blkno,) = struct.unpack_from("<I", raw, pos)
+            pos += 4
+            out.append(
+                WalRecord(
+                    lsn=lsn,
+                    rec_type=rec_type,
+                    xid=xid,
+                    rel=rel,
+                    blkno=blkno,
+                    payload=raw[pos:],
+                )
+            )
+        return out
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+def replay(wal: WriteAheadLog, disk: DiskManager) -> int:
+    """Redo recovery: re-apply durable, committed changes to ``disk``.
+
+    Classic redo rules:
+
+    - only records with ``lsn <= wal.flushed_lsn`` whose transaction's
+      commit record is also durable are considered;
+    - a record is skipped when the on-disk page's LSN already covers it
+      (``page.lsn >= record.lsn``), so redo is idempotent;
+    - untouched (all-zero) blocks are formatted on first redo.
+
+    Returns the number of records applied.
+    """
+    from repro.pgsim.page import Page  # local import avoids a cycle
+
+    records = [r for r in wal.records() if r.lsn <= wal.flushed_lsn]
+    committed = {r.xid for r in records if r.rec_type == REC_COMMIT}
+    applied = 0
+    for rec in records:
+        if rec.rec_type in (REC_COMMIT, REC_CHECKPOINT):
+            continue
+        if rec.xid not in committed:
+            continue
+        if not disk.relation_exists(rec.rel):
+            disk.create_relation(rec.rel)
+        while disk.n_blocks(rec.rel) <= rec.blkno:
+            disk.extend(rec.rel, bytes(disk.page_size))
+
+        if rec.rec_type == REC_PAGE_IMAGE:
+            existing = Page(bytearray(disk.read_block(rec.rel, rec.blkno)))
+            if _page_initialized(existing) and existing.lsn >= rec.lsn:
+                continue
+            disk.write_block(rec.rel, rec.blkno, rec.payload)
+            applied += 1
+            continue
+
+        raw = bytearray(disk.read_block(rec.rel, rec.blkno))
+        page = Page(raw) if _page_initialized(Page(raw)) else Page.init(disk.page_size)
+        if page.lsn >= rec.lsn:
+            continue
+        if rec.rec_type == REC_INSERT:
+            page.insert_item(rec.payload)
+        elif rec.rec_type == REC_DELETE:
+            (offset_number,) = struct.unpack("<H", rec.payload)
+            page.delete_item(offset_number)
+        else:
+            raise ValueError(f"unknown WAL record type: {rec.rec_type}")
+        page.lsn = rec.lsn
+        page.update_checksum()
+        disk.write_block(rec.rel, rec.blkno, bytes(page.buf))
+        applied += 1
+    return applied
+
+
+def _page_initialized(page) -> bool:
+    """A zeroed (never formatted) block has lower == 0."""
+    return page.lower != 0

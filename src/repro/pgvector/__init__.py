@@ -1,0 +1,18 @@
+"""pgvector-like comparator access method (the paper's Fig. 2).
+
+Figure 2 of the paper ranks PASE fastest among open-sourced
+generalized vector databases, with pgvector trailing.  At the time of
+the paper, pgvector supported only IVF_FLAT and — unlike PASE, which
+stores vectors inside its index data pages — kept only TIDs in index
+pages, fetching every candidate's vector from the base heap table
+during the scan.  That extra heap round trip per candidate is the
+architectural reason it trails PASE, and it is what
+:mod:`repro.pgvector.ivf_flat` implements.
+
+Importing this subpackage registers the ``ivfflat`` access method
+(pgvector's SQL name).
+"""
+
+from repro.pgvector.ivf_flat import PgVectorIVFFlat
+
+__all__ = ["PgVectorIVFFlat"]

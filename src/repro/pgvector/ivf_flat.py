@@ -1,0 +1,284 @@
+"""pgvector-style IVF_FLAT: TID-only index pages, heap fetch per candidate.
+
+Layout differences from :class:`repro.pase.ivf_flat.PaseIVFFlat`:
+
+- data-fork tuples hold **only the heap TID** (8 bytes), not the
+  vector — so every scanned candidate costs an extra heap-table
+  round trip through the buffer manager to get its vector;
+- centroid pages and chains are otherwise identical.
+
+This makes the index much smaller but the scan slower, which is the
+architectural gap behind the paper's Fig. 2 ordering (PASE fastest
+among the generalized systems).
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.common.distance import pairwise_kernel
+from repro.common.heap import NaiveTopK
+from repro.common.kmeans import pase_kmeans, sample_training_rows
+from repro.common.profiling import NULL_PROFILER
+from repro.common.types import BuildStats, IndexSizeInfo
+from repro.pase.ivf_flat import _key_tid as key_to_tid
+from repro.pase.ivf_flat import _tid_key
+from repro.pase.options import parse_ivf_options
+from repro.pgsim.am import IndexAmRoutine, register_am
+from repro.pgsim.constants import LINE_POINTER_SIZE, PAGE_HEADER_SIZE
+from repro.pgsim.heapam import TID
+from repro.pgsim.page import PageFullError
+
+_CENTROID_HEAD = struct.Struct("<II")
+_TID_TUPLE = struct.Struct("<IHxx")  # heap blkno, heap offset, pad
+_NEXT = struct.Struct("<I")
+_NO_BLOCK = 0xFFFFFFFF
+
+SEC_DISTANCE = "fvec_L2sqr"
+SEC_TUPLE_ACCESS = "Tuple Access"
+SEC_HEAP_FETCH = "Heap Fetch"
+SEC_HEAP = "Min-heap"
+
+
+@register_am
+class PgVectorIVFFlat(IndexAmRoutine):
+    """IVF_FLAT with TID-only index entries (pgvector's design)."""
+
+    amname = "ivfflat"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.opts = parse_ivf_options(self.options)
+        self.profiler = NULL_PROFILER
+        self.build_stats = BuildStats()
+        self.dim: int | None = None
+        self._centroids_per_page: int | None = None
+
+    # ------------------------------------------------------------------
+    # build
+    # ------------------------------------------------------------------
+    def build(self) -> None:
+        rows = [(tid, values[self.column_index]) for tid, values in self.table.scan()]
+        if not rows:
+            raise RuntimeError("cannot build an IVF index over an empty table")
+        vectors = np.vstack([v for __, v in rows]).astype(np.float32)
+        self.dim = int(vectors.shape[1])
+        n_clusters = min(self.opts.clusters, vectors.shape[0])
+
+        start = time.perf_counter()
+        sample = sample_training_rows(
+            vectors, self.opts.sample_ratio, n_clusters, self.opts.seed
+        )
+        centroids = pase_kmeans(sample, n_clusters, self.opts.kmeans_iterations).centroids
+        self.build_stats.train_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        buckets: list[list[TID]] = [[] for _ in range(n_clusters)]
+        for (tid, __), vec in zip(rows, vectors):
+            diff = centroids - vec
+            dists = np.einsum("ij,ij->i", diff, diff)
+            buckets[int(np.argmin(dists))].append(tid)
+        self.build_stats.distance_computations += len(rows) * n_clusters
+
+        heads = [self._write_bucket(bucket) for bucket in buckets]
+        self._write_centroids(centroids, heads)
+        self.build_stats.add_seconds = time.perf_counter() - start
+        self.build_stats.vectors_added = len(rows)
+
+    def _write_centroids(self, centroids: np.ndarray, heads: list[int]) -> None:
+        rel = self.create_fork("centroid")
+        tuple_size = _CENTROID_HEAD.size + centroids.shape[1] * 4
+        self._centroids_per_page = max(
+            (self.buffer.disk.page_size - PAGE_HEADER_SIZE)
+            // (tuple_size + LINE_POINTER_SIZE),
+            1,
+        )
+        frame = None
+        for i, (centroid, head) in enumerate(zip(centroids, heads)):
+            if i % self._centroids_per_page == 0:
+                if frame is not None:
+                    self.buffer.unpin(frame, dirty=True)
+                __, frame = self.buffer.new_page(rel)
+            frame.page.insert_item(_CENTROID_HEAD.pack(i, head) + centroid.tobytes())
+        if frame is not None:
+            self.buffer.unpin(frame, dirty=True)
+
+    def _write_bucket(self, bucket: list[TID]) -> int:
+        rel = self.create_fork("data")
+        head = _NO_BLOCK
+        frame = None
+        for tid in bucket:
+            item = _TID_TUPLE.pack(tid.blkno, tid.offset)
+            if frame is not None:
+                try:
+                    frame.page.insert_item(item)
+                    continue
+                except PageFullError:
+                    self.buffer.unpin(frame, dirty=True)
+                    frame = None
+            blkno, frame = self.buffer.new_page(rel, special_size=_NEXT.size)
+            frame.page.write_special(_NEXT.pack(head))
+            head = blkno
+            frame.page.insert_item(item)
+        if frame is not None:
+            self.buffer.unpin(frame, dirty=True)
+        return head
+
+    # ------------------------------------------------------------------
+    # insert
+    # ------------------------------------------------------------------
+    def insert(self, tid: TID, value: Any) -> None:
+        if self.dim is None:
+            raise RuntimeError("index must be built before single inserts")
+        vec = np.ascontiguousarray(value, dtype=np.float32)
+        best_id, best_dist = -1, float("inf")
+        for cent_id, __, centroid in self._iter_centroids():
+            diff = centroid - vec
+            dist = float(np.dot(diff, diff))
+            if dist < best_dist:
+                best_id, best_dist = cent_id, dist
+        item = _TID_TUPLE.pack(tid.blkno, tid.offset)
+        head = self._bucket_head(best_id)
+        rel = self.relation_name("data")
+        if head != _NO_BLOCK:
+            frame = self.buffer.pin(rel, head)
+            try:
+                frame.page.insert_item(item)
+            except PageFullError:
+                self.buffer.unpin(frame)
+            else:
+                self.buffer.unpin(frame, dirty=True)
+                return
+        blkno, frame = self.buffer.new_page(rel, special_size=_NEXT.size)
+        try:
+            frame.page.write_special(_NEXT.pack(head))
+            frame.page.insert_item(item)
+        finally:
+            self.buffer.unpin(frame, dirty=True)
+        self._set_bucket_head(best_id, blkno)
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+    def scan(self, query: np.ndarray, k: int) -> Iterator[tuple[TID, float]]:
+        if self.dim is None:
+            raise RuntimeError("index has not been built")
+        prof = self.profiler
+        query = np.ascontiguousarray(query, dtype=np.float32)
+        nprobe = int(self.catalog.get_setting("pase.nprobe"))
+        kernel = pairwise_kernel(self.opts.distance_type)
+
+        cent_dists: list[float] = []
+        heads: list[int] = []
+        for __, head, centroid in self._iter_centroids():
+            with prof.section(SEC_DISTANCE):
+                cent_dists.append(kernel(query, centroid))
+            heads.append(head)
+        order = np.argsort(np.asarray(cent_dists), kind="stable")[: max(nprobe, 1)]
+
+        heap = NaiveTopK(k)
+        for bucket in order.tolist():
+            for tid in self._iter_bucket(heads[bucket]):
+                # The defining pgvector cost: fetch the candidate's
+                # vector from the base heap table.
+                with prof.section(SEC_HEAP_FETCH):
+                    vec = self.table.fetch_column(tid, self.column_index)
+                with prof.section(SEC_DISTANCE):
+                    dist = kernel(query, np.asarray(vec, dtype=np.float32))
+                with prof.section(SEC_HEAP):
+                    heap.push(dist, _tid_key(tid))
+        for neighbor in heap.results():
+            yield key_to_tid(neighbor.vector_id), neighbor.distance
+
+    # ------------------------------------------------------------------
+    # page iteration
+    # ------------------------------------------------------------------
+    def _iter_centroids(self) -> Iterator[tuple[int, int, np.ndarray]]:
+        rel = self.relation_name("centroid")
+        prof = self.profiler
+        for blkno in range(self.buffer.disk.n_blocks(rel)):
+            frame = self.buffer.pin(rel, blkno)
+            try:
+                page = frame.page
+                for off in range(1, page.item_count + 1):
+                    with prof.section(SEC_TUPLE_ACCESS):
+                        view = page.get_item_view(off)
+                        cent_id, head = _CENTROID_HEAD.unpack_from(view, 0)
+                        vec = np.frombuffer(view, dtype=np.float32, offset=_CENTROID_HEAD.size)
+                    yield cent_id, head, vec
+            finally:
+                self.buffer.unpin(frame)
+
+    def _iter_bucket(self, head: int) -> Iterator[TID]:
+        rel = self.relation_name("data")
+        prof = self.profiler
+        blkno = head
+        while blkno != _NO_BLOCK:
+            frame = self.buffer.pin(rel, blkno)
+            try:
+                page = frame.page
+                for off in range(1, page.item_count + 1):
+                    with prof.section(SEC_TUPLE_ACCESS):
+                        view = page.get_item_view(off)
+                        heap_blk, heap_off = _TID_TUPLE.unpack_from(view, 0)
+                    yield TID(heap_blk, heap_off)
+                (blkno,) = _NEXT.unpack(page.read_special())
+            finally:
+                self.buffer.unpin(frame)
+
+    # ------------------------------------------------------------------
+    # centroid tuple updates
+    # ------------------------------------------------------------------
+    def _centroid_location(self, centroid_id: int) -> tuple[int, int]:
+        assert self._centroids_per_page is not None
+        return (
+            centroid_id // self._centroids_per_page,
+            centroid_id % self._centroids_per_page + 1,
+        )
+
+    def _bucket_head(self, centroid_id: int) -> int:
+        blkno, off = self._centroid_location(centroid_id)
+        with self.buffer.page(self.relation_name("centroid"), blkno) as page:
+            return _CENTROID_HEAD.unpack_from(page.get_item_view(off), 0)[1]
+
+    def _set_bucket_head(self, centroid_id: int, head: int) -> None:
+        blkno, off = self._centroid_location(centroid_id)
+        frame = self.buffer.pin(self.relation_name("centroid"), blkno)
+        try:
+            struct.pack_into("<I", frame.page.get_item_view(off), 4, head)
+        finally:
+            self.buffer.unpin(frame, dirty=True)
+
+    # ------------------------------------------------------------------
+    # size accounting
+    # ------------------------------------------------------------------
+    def relations(self) -> list[str]:
+        """Page-file names owned by this index."""
+        return [self.relation_name(f) for f in ("centroid", "data")]
+
+    def size_info(self) -> IndexSizeInfo:
+        page_size = self.buffer.disk.page_size
+        detail: dict[str, int] = {}
+        pages = 0
+        used = 0
+        for fork in ("centroid", "data"):
+            rel = self.relation_name(fork)
+            if not self.buffer.disk.relation_exists(rel):
+                continue
+            n = self.buffer.disk.n_blocks(rel)
+            pages += n
+            detail[f"{fork}_pages"] = n
+            for blkno in range(n):
+                with self.buffer.page(rel, blkno) as page:
+                    for off in page.live_items():
+                        used += len(page.get_item_view(off))
+        return IndexSizeInfo(
+            allocated_bytes=pages * page_size,
+            used_bytes=used,
+            page_count=pages,
+            detail=detail,
+        )

@@ -1,0 +1,139 @@
+"""Collection-level facade of the specialized engine.
+
+Specialized vector databases expose a simple create/index/search API
+(Sec. II-C); this facade mirrors that surface so the examples and the
+comparative study can drive both engines through look-alike calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.types import DistanceType, SearchResult, as_float32_matrix
+from repro.specialized.base import VectorIndex
+from repro.specialized.flat import FlatIndex
+from repro.specialized.hnsw import HNSWIndex
+from repro.specialized.ivf_flat import IVFFlatIndex
+from repro.specialized.ivf_pq import IVFPQIndex
+from repro.specialized.ivf_sq8 import IVFSQ8Index
+
+#: index type name -> constructor; the three index families the paper
+#: studies plus the exact baseline.
+INDEX_TYPES = {
+    "flat": FlatIndex,
+    "ivf_flat": IVFFlatIndex,
+    "ivf_pq": IVFPQIndex,
+    "ivf_sq8": IVFSQ8Index,
+    "hnsw": HNSWIndex,
+}
+
+
+@dataclass
+class Collection:
+    """A named set of vectors with at most one index per index type."""
+
+    name: str
+    dim: int
+    distance_type: DistanceType = DistanceType.L2
+    vectors: np.ndarray | None = None
+    indexes: dict[str, VectorIndex] = field(default_factory=dict)
+
+    @property
+    def count(self) -> int:
+        """Number of stored vectors."""
+        return 0 if self.vectors is None else int(self.vectors.shape[0])
+
+
+class SpecializedDatabase:
+    """In-memory multi-collection vector database."""
+
+    def __init__(self) -> None:
+        self._collections: dict[str, Collection] = {}
+
+    def create_collection(
+        self, name: str, dim: int, distance_type: DistanceType = DistanceType.L2
+    ) -> Collection:
+        """Create an empty collection; name must be unused."""
+        if name in self._collections:
+            raise ValueError(f"collection {name!r} already exists")
+        col = Collection(name=name, dim=dim, distance_type=DistanceType(distance_type))
+        self._collections[name] = col
+        return col
+
+    def drop_collection(self, name: str) -> None:
+        """Remove a collection and its indexes."""
+        self._collection(name)
+        del self._collections[name]
+
+    def list_collections(self) -> list[str]:
+        """Names of all collections."""
+        return sorted(self._collections)
+
+    def insert(self, name: str, vectors: np.ndarray) -> int:
+        """Append vectors to a collection; returns the new total count.
+
+        Existing indexes also receive the new vectors so collection and
+        indexes stay consistent.
+        """
+        col = self._collection(name)
+        arr = as_float32_matrix(vectors)
+        if arr.shape[1] != col.dim:
+            raise ValueError(f"vector dim {arr.shape[1]} != collection dim {col.dim}")
+        if col.vectors is None:
+            col.vectors = arr.copy()
+        else:
+            col.vectors = np.vstack([col.vectors, arr])
+        for index in col.indexes.values():
+            index.add(arr)
+        return col.count
+
+    def create_index(self, name: str, index_type: str, **params) -> VectorIndex:
+        """Build an index over all current vectors of a collection."""
+        col = self._collection(name)
+        if index_type not in INDEX_TYPES:
+            known = ", ".join(sorted(INDEX_TYPES))
+            raise ValueError(f"unknown index type {index_type!r}; known: {known}")
+        if col.vectors is None:
+            raise RuntimeError(f"collection {name!r} is empty; insert vectors first")
+        factory = INDEX_TYPES[index_type]
+        index = factory(col.dim, distance_type=col.distance_type, **params)
+        if index.requires_training:
+            index.train(col.vectors)
+        index.add(col.vectors)
+        col.indexes[index_type] = index
+        return index
+
+    def search(
+        self, name: str, query: np.ndarray, k: int, index_type: str | None = None, **opts
+    ) -> SearchResult:
+        """Top-``k`` search; picks the only index if ``index_type`` is None.
+
+        Falls back to an on-the-fly exact scan when no index exists.
+        """
+        col = self._collection(name)
+        if index_type is None:
+            if len(col.indexes) == 1:
+                index_type = next(iter(col.indexes))
+            elif not col.indexes:
+                return self._exact_search(col, query, k)
+            else:
+                raise ValueError(
+                    f"collection {name!r} has several indexes; specify index_type"
+                )
+        if index_type not in col.indexes:
+            raise KeyError(f"collection {name!r} has no {index_type!r} index")
+        return col.indexes[index_type].search(query, k, **opts)
+
+    def _exact_search(self, col: Collection, query: np.ndarray, k: int) -> SearchResult:
+        flat = FlatIndex(col.dim, distance_type=col.distance_type)
+        assert col.vectors is not None
+        flat.add(col.vectors)
+        return flat.search(query, k)
+
+    def _collection(self, name: str) -> Collection:
+        try:
+            return self._collections[name]
+        except KeyError:
+            raise KeyError(f"no such collection: {name!r}") from None

@@ -1,0 +1,79 @@
+"""Brute-force exact index (Faiss's ``IndexFlat`` analogue).
+
+Used as the accuracy reference for all approximate indexes and as the
+simplest demonstration of the SGEMM-batched scan path.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.common.distance import batch_kernel
+from repro.common.heap import exact_topk
+from repro.common.types import IndexSizeInfo, SearchResult
+from repro.specialized.base import VectorIndex
+
+
+class FlatIndex(VectorIndex):
+    """Exact top-k by scanning every stored vector with batched kernels."""
+
+    requires_training = False
+
+    def __init__(self, dim: int, **kwargs) -> None:
+        super().__init__(dim, **kwargs)
+        self._vectors = np.empty((0, dim), dtype=np.float32)
+
+    def _train(self, data: np.ndarray) -> None:  # pragma: no cover - not reached
+        pass
+
+    def _add(self, data: np.ndarray) -> None:
+        start = time.perf_counter()
+        self._vectors = np.vstack([self._vectors, data])
+        self.build_stats.add_seconds += time.perf_counter() - start
+
+    def search_batch(self, queries: np.ndarray, k: int, **kwargs) -> list[SearchResult]:
+        """Batched exact search: one SGEMM for the whole query matrix."""
+        if kwargs:
+            raise TypeError(f"FlatIndex.search_batch got unexpected options: {sorted(kwargs)}")
+        arr = self._check_matrix(queries)
+        start = time.perf_counter()
+        dists = batch_kernel(self.distance_type)(arr, self._vectors)
+        elapsed = time.perf_counter() - start
+        per_query = elapsed / arr.shape[0]
+        return [
+            SearchResult(
+                neighbors=exact_topk(dists[i], k),
+                elapsed_seconds=per_query,
+                distance_computations=self.ntotal,
+            )
+            for i in range(arr.shape[0])
+        ]
+
+    def _search(self, query: np.ndarray, k: int, **kwargs) -> SearchResult:
+        if kwargs:
+            raise TypeError(f"FlatIndex.search got unexpected options: {sorted(kwargs)}")
+        start = time.perf_counter()
+        dists = batch_kernel(self.distance_type)(query, self._vectors)[0]
+        neighbors = exact_topk(dists, k)
+        elapsed = time.perf_counter() - start
+        return SearchResult(
+            neighbors=neighbors,
+            elapsed_seconds=elapsed,
+            distance_computations=self.ntotal,
+        )
+
+    def reconstruct(self, vector_id: int) -> np.ndarray:
+        """Return the stored vector for ``vector_id``."""
+        if not 0 <= vector_id < self.ntotal:
+            raise IndexError(f"vector id {vector_id} out of range [0, {self.ntotal})")
+        return self._vectors[vector_id].copy()
+
+    def size_info(self) -> IndexSizeInfo:
+        payload = int(self._vectors.nbytes)
+        return IndexSizeInfo(
+            allocated_bytes=payload,
+            used_bytes=payload,
+            detail={"vectors": payload},
+        )

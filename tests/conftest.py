@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.datasets import Dataset, generate_clustered, tiny_dataset
+from repro.pgsim import PgSimDatabase
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> Dataset:
+    """A 600-vector clustered dataset shared across read-only tests."""
+    return tiny_dataset(n=600, dim=16, n_queries=8, seed=101)
+
+
+@pytest.fixture(scope="session")
+def medium_dataset() -> Dataset:
+    """A 2000-vector dataset for the slower integration tests."""
+    return tiny_dataset(n=2000, dim=24, n_queries=10, seed=202)
+
+
+@pytest.fixture()
+def fresh_db() -> PgSimDatabase:
+    """A brand-new in-memory pgsim database per test."""
+    return PgSimDatabase(buffer_pool_pages=512)
+
+
+@pytest.fixture()
+def loaded_db(fresh_db: PgSimDatabase, small_dataset: Dataset) -> PgSimDatabase:
+    """Database with the small dataset loaded into table ``items``."""
+    fresh_db.execute("CREATE TABLE items (id int, vec float[])")
+    table = fresh_db.catalog.table("items")
+    for i, vec in enumerate(small_dataset.base):
+        table.heap.insert([i, vec])
+    fresh_db.wal.log_commit(1)
+    return fresh_db
+
+
+def vector_literal(vec: np.ndarray) -> str:
+    """Format a vector as a PASE SQL literal."""
+    return ",".join(f"{x:.6f}" for x in np.asarray(vec, dtype=np.float32))
+
+
+@pytest.fixture()
+def vec_lit():
+    """The :func:`vector_literal` helper as a fixture."""
+    return vector_literal
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(7)

@@ -1,0 +1,57 @@
+"""Tests for the specialized engine's batched query API."""
+
+import numpy as np
+import pytest
+
+from repro.specialized import FlatIndex, HNSWIndex, IVFFlatIndex
+
+
+class TestBatchSearch:
+    def test_flat_batch_equals_single(self, small_dataset):
+        index = FlatIndex(small_dataset.dim)
+        index.add(small_dataset.base)
+        batch = index.search_batch(small_dataset.queries, 5)
+        for result, q in zip(batch, small_dataset.queries):
+            assert result.ids == index.search(q, 5).ids
+
+    def test_flat_batch_matches_ground_truth(self, small_dataset):
+        index = FlatIndex(small_dataset.dim)
+        index.add(small_dataset.base)
+        gt = small_dataset.ground_truth(5)
+        batch = index.search_batch(small_dataset.queries, 5)
+        for qi, result in enumerate(batch):
+            assert result.ids == gt[qi].tolist()
+
+    def test_ivf_batch_equals_single(self, small_dataset):
+        index = IVFFlatIndex(small_dataset.dim, n_clusters=8, sample_ratio=0.5, seed=1)
+        index.train(small_dataset.base)
+        index.add(small_dataset.base)
+        batch = index.search_batch(small_dataset.queries, 5, nprobe=4)
+        for result, q in zip(batch, small_dataset.queries):
+            assert result.ids == index.search(q, 5, nprobe=4).ids
+
+    def test_hnsw_batch_equals_single(self, small_dataset):
+        index = HNSWIndex(small_dataset.dim, bnn=6, efb=16, seed=4)
+        index.add(small_dataset.base[:300])
+        batch = index.search_batch(small_dataset.queries, 5, efs=30)
+        for result, q in zip(batch, small_dataset.queries):
+            assert result.ids == index.search(q, 5, efs=30).ids
+
+    def test_batch_dim_checked(self, small_dataset):
+        index = FlatIndex(small_dataset.dim)
+        index.add(small_dataset.base)
+        with pytest.raises(ValueError):
+            index.search_batch(np.zeros((2, small_dataset.dim + 1), dtype=np.float32), 3)
+
+    def test_flat_batch_rejects_unknown_options(self, small_dataset):
+        index = FlatIndex(small_dataset.dim)
+        index.add(small_dataset.base)
+        with pytest.raises(TypeError):
+            index.search_batch(small_dataset.queries, 3, nprobe=5)
+
+    def test_single_row_batch(self, small_dataset):
+        index = FlatIndex(small_dataset.dim)
+        index.add(small_dataset.base)
+        batch = index.search_batch(small_dataset.queries[:1], 3)
+        assert len(batch) == 1
+        assert batch[0].ids == index.search(small_dataset.queries[0], 3).ids

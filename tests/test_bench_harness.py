@@ -1,0 +1,140 @@
+"""Tests for the benchmark harness (runner, registry, CLI plumbing)."""
+
+import pytest
+
+from repro.bench import EXPERIMENTS, run_experiment
+from repro.bench.runner import (
+    ALL_DATASETS,
+    HNSW_DATASETS,
+    bench_dataset,
+    default_params,
+    timed,
+)
+
+#: Tiny scale so harness smoke tests stay fast.
+TINY = 0.0006
+
+
+class TestRegistry:
+    def test_every_paper_artifact_covered(self):
+        """Figs. 2-19 (except the architecture diagram Fig. 1) and
+        Tables III-V all have an experiment."""
+        expected = {f"fig{i}" for i in range(2, 20)} | {
+            "tab3",
+            "tab4",
+            "tab5",
+            "ablation",
+            "recall",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_dataset_lists(self):
+        assert len(ALL_DATASETS) == 6
+        assert set(HNSW_DATASETS) <= set(ALL_DATASETS)
+
+
+class TestRunner:
+    def test_timed_protocol(self):
+        calls = []
+        mean, result = timed(lambda: calls.append(1) or len(calls), repeats=3, warmup=1)
+        assert len(calls) == 4  # 1 warmup + 3 timed
+        assert result == 4
+        assert mean >= 0
+
+    def test_default_params_ivf(self):
+        ds = bench_dataset("sift1m", scale=0.001)
+        params = default_params(ds, "ivf_flat")
+        assert params["clusters"] == pytest.approx(ds.n**0.5, rel=0.1)
+        assert 0 < params["sample_ratio"] <= 1
+
+    def test_default_params_pq_uses_profile_m(self):
+        ds = bench_dataset("gist1m", scale=0.001)
+        params = default_params(ds, "ivf_pq")
+        assert params["m"] == 60  # Table II's GIST1M value
+        assert ds.dim % params["m"] == 0
+
+    def test_default_params_hnsw(self):
+        ds = bench_dataset("sift1m", scale=0.001)
+        params = default_params(ds, "hnsw")
+        assert params == {"seed": 42, "bnn": 16, "efb": 40}
+
+
+class TestExperimentSmoke:
+    """Each experiment runs end-to-end at micro scale and reports the
+    right structure.  (Shape assertions live in benchmarks/.)"""
+
+    def test_fig3_structure(self):
+        result = run_experiment("fig3", scale=TINY, datasets=("sift1m",))
+        assert result.exp_id == "fig3"
+        assert "PASE total" in result.data["series"]
+        assert len(result.data["series"]["Faiss add"]) == 1
+        assert "gap" in result.rendered
+
+    def test_fig11_structure(self):
+        result = run_experiment("fig11", scale=TINY, datasets=("deep1m",))
+        assert result.data["series"]["PASE"][0] > 0
+
+    def test_fig14_structure(self):
+        result = run_experiment("fig14", scale=TINY, datasets=("sift1m",))
+        assert result.data["series"]["PASE"][0] > result.data["series"]["Faiss"][0] * 0
+
+    def test_tab5_structure(self):
+        result = run_experiment("tab5", scale=TINY)
+        assert "PASE" in result.data and "Faiss" in result.data
+        assert "fvec_L2sqr" in result.data["PASE"]
+
+    def test_fig18_structure(self):
+        result = run_experiment("fig18", scale=TINY)
+        pase = result.data["PASE IVF_FLAT"]
+        faiss = result.data["Faiss IVF_FLAT"]
+        assert pase[1] == pytest.approx(1.0)
+        assert faiss[8] > pase[8]  # the paper's central parallel finding
+
+    def test_cli_list_and_run(self, capsys):
+        from repro.bench.cli import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out and "tab5" in out
+        assert main([]) == 2  # no args -> help + error code
+        assert main(["--experiment", "bogus"]) == 2
+
+
+class TestMoreExperimentSmoke:
+    def test_fig9_structure(self):
+        result = run_experiment("fig9", scale=TINY)
+        assert set(result.data) == {
+            "IVF_FLAT with SGEMM",
+            "IVF_FLAT no SGEMM",
+            "IVF_PQ with SGEMM",
+            "IVF_PQ no SGEMM",
+        }
+        for curve in result.data.values():
+            assert sorted(curve) == [1, 2, 4, 8]
+            assert curve[8] <= curve[1]  # more threads never slower
+
+    def test_ablation_structure(self):
+        result = run_experiment("ablation", scale=TINY)
+        assert "SGEMM" in result.rendered
+        assert result.data["SGEMM"]["metric"] == "build"
+        assert result.data["SGEMM"]["without"] < result.data["SGEMM"]["with"]
+
+    def test_fig15_structure(self):
+        result = run_experiment("fig15", scale=TINY, datasets=("sift1m",))
+        series = result.data["series"]
+        assert set(series) == {"PASE", "Faiss", "Faiss*"}
+        assert len(series["Faiss*"]) == 1
+
+    def test_fig5_structure(self):
+        result = run_experiment("fig5", scale=TINY, datasets=("sift1m",))
+        assert result.data["series"]["PASE total"][0] > 0
+        assert "gap" in result.rendered
+
+    def test_fig2_structure(self):
+        result = run_experiment("fig2", scale=TINY)
+        systems = result.data["systems"]
+        assert systems["pgvector"][0] > systems["PASE"][0]  # Fig. 2 ordering

@@ -1,0 +1,151 @@
+"""Tests for the dataset registry and generators."""
+
+import numpy as np
+import pytest
+
+from repro.common import datasets
+
+
+class TestProfiles:
+    def test_all_paper_datasets_present(self):
+        assert set(datasets.PAPER_ORDER) == set(datasets.PROFILES)
+
+    def test_dimensions_match_table_one(self):
+        dims = {name: p.dim for name, p in datasets.PROFILES.items()}
+        assert dims == {
+            "sift1m": 128,
+            "gist1m": 960,
+            "deep1m": 256,
+            "sift10m": 128,
+            "deep10m": 96,
+            "turing10m": 100,
+        }
+
+    def test_paper_counts_match_table_one(self):
+        assert datasets.PROFILES["sift1m"].paper_n == 1_000_000
+        assert datasets.PROFILES["sift10m"].paper_n == 10_000_000
+        assert datasets.PROFILES["gist1m"].paper_queries == 1_000
+
+    def test_m_divides_dim(self):
+        for profile in datasets.PROFILES.values():
+            assert profile.dim % profile.default_m == 0
+
+    def test_scaled_counts(self):
+        profile = datasets.PROFILES["sift1m"]
+        assert profile.scaled_n(0.01) == 10_000
+        assert profile.scaled_n(1e-9) == 1000  # floor
+
+
+class TestLoadDataset:
+    def test_load_shapes(self):
+        ds = datasets.load_dataset("sift1m", scale=0.002)
+        assert ds.base.shape == (2000, 128)
+        assert ds.base.dtype == np.float32
+        assert ds.queries.shape[1] == 128
+
+    def test_case_insensitive(self):
+        ds = datasets.load_dataset("SIFT1M", scale=0.001)
+        assert ds.name == "sift1m"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            datasets.load_dataset("laion5b")
+
+    def test_deterministic_per_seed(self):
+        a = datasets.load_dataset("deep1m", scale=0.001, seed=4)
+        b = datasets.load_dataset("deep1m", scale=0.001, seed=4)
+        np.testing.assert_array_equal(a.base, b.base)
+
+    def test_different_seeds_differ(self):
+        a = datasets.load_dataset("deep1m", scale=0.001, seed=4)
+        b = datasets.load_dataset("deep1m", scale=0.001, seed=5)
+        assert not np.array_equal(a.base, b.base)
+
+    def test_base_and_queries_independent(self):
+        ds = datasets.load_dataset("sift1m", scale=0.001)
+        assert not np.array_equal(ds.base[: ds.n_queries], ds.queries)
+
+
+class TestGroundTruth:
+    def test_ground_truth_is_exact(self, small_dataset):
+        gt = small_dataset.ground_truth(5)
+        q = small_dataset.queries[0]
+        dists = ((small_dataset.base - q) ** 2).sum(axis=1)
+        expected = np.argsort(dists, kind="stable")[:5]
+        np.testing.assert_array_equal(gt[0], expected)
+
+    def test_ground_truth_cached_and_extended(self, small_dataset):
+        g5 = small_dataset.ground_truth(5)
+        g3 = small_dataset.ground_truth(3)
+        np.testing.assert_array_equal(g3, g5[:, :3])
+        g8 = small_dataset.ground_truth(8)
+        np.testing.assert_array_equal(g8[:, :5], g5)
+
+    def test_k_capped_at_n(self):
+        ds = datasets.tiny_dataset(n=30, dim=4, n_queries=2, seed=1)
+        assert ds.ground_truth(100).shape == (2, 30)
+
+
+class TestGenerator:
+    def test_clustered_structure(self):
+        data = datasets.generate_clustered(500, 12, n_components=4, seed=9, spread=0.05)
+        # With tight spread, nearest-neighbor distances are far below
+        # the typical inter-point distance.
+        d01 = ((data[0] - data[1:]) ** 2).sum(axis=1)
+        assert d01.min() < np.median(d01) / 4
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            datasets.generate_clustered(0, 4, 2, seed=1)
+        with pytest.raises(ValueError):
+            datasets.generate_clustered(10, 0, 2, seed=1)
+
+
+class TestFromArrays:
+    def test_wraps_arrays(self):
+        base = np.random.default_rng(0).random((20, 6)).astype(np.float32)
+        ds = datasets.Dataset.from_arrays("custom", base, base[:3])
+        assert ds.n == 20
+        assert ds.dim == 6
+        assert ds.n_queries == 3
+
+    def test_dim_mismatch_rejected(self):
+        base = np.zeros((5, 4), dtype=np.float32)
+        queries = np.zeros((2, 3), dtype=np.float32)
+        with pytest.raises(ValueError):
+            datasets.Dataset.from_arrays("bad", base, queries)
+
+
+class TestVecsIO:
+    def test_fvecs_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(3)
+        mat = rng.random((7, 5)).astype(np.float32)
+        path = tmp_path / "x.fvecs"
+        with path.open("wb") as f:
+            for row in mat:
+                np.int32(5).tofile(f)
+                row.tofile(f)
+        loaded = datasets.read_fvecs(path)
+        np.testing.assert_array_equal(loaded, mat)
+
+    def test_ivecs_roundtrip(self, tmp_path):
+        mat = np.arange(12, dtype=np.int32).reshape(3, 4)
+        path = tmp_path / "x.ivecs"
+        with path.open("wb") as f:
+            for row in mat:
+                np.int32(4).tofile(f)
+                row.tofile(f)
+        loaded = datasets.read_ivecs(path, max_rows=2)
+        np.testing.assert_array_equal(loaded, mat[:2])
+
+    def test_corrupt_fvecs_rejected(self, tmp_path):
+        path = tmp_path / "bad.fvecs"
+        path.write_bytes(b"\x03\x00\x00\x00\x00\x00")
+        with pytest.raises(ValueError):
+            datasets.read_fvecs(path)
+
+    def test_empty_fvecs_rejected(self, tmp_path):
+        path = tmp_path / "empty.fvecs"
+        path.write_bytes(b"")
+        with pytest.raises(ValueError):
+            datasets.read_fvecs(path)

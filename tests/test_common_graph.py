@@ -1,0 +1,147 @@
+"""Tests for the shared HNSW algorithm core."""
+
+import numpy as np
+import pytest
+
+from repro.common import graph
+from repro.common.datasets import generate_clustered
+from repro.common.rng import make_rng
+from repro.specialized.hnsw import ArrayGraphStore
+
+
+@pytest.fixture()
+def store():
+    return ArrayGraphStore(dim=8)
+
+
+@pytest.fixture(scope="module")
+def built():
+    data = generate_clustered(300, 8, n_components=6, seed=11)
+    store = ArrayGraphStore(dim=8)
+    params = graph.HNSWParams(bnn=8, efb=24, efs=48)
+    rng = make_rng(3)
+    for row in data:
+        graph.insert(store, params, row, rng)
+    return data, store, params
+
+
+class TestParams:
+    def test_max_neighbors_doubles_at_level_zero(self):
+        params = graph.HNSWParams(bnn=16)
+        assert params.max_neighbors(0) == 32
+        assert params.max_neighbors(1) == 16
+        assert params.max_neighbors(5) == 16
+
+    def test_default_level_mult(self):
+        params = graph.HNSWParams(bnn=16)
+        assert params.effective_level_mult() == pytest.approx(1 / np.log(16))
+
+    def test_level_sampling_distribution(self):
+        params = graph.HNSWParams(bnn=16)
+        rng = make_rng(1)
+        levels = [params.sample_level(rng) for __ in range(5000)]
+        assert min(levels) == 0
+        # Roughly (1 - 1/bnn) of nodes should be at level 0.
+        frac0 = sum(1 for lv in levels if lv == 0) / len(levels)
+        assert 0.85 < frac0 < 0.99
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            graph.HNSWParams(bnn=1)
+        with pytest.raises(ValueError):
+            graph.HNSWParams(bnn=8, efb=0)
+
+
+class TestInsert:
+    def test_first_node_becomes_entry(self, store):
+        params = graph.HNSWParams(bnn=4, efb=8)
+        node = graph.insert(store, params, np.zeros(8, dtype=np.float32), make_rng(0))
+        assert store.entry_point == node
+        assert store.node_count() == 1
+
+    def test_neighbor_capacity_respected(self, built):
+        __, store, params = built
+        for node in range(store.node_count()):
+            for level in range(len(store._neighbors[node])):
+                assert len(store.neighbors(node, level)) <= params.max_neighbors(level)
+
+    def test_no_self_loops(self, built):
+        __, store, __ = built
+        for node in range(store.node_count()):
+            assert node not in store.neighbors(node, 0)
+
+    def test_level_zero_lists_nonempty_after_build(self, built):
+        __, store, __ = built
+        empty = sum(1 for n in range(store.node_count()) if not store.neighbors(n, 0))
+        assert empty == 0
+
+    def test_counters_accumulate(self, built):
+        __, store, __ = built
+        assert store.counters.distance_computations > 0
+        assert store.counters.hops > 0
+
+
+class TestSearch:
+    def test_exact_match_found(self, built):
+        data, store, params = built
+        result = graph.search(store, params, data[42], k=1)
+        assert result[0].vector_id == 42
+        assert result[0].distance == pytest.approx(0.0, abs=1e-5)
+
+    def test_results_sorted(self, built):
+        data, store, params = built
+        result = graph.search(store, params, data[0] + 0.01, k=10)
+        dists = [n.distance for n in result]
+        assert dists == sorted(dists)
+
+    def test_good_recall_at_high_ef(self, built):
+        data, store, params = built
+        hits = 0
+        for qi in range(0, 60, 6):
+            query = data[qi] + 0.001
+            truth = np.argsort(((data - query) ** 2).sum(axis=1))[:5]
+            got = [n.vector_id for n in graph.search(store, params, query, k=5, efs=80)]
+            hits += len(set(got) & set(truth.tolist()))
+        assert hits / 50 > 0.8
+
+    def test_higher_efs_never_reduces_result_count(self, built):
+        data, store, params = built
+        small = graph.search(store, params, data[5], k=20, efs=20)
+        large = graph.search(store, params, data[5], k=20, efs=60)
+        assert len(large) >= len(small) - 1
+
+    def test_empty_graph(self, store):
+        params = graph.HNSWParams(bnn=4)
+        assert graph.search(store, params, np.zeros(8, dtype=np.float32), k=3) == []
+
+    def test_invalid_k(self, built):
+        data, store, params = built
+        with pytest.raises(ValueError):
+            graph.search(store, params, data[0], k=0)
+
+    def test_k_larger_than_graph(self):
+        store = ArrayGraphStore(dim=4)
+        params = graph.HNSWParams(bnn=4, efb=8, efs=16)
+        rng = make_rng(1)
+        data = np.eye(4, dtype=np.float32)
+        for row in data:
+            graph.insert(store, params, row, rng)
+        result = graph.search(store, params, data[0], k=100)
+        assert len(result) == 4
+
+
+class TestSearchLayer:
+    def test_seed_always_in_results(self, built):
+        data, store, params = built
+        entry = store.entry_point
+        dist = float(((store.vector(entry) - data[0]) ** 2).sum())
+        found = graph.search_layer(store, data[0], [(dist, entry)], ef=5, level=0)
+        assert len(found) >= 1
+        assert all(d >= 0 for d, __ in found)
+
+    def test_ef_bounds_results(self, built):
+        data, store, params = built
+        entry = store.entry_point
+        dist = float(((store.vector(entry) - data[0]) ** 2).sum())
+        found = graph.search_layer(store, data[0], [(dist, entry)], ef=7, level=0)
+        assert len(found) <= 7

@@ -1,0 +1,142 @@
+"""Tests for repro.common.heap: both top-k designs and the locked heap."""
+
+import numpy as np
+import pytest
+
+from repro.common.heap import BoundedMaxHeap, LockedGlobalHeap, NaiveTopK, exact_topk
+
+
+class TestBoundedMaxHeap:
+    def test_keeps_k_smallest(self):
+        heap = BoundedMaxHeap(3)
+        for i, d in enumerate([9.0, 1.0, 5.0, 3.0, 7.0, 2.0]):
+            heap.push(d, i)
+        assert [n.distance for n in heap.results()] == [1.0, 2.0, 3.0]
+
+    def test_results_sorted_ascending(self):
+        heap = BoundedMaxHeap(4)
+        for i, d in enumerate([4.0, 2.0, 8.0, 6.0]):
+            heap.push(d, i)
+        dists = [n.distance for n in heap.results()]
+        assert dists == sorted(dists)
+
+    def test_worst_distance_inf_until_full(self):
+        heap = BoundedMaxHeap(2)
+        assert heap.worst_distance == float("inf")
+        heap.push(1.0, 0)
+        assert heap.worst_distance == float("inf")
+        heap.push(2.0, 1)
+        assert heap.worst_distance == 2.0
+
+    def test_rejections_counted(self):
+        heap = BoundedMaxHeap(1)
+        heap.push(1.0, 0)
+        assert not heap.push(5.0, 1)
+        assert heap.rejections == 1
+
+    def test_equal_distance_rejected_when_full(self):
+        heap = BoundedMaxHeap(1)
+        heap.push(1.0, 0)
+        assert not heap.push(1.0, 1)
+        assert heap.results()[0].vector_id == 0
+
+    def test_fewer_items_than_k(self):
+        heap = BoundedMaxHeap(10)
+        heap.push(3.0, 7)
+        results = heap.results()
+        assert len(results) == 1
+        assert results[0].vector_id == 7
+
+    def test_merge_equivalent_to_single_heap(self, rng):
+        dists = rng.random(60).tolist()
+        single = BoundedMaxHeap(5)
+        a, b = BoundedMaxHeap(5), BoundedMaxHeap(5)
+        for i, d in enumerate(dists):
+            single.push(d, i)
+            (a if i % 2 else b).push(d, i)
+        a.merge(b)
+        assert [n.vector_id for n in a.results()] == [n.vector_id for n in single.results()]
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedMaxHeap(0)
+
+
+class TestNaiveTopK:
+    def test_same_answer_as_bounded(self, rng):
+        dists = rng.random(100).tolist()
+        naive = NaiveTopK(7)
+        bounded = BoundedMaxHeap(7)
+        for i, d in enumerate(dists):
+            naive.push(d, i)
+            bounded.push(d, i)
+        assert [n.vector_id for n in naive.results()] == [
+            n.vector_id for n in bounded.results()
+        ]
+
+    def test_never_rejects(self):
+        heap = NaiveTopK(1)
+        for i in range(50):
+            assert heap.push(float(i), i)
+        assert len(heap) == 50  # RC#6: the heap holds all n candidates
+
+    def test_results_pop_is_destructive(self):
+        heap = NaiveTopK(2)
+        for i, d in enumerate([3.0, 1.0, 2.0]):
+            heap.push(d, i)
+        first = heap.results()
+        assert [n.distance for n in first] == [1.0, 2.0]
+        assert len(heap) == 1  # only the un-popped candidate remains
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            NaiveTopK(-1)
+
+
+class TestLockedGlobalHeap:
+    def test_counts_lock_acquisitions(self):
+        heap = LockedGlobalHeap(3)
+        for i in range(10):
+            heap.push(float(i), i)
+        assert heap.lock_acquisitions == 10
+
+    def test_results_correct(self):
+        heap = LockedGlobalHeap(2)
+        for i, d in enumerate([5.0, 1.0, 3.0]):
+            heap.push(d, i)
+        assert [n.vector_id for n in heap.results()] == [1, 2]
+
+    def test_thread_safety(self):
+        import threading
+
+        heap = LockedGlobalHeap(10)
+
+        def worker(base: int) -> None:
+            for i in range(200):
+                heap.push(float((base * 200 + i) % 97), base * 200 + i)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        results = heap.results()
+        assert len(results) == 10
+        assert heap.lock_acquisitions == 800
+        assert all(n.distance == 0.0 for n in results[:1])
+
+
+class TestExactTopK:
+    def test_matches_argsort(self, rng):
+        dists = rng.random(40)
+        got = [n.vector_id for n in exact_topk(dists, 6)]
+        want = np.argsort(dists, kind="stable")[:6].tolist()
+        assert got == want
+
+    def test_k_larger_than_n(self, rng):
+        dists = rng.random(4)
+        assert len(exact_topk(dists, 10)) == 4
+
+    def test_k_equal_to_n(self, rng):
+        dists = rng.random(5)
+        assert len(exact_topk(dists, 5)) == 5

@@ -1,0 +1,126 @@
+"""Tests for the two k-means implementations (RC#5)."""
+
+import numpy as np
+import pytest
+
+from repro.common.datasets import generate_clustered
+from repro.common.kmeans import (
+    assign_nearest_batch,
+    assign_nearest_loop,
+    faiss_kmeans,
+    pase_kmeans,
+    sample_training_rows,
+)
+
+
+@pytest.fixture(scope="module")
+def clustered():
+    return generate_clustered(400, 8, n_components=5, seed=31, spread=0.1)
+
+
+class TestAssignment:
+    def test_batch_and_loop_agree(self, clustered):
+        centroids = clustered[:10].copy()
+        a_batch, d_batch = assign_nearest_batch(clustered, centroids)
+        a_loop, d_loop = assign_nearest_loop(clustered, centroids)
+        np.testing.assert_array_equal(a_batch, a_loop)
+        np.testing.assert_allclose(d_batch, d_loop, rtol=1e-3, atol=1e-3)
+
+    def test_assignment_is_nearest(self, clustered):
+        centroids = clustered[::40].copy()
+        assignments, dists = assign_nearest_batch(clustered, centroids)
+        # Spot-check optimality: no other centroid is closer.
+        for i in range(0, clustered.shape[0], 37):
+            all_d = ((centroids - clustered[i]) ** 2).sum(axis=1)
+            assert all_d[assignments[i]] == pytest.approx(all_d.min(), rel=1e-4, abs=1e-4)
+            assert dists[i] == pytest.approx(all_d.min(), rel=1e-3, abs=1e-3)
+
+
+class TestFaissKMeans:
+    def test_shapes_and_inertia(self, clustered):
+        result = faiss_kmeans(clustered, 5, seed=1)
+        assert result.centroids.shape == (5, 8)
+        assert result.assignments.shape == (400,)
+        assert result.inertia > 0
+
+    def test_inertia_improves_over_one_iteration(self, clustered):
+        quick = faiss_kmeans(clustered, 8, max_iterations=1, seed=1)
+        longer = faiss_kmeans(clustered, 8, max_iterations=10, seed=1)
+        assert longer.inertia <= quick.inertia * 1.001
+
+    def test_deterministic_for_seed(self, clustered):
+        a = faiss_kmeans(clustered, 6, seed=5)
+        b = faiss_kmeans(clustered, 6, seed=5)
+        np.testing.assert_array_equal(a.centroids, b.centroids)
+
+    def test_no_empty_clusters_on_clustered_data(self, clustered):
+        result = faiss_kmeans(clustered, 5, seed=2)
+        counts = np.bincount(result.assignments, minlength=5)
+        assert (counts > 0).all()
+
+    def test_sgemm_and_loop_paths_equivalent(self, clustered):
+        a = faiss_kmeans(clustered, 5, seed=3, use_sgemm=True)
+        b = faiss_kmeans(clustered, 5, seed=3, use_sgemm=False)
+        np.testing.assert_allclose(a.centroids, b.centroids, rtol=1e-3, atol=1e-4)
+
+    def test_rejects_too_few_rows(self):
+        with pytest.raises(ValueError):
+            faiss_kmeans(np.ones((3, 4), dtype=np.float32), 5)
+
+    def test_rejects_bad_cluster_count(self, clustered):
+        with pytest.raises(ValueError):
+            faiss_kmeans(clustered, 0)
+
+
+class TestPaseKMeans:
+    def test_valid_clustering(self, clustered):
+        result = pase_kmeans(clustered, 5)
+        assert result.centroids.shape == (5, 8)
+        # Quality should be in the same ballpark as the faiss variant.
+        reference = faiss_kmeans(clustered, 5, seed=1)
+        assert result.inertia < reference.inertia * 2.0
+
+    def test_deterministic(self, clustered):
+        a = pase_kmeans(clustered, 7)
+        b = pase_kmeans(clustered, 7)
+        np.testing.assert_array_equal(a.centroids, b.centroids)
+
+    def test_differs_from_faiss_variant(self, clustered):
+        """RC#5: the two implementations produce different centroids."""
+        pase = pase_kmeans(clustered, 6)
+        faiss = faiss_kmeans(clustered, 6, seed=1)
+        assert not np.allclose(pase.centroids, faiss.centroids)
+
+    def test_early_stop_on_tolerance(self, clustered):
+        loose = pase_kmeans(clustered, 5, max_iterations=50, tolerance=0.5)
+        assert loose.iterations < 50
+
+    def test_tiny_input_padding(self):
+        data = np.eye(4, dtype=np.float32)
+        result = pase_kmeans(data, 4, max_iterations=2)
+        assert result.centroids.shape == (4, 4)
+
+
+class TestSampling:
+    def test_respects_ratio(self, clustered):
+        sample = sample_training_rows(clustered, 0.25, 5, seed=1)
+        assert sample.shape[0] == 100
+
+    def test_guarantees_cluster_minimum(self, clustered):
+        sample = sample_training_rows(clustered, 0.001, 50, seed=1)
+        assert sample.shape[0] >= 50
+
+    def test_full_ratio_returns_everything(self, clustered):
+        sample = sample_training_rows(clustered, 1.0, 5, seed=1)
+        assert sample.shape[0] == clustered.shape[0]
+
+    def test_invalid_ratio_rejected(self, clustered):
+        with pytest.raises(ValueError):
+            sample_training_rows(clustered, 0.0, 5)
+        with pytest.raises(ValueError):
+            sample_training_rows(clustered, 1.5, 5)
+
+    def test_rows_come_from_input(self, clustered):
+        sample = sample_training_rows(clustered, 0.1, 5, seed=3)
+        pool = {row.tobytes() for row in clustered}
+        assert all(row.tobytes() in pool for row in sample)

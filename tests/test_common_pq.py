@@ -1,0 +1,127 @@
+"""Tests for product quantization and the two ADC-table builders (RC#7)."""
+
+import numpy as np
+import pytest
+
+from repro.common import pq
+from repro.common.datasets import generate_clustered
+
+
+@pytest.fixture(scope="module")
+def training():
+    return generate_clustered(500, 16, n_components=6, seed=77, spread=0.15)
+
+
+@pytest.fixture(scope="module")
+def codebook(training):
+    return pq.train_codebook(training, m=4, c_pq=32, seed=1)
+
+
+class TestCodebook:
+    def test_dimensions(self, codebook):
+        assert codebook.m == 4
+        assert codebook.c_pq == 32
+        assert codebook.d_sub == 4
+        assert codebook.dim == 16
+
+    def test_norms_cached_at_train_time(self, codebook):
+        expected = (codebook.codebooks.astype(np.float64) ** 2).sum(axis=2)
+        np.testing.assert_allclose(codebook.codeword_sq_norms, expected, rtol=1e-3)
+
+    def test_nbytes(self, codebook):
+        assert codebook.nbytes() == 4 * 32 * 4 * 4
+
+    def test_indivisible_dim_rejected(self, training):
+        with pytest.raises(ValueError):
+            pq.train_codebook(training, m=5)
+
+    def test_too_large_cpq_rejected(self, training):
+        with pytest.raises(ValueError):
+            pq.train_codebook(training, m=4, c_pq=512)
+
+    def test_pase_style_codebook_differs(self, training):
+        other = pq.train_codebook(training, m=4, c_pq=32, seed=1, style="pase")
+        assert not np.allclose(other.codebooks, pq.train_codebook(training, m=4, c_pq=32, seed=1).codebooks)
+
+    def test_unknown_style_rejected(self, training):
+        with pytest.raises(ValueError):
+            pq.train_codebook(training, m=4, c_pq=16, style="milvus")
+
+
+class TestEncodeDecode:
+    def test_codes_shape_and_dtype(self, codebook, training):
+        codes = pq.encode(codebook, training[:50])
+        assert codes.shape == (50, 4)
+        assert codes.dtype == np.uint8
+
+    def test_codes_within_codebook_range(self, codebook, training):
+        codes = pq.encode(codebook, training)
+        assert codes.max() < codebook.c_pq
+
+    def test_decode_reduces_error_vs_random(self, codebook, training, rng):
+        codes = pq.encode(codebook, training[:100])
+        approx = pq.decode(codebook, codes)
+        err = float(((approx - training[:100]) ** 2).sum())
+        scrambled = pq.decode(codebook, codes[::-1])
+        err_scrambled = float(((scrambled - training[:100]) ** 2).sum())
+        assert err < err_scrambled
+
+    def test_encode_picks_nearest_codeword(self, codebook, training):
+        codes = pq.encode(codebook, training[:10])
+        subs = pq.split_subvectors(training[:10], codebook.m)
+        for i in range(10):
+            for j in range(codebook.m):
+                dists = ((codebook.codebooks[j] - subs[i, j]) ** 2).sum(axis=1)
+                assert dists[codes[i, j]] == pytest.approx(dists.min(), rel=1e-3, abs=1e-4)
+
+    def test_decode_rejects_wrong_m(self, codebook):
+        with pytest.raises(ValueError):
+            pq.decode(codebook, np.zeros((3, 7), dtype=np.uint8))
+
+
+class TestADCTables:
+    def test_naive_and_optimized_agree(self, codebook, training):
+        """RC#7 is a performance difference, never a semantic one."""
+        for query in training[:5]:
+            naive = pq.naive_adc_table(codebook, query)
+            fast = pq.optimized_adc_table(codebook, query)
+            np.testing.assert_allclose(naive, fast, rtol=1e-3, atol=1e-3)
+
+    def test_table_shape(self, codebook, training):
+        table = pq.optimized_adc_table(codebook, training[0])
+        assert table.shape == (codebook.m, codebook.c_pq)
+
+    def test_adc_distance_matches_decoded_distance(self, codebook, training):
+        query = training[0]
+        codes = pq.encode(codebook, training[1:20])
+        table = pq.optimized_adc_table(codebook, query)
+        adc = pq.adc_distances(table, codes)
+        decoded = pq.decode(codebook, codes)
+        exact = ((decoded - query) ** 2).sum(axis=1)
+        np.testing.assert_allclose(adc, exact, rtol=1e-3, atol=1e-2)
+
+    def test_single_and_batch_adc_agree(self, codebook, training):
+        query = training[3]
+        codes = pq.encode(codebook, training[10:30])
+        table = pq.optimized_adc_table(codebook, query)
+        batch = pq.adc_distances(table, codes)
+        for i in range(codes.shape[0]):
+            assert pq.adc_distance_single(table, codes[i]) == pytest.approx(
+                float(batch[i]), rel=1e-4, abs=1e-4
+            )
+
+    def test_adc_rejects_wrong_m(self, codebook):
+        table = np.zeros((4, 32), dtype=np.float32)
+        with pytest.raises(ValueError):
+            pq.adc_distances(table, np.zeros((2, 3), dtype=np.uint8))
+
+
+class TestSplit:
+    def test_split_roundtrip(self, training):
+        subs = pq.split_subvectors(training[:8], 4)
+        assert subs.shape == (8, 4, 4)
+        np.testing.assert_array_equal(subs.reshape(8, 16), training[:8])
+
+    def test_split_rejects_bad_m(self, training):
+        with pytest.raises(ValueError):
+            pq.split_subvectors(training, 3)

@@ -1,0 +1,90 @@
+"""Tests for the shared value types."""
+
+import numpy as np
+import pytest
+
+from repro.common.types import (
+    BuildStats,
+    DistanceType,
+    IndexSizeInfo,
+    Neighbor,
+    SearchResult,
+    as_float32_matrix,
+    as_float32_vector,
+)
+
+
+class TestNeighbor:
+    def test_ordering_by_distance_then_id(self):
+        assert Neighbor(2, 1.0) < Neighbor(1, 2.0)
+        assert Neighbor(1, 1.0) < Neighbor(2, 1.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Neighbor(1, 1.0).distance = 2.0
+
+
+class TestSearchResult:
+    def test_ids_and_distances(self):
+        result = SearchResult(neighbors=[Neighbor(3, 0.5), Neighbor(1, 0.7)])
+        assert result.ids == [3, 1]
+        assert result.distances == [0.5, 0.7]
+
+    def test_empty(self):
+        result = SearchResult(neighbors=[])
+        assert result.ids == []
+
+
+class TestBuildStats:
+    def test_total(self):
+        stats = BuildStats(train_seconds=1.5, add_seconds=2.5)
+        assert stats.total_seconds == 4.0
+
+
+class TestIndexSizeInfo:
+    def test_waste_ratio(self):
+        info = IndexSizeInfo(allocated_bytes=1000, used_bytes=250)
+        assert info.waste_ratio == 0.75
+
+    def test_zero_allocation(self):
+        assert IndexSizeInfo(0, 0).waste_ratio == 0.0
+
+    def test_mib(self):
+        info = IndexSizeInfo(allocated_bytes=2 * 1024 * 1024, used_bytes=0)
+        assert info.allocated_mib == 2.0
+
+
+class TestCoercion:
+    def test_matrix_from_list(self):
+        mat = as_float32_matrix(np.array([[1, 2], [3, 4]]))
+        assert mat.dtype == np.float32
+        assert mat.flags["C_CONTIGUOUS"]
+
+    def test_vector_promoted_to_matrix(self):
+        mat = as_float32_matrix(np.array([1.0, 2.0, 3.0]))
+        assert mat.shape == (1, 3)
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValueError):
+            as_float32_matrix(np.zeros((2, 2, 2)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            as_float32_matrix(np.zeros((0, 4)))
+        with pytest.raises(ValueError):
+            as_float32_vector(np.zeros(0))
+
+    def test_vector_flattened(self):
+        vec = as_float32_vector(np.zeros((1, 4)))
+        assert vec.shape == (4,)
+
+
+class TestDistanceType:
+    def test_paper_numbering(self):
+        """distance_type = 0 is Euclidean in PASE's SQL (Sec. II-E)."""
+        assert DistanceType.L2 == 0
+        assert DistanceType(0) is DistanceType.L2
+
+    def test_roundtrip(self):
+        for dt in DistanceType:
+            assert DistanceType(int(dt)) is dt

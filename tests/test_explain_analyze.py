@@ -1,0 +1,76 @@
+"""Tests for EXPLAIN ANALYZE (per-node rows and timing)."""
+
+import pytest
+
+from repro.pgsim import PgSimDatabase
+
+
+@pytest.fixture()
+def db(fresh_db):
+    fresh_db.execute("CREATE TABLE t (id int, vec float[])")
+    for i in range(40):
+        fresh_db.execute(f"INSERT INTO t VALUES ({i}, '{i}.0,{2 * i}.0'::PASE)")
+    return fresh_db
+
+
+def _lines(db, sql):
+    return [r[0] for r in db.execute(sql).rows]
+
+
+class TestExplainAnalyze:
+    def test_plain_explain_has_no_actuals(self, db):
+        lines = _lines(db, "EXPLAIN SELECT id FROM t")
+        assert not any("actual" in line for line in lines)
+
+    def test_seqscan_counts_rows(self, db):
+        lines = _lines(db, "EXPLAIN ANALYZE SELECT id FROM t")
+        scan = next(line for line in lines if "Seq Scan" in line)
+        assert "actual rows=40" in scan
+        assert lines[-1].startswith("Execution: 40 rows")
+
+    def test_filter_counts_survivors(self, db):
+        lines = _lines(db, "EXPLAIN ANALYZE SELECT id FROM t WHERE id < 7")
+        filt = next(line for line in lines if "Filter" in line)
+        assert "actual rows=7" in filt
+
+    def test_limit_stops_early(self, db):
+        lines = _lines(db, "EXPLAIN ANALYZE SELECT id FROM t LIMIT 3")
+        limit = next(line for line in lines if "Limit" in line)
+        assert "actual rows=3" in limit
+        # The scan below it was only pulled 3 times (pipelined).
+        scan = next(line for line in lines if "Seq Scan" in line)
+        assert "actual rows=3" in scan
+
+    def test_index_scan_annotated(self, db):
+        db.execute(
+            "CREATE INDEX ix ON t USING pase_ivfflat (vec) "
+            "WITH (clusters = 4, sample_ratio = 1.0, seed = 1)"
+        )
+        lines = _lines(
+            db,
+            "EXPLAIN ANALYZE SELECT id FROM t ORDER BY vec <-> '0.0,0.0'::PASE LIMIT 5",
+        )
+        scan = next(line for line in lines if "Index Scan" in line)
+        assert "actual rows=5" in scan
+        assert "time=" in scan
+
+    def test_aggregate_annotated(self, db):
+        lines = _lines(db, "EXPLAIN ANALYZE SELECT count(*) FROM t")
+        agg = next(line for line in lines if "Aggregate" in line)
+        assert "actual rows=1" in agg
+
+    def test_timings_are_nested_consistently(self, db):
+        lines = _lines(db, "EXPLAIN ANALYZE SELECT id FROM t WHERE id < 100 LIMIT 50")
+
+        def time_of(fragment):
+            line = next(l for l in lines if fragment in l)
+            return float(line.split("time=")[1].split(" ms")[0])
+
+        # A parent's time includes its child's.
+        assert time_of("Limit") >= time_of("Filter") * 0.5
+
+    def test_analyze_on_non_select_rejected(self, db):
+        from repro.pgsim.executor import ExecutionError
+
+        with pytest.raises(ExecutionError):
+            db.execute("EXPLAIN ANALYZE INSERT INTO t VALUES (99, '1.0,1.0'::PASE)")

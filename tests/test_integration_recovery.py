@@ -1,0 +1,125 @@
+"""Crash-recovery integration tests for file-backed databases."""
+
+import numpy as np
+import pytest
+
+from repro.pgsim import PgSimDatabase
+from repro.pgsim.wal import WriteAheadLog
+
+
+@pytest.fixture()
+def datadir(tmp_path):
+    return tmp_path / "db"
+
+
+def _load(db, dataset, n=200):
+    db.execute("CREATE TABLE items (id int, vec float[])")
+    for i in range(n):
+        lit = ",".join(f"{x:.6f}" for x in dataset.base[i])
+        db.execute(f"INSERT INTO items VALUES ({i}, '{lit}'::PASE)")
+
+
+class TestWalFilePersistence:
+    def test_records_survive_reopen(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        wal.log_insert(5, "t.heap", 0, b"tuple-bytes")
+        wal.log_commit(5)
+        reopened = WriteAheadLog(path)
+        records = reopened.records()
+        assert len(records) == 2
+        assert records[0].payload == b"tuple-bytes"
+        assert reopened.flushed_lsn == 2
+
+    def test_unflushed_records_lost_on_crash(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        wal.log_insert(5, "t.heap", 0, b"a")
+        wal.log_commit(5)  # flushes
+        wal.log_insert(6, "t.heap", 0, b"b")  # never flushed
+        reopened = WriteAheadLog(path)
+        assert len(reopened.records()) == 2
+
+    def test_torn_tail_ignored(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        wal.log_insert(5, "t.heap", 0, b"good")
+        wal.log_commit(5)
+        with path.open("ab") as f:
+            f.write(b"\xff\xff\xff\x7f partial garbage")
+        reopened = WriteAheadLog(path)
+        assert len(reopened.records()) == 2
+
+    def test_lsn_continues_after_reopen(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        first = wal.log_insert(5, "t.heap", 0, b"a")
+        wal.log_commit(5)
+        reopened = WriteAheadLog(path)
+        assert reopened.log_insert(6, "t.heap", 0, b"b") > first + 1
+
+
+class TestDatabaseRecovery:
+    def test_rows_survive_crash(self, datadir, small_dataset):
+        db = PgSimDatabase(data_dir=datadir, buffer_pool_pages=32)
+        _load(db, small_dataset, n=150)
+        del db  # crash: dirty buffer pages never flushed
+        db2 = PgSimDatabase(data_dir=datadir, buffer_pool_pages=32)
+        assert db2.execute("SELECT count(*) FROM items").scalar() == 150
+
+    def test_index_rebuilt_and_consistent(self, datadir, small_dataset, vec_lit):
+        db = PgSimDatabase(data_dir=datadir, buffer_pool_pages=64)
+        _load(db, small_dataset, n=200)
+        db.execute(
+            "CREATE INDEX ix ON items USING pase_ivfflat (vec) "
+            "WITH (clusters = 6, sample_ratio = 0.5, seed = 1)"
+        )
+        db.execute("SET pase.nprobe = 6")
+        sql = (
+            f"SELECT id FROM items ORDER BY vec <-> "
+            f"'{vec_lit(small_dataset.queries[0])}'::PASE LIMIT 5"
+        )
+        before = db.query(sql)
+        del db
+        db2 = PgSimDatabase(data_dir=datadir, buffer_pool_pages=64)
+        db2.execute("SET pase.nprobe = 6")
+        assert db2.query(sql) == before
+        assert "Index Scan using ix" in db2.explain(sql)
+
+    def test_deletes_survive_crash(self, datadir, small_dataset):
+        db = PgSimDatabase(data_dir=datadir, buffer_pool_pages=32)
+        _load(db, small_dataset, n=100)
+        db.execute("DELETE FROM items WHERE id < 40")
+        del db
+        db2 = PgSimDatabase(data_dir=datadir, buffer_pool_pages=32)
+        assert db2.execute("SELECT count(*) FROM items").scalar() == 60
+
+    def test_dropped_table_stays_dropped(self, datadir, small_dataset):
+        db = PgSimDatabase(data_dir=datadir, buffer_pool_pages=32)
+        _load(db, small_dataset, n=20)
+        db.execute("DROP TABLE items")
+        del db
+        db2 = PgSimDatabase(data_dir=datadir, buffer_pool_pages=32)
+        assert not db2.catalog.has_table("items")
+
+    def test_updates_survive_crash(self, datadir, small_dataset):
+        db = PgSimDatabase(data_dir=datadir, buffer_pool_pages=32)
+        _load(db, small_dataset, n=50)
+        db.execute("UPDATE items SET id = 900 WHERE id = 9")
+        del db
+        db2 = PgSimDatabase(data_dir=datadir, buffer_pool_pages=32)
+        assert db2.query("SELECT id FROM items WHERE id = 900") == [(900,)]
+        assert db2.query("SELECT id FROM items WHERE id = 9") == []
+
+    def test_second_recovery_idempotent(self, datadir, small_dataset):
+        db = PgSimDatabase(data_dir=datadir, buffer_pool_pages=32)
+        _load(db, small_dataset, n=60)
+        del db
+        PgSimDatabase(data_dir=datadir, buffer_pool_pages=32)
+        db3 = PgSimDatabase(data_dir=datadir, buffer_pool_pages=32)
+        assert db3.execute("SELECT count(*) FROM items").scalar() == 60
+
+    def test_in_memory_database_has_no_ddl_log(self, small_dataset):
+        db = PgSimDatabase()
+        db.execute("CREATE TABLE t (id int)")
+        assert db._catalog_log is None

@@ -1,0 +1,110 @@
+"""Direct tests for small helpers exercised only indirectly elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.common import graph
+from repro.common.datasets import generate_clustered
+from repro.common.rng import make_rng
+from repro.pgsim.constants import MAXALIGN, maxalign
+from repro.pgsim.expr import coerce_vector, ExpressionError
+from repro.pgsim.sql import ast
+from repro.specialized.hnsw import ArrayGraphStore
+
+
+class TestMaxAlign:
+    @pytest.mark.parametrize(
+        "size,expected",
+        [(0, 0), (1, 8), (7, 8), (8, 8), (9, 16), (24, 24)],
+    )
+    def test_rounding(self, size, expected):
+        assert maxalign(size) == expected
+
+    def test_always_multiple_of_maxalign(self):
+        for size in range(0, 100):
+            assert maxalign(size) % MAXALIGN == 0
+            assert maxalign(size) >= size
+
+
+class TestCoerceVector:
+    def test_from_list(self):
+        vec = coerce_vector([1, 2, 3])
+        assert vec.dtype == np.float32
+        np.testing.assert_array_equal(vec, [1, 2, 3])
+
+    def test_from_tuple(self):
+        np.testing.assert_array_equal(coerce_vector((0.5, 1.5)), [0.5, 1.5])
+
+    def test_from_ndarray_float64(self):
+        vec = coerce_vector(np.array([1.0, 2.0]))
+        assert vec.dtype == np.float32
+
+    def test_from_string(self):
+        np.testing.assert_array_equal(coerce_vector("1,2"), [1.0, 2.0])
+
+    def test_invalid_type(self):
+        with pytest.raises(ExpressionError):
+            coerce_vector(42)
+
+
+class TestAstWalk:
+    def test_walks_all_subexpressions(self):
+        expr = ast.BinaryOp(
+            "+",
+            ast.FuncCall("abs", (ast.ColumnRef("x"),)),
+            ast.Cast(ast.ArrayLiteral((ast.Literal(1), ast.Literal(2))), "pase"),
+        )
+        nodes = list(ast.walk(expr))
+        kinds = [type(n).__name__ for n in nodes]
+        assert kinds.count("Literal") == 2
+        assert "ColumnRef" in kinds
+        assert "Cast" in kinds
+        assert "ArrayLiteral" in kinds
+
+    def test_walk_single_literal(self):
+        assert len(list(ast.walk(ast.Literal(5)))) == 1
+
+
+class TestGreedyDescend:
+    @pytest.fixture(scope="class")
+    def built(self):
+        data = generate_clustered(200, 8, n_components=4, seed=5)
+        store = ArrayGraphStore(dim=8)
+        params = graph.HNSWParams(bnn=6, efb=16)
+        rng = make_rng(2)
+        for row in data:
+            graph.insert(store, params, row, rng)
+        return data, store
+
+    def test_descend_improves_distance(self, built):
+        data, store = built
+        query = data[100] + 0.01
+        entry = store.entry_point
+        entry_dist = float(((store.vector(entry) - query) ** 2).sum())
+        if store.max_level > 0:
+            best_dist, best_node = graph.greedy_descend(
+                store, query, (entry_dist, entry), store.max_level, 1
+            )
+            assert best_dist <= entry_dist
+
+    def test_descend_single_level_noop(self, built):
+        data, store = built
+        query = data[0]
+        dist = float(((store.vector(3) - query) ** 2).sum())
+        # Descending level 0..0 just greedy-walks level 0.
+        best_dist, __ = graph.greedy_descend(store, query, (dist, 3), 0, 0)
+        assert best_dist <= dist
+
+
+class TestWalRecordFields:
+    def test_decoded_record_roundtrip(self):
+        from repro.pgsim.wal import WriteAheadLog
+
+        wal = WriteAheadLog()
+        lsn = wal.log_insert(9, "some.rel", 17, b"payload")
+        rec = wal.records()[0]
+        assert rec.lsn == lsn
+        assert rec.xid == 9
+        assert rec.rel == "some.rel"
+        assert rec.blkno == 17
+        assert rec.payload == b"payload"

@@ -1,0 +1,93 @@
+"""Tests for the engine-level parallel drivers (RC#3 apparatus)."""
+
+import numpy as np
+import pytest
+
+from repro.common.parallel import speedups
+from repro.core.study import ComparativeStudy
+from repro.pase import parallel as pase_parallel
+from repro.specialized import parallel as spec_parallel
+from repro.specialized.ivf_flat import IVFFlatIndex
+
+
+@pytest.fixture(scope="module")
+def study(medium_dataset):
+    s = ComparativeStudy(
+        medium_dataset, "ivf_flat", {"clusters": 16, "sample_ratio": 0.3, "seed": 4}
+    )
+    s.compare_build()
+    return s
+
+
+class TestSpecializedParallel:
+    def test_build_units_cover_all_vectors(self, medium_dataset):
+        index = IVFFlatIndex(medium_dataset.dim, n_clusters=8, sample_ratio=0.3, seed=1)
+        index.train(medium_dataset.base)
+        units = spec_parallel.build_work_units(index, medium_dataset.base, n_chunks=8)
+        assert len(units) == 8
+        assert index.ntotal == medium_dataset.n
+        assert all(u.serial_ops == 0 for u in units)
+
+    def test_build_requires_training(self, medium_dataset):
+        index = IVFFlatIndex(medium_dataset.dim, n_clusters=8)
+        with pytest.raises(RuntimeError):
+            spec_parallel.build_work_units(index, medium_dataset.base)
+
+    def test_simulated_build_curve_monotone(self, medium_dataset):
+        index = IVFFlatIndex(medium_dataset.dim, n_clusters=8, sample_ratio=0.3, seed=1)
+        index.train(medium_dataset.base)
+        curve = spec_parallel.simulate_parallel_build(
+            index, medium_dataset.base, [1, 2, 4, 8]
+        )
+        assert curve[1] >= curve[2] >= curve[4] >= curve[8]
+
+    def test_parallel_search_matches_serial(self, study):
+        query = study.dataset.queries[0]
+        result, curve = spec_parallel.parallel_search(
+            study.specialized.index, query, 10, 8, [1, 4]
+        )
+        serial = study.specialized.search(query, 10, nprobe=8)
+        assert result.ids == serial.ids
+        assert set(curve) == {1, 4}
+
+    def test_local_heap_design_scales(self, study):
+        query = study.dataset.queries[1]
+        __, curve = spec_parallel.parallel_search(
+            study.specialized.index, query, 10, 16, [1, 8]
+        )
+        assert speedups(curve)[8] > 2.0
+
+
+class TestPaseParallel:
+    def test_results_match_serial_scan(self, study):
+        query = study.dataset.queries[0]
+        result, __ = pase_parallel.parallel_search(
+            study.generalized.am, query, 10, 8, [1, 2]
+        )
+        # Serial AM scan at the same nprobe must return identical
+        # distances (ids are packed TIDs on the parallel side, so the
+        # distance sequence is the robust comparison).
+        study.generalized.db.execute("SET pase.nprobe = 8")
+        serial = list(study.generalized.am.scan(query, 10))
+        assert [round(n.distance, 4) for n in result.neighbors] == [
+            round(d, 4) for __, d in serial
+        ]
+
+    def test_lock_ops_counted_per_candidate(self, study):
+        query = study.dataset.queries[2]
+        __, curve = pase_parallel.parallel_search(
+            study.generalized.am, query, 10, 8, [1]
+        )
+        result = curve[1]
+        # Every scanned candidate acquired the global lock once.
+        assert result.serial_seconds > 0
+
+    def test_global_heap_scales_worse_than_local(self, study):
+        query = study.dataset.queries[3]
+        __, spec_curve = spec_parallel.parallel_search(
+            study.specialized.index, query, 10, 16, [1, 8]
+        )
+        __, pase_curve = pase_parallel.parallel_search(
+            study.generalized.am, query, 10, 16, [1, 8]
+        )
+        assert speedups(pase_curve)[8] < speedups(spec_curve)[8]

@@ -1,0 +1,131 @@
+"""Tests for the catalog and the index AM registry."""
+
+import pytest
+
+import repro.pase  # noqa: F401  — registers the PASE access methods
+import repro.pgvector  # noqa: F401  — registers the pgvector access method
+from repro.pgsim.am import AM_REGISTRY, IndexAmRoutine, lookup_am, register_am
+from repro.pgsim.catalog import Catalog, CatalogError, IndexInfo, TableInfo
+from repro.pgsim.buffer import BufferManager
+from repro.pgsim.heapam import HeapTable
+from repro.pgsim.storage import MemoryDisk
+from repro.pgsim.tuple_format import Column
+
+
+@pytest.fixture()
+def catalog():
+    return Catalog()
+
+
+def _table_info(name="t"):
+    disk = MemoryDisk()
+    buffer = BufferManager(disk, capacity=16)
+    schema = [Column.from_sql("id", "int"), Column.from_sql("vec", "float[]")]
+    return TableInfo(name=name, columns=schema, heap=HeapTable(name, schema, buffer))
+
+
+class TestCatalog:
+    def test_table_lifecycle(self, catalog):
+        catalog.add_table(_table_info())
+        assert catalog.has_table("t")
+        assert catalog.table_names() == ["t"]
+        catalog.drop_table("t")
+        assert not catalog.has_table("t")
+
+    def test_duplicate_table(self, catalog):
+        catalog.add_table(_table_info())
+        with pytest.raises(CatalogError):
+            catalog.add_table(_table_info())
+
+    def test_missing_table(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.table("ghost")
+
+    def test_index_bookkeeping(self, catalog):
+        catalog.add_table(_table_info())
+        info = IndexInfo("ix", "t", "vec", "pase_ivfflat", {}, am=None)
+        catalog.add_index(info)
+        assert catalog.find_index("ix") is info
+        assert catalog.indexes_on("t") == [info]
+        assert catalog.indexes_on("t", "vec") == [info]
+        assert catalog.indexes_on("t", "id") == []
+        catalog.drop_index("ix")
+        assert catalog.find_index("ix") is None
+
+    def test_duplicate_index(self, catalog):
+        catalog.add_table(_table_info())
+        catalog.add_index(IndexInfo("ix", "t", "vec", "a", {}, None))
+        with pytest.raises(CatalogError):
+            catalog.add_index(IndexInfo("ix", "t", "vec", "a", {}, None))
+
+    def test_drop_missing_index(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.drop_index("nope")
+
+    def test_settings_case_insensitive(self, catalog):
+        catalog.set_setting("PASE.NPROBE", 7)
+        assert catalog.get_setting("pase.nprobe") == 7
+
+    def test_default_settings_present(self, catalog):
+        assert catalog.get_setting("pase.nprobe") == 20
+        assert catalog.get_setting("pase.efs") == 200
+        assert catalog.get_setting("enable_indexscan") is True
+
+    def test_unknown_setting(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.get_setting("work_mem")
+
+
+class TestAmRegistry:
+    def test_vector_ams_registered(self):
+        for name in ("pase_ivfflat", "pase_ivfpq", "pase_hnsw", "ivfflat"):
+            assert name in AM_REGISTRY
+
+    def test_paper_aliases_registered(self):
+        """The paper's CREATE INDEX uses ivfflat_fun-style names."""
+        assert lookup_am("ivfflat_fun") is lookup_am("pase_ivfflat")
+        assert lookup_am("hnsw_fun") is lookup_am("pase_hnsw")
+        assert lookup_am("ivfpq_fun") is lookup_am("pase_ivfpq")
+
+    def test_unknown_am(self):
+        with pytest.raises(KeyError) as err:
+            lookup_am("gin")
+        assert "known" in str(err.value)
+
+    def test_register_requires_amname(self):
+        class Anonymous(IndexAmRoutine):
+            def build(self): ...
+            def insert(self, tid, value): ...
+            def scan(self, query, k): ...
+            def size_info(self): ...
+
+        with pytest.raises(ValueError):
+            register_am(Anonymous)
+
+    def test_register_rejects_duplicates(self):
+        class Clash(IndexAmRoutine):
+            amname = "pase_ivfflat"
+
+            def build(self): ...
+            def insert(self, tid, value): ...
+            def scan(self, query, k): ...
+            def size_info(self): ...
+
+        with pytest.raises(ValueError):
+            register_am(Clash)
+
+    def test_default_delete_unsupported(self):
+        cls = lookup_am("pase_ivfflat")
+        assert IndexAmRoutine.delete is not None
+        # The base implementation refuses.
+        import numpy as np
+
+        from repro.pgsim.heapam import TID
+
+        disk = MemoryDisk()
+        buffer = BufferManager(disk, capacity=16)
+        schema = [Column.from_sql("id", "int"), Column.from_sql("vec", "float[]")]
+        table = HeapTable("x", schema, buffer)
+        am = cls("ix", table, 1, buffer, Catalog(), {})
+        with pytest.raises(NotImplementedError):
+            am.delete(TID(0, 1))

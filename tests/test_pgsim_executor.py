@@ -1,0 +1,217 @@
+"""End-to-end SQL tests against PgSimDatabase (the pgsim surface)."""
+
+import numpy as np
+import pytest
+
+from repro.pgsim import PgSimDatabase
+from repro.pgsim.catalog import CatalogError
+from repro.pgsim.executor import ExecutionError
+
+
+class TestDDL:
+    def test_create_drop_table(self, fresh_db):
+        fresh_db.execute("CREATE TABLE t (id int, name text)")
+        assert fresh_db.catalog.has_table("t")
+        fresh_db.execute("DROP TABLE t")
+        assert not fresh_db.catalog.has_table("t")
+
+    def test_duplicate_table_rejected(self, fresh_db):
+        fresh_db.execute("CREATE TABLE t (id int)")
+        with pytest.raises(CatalogError):
+            fresh_db.execute("CREATE TABLE t (id int)")
+        fresh_db.execute("CREATE TABLE IF NOT EXISTS t (id int)")  # no error
+
+    def test_drop_missing_table(self, fresh_db):
+        with pytest.raises(CatalogError):
+            fresh_db.execute("DROP TABLE ghost")
+        fresh_db.execute("DROP TABLE IF EXISTS ghost")  # no error
+
+    def test_duplicate_columns_rejected(self, fresh_db):
+        with pytest.raises(CatalogError):
+            fresh_db.execute("CREATE TABLE t (a int, a int)")
+
+    def test_index_requires_vector_column(self, fresh_db):
+        fresh_db.execute("CREATE TABLE t (id int, vec float[])")
+        fresh_db.execute("INSERT INTO t VALUES (1, '1,2'::PASE)")
+        with pytest.raises(ExecutionError):
+            fresh_db.execute("CREATE INDEX ix ON t USING pase_ivfflat (id)")
+
+    def test_unknown_am_rejected(self, fresh_db):
+        fresh_db.execute("CREATE TABLE t (id int, vec float[])")
+        with pytest.raises(KeyError):
+            fresh_db.execute("CREATE INDEX ix ON t USING btree_gin (vec)")
+
+    def test_drop_index_frees_storage(self, loaded_db):
+        loaded_db.execute(
+            "CREATE INDEX ix ON items USING pase_ivfflat (vec) "
+            "WITH (clusters = 8, sample_ratio = 0.5, seed = 1)"
+        )
+        assert loaded_db.disk.relation_exists("ix.centroid")
+        loaded_db.execute("DROP INDEX ix")
+        assert not loaded_db.disk.relation_exists("ix.centroid")
+        assert loaded_db.catalog.find_index("ix") is None
+
+
+class TestInsertSelect:
+    def test_insert_and_select_star(self, fresh_db):
+        fresh_db.execute("CREATE TABLE t (id int, name text)")
+        fresh_db.execute("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+        result = fresh_db.execute("SELECT * FROM t")
+        assert result.columns == ["id", "name"]
+        assert result.rows == [(1, "a"), (2, "b")]
+
+    def test_insert_column_subset(self, fresh_db):
+        fresh_db.execute("CREATE TABLE t (id int, name text, score float)")
+        fresh_db.execute("INSERT INTO t (name, id) VALUES ('x', 3)")
+        assert fresh_db.query("SELECT id, name, score FROM t") == [(3, "x", None)]
+
+    def test_insert_arity_checked(self, fresh_db):
+        fresh_db.execute("CREATE TABLE t (id int, name text)")
+        with pytest.raises(ExecutionError):
+            fresh_db.execute("INSERT INTO t VALUES (1)")
+
+    def test_where_filter(self, fresh_db):
+        fresh_db.execute("CREATE TABLE t (id int)")
+        fresh_db.execute("INSERT INTO t VALUES (1), (2), (3), (4)")
+        assert fresh_db.query("SELECT id FROM t WHERE id > 2") == [(3,), (4,)]
+
+    def test_order_by_and_limit(self, fresh_db):
+        fresh_db.execute("CREATE TABLE t (id int)")
+        fresh_db.execute("INSERT INTO t VALUES (3), (1), (2)")
+        assert fresh_db.query("SELECT id FROM t ORDER BY id DESC LIMIT 2") == [(3,), (2,)]
+
+    def test_aggregates(self, fresh_db):
+        fresh_db.execute("CREATE TABLE t (id int)")
+        fresh_db.execute("INSERT INTO t VALUES (1), (2), (3)")
+        assert fresh_db.execute("SELECT count(*) FROM t").scalar() == 3
+        assert fresh_db.execute("SELECT sum(id) FROM t").scalar() == 6
+        assert fresh_db.execute("SELECT min(id) FROM t").scalar() == 1
+        assert fresh_db.execute("SELECT max(id) FROM t").scalar() == 3
+        assert fresh_db.execute("SELECT avg(id) FROM t").scalar() == 2.0
+
+    def test_aggregate_with_filter(self, fresh_db):
+        fresh_db.execute("CREATE TABLE t (id int)")
+        fresh_db.execute("INSERT INTO t VALUES (1), (2), (3)")
+        assert fresh_db.execute("SELECT count(*) FROM t WHERE id >= 2").scalar() == 2
+
+    def test_expression_targets(self, fresh_db):
+        fresh_db.execute("CREATE TABLE t (id int)")
+        fresh_db.execute("INSERT INTO t VALUES (4)")
+        assert fresh_db.query("SELECT id * 2 + 1 FROM t") == [(9,)]
+
+    def test_select_without_table(self, fresh_db):
+        assert fresh_db.query("SELECT 1 + 1") == [(2,)]
+
+    def test_vector_roundtrip(self, fresh_db):
+        fresh_db.execute("CREATE TABLE t (vec float[])")
+        fresh_db.execute("INSERT INTO t VALUES ('0.5,1.5,2.5'::PASE)")
+        (vec,) = fresh_db.query("SELECT vec FROM t")[0]
+        np.testing.assert_array_equal(vec, np.array([0.5, 1.5, 2.5], dtype=np.float32))
+
+    def test_vacuum_statement(self, fresh_db):
+        fresh_db.execute("CREATE TABLE t (id int)")
+        fresh_db.execute("INSERT INTO t VALUES (1)")
+        result = fresh_db.execute("VACUUM t")
+        assert result.command.startswith("VACUUM")
+
+
+class TestSettings:
+    def test_set_show(self, fresh_db):
+        fresh_db.execute("SET pase.nprobe = 33")
+        assert fresh_db.execute("SHOW pase.nprobe").scalar() == 33
+
+    def test_unknown_setting(self, fresh_db):
+        with pytest.raises(CatalogError):
+            fresh_db.execute("SHOW pase.bogus")
+
+    def test_boolean_setting(self, fresh_db):
+        fresh_db.execute("SET pase.fixed_heap = true")
+        assert fresh_db.execute("SHOW pase.fixed_heap").scalar() is True
+
+
+class TestVectorSearchSQL:
+    @pytest.fixture()
+    def indexed_db(self, loaded_db):
+        loaded_db.execute(
+            "CREATE INDEX ix ON items USING pase_ivfflat (vec) "
+            "WITH (clusters = 12, sample_ratio = 0.5, seed = 1)"
+        )
+        loaded_db.execute("SET pase.nprobe = 12")
+        return loaded_db
+
+    def test_index_scan_matches_ground_truth(self, indexed_db, small_dataset, vec_lit):
+        gt = small_dataset.ground_truth(5)
+        for qi in range(3):
+            rows = indexed_db.query(
+                f"SELECT id FROM items ORDER BY vec <-> '{vec_lit(small_dataset.queries[qi])}'::PASE LIMIT 5"
+            )
+            assert [r[0] for r in rows] == gt[qi].tolist()
+
+    def test_planner_uses_index(self, indexed_db, small_dataset, vec_lit):
+        plan = indexed_db.explain(
+            f"SELECT id FROM items ORDER BY vec <-> '{vec_lit(small_dataset.queries[0])}'::PASE LIMIT 3"
+        )
+        assert "Index Scan using ix" in plan
+
+    def test_seqscan_when_disabled(self, indexed_db, small_dataset, vec_lit):
+        indexed_db.execute("SET enable_indexscan = false")
+        plan = indexed_db.explain(
+            f"SELECT id FROM items ORDER BY vec <-> '{vec_lit(small_dataset.queries[0])}'::PASE LIMIT 3"
+        )
+        assert "Seq Scan" in plan
+
+    def test_seqscan_and_indexscan_agree(self, indexed_db, small_dataset, vec_lit):
+        lit = vec_lit(small_dataset.queries[1])
+        sql = f"SELECT id FROM items ORDER BY vec <-> '{lit}'::PASE LIMIT 7"
+        fast = indexed_db.query(sql)
+        indexed_db.execute("SET enable_indexscan = false")
+        slow = indexed_db.query(sql)
+        assert fast == slow
+
+    def test_no_index_without_limit(self, indexed_db, small_dataset, vec_lit):
+        plan = indexed_db.explain(
+            f"SELECT id FROM items ORDER BY vec <-> '{vec_lit(small_dataset.queries[0])}'::PASE"
+        )
+        assert "Index Scan" not in plan
+
+    def test_desc_order_not_index_assisted(self, indexed_db, small_dataset, vec_lit):
+        plan = indexed_db.explain(
+            f"SELECT id FROM items ORDER BY vec <-> '{vec_lit(small_dataset.queries[0])}'::PASE DESC LIMIT 3"
+        )
+        assert "Index Scan" not in plan
+
+    def test_distance_selectable(self, indexed_db, small_dataset, vec_lit):
+        lit = vec_lit(small_dataset.queries[0])
+        rows = indexed_db.query(
+            f"SELECT id, vec <-> '{lit}'::PASE AS dist FROM items "
+            f"ORDER BY vec <-> '{lit}'::PASE LIMIT 4"
+        )
+        dists = [r[1] for r in rows]
+        assert dists == sorted(dists)
+
+    def test_where_filter_on_index_scan(self, indexed_db, small_dataset, vec_lit):
+        lit = vec_lit(small_dataset.queries[0])
+        rows = indexed_db.query(
+            f"SELECT id FROM items WHERE id < 100 "
+            f"ORDER BY vec <-> '{lit}'::PASE LIMIT 50"
+        )
+        assert all(r[0] < 100 for r in rows)
+
+    def test_insert_after_index_found_by_search(self, indexed_db, small_dataset, vec_lit):
+        probe = small_dataset.base[0] + 50.0
+        indexed_db.execute(f"INSERT INTO items VALUES (9999, '{vec_lit(probe)}'::PASE)")
+        rows = indexed_db.query(
+            f"SELECT id FROM items ORDER BY vec <-> '{vec_lit(probe)}'::PASE LIMIT 1"
+        )
+        assert rows == [(9999,)]
+
+
+class TestPersistence:
+    def test_file_backed_database(self, tmp_path, small_dataset, vec_lit):
+        db = PgSimDatabase(data_dir=tmp_path, buffer_pool_pages=256)
+        db.execute("CREATE TABLE t (id int, vec float[])")
+        for i in range(20):
+            db.execute(f"INSERT INTO t VALUES ({i}, '{vec_lit(small_dataset.base[i])}'::PASE)")
+        db.checkpoint()
+        assert (tmp_path / "t.heap.rel").exists()
+        assert db.execute("SELECT count(*) FROM t").scalar() == 20

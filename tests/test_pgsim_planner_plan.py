@@ -1,0 +1,142 @@
+"""Tests for the planner's decisions and plan-node utilities."""
+
+import numpy as np
+import pytest
+
+from repro.pgsim import plan as P
+from repro.pgsim.planner import PlanningError, explain_plan, plan_select
+from repro.pgsim.sql import ast, parse_sql
+
+
+def _plan(db, sql):
+    (stmt,) = parse_sql(sql)
+    return plan_select(stmt, db.catalog)
+
+
+@pytest.fixture()
+def indexed_db(loaded_db):
+    loaded_db.execute(
+        "CREATE INDEX ix ON items USING pase_ivfflat (vec) "
+        "WITH (clusters = 8, sample_ratio = 0.5, seed = 1)"
+    )
+    return loaded_db
+
+
+QUERY_VEC = ",".join(["0.1"] * 16)
+
+
+class TestPlannerDecisions:
+    def test_index_scan_selected(self, indexed_db):
+        plan = _plan(
+            indexed_db,
+            f"SELECT id FROM items ORDER BY vec <-> '{QUERY_VEC}'::PASE LIMIT 5",
+        )
+        assert isinstance(plan, P.Project)
+        limit = plan.child
+        assert isinstance(limit, P.Limit)
+        assert isinstance(limit.child, P.IndexScan)
+        assert limit.child.k == 5
+        np.testing.assert_allclose(limit.child.query_vector, [0.1] * 16, rtol=1e-6)
+
+    def test_reversed_operands_also_match(self, indexed_db):
+        plan = _plan(
+            indexed_db,
+            f"SELECT id FROM items ORDER BY '{QUERY_VEC}'::PASE <-> vec LIMIT 5",
+        )
+        assert isinstance(plan.child.child, P.IndexScan)
+
+    def test_no_limit_no_index(self, indexed_db):
+        plan = _plan(
+            indexed_db, f"SELECT id FROM items ORDER BY vec <-> '{QUERY_VEC}'::PASE"
+        )
+        assert isinstance(plan.child, P.Sort)
+
+    def test_metric_mismatch_no_index(self, indexed_db):
+        # The index is L2 (distance_type 0); <#> needs inner product.
+        plan = _plan(
+            indexed_db,
+            f"SELECT id FROM items ORDER BY vec <#> '{QUERY_VEC}'::PASE LIMIT 5",
+        )
+        assert not isinstance(plan.child.child, P.IndexScan)
+
+    def test_order_by_plain_column_not_index(self, indexed_db):
+        plan = _plan(indexed_db, "SELECT id FROM items ORDER BY id LIMIT 5")
+        assert isinstance(plan.child.child, P.Sort)
+
+    def test_seqscan_fallback_without_index(self, loaded_db):
+        plan = _plan(
+            loaded_db,
+            f"SELECT id FROM items ORDER BY vec <-> '{QUERY_VEC}'::PASE LIMIT 5",
+        )
+        node = plan.child
+        assert isinstance(node, P.Limit)
+        assert isinstance(node.child, P.Sort)
+
+    def test_where_becomes_filter_above_index(self, indexed_db):
+        plan = _plan(
+            indexed_db,
+            f"SELECT id FROM items WHERE id > 5 "
+            f"ORDER BY vec <-> '{QUERY_VEC}'::PASE LIMIT 5",
+        )
+        limit = plan.child
+        assert isinstance(limit.child, P.Filter)
+        assert isinstance(limit.child.child, P.IndexScan)
+
+    def test_aggregate_plan(self, loaded_db):
+        plan = _plan(loaded_db, "SELECT count(*) FROM items")
+        assert plan.aggregated
+        assert isinstance(plan.child, P.Aggregate)
+
+    def test_aggregate_with_order_by_rejected(self, loaded_db):
+        with pytest.raises(PlanningError):
+            _plan(loaded_db, "SELECT count(*) FROM items ORDER BY id")
+
+    def test_select_star_without_table_rejected(self, loaded_db):
+        with pytest.raises(PlanningError):
+            _plan(loaded_db, "SELECT *")
+
+    def test_column_names_resolved(self, indexed_db):
+        plan = _plan(indexed_db, "SELECT id AS key, vec FROM items")
+        assert plan.columns == ["key", "vec"]
+        plan = _plan(indexed_db, "SELECT * FROM items")
+        assert plan.columns == ["id", "vec"]
+        plan = _plan(indexed_db, "SELECT id + 1 FROM items")
+        assert plan.columns == ["column1"]
+
+
+class TestExplainRendering:
+    def test_tree_indentation(self, indexed_db):
+        plan = _plan(
+            indexed_db,
+            f"SELECT id FROM items ORDER BY vec <-> '{QUERY_VEC}'::PASE LIMIT 5",
+        )
+        text = explain_plan(plan)
+        lines = text.splitlines()
+        assert lines[0] == "Project"
+        assert lines[1].startswith("->  Limit")
+        assert "Index Scan using ix" in lines[2]
+
+    def test_all_nodes_render(self, loaded_db):
+        plan = _plan(
+            loaded_db,
+            "SELECT id FROM items WHERE id > 1 ORDER BY id DESC LIMIT 2",
+        )
+        text = explain_plan(plan)
+        for fragment in ("Project", "Limit", "Sort (DESC)", "Filter", "Seq Scan"):
+            assert fragment in text
+
+
+class TestQueryResult:
+    def test_scalar(self):
+        result = P.QueryResult(command="SELECT 1", columns=["x"], rows=[(42,)])
+        assert result.scalar() == 42
+        assert len(result) == 1
+
+    def test_scalar_empty_raises(self):
+        with pytest.raises(ValueError):
+            P.QueryResult(command="SELECT 0").scalar()
+
+    def test_column_extraction(self):
+        result = P.QueryResult(command="", columns=["a", "b"], rows=[(1, 2), (3, 4)])
+        assert result.column(0) == [1, 3]
+        assert result.column(1) == [2, 4]

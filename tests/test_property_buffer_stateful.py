@@ -1,0 +1,90 @@
+"""Stateful property test: the buffer manager vs a model of the disk.
+
+Hypothesis drives random sequences of page operations (allocate, read,
+write, flush, evict-pressure) against a tiny 4-frame pool and checks
+that what comes back through the buffer manager always equals a plain
+dict model — i.e. caching and eviction never lose or corrupt data.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+from hypothesis import strategies as st
+
+from repro.pgsim.buffer import BufferManager
+from repro.pgsim.page import Page
+from repro.pgsim.storage import MemoryDisk
+
+
+class BufferMachine(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        self.disk = MemoryDisk(page_size=512)
+        self.disk.create_relation("r")
+        self.buffer = BufferManager(self.disk, capacity=4)
+        #: model: blkno -> list of item payloads
+        self.model: dict[int, list[bytes]] = {}
+
+    # ------------------------------------------------------------------
+    # rules
+    # ------------------------------------------------------------------
+    @rule()
+    def allocate_page(self) -> None:
+        blkno, frame = self.buffer.new_page("r")
+        self.buffer.unpin(frame, dirty=True)
+        assert blkno not in self.model
+        self.model[blkno] = []
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data(), payload=st.binary(min_size=1, max_size=40))
+    def insert_item(self, data, payload) -> None:
+        blkno = data.draw(st.sampled_from(sorted(self.model)))
+        frame = self.buffer.pin("r", blkno)
+        try:
+            if frame.page.free_space >= len(payload):
+                frame.page.insert_item(payload)
+                self.model[blkno].append(payload)
+        finally:
+            self.buffer.unpin(frame, dirty=True)
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def read_page(self, data) -> None:
+        blkno = data.draw(st.sampled_from(sorted(self.model)))
+        with self.buffer.page("r", blkno) as page:
+            items = [page.get_item(i) for i in page.live_items()]
+        assert items == self.model[blkno]
+
+    @rule()
+    def flush_everything(self) -> None:
+        self.buffer.flush_all()
+
+    @precondition(lambda self: len(self.model) >= 2)
+    @rule()
+    def churn_to_force_evictions(self) -> None:
+        # Touch every page once; with 4 frames this forces evictions
+        # whenever more than 4 pages exist.
+        for blkno in sorted(self.model):
+            with self.buffer.page("r", blkno):
+                pass
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+    @invariant()
+    def no_leaked_pins(self) -> None:
+        assert self.buffer.pinned_pages() == 0
+
+    @invariant()
+    def pool_capacity_respected(self) -> None:
+        assert self.buffer.cached_pages <= 4
+
+    @invariant()
+    def disk_block_count_matches(self) -> None:
+        assert self.disk.n_blocks("r") == len(self.model)
+
+
+BufferMachine.TestCase.settings = settings(
+    max_examples=30, stateful_step_count=30, deadline=None
+)
+TestBufferMachine = BufferMachine.TestCase

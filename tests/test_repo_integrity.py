@@ -1,0 +1,97 @@
+"""Repository-integrity checks: docs, examples and registry stay in sync."""
+
+import ast
+import pathlib
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestDocs:
+    def test_required_docs_exist(self):
+        for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md"):
+            assert (REPO / name).is_file(), f"{name} missing"
+
+    def test_design_confirms_paper_text(self):
+        text = (REPO / "DESIGN.md").read_text()
+        assert "Paper-text check" in text
+        assert "PASE" in text and "Faiss" in text
+
+    def test_experiments_covers_every_registered_experiment(self):
+        from repro.bench import EXPERIMENTS
+
+        text = (REPO / "EXPERIMENTS.md").read_text()
+        for exp_id in EXPERIMENTS:
+            assert exp_id in text, f"EXPERIMENTS.md does not mention {exp_id}"
+
+    def test_design_lists_all_root_causes(self):
+        text = (REPO / "DESIGN.md").read_text()
+        for i in range(1, 8):
+            assert f"RC#{i}" in text
+
+    def test_readme_quickstart_commands_valid(self):
+        text = (REPO / "README.md").read_text()
+        assert "pip install -e ." in text
+        assert "pytest tests/" in text
+        assert "repro-bench" in text
+
+
+class TestExamples:
+    def test_at_least_three_examples(self):
+        examples = list((REPO / "examples").glob("*.py"))
+        assert len(examples) >= 3
+
+    @pytest.mark.parametrize(
+        "name",
+        [p.name for p in sorted((REPO / "examples").glob("*.py"))],
+    )
+    def test_examples_parse_and_have_main(self, name):
+        source = (REPO / "examples" / name).read_text()
+        tree = ast.parse(source)
+        functions = {n.name for n in tree.body if isinstance(n, ast.FunctionDef)}
+        assert "main" in functions, f"{name} has no main()"
+        assert ast.get_docstring(tree), f"{name} has no module docstring"
+
+
+class TestBenchmarkFiles:
+    def test_one_bench_file_per_paper_artifact(self):
+        bench_dir = REPO / "benchmarks"
+        names = {p.name for p in bench_dir.glob("bench_*.py")}
+        for needle in (
+            "bench_fig02", "bench_fig03", "bench_fig04", "bench_fig05",
+            "bench_fig06", "bench_fig07", "bench_fig08", "bench_fig09",
+            "bench_fig10", "bench_fig11", "bench_fig12", "bench_fig13",
+            "bench_fig14", "bench_fig15", "bench_fig16", "bench_fig17",
+            "bench_fig18", "bench_fig19", "bench_tab03", "bench_tab04",
+            "bench_tab05",
+        ):
+            assert any(n.startswith(needle) for n in names), f"missing {needle}*"
+
+    def test_bench_files_have_shape_docstrings(self):
+        for path in (REPO / "benchmarks").glob("bench_fig*.py"):
+            tree = ast.parse(path.read_text())
+            doc = ast.get_docstring(tree) or ""
+            assert "Paper shape" in doc or "paper" in doc.lower(), path.name
+
+
+class TestPublicApiDocstrings:
+    def test_every_public_module_documented(self):
+        undocumented = []
+        for path in (REPO / "src").rglob("*.py"):
+            tree = ast.parse(path.read_text())
+            if ast.get_docstring(tree) is None:
+                undocumented.append(str(path))
+        assert not undocumented, f"modules without docstrings: {undocumented}"
+
+    def test_every_public_class_and_function_documented(self):
+        undocumented = []
+        for path in (REPO / "src").rglob("*.py"):
+            tree = ast.parse(path.read_text())
+            for node in tree.body:
+                if isinstance(node, (ast.ClassDef, ast.FunctionDef)):
+                    if node.name.startswith("_"):
+                        continue
+                    if ast.get_docstring(node) is None:
+                        undocumented.append(f"{path.name}:{node.name}")
+        assert not undocumented, f"public items without docstrings: {undocumented}"

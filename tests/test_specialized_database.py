@@ -1,0 +1,110 @@
+"""Tests for the specialized engine's collection facade."""
+
+import numpy as np
+import pytest
+
+from repro.common.types import DistanceType
+from repro.specialized import SpecializedDatabase
+
+
+@pytest.fixture()
+def db(small_dataset):
+    db = SpecializedDatabase()
+    db.create_collection("vectors", small_dataset.dim)
+    db.insert("vectors", small_dataset.base)
+    return db
+
+
+class TestCollections:
+    def test_create_and_list(self):
+        db = SpecializedDatabase()
+        db.create_collection("a", 4)
+        db.create_collection("b", 8)
+        assert db.list_collections() == ["a", "b"]
+
+    def test_duplicate_rejected(self):
+        db = SpecializedDatabase()
+        db.create_collection("a", 4)
+        with pytest.raises(ValueError):
+            db.create_collection("a", 4)
+
+    def test_drop(self):
+        db = SpecializedDatabase()
+        db.create_collection("a", 4)
+        db.drop_collection("a")
+        assert db.list_collections() == []
+        with pytest.raises(KeyError):
+            db.drop_collection("a")
+
+    def test_insert_dim_checked(self, db):
+        with pytest.raises(ValueError):
+            db.insert("vectors", np.zeros((2, 3), dtype=np.float32))
+
+    def test_insert_returns_count(self, small_dataset):
+        db = SpecializedDatabase()
+        db.create_collection("v", small_dataset.dim)
+        assert db.insert("v", small_dataset.base[:10]) == 10
+        assert db.insert("v", small_dataset.base[10:20]) == 20
+
+
+class TestIndexing:
+    def test_exact_search_without_index(self, db, small_dataset):
+        gt = small_dataset.ground_truth(5)
+        result = db.search("vectors", small_dataset.queries[0], 5)
+        assert result.ids == gt[0].tolist()
+
+    def test_ivf_index_search(self, db, small_dataset):
+        db.create_index("vectors", "ivf_flat", n_clusters=8, sample_ratio=0.5, seed=1)
+        result = db.search("vectors", small_dataset.queries[0], 5, nprobe=8)
+        assert result.ids == small_dataset.ground_truth(5)[0].tolist()
+
+    def test_unknown_index_type(self, db):
+        with pytest.raises(ValueError):
+            db.create_index("vectors", "lsh")
+
+    def test_index_on_empty_collection(self):
+        db = SpecializedDatabase()
+        db.create_collection("e", 4)
+        with pytest.raises(RuntimeError):
+            db.create_index("e", "flat")
+
+    def test_insert_after_index_keeps_consistency(self, db, small_dataset):
+        db.create_index("vectors", "flat")
+        extra = small_dataset.base[:1] + 100.0
+        db.insert("vectors", extra)
+        result = db.search("vectors", extra[0], 1, index_type="flat")
+        assert result.ids == [small_dataset.n]
+
+    def test_multiple_indexes_need_explicit_type(self, db):
+        db.create_index("vectors", "flat")
+        db.create_index("vectors", "ivf_flat", n_clusters=4, sample_ratio=0.5, seed=1)
+        with pytest.raises(ValueError):
+            db.search("vectors", np.zeros(16, dtype=np.float32), 1)
+
+    def test_missing_index_type(self, db):
+        db.create_index("vectors", "flat")
+        with pytest.raises(KeyError):
+            db.search("vectors", np.zeros(16, dtype=np.float32), 1, index_type="hnsw")
+
+    def test_unknown_collection(self):
+        db = SpecializedDatabase()
+        with pytest.raises(KeyError):
+            db.search("nope", np.zeros(4, dtype=np.float32), 1)
+
+
+class TestFacadeAllIndexTypes:
+    def test_sq8_via_facade(self, db, small_dataset):
+        db.create_index("vectors", "ivf_sq8", n_clusters=8, sample_ratio=0.8, seed=1)
+        result = db.search("vectors", small_dataset.queries[0], 5, nprobe=8)
+        truth = small_dataset.ground_truth(5)[0].tolist()
+        assert len(set(result.ids) & set(truth)) >= 4  # SQ8 near-lossless
+
+    def test_hnsw_via_facade(self, db, small_dataset):
+        db.create_index("vectors", "hnsw", bnn=6, efb=16, seed=2)
+        result = db.search("vectors", small_dataset.queries[0], 5, efs=40)
+        assert len(result.neighbors) == 5
+
+    def test_pq_via_facade(self, db, small_dataset):
+        db.create_index("vectors", "ivf_pq", n_clusters=8, m=4, c_pq=16, sample_ratio=0.9, seed=1)
+        result = db.search("vectors", small_dataset.queries[0], 5, nprobe=8)
+        assert len(result.neighbors) == 5
