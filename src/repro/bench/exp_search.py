@@ -4,8 +4,6 @@ from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
-
 from repro.bench.exp_build import _hnsw_scale
 from repro.bench.runner import (
     ALL_DATASETS,

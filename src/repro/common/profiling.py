@@ -153,11 +153,21 @@ class Profiler:
             buckets[bucket] += seconds
         for path, count in self._calls.items():
             if within is None:
-                calls[path[0]] += count
+                # Only length-1 paths are *entries into* the top-level
+                # bucket; adding nested-child entries would over-report
+                # the paper-style tables' "calls" columns.
+                if len(path) == 1:
+                    calls[path[0]] += count
             elif within in path:
                 idx = len(path) - 1 - path[::-1].index(within)
-                bucket = path[idx + 1] if idx + 1 < len(path) else self_label
-                calls[bucket] += count
+                # Same rule one level down: a path counts as a call of
+                # its bucket only when the bucket is the innermost
+                # element, i.e. the path is an *entry into* the bucket
+                # and not into some grandchild.
+                if idx + 2 == len(path):
+                    calls[path[idx + 1]] += count
+                elif idx + 1 == len(path):
+                    calls[self_label] += count
         total = sum(buckets.values())
         rows = [
             BreakdownRow(

@@ -35,7 +35,7 @@ from repro.pase.options import parse_ivf_options
 from repro.pgsim.am import IndexAmRoutine, register_am
 from repro.pgsim.constants import LINE_POINTER_SIZE, PAGE_HEADER_SIZE
 from repro.pgsim.heapam import TID
-from repro.pgsim.page import Page, PageFullError
+from repro.pgsim.page import PageFullError
 
 _META = struct.Struct("<III")  # dim, clusters, distance_type
 _CENTROID_HEAD = struct.Struct("<II")  # centroid_id, bucket_head_blkno

@@ -71,11 +71,19 @@ class BufferManager:
         self,
         disk: DiskManager,
         capacity: int = DEFAULT_BUFFER_POOL_PAGES,
+        wal=None,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.disk = disk
         self.capacity = capacity
+        #: Optional :class:`repro.pgsim.wal.WriteAheadLog`.  When set,
+        #: eviction enforces a no-steal policy: a dirty page whose LSN
+        #: is past the durable WAL horizon holds effects of an
+        #: in-flight statement, and writing it out would let
+        #: uncommitted tuples survive a crash (redo-only recovery
+        #: cannot erase what is already in the pages).
+        self.wal = wal
         self.stats = BufferStats()
         self._frames: dict[tuple[str, int], Frame] = {}
         self._clock_keys: list[tuple[str, int]] = []
@@ -187,23 +195,39 @@ class BufferManager:
                 self._hand = 0
             key = self._clock_keys[self._hand]
             frame = self._frames[key]
-            if frame.pin_count == 0:
+            if frame.pin_count == 0 and not self._holds_uncommitted(frame):
                 if frame.usage > 0:
                     frame.usage -= 1
                 else:
                     self.flush_frame(frame)
                     del self._frames[key]
-                    # Swap-remove to keep the ring compact.
+                    # Swap-remove to keep the ring compact.  The frame
+                    # swapped in from the tail must not be inspected at
+                    # this hand position next sweep — that would give it
+                    # an out-of-turn usage decrement and starve the
+                    # frames between the hand and the tail — so the hand
+                    # advances past it.
                     last = self._clock_keys.pop()
                     if last != key:
                         self._clock_keys[self._hand] = last
+                        self._hand += 1
                     self.stats.evictions += 1
                     return
             self._hand += 1
             sweeps += 1
         raise BufferPoolExhaustedError(
-            f"all {len(self._clock_keys)} buffer frames are pinned"
+            f"all {len(self._clock_keys)} buffer frames are pinned or hold "
+            "uncommitted changes (statement working set exceeds the pool)"
         )
+
+    def _holds_uncommitted(self, frame: Frame) -> bool:
+        """No-steal check (see ``wal`` in :meth:`__init__`).
+
+        pgsim flushes the WAL only at commit boundaries, so a page LSN
+        past the durable horizon means exactly one thing: the current,
+        not-yet-committed statement touched this page.
+        """
+        return frame.dirty and self.wal is not None and frame.page.lsn > self.wal.flushed_lsn
 
     # ------------------------------------------------------------------
     # introspection

@@ -15,6 +15,7 @@ from repro.pgsim.buffer import BufferManager
 from repro.pgsim.catalog import Catalog
 from repro.pgsim.constants import DEFAULT_BUFFER_POOL_PAGES, DEFAULT_PAGE_SIZE
 from repro.pgsim.executor import Executor
+from repro.pgsim.faults import FaultInjector
 from repro.pgsim.plan import QueryResult
 from repro.pgsim.sql import parse_sql
 from repro.pgsim.sql import ast
@@ -43,6 +44,10 @@ class PgSimDatabase:
         data_dir: when given, pages persist in files under this
             directory; otherwise everything lives in memory (the
             "tmpfs" configuration the paper uses to exclude I/O).
+        fault_injector: when given, all durability-relevant file I/O
+            (WAL appends/fsyncs, page writes) flows through it — the
+            hook the crash-recovery harness uses to simulate torn
+            writes, failed fsyncs and crashes at write boundaries.
     """
 
     def __init__(
@@ -51,21 +56,22 @@ class PgSimDatabase:
         buffer_pool_pages: int = DEFAULT_BUFFER_POOL_PAGES,
         data_dir: str | Path | None = None,
         disk: DiskManager | None = None,
+        fault_injector: FaultInjector | None = None,
     ) -> None:
         self._catalog_log: Path | None = None
         if disk is not None:
             self.disk = disk
         elif data_dir is not None:
-            self.disk = FileDisk(data_dir, page_size=page_size)
+            self.disk = FileDisk(data_dir, page_size=page_size, faults=fault_injector)
         else:
             self.disk = MemoryDisk(page_size=page_size)
         if data_dir is not None:
             wal_path = Path(data_dir) / "wal.log"
-            self.wal = WriteAheadLog(wal_path)
+            self.wal = WriteAheadLog(wal_path, faults=fault_injector)
             self._catalog_log = Path(data_dir) / "catalog.sql"
         else:
-            self.wal = WriteAheadLog()
-        self.buffer = BufferManager(self.disk, capacity=buffer_pool_pages)
+            self.wal = WriteAheadLog(faults=fault_injector)
+        self.buffer = BufferManager(self.disk, capacity=buffer_pool_pages, wal=self.wal)
         self.catalog = Catalog()
         self.executor = Executor(self.catalog, self.buffer, self.wal)
         _register_default_ams()
@@ -139,11 +145,26 @@ class PgSimDatabase:
     # ------------------------------------------------------------------
     # maintenance
     # ------------------------------------------------------------------
-    def checkpoint(self) -> None:
-        """Flush all dirty pages and mark the WAL."""
-        self.buffer.flush_all()
-        self.wal.log_checkpoint()
+    def checkpoint(self) -> int:
+        """Flush dirty pages, mark the WAL, and truncate the log.
+
+        Protocol (order matters):
+
+        1. flush the WAL — pages may only be written once the records
+           that produced them are durable (WAL-before-data);
+        2. write back every dirty buffer page, so the log up to here
+           is no longer needed for redo;
+        3. append + flush a checkpoint record;
+        4. truncate the log before the checkpoint record, bounding
+           both the in-memory record list and the on-disk file.
+
+        Returns the checkpoint record's LSN.
+        """
         self.wal.flush()
+        self.buffer.flush_all()
+        lsn = self.wal.log_checkpoint()
+        self.wal.truncate_before(lsn)
+        return lsn
 
     @property
     def buffer_stats(self):

@@ -98,20 +98,36 @@ class HeapTable:
             except PageFullError:
                 self.buffer.unpin(frame)
             else:
-                self._log_insert(xid, self._insert_block, data, frame.page)
+                try:
+                    self._log_insert(xid, self._insert_block, data, frame.page)
+                except BaseException:
+                    # A tuple the WAL never heard of must not stay in
+                    # the page: it would be a committed-looking phantom
+                    # to every later in-process read.
+                    frame.page.delete_item(offset)
+                    self.buffer.unpin(frame)
+                    raise
                 self.buffer.unpin(frame, dirty=True)
                 return self._insert_block, offset
         blkno, frame = self.buffer.new_page(self.relation)
         try:
             offset = frame.page.insert_item(data)
-            self._log_insert(xid, blkno, data, frame.page)
+            try:
+                self._log_insert(xid, blkno, data, frame.page)
+            except BaseException:
+                frame.page.delete_item(offset)
+                raise
         finally:
             self.buffer.unpin(frame, dirty=True)
         self._insert_block = blkno
         return blkno, offset
 
     def _log_insert(self, xid: int, blkno: int, data: bytes, page) -> None:
-        if self.wal is not None:
+        if self.wal is None:
+            return
+        # Full-page write on the first post-checkpoint touch; the image
+        # stands in for the incremental record (see WAL docs).
+        if self.wal.ensure_page_image(xid, self.relation, blkno, page) is None:
             page.lsn = self.wal.log_insert(xid, self.relation, blkno, data)
 
     def delete(self, tid: TID, xid: int = 1) -> None:
@@ -124,7 +140,16 @@ class HeapTable:
             off, length = frame.page._pointer(tid.offset)
             set_tuple_xmax(_writable(frame.page.buf, off, length), xid)
             if self.wal is not None:
-                frame.page.lsn = self.wal.log_delete(xid, self.relation, tid.blkno, tid.offset)
+                try:
+                    if self.wal.ensure_page_image(xid, self.relation, tid.blkno, frame.page) is None:
+                        frame.page.lsn = self.wal.log_delete(
+                            xid, self.relation, tid.blkno, tid.offset
+                        )
+                except BaseException:
+                    # Un-delete: a removal the WAL never recorded must
+                    # not take effect (mirror of the insert undo).
+                    set_tuple_xmax(_writable(frame.page.buf, off, length), 0)
+                    raise
         finally:
             self.buffer.unpin(frame, dirty=True)
         self.tuple_count -= 1

@@ -16,10 +16,10 @@ the backend.
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 
 from repro.pgsim.constants import DEFAULT_PAGE_SIZE
+from repro.pgsim.faults import NO_FAULTS, FaultInjector
 
 
 class RelationNotFoundError(KeyError):
@@ -124,10 +124,21 @@ class MemoryDisk(DiskManager):
 
 
 class FileDisk(DiskManager):
-    """One binary file per relation under a data directory."""
+    """One binary file per relation under a data directory.
 
-    def __init__(self, data_dir: str | Path, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+    All page writes flow through a :class:`FaultInjector` so the
+    crash-recovery harness can tear or abort them deterministically;
+    the default injector performs plain, unbroken I/O.
+    """
+
+    def __init__(
+        self,
+        data_dir: str | Path,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        faults: FaultInjector | None = None,
+    ) -> None:
         super().__init__(page_size)
+        self.faults = faults if faults is not None else NO_FAULTS
         self.data_dir = Path(data_dir)
         self.data_dir.mkdir(parents=True, exist_ok=True)
 
@@ -173,17 +184,22 @@ class FileDisk(DiskManager):
             raise IndexError(f"block {blkno} beyond end of {name!r}")
         with path.open("r+b") as f:
             f.seek(blkno * self.page_size)
-            f.write(data)
+            self.faults.write("disk.write", f, data)
         self.writes += 1
 
     def extend(self, name: str, data: bytes) -> int:
         self._check_page(data)
         path = self._existing(name)
-        with path.open("ab") as f:
-            blkno = f.tell() // self.page_size
-            f.write(data)
-            f.flush()
-            os.fsync(f.fileno())
+        full = self.n_blocks(name) * self.page_size
+        with path.open("r+b") as f:
+            # Heal any torn tail a crashed extend left behind: without
+            # the truncate the new page would land misaligned after the
+            # partial one and every later block read would be garbage.
+            f.truncate(full)
+            f.seek(full)
+            blkno = full // self.page_size
+            self.faults.write("disk.extend", f, data)
+            self.faults.fsync("disk.fsync", f)
         self.writes += 1
         return blkno
 

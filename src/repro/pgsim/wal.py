@@ -12,7 +12,19 @@ Protocol:
   via LSN stamping);
 - a transaction's changes become durable at its :data:`REC_COMMIT`;
 - :func:`replay` scans the log and applies page images belonging to
-  committed transactions, in order.
+  committed transactions, in order;
+- a checkpoint (:meth:`WriteAheadLog.log_checkpoint` after the buffer
+  pool is flushed) establishes a durable horizon behind which
+  :meth:`WriteAheadLog.truncate_before` may discard the log.
+
+Failure semantics: :attr:`WriteAheadLog.flushed_lsn` only advances
+after the append *and* fsync succeed, so an I/O failure can never make
+:func:`replay` treat unpersisted records as durable.  A failed flush
+poisons the log (:class:`WalPanicError` on further use) — after a
+failed fsync the kernel may have dropped the dirty pages, so retrying
+in-process proves nothing; the instance must be abandoned and recovery
+run from the files (PostgreSQL reached the same conclusion after
+*fsyncgate*).
 """
 
 from __future__ import annotations
@@ -22,6 +34,7 @@ import struct
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.pgsim.faults import NO_FAULTS, FaultInjector
 from repro.pgsim.storage import DiskManager
 
 REC_PAGE_IMAGE = 1
@@ -31,6 +44,14 @@ REC_INSERT = 4
 REC_DELETE = 5
 
 _REC_HEADER = struct.Struct("<QBIH")  # lsn, type, xid, rel name length
+
+
+class WalPanicError(RuntimeError):
+    """The WAL suffered a flush failure and refuses further work.
+
+    Recovery path: discard this instance and reopen the database; the
+    on-disk log is intact up to the last *successful* fsync.
+    """
 
 
 @dataclass(slots=True)
@@ -53,16 +74,25 @@ class WriteAheadLog:
     durable prefix to the file with an fsync, and an existing file is
     loaded on open — so a file-backed database recovers committed work
     after a crash (see :meth:`repro.pgsim.database.PgSimDatabase`).
+
+    Args:
+        path: log file location, or ``None`` for an in-memory log.
+        faults: fault injector through which all file I/O flows
+            (defaults to real, unbroken I/O).
     """
 
     #: Framing: 4-byte little-endian record length before each record.
     _FRAME = struct.Struct("<I")
 
-    def __init__(self, path: str | Path | None = None) -> None:
+    def __init__(self, path: str | Path | None = None, faults: FaultInjector | None = None) -> None:
         self._records: list[bytes] = []
         self._next_lsn = 1
         self.flushed_lsn = 0
         self._durable_count = 0
+        self._panicked = False
+        #: Pages already full-page-imaged since the last checkpoint.
+        self._fpw_done: set[tuple[str, int]] = set()
+        self.faults = faults if faults is not None else NO_FAULTS
         self.path = Path(path) if path is not None else None
         if self.path is not None and self.path.exists():
             self._load()
@@ -71,16 +101,24 @@ class WriteAheadLog:
         assert self.path is not None
         raw = self.path.read_bytes()
         pos = 0
+        last_lsn = 0
         while pos + self._FRAME.size <= len(raw):
             (length,) = self._FRAME.unpack_from(raw, pos)
             pos += self._FRAME.size
             if pos + length > len(raw):
                 break  # torn tail write: ignore, like real WAL replay
-            self._records.append(raw[pos : pos + length])
+            record = raw[pos : pos + length]
             pos += length
+            lsn = _REC_HEADER.unpack_from(record, 0)[0]
+            if lsn <= last_lsn:
+                # Duplicate append from a flush retried after a partial
+                # failure: the LSN sequence is strictly increasing, so
+                # anything that does not advance it was already loaded.
+                continue
+            self._records.append(record)
+            last_lsn = lsn
         self._durable_count = len(self._records)
         if self._records:
-            last_lsn = _REC_HEADER.unpack_from(self._records[-1], 0)[0]
             self._next_lsn = last_lsn + 1
             self.flushed_lsn = last_lsn
 
@@ -90,6 +128,32 @@ class WriteAheadLog:
     def log_page_image(self, xid: int, rel: str, blkno: int, image: bytes) -> int:
         """Record a full page image; returns the assigned LSN."""
         return self._append(REC_PAGE_IMAGE, xid, rel, blkno, image)
+
+    def ensure_page_image(self, xid: int, rel: str, blkno: int, page) -> int | None:
+        """Full-page write: image a page's first post-checkpoint change.
+
+        A torn page write cannot be repaired from incremental records —
+        redo compares against the page's (now garbage) LSN — so, like
+        PostgreSQL with ``full_page_writes=on``, the first modification
+        of a page after a checkpoint logs the complete page and stands
+        in for the incremental record.  Returns the image's LSN (the
+        page is stamped with it), or ``None`` if the page is already
+        covered — the caller then logs its incremental record as usual.
+
+        In-memory logs skip this entirely: without a file there is no
+        torn write to protect against.
+        """
+        key = (rel, blkno)
+        if self.path is None or key in self._fpw_done:
+            return None
+        self._check_panic()
+        # Stamp LSN + checksum first so the captured image is exactly
+        # the durable state replay will restore.
+        page.lsn = self._next_lsn
+        page.update_checksum()
+        lsn = self._append(REC_PAGE_IMAGE, xid, rel, blkno, bytes(page.buf))
+        self._fpw_done.add(key)
+        return lsn
 
     def log_insert(self, xid: int, rel: str, blkno: int, tuple_bytes: bytes) -> int:
         """Record a heap insert (payload = serialized tuple)."""
@@ -106,23 +170,94 @@ class WriteAheadLog:
         return lsn
 
     def log_checkpoint(self) -> int:
-        """Record a checkpoint boundary."""
-        return self._append(REC_CHECKPOINT, 0, "", 0, b"")
+        """Record a checkpoint boundary and make it durable.
+
+        The payload carries the durable horizon at checkpoint time; a
+        checkpoint record that is itself not flushed would be useless
+        to recovery, so this flushes like :meth:`log_commit`.  The
+        caller is responsible for having flushed dirty pages *first*
+        (see :meth:`repro.pgsim.database.PgSimDatabase.checkpoint`).
+        """
+        lsn = self._append(REC_CHECKPOINT, 0, "", 0, struct.pack("<Q", self.flushed_lsn))
+        self.flush()
+        # Pages are durable as of this checkpoint: the next change to
+        # each must log a fresh full-page image.
+        self._fpw_done.clear()
+        return lsn
 
     def flush(self) -> None:
-        """Make everything appended so far durable."""
-        self.flushed_lsn = self._next_lsn - 1
-        if self.path is None or self._durable_count == len(self._records):
+        """Make everything appended so far durable.
+
+        ``flushed_lsn`` advances only after the file append and fsync
+        both succeed; on failure the log panics (see module docstring).
+        """
+        self._check_panic()
+        if self.path is None:
+            self.flushed_lsn = self._next_lsn - 1
             return
-        with self.path.open("ab") as f:
-            for record in self._records[self._durable_count :]:
-                f.write(self._FRAME.pack(len(record)))
-                f.write(record)
-            f.flush()
-            os.fsync(f.fileno())
+        if self._durable_count == len(self._records):
+            self.flushed_lsn = self._next_lsn - 1
+            return
+        try:
+            with self.path.open("ab") as f:
+                for record in self._records[self._durable_count :]:
+                    self.faults.write("wal.append", f, self._FRAME.pack(len(record)) + record)
+                self.faults.fsync("wal.fsync", f)
+        except Exception:
+            self._panicked = True
+            raise
         self._durable_count = len(self._records)
+        self.flushed_lsn = self._next_lsn - 1
+
+    def truncate_before(self, lsn: int) -> int:
+        """Discard records with an LSN below ``lsn``; returns the count.
+
+        The caller must ensure every discarded record is already
+        reflected in durable pages (i.e. call this only after a
+        checkpoint flushed the buffer pool).  Pending records are
+        flushed first so the rewritten log is self-contained.  The
+        rewrite is atomic — new log to a temp file, fsync, rename — so
+        a crash mid-truncation leaves either the old or the new log,
+        both of which recover correctly.
+        """
+        self.flush()
+        keep_from = 0
+        for keep_from, record in enumerate(self._records):
+            if _REC_HEADER.unpack_from(record, 0)[0] >= lsn:
+                break
+        else:
+            keep_from = len(self._records)
+        if keep_from == 0:
+            return 0
+        dropped = keep_from
+        kept = self._records[keep_from:]
+        if self.path is not None:
+            tmp = self.path.with_name(self.path.name + ".tmp")
+            try:
+                with tmp.open("wb") as f:
+                    for record in kept:
+                        self.faults.write("wal.truncate", f, self._FRAME.pack(len(record)) + record)
+                    self.faults.fsync("wal.fsync", f)
+            except Exception:
+                self._panicked = True
+                raise
+            os.replace(tmp, self.path)
+            self._fsync_dir()
+        self._records = kept
+        self._durable_count = len(self._records)
+        return dropped
+
+    def _fsync_dir(self) -> None:
+        """Persist the rename of the rewritten log file."""
+        assert self.path is not None
+        dir_fd = os.open(self.path.parent, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
 
     def _append(self, rec_type: int, xid: int, rel: str, blkno: int, payload: bytes) -> int:
+        self._check_panic()
         lsn = self._next_lsn
         self._next_lsn += 1
         rel_bytes = rel.encode("utf-8")
@@ -134,6 +269,13 @@ class WriteAheadLog:
         )
         self._records.append(record)
         return lsn
+
+    def _check_panic(self) -> None:
+        if self._panicked:
+            raise WalPanicError(
+                "WAL is in a failed state after a flush error; "
+                "abandon this instance and recover from disk"
+            )
 
     # ------------------------------------------------------------------
     # read back
@@ -160,6 +302,12 @@ class WriteAheadLog:
             )
         return out
 
+    def disk_size(self) -> int:
+        """On-disk log size in bytes (0 for in-memory logs)."""
+        if self.path is None or not self.path.exists():
+            return 0
+        return self.path.stat().st_size
+
     def __len__(self) -> int:
         return len(self._records)
 
@@ -174,6 +322,10 @@ def replay(wal: WriteAheadLog, disk: DiskManager) -> int:
     - a record is skipped when the on-disk page's LSN already covers it
       (``page.lsn >= record.lsn``), so redo is idempotent;
     - untouched (all-zero) blocks are formatted on first redo.
+
+    A truncated log (see :meth:`WriteAheadLog.truncate_before`) starts
+    at a checkpoint record; everything before it is already in the
+    pages, which the LSN check confirms.
 
     Returns the number of records applied.
     """
@@ -194,7 +346,9 @@ def replay(wal: WriteAheadLog, disk: DiskManager) -> int:
 
         if rec.rec_type == REC_PAGE_IMAGE:
             existing = Page(bytearray(disk.read_block(rec.rel, rec.blkno)))
-            if _page_initialized(existing) and existing.lsn >= rec.lsn:
+            # A torn on-disk page (bad checksum) is replaced no matter
+            # what its LSN field claims — the field itself is garbage.
+            if _page_intact(existing) and existing.lsn >= rec.lsn:
                 continue
             disk.write_block(rec.rel, rec.blkno, rec.payload)
             applied += 1
@@ -221,3 +375,14 @@ def replay(wal: WriteAheadLog, disk: DiskManager) -> int:
 def _page_initialized(page) -> bool:
     """A zeroed (never formatted) block has lower == 0."""
     return page.lower != 0
+
+
+def _page_intact(page) -> bool:
+    """Initialized and passing its checksum (i.e. not a torn write)."""
+    if not _page_initialized(page):
+        return False
+    try:
+        page.verify_checksum()
+    except Exception:
+        return False
+    return True

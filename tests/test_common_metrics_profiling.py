@@ -101,6 +101,37 @@ class TestProfiler:
                 pass
         assert prof.call_count("s") == 3
 
+    def test_breakdown_calls_exclude_nested_children(self):
+        """Regression: nested-child entries must not inflate the parent
+        bucket's "calls" column (Table III/V over-reporting)."""
+        prof = Profiler()
+        with prof.section("top"):
+            for __ in range(5):
+                with prof.section("child"):
+                    pass
+        rows = {r.name: r for r in prof.breakdown()}
+        assert rows["top"].calls == 1
+
+    def test_breakdown_within_calls_exclude_grandchildren(self):
+        prof = Profiler()
+        with prof.section("top"):
+            with prof.section("child"):
+                for __ in range(7):
+                    with prof.section("grandchild"):
+                        pass
+        rows = {r.name: r for r in prof.breakdown(within="top")}
+        assert rows["child"].calls == 1
+
+    def test_breakdown_within_self_label_calls(self):
+        prof = Profiler()
+        for __ in range(4):
+            with prof.section("top"):
+                with prof.section("child"):
+                    pass
+        rows = {r.name: r for r in prof.breakdown(within="top")}
+        assert rows["child"].calls == 4
+        assert rows["Others"].calls == 4
+
     def test_disabled_profiler_records_nothing(self):
         prof = Profiler(enabled=False)
         with prof.section("x"):

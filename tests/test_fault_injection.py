@@ -1,0 +1,303 @@
+"""Crash-recovery property harness driven by deterministic fault injection.
+
+The contract under test is the classic durability contract:
+
+- **committed data survives** — every statement the database
+  acknowledged before the failure is present after recovery;
+- **uncommitted data does not resurrect** — recovery never exposes
+  partial effects of the statement that was in flight when the
+  failure hit (recovered rows are always a clean prefix of the
+  workload).
+
+The harness runs an insert/checkpoint/index-build workload, counts
+its durability-relevant I/O operations with a pass-through
+:class:`FaultInjector`, then re-runs it once per operation with a
+failure scheduled at exactly that boundary — a crash, a torn write,
+or a failed fsync — and recovers from the files left behind.
+"""
+
+import struct
+
+import pytest
+
+from repro.pgsim import PgSimDatabase
+from repro.pgsim.faults import (
+    CRASH,
+    FAIL_FSYNC,
+    TORN_WRITE,
+    Fault,
+    FaultInjector,
+    SimulatedCrash,
+    SimulatedIOError,
+)
+from repro.pgsim.storage import MemoryDisk
+from repro.pgsim.wal import WalPanicError, WriteAheadLog, replay
+
+#: Small pool so the workload exercises eviction paths too.
+POOL = 16
+N_ROWS = 8
+CHECKPOINT_AFTER = 3
+INDEX_AFTER = 5
+
+
+def _insert(db: PgSimDatabase, i: int) -> None:
+    db.execute(f"INSERT INTO t VALUES ({i}, '{i}.5,1.25'::PASE)")
+
+
+def _run_workload(datadir, injector: FaultInjector | None) -> tuple[list[int], bool]:
+    """Run the workload; returns ``(acknowledged ids, crashed?)``.
+
+    The workload mixes the durability-relevant operations pgsim has:
+    per-statement commits, an explicit checkpoint (buffer flush + log
+    truncation), an index build, and inserts that maintain the index.
+    """
+    acked: list[int] = []
+    try:
+        db = PgSimDatabase(data_dir=datadir, buffer_pool_pages=POOL, fault_injector=injector)
+        db.execute("CREATE TABLE t (id int, vec float[])")
+        for i in range(N_ROWS):
+            _insert(db, i)
+            acked.append(i)
+            if i == CHECKPOINT_AFTER:
+                db.checkpoint()
+            if i == INDEX_AFTER:
+                db.execute(
+                    "CREATE INDEX ix ON t USING pase_ivfflat (vec) "
+                    "WITH (clusters = 2, sample_ratio = 1.0, seed = 1)"
+                )
+        return acked, False
+    except (SimulatedCrash, SimulatedIOError, WalPanicError):
+        return acked, True
+
+
+def _recovered_ids(datadir) -> list[int]:
+    db = PgSimDatabase(data_dir=datadir, buffer_pool_pages=POOL)
+    if not db.catalog.has_table("t"):
+        return []
+    return sorted(row[0] for row in db.query("SELECT id FROM t"))
+
+
+def _assert_contract(recovered: list[int], acked: list[int]) -> None:
+    # Committed data survives ...
+    assert set(acked) <= set(recovered), (
+        f"acknowledged rows lost: acked={acked} recovered={recovered}"
+    )
+    # ... and nothing partial resurrects: recovered ids are exactly the
+    # first k of the workload for some k (a commit may be durable
+    # without having been acknowledged, hence >= acked).
+    assert recovered == list(range(len(recovered))), f"non-prefix recovery: {recovered}"
+
+
+def _baseline_ops(tmp_path) -> int:
+    counter = FaultInjector()
+    acked, crashed = _run_workload(tmp_path / "baseline", counter)
+    assert not crashed
+    assert acked == list(range(N_ROWS))
+    assert counter.ops > 20, "workload too small to be an interesting crash sweep"
+    return counter.ops
+
+
+class TestCrashSweep:
+    def test_crash_at_every_write_boundary(self, tmp_path):
+        n_ops = _baseline_ops(tmp_path)
+        crashes = 0
+        for op in range(n_ops):
+            datadir = tmp_path / f"crash-{op}"
+            injector = FaultInjector.crash_at(op)
+            acked, crashed = _run_workload(datadir, injector)
+            assert crashed and injector.fired, f"crash at op {op} did not fire"
+            crashes += 1
+            _assert_contract(_recovered_ids(datadir), acked)
+        assert crashes == n_ops
+
+    def test_torn_write_at_every_boundary(self, tmp_path):
+        n_ops = _baseline_ops(tmp_path)
+        for op in range(n_ops):
+            datadir = tmp_path / f"torn-{op}"
+            acked, crashed = _run_workload(datadir, FaultInjector.torn_write_at(op))
+            assert crashed
+            _assert_contract(_recovered_ids(datadir), acked)
+
+    def test_failed_fsync_at_every_boundary(self, tmp_path):
+        """FAIL_FSYNC only fires at sync barriers; elsewhere it is inert
+        and the workload must complete untouched."""
+        n_ops = _baseline_ops(tmp_path)
+        fsync_failures = 0
+        for op in range(n_ops):
+            datadir = tmp_path / f"fsync-{op}"
+            injector = FaultInjector.fail_fsync_at(op)
+            acked, crashed = _run_workload(datadir, injector)
+            if any(kind == FAIL_FSYNC for __, __, kind in injector.fired):
+                assert crashed, "a failed fsync must take the instance down"
+                fsync_failures += 1
+            else:
+                assert not crashed and acked == list(range(N_ROWS))
+            _assert_contract(_recovered_ids(datadir), acked)
+        assert fsync_failures >= 3, "workload exercised too few fsync barriers"
+
+
+class TestFlushedLsnHonesty:
+    """Regression: ``flushed_lsn`` may only advance after a successful
+    append + fsync — never before."""
+
+    def test_failed_fsync_does_not_advance_flushed_lsn(self, tmp_path):
+        # Ops: 0 = append (insert), 1 = append (commit), 2 = fsync.
+        injector = FaultInjector(schedule={2: Fault(FAIL_FSYNC)})
+        wal = WriteAheadLog(tmp_path / "wal.log", faults=injector)
+        wal.log_insert(1, "t.heap", 0, b"x")
+        with pytest.raises(SimulatedIOError):
+            wal.log_commit(1)
+        assert wal.flushed_lsn == 0
+        # And replay must treat nothing as durable.
+        assert replay(wal, MemoryDisk()) == 0
+
+    def test_torn_append_does_not_advance_flushed_lsn(self, tmp_path):
+        injector = FaultInjector(schedule={0: Fault(TORN_WRITE, keep_fraction=0.4)})
+        wal = WriteAheadLog(tmp_path / "wal.log", faults=injector)
+        wal.log_insert(1, "t.heap", 0, b"x")
+        with pytest.raises(SimulatedCrash):
+            wal.log_commit(1)
+        assert wal.flushed_lsn == 0
+
+    def test_wal_panics_after_flush_failure(self, tmp_path):
+        injector = FaultInjector(schedule={2: Fault(FAIL_FSYNC)})
+        wal = WriteAheadLog(tmp_path / "wal.log", faults=injector)
+        wal.log_insert(1, "t.heap", 0, b"x")
+        with pytest.raises(SimulatedIOError):
+            wal.log_commit(1)
+        with pytest.raises(WalPanicError):
+            wal.log_insert(2, "t.heap", 0, b"y")
+        with pytest.raises(WalPanicError):
+            wal.flush()
+
+    def test_heap_insert_undone_when_wal_panicked(self, tmp_path):
+        """After a WAL panic, a failed insert must not leave a phantom
+        tuple visible to in-process readers."""
+        # Count the ops of CREATE TABLE + one insert, then fail the
+        # *next* fsync barrier (FAIL_FSYNC is inert at write sites, so
+        # blanket-scheduling a range pins it to insert 1's commit).
+        counter = FaultInjector()
+        db0 = PgSimDatabase(
+            data_dir=tmp_path / "count", buffer_pool_pages=POOL, fault_injector=counter
+        )
+        db0.execute("CREATE TABLE t (id int, vec float[])")
+        _insert(db0, 0)
+        base = counter.ops
+
+        schedule = {base + i: Fault(FAIL_FSYNC) for i in range(20)}
+        injector = FaultInjector(schedule=schedule)
+        db = PgSimDatabase(
+            data_dir=tmp_path / "db", buffer_pool_pages=POOL, fault_injector=injector
+        )
+        db.execute("CREATE TABLE t (id int, vec float[])")
+        _insert(db, 0)
+        with pytest.raises(SimulatedIOError):
+            _insert(db, 1)  # its commit fsync fails -> WAL panics
+        with pytest.raises(WalPanicError):
+            _insert(db, 2)  # panicked WAL rejects the insert's log record
+        # Insert 1 reached the page before its commit failed; insert 2
+        # must have been undone by the heap, not left as a phantom.
+        table = db.catalog.table("t")
+        assert table.heap.tuple_count == 2
+        # After recovery: row 0 was acknowledged and must be there; row
+        # 1's records reached the OS before its fsync failed, so it may
+        # legitimately be durable too; row 2 must never appear.
+        recovered = _recovered_ids(tmp_path / "db")
+        _assert_contract(recovered, [0])
+        assert 2 not in recovered
+
+
+class TestCheckpointTruncation:
+    def test_checkpoint_bounds_record_count_and_file_size(self, tmp_path):
+        db = PgSimDatabase(data_dir=tmp_path / "db", buffer_pool_pages=POOL)
+        db.execute("CREATE TABLE t (id int, vec float[])")
+        for i in range(20):
+            _insert(db, i)
+        before_records = len(db.wal)
+        before_bytes = db.wal.disk_size()
+        assert before_records == 40  # one insert + one commit per row
+        db.checkpoint()
+        assert len(db.wal) == 1  # just the checkpoint record
+        assert db.wal.disk_size() < before_bytes
+
+    def test_log_stays_bounded_with_periodic_checkpoints(self, tmp_path):
+        db = PgSimDatabase(data_dir=tmp_path / "db", buffer_pool_pages=POOL)
+        db.execute("CREATE TABLE t (id int, vec float[])")
+        for i in range(50):
+            _insert(db, i)
+            if i % 10 == 9:
+                db.checkpoint()
+        assert len(db.wal) <= 2 * 10 + 1
+
+    def test_recovery_after_checkpoint_truncation(self, tmp_path):
+        datadir = tmp_path / "db"
+        db = PgSimDatabase(data_dir=datadir, buffer_pool_pages=POOL)
+        db.execute("CREATE TABLE t (id int, vec float[])")
+        for i in range(10):
+            _insert(db, i)
+        db.checkpoint()
+        for i in range(10, 15):
+            _insert(db, i)
+        del db  # crash: post-checkpoint rows only exist in WAL + buffers
+        assert _recovered_ids(datadir) == list(range(15))
+
+    def test_checkpoint_record_carries_durable_horizon(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.log_insert(1, "t.heap", 0, b"x")
+        wal.log_commit(1)
+        horizon = wal.flushed_lsn
+        wal.log_checkpoint()
+        checkpoint = wal.records()[-1]
+        assert struct.unpack("<Q", checkpoint.payload)[0] == horizon
+        # A checkpoint record must itself be durable (satellite fix).
+        assert wal.flushed_lsn == checkpoint.lsn
+
+    def test_truncate_is_crash_atomic(self, tmp_path):
+        """A crash while rewriting the log leaves the old log intact."""
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        for xid in (1, 2, 3):
+            wal.log_insert(xid, "t.heap", 0, b"x")
+            wal.log_commit(xid)
+        # Fail the first rewrite write of truncate_before.
+        wal.faults = FaultInjector(schedule={0: Fault(CRASH)})
+        with pytest.raises(SimulatedCrash):
+            wal.truncate_before(wal.flushed_lsn)
+        reopened = WriteAheadLog(path)
+        assert len(reopened) == 6
+        assert reopened.flushed_lsn == wal.records()[-1].lsn
+
+
+class TestInjector:
+    def test_counts_ops_without_faults(self, tmp_path):
+        injector = FaultInjector()
+        with (tmp_path / "f").open("wb") as f:
+            injector.write("site", f, b"abc")
+            injector.fsync("site", f)
+        assert injector.ops == 2
+        assert injector.fired == []
+        assert (tmp_path / "f").read_bytes() == b"abc"
+
+    def test_torn_write_keeps_prefix(self, tmp_path):
+        injector = FaultInjector.torn_write_at(0, keep_fraction=0.5)
+        with (tmp_path / "f").open("wb") as f:
+            with pytest.raises(SimulatedCrash):
+                injector.write("site", f, b"abcdefgh")
+        assert (tmp_path / "f").read_bytes() == b"abcd"
+        assert injector.fired == [(0, "site", TORN_WRITE)]
+
+    def test_fail_fsync_inert_on_writes(self, tmp_path):
+        injector = FaultInjector(schedule={0: Fault(FAIL_FSYNC), 1: Fault(FAIL_FSYNC)})
+        with (tmp_path / "f").open("wb") as f:
+            injector.write("site", f, b"abc")  # inert: writes cannot "fail fsync"
+            assert injector.fired == []
+            with pytest.raises(SimulatedIOError):
+                injector.fsync("site", f)
+        assert (tmp_path / "f").read_bytes() == b"abc"
+        assert injector.fired == [(1, "site", FAIL_FSYNC)]
+
+    def test_invalid_fault_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Fault("power-loss")
+        with pytest.raises(ValueError):
+            Fault(TORN_WRITE, keep_fraction=1.0)

@@ -1,6 +1,5 @@
 """Crash-recovery integration tests for file-backed databases."""
 
-import numpy as np
 import pytest
 
 from repro.pgsim import PgSimDatabase
@@ -57,6 +56,49 @@ class TestWalFilePersistence:
         wal.log_commit(5)
         reopened = WriteAheadLog(path)
         assert reopened.log_insert(6, "t.heap", 0, b"b") > first + 1
+
+    def test_torn_tail_mid_record_dropped(self, tmp_path):
+        """A frame whose header promises more bytes than the file holds
+        (a genuinely torn record, not trailing garbage) is discarded."""
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        wal.log_insert(5, "t.heap", 0, b"good")
+        wal.log_commit(5)
+        intact = path.read_bytes()
+        # Frame the third record correctly, then tear it in half.
+        record = intact[WriteAheadLog._FRAME.size :]
+        torn = WriteAheadLog._FRAME.pack(len(record)) + record[: len(record) // 2]
+        path.write_bytes(intact + torn)
+        reopened = WriteAheadLog(path)
+        assert len(reopened.records()) == 2
+        assert reopened.flushed_lsn == 2
+        # The next append continues cleanly past the ignored tail.
+        assert reopened.log_insert(6, "t.heap", 0, b"b") == 3
+
+    def test_duplicate_records_from_retried_flush_skipped(self, tmp_path):
+        """A flush retried after a partial failure can append the same
+        records twice; ``_load`` keeps only the first copy of each LSN."""
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        wal.log_insert(5, "t.heap", 0, b"a")
+        wal.log_commit(5)
+        path.write_bytes(path.read_bytes() * 2)
+        reopened = WriteAheadLog(path)
+        assert [r.lsn for r in reopened.records()] == [1, 2]
+
+    def test_replay_twice_is_idempotent(self, tmp_path):
+        from repro.pgsim.storage import MemoryDisk
+        from repro.pgsim.wal import replay
+
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        for i in range(3):
+            wal.log_insert(7, "t.heap", 0, b"tuple-%d" % i)
+        wal.log_commit(7)
+        disk = MemoryDisk()
+        assert replay(wal, disk) == 3
+        after_first = disk.read_block("t.heap", 0)
+        assert replay(wal, disk) == 0  # page LSNs already cover the log
+        assert disk.read_block("t.heap", 0) == after_first
 
 
 class TestDatabaseRecovery:

@@ -193,3 +193,72 @@ class TestBufferManager:
     def test_invalid_capacity(self, disk):
         with pytest.raises(ValueError):
             BufferManager(disk, capacity=0)
+
+
+class TestClockSweepFairness:
+    def test_swapped_in_frame_not_inspected_out_of_turn(self):
+        """Regression: after a swap-remove eviction the clock hand must
+        advance past the frame swapped in from the tail, or that frame
+        gets an out-of-turn inspection and the ring order degrades."""
+        disk = MemoryDisk(page_size=1024)
+        disk.create_relation("r")
+        for __ in range(5):
+            disk.extend("r", _blank_page())
+        buffer = BufferManager(disk, capacity=3)
+        for blkno in range(3):
+            buffer.unpin(buffer.pin("r", blkno))
+        # Pool full, all usage counts 1.  Pinning block 3 sweeps a full
+        # lap (decrementing every usage count) and evicts block 0; the
+        # swap-remove moves block 2's key into the hand position.
+        buffer.unpin(buffer.pin("r", 3))
+        assert ("r", 0) not in buffer._frames
+        # Next eviction must pick block 1 — the frame after the evicted
+        # one in ring order — not block 2, which was merely swapped into
+        # the hand slot.
+        buffer.unpin(buffer.pin("r", 4))
+        assert ("r", 2) in buffer._frames
+        assert ("r", 1) not in buffer._frames
+        assert buffer.stats.evictions == 2
+
+
+class TestNoStealEviction:
+    def test_uncommitted_dirty_page_survives_eviction_pressure(self):
+        from repro.pgsim.wal import WriteAheadLog
+
+        disk = MemoryDisk(page_size=1024)
+        disk.create_relation("r")
+        wal = WriteAheadLog()
+        buffer = BufferManager(disk, capacity=2, wal=wal)
+        b0, f0 = buffer.new_page("r")
+        f0.page.lsn = wal.log_insert(1, "r", b0, b"x")  # in-flight statement
+        buffer.unpin(f0, dirty=True)
+        b1, f1 = buffer.new_page("r")
+        buffer.unpin(f1, dirty=True)  # dirty but lsn 0: committed state
+        disk.extend("r", _blank_page())
+        buffer.unpin(buffer.pin("r", 2))
+        # The uncommitted page was skipped; the other dirty frame went.
+        assert ("r", b0) in buffer._frames
+        assert ("r", b1) not in buffer._frames
+        # Once the WAL is flushed (commit), the page becomes evictable:
+        # with block 2 pinned, block 0 is the only candidate left.
+        wal.log_commit(1)
+        f2 = buffer.pin("r", 2)
+        disk.extend("r", _blank_page())
+        f3 = buffer.pin("r", 3)
+        assert ("r", b0) not in buffer._frames
+        buffer.unpin(f2)
+        buffer.unpin(f3)
+
+    def test_pool_of_uncommitted_pages_exhausts(self):
+        from repro.pgsim.wal import WriteAheadLog
+
+        disk = MemoryDisk(page_size=1024)
+        disk.create_relation("r")
+        wal = WriteAheadLog()
+        buffer = BufferManager(disk, capacity=2, wal=wal)
+        for __ in range(2):
+            blkno, frame = buffer.new_page("r")
+            frame.page.lsn = wal.log_insert(1, "r", blkno, b"x")
+            buffer.unpin(frame, dirty=True)
+        with pytest.raises(BufferPoolExhaustedError):
+            buffer.new_page("r")
