@@ -21,7 +21,7 @@ from repro.common.heap import BoundedMaxHeap
 from repro.common.kmeans import assign_nearest_batch, faiss_kmeans, sample_training_rows
 from repro.common.parallel import WorkUnit
 from repro.pase.ivf_flat import PaseIVFFlat
-from repro.pgsim.am import register_am
+from repro.pgsim.am import ScanBatch, register_am, topk_batch
 from repro.pgsim.heapam import TID
 
 
@@ -158,6 +158,39 @@ class BridgedIVFFlat(PaseIVFFlat):
                     worst = heap.worst_distance
         for neighbor in heap.results():
             yield _unpack(neighbor.vector_id), neighbor.distance
+
+    def get_batch(self, query: np.ndarray, k: int) -> ScanBatch:
+        """Batched scan straight off the memory mirror.
+
+        Same SGEMM distances as :meth:`scan`; selection is a single
+        lexsort over all probed candidates (boundary ties break toward
+        the smallest TID rather than first-seen probe order).
+        """
+        mirror = self._ensure_mirror()
+        query = np.ascontiguousarray(query, dtype=np.float32)
+        if query.shape != (self.dim,):
+            raise ValueError(f"query must be {self.dim}-dim, got shape {query.shape}")
+        nprobe = int(self.catalog.get_setting("pase.nprobe"))
+        kernel = batch_kernel(self.opts.distance_type)
+
+        cent_dists = kernel(query, mirror.centroids)[0]
+        nprobe = min(max(nprobe, 1), mirror.centroids.shape[0])
+        part = np.argpartition(cent_dists, nprobe - 1)[:nprobe]
+        probes = part[np.argsort(cent_dists[part], kind="stable")]
+
+        key_parts: list[np.ndarray] = []
+        dist_parts: list[np.ndarray] = []
+        for bucket in probes.tolist():
+            vectors = mirror.bucket_vectors[bucket]
+            if vectors.shape[0] == 0:
+                continue
+            dist_parts.append(kernel(query, vectors)[0].astype(np.float64))
+            key_parts.append(
+                np.asarray([_pack(t) for t in mirror.bucket_tids[bucket]], dtype=np.int64)
+            )
+        if not key_parts:
+            return ScanBatch.empty()
+        return topk_batch(np.concatenate(key_parts), np.concatenate(dist_parts), k)
 
     def _ensure_mirror(self) -> _MemoryMirror:
         if self._mirror is not None:

@@ -127,6 +127,41 @@ def l2_sqr_pairwise_loop(queries: np.ndarray, targets: np.ndarray) -> np.ndarray
     return out
 
 
+def l2_sqr_rows(query: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """Squared L2 distance from one query to each target row.
+
+    The one-query batched kernel backing the batch executor path: the
+    same ``(t - q)`` difference arithmetic as :func:`l2_sqr` (not the
+    SGEMM decomposition, whose cancellation error would let the two
+    executor paths disagree), reduced row-wise in one einsum call.
+    """
+    t = np.atleast_2d(np.asarray(targets, dtype=np.float32))
+    diff = t - np.asarray(query, dtype=np.float32)
+    return np.einsum("ij,ij->i", diff, diff).astype(np.float64)
+
+
+def inner_product_rows(query: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """Negated inner product from one query to each target row."""
+    t = np.atleast_2d(np.asarray(targets, dtype=np.float32))
+    return -(t @ np.asarray(query, dtype=np.float32)).astype(np.float64)
+
+
+def cosine_distance_rows(query: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """Cosine distance from one query to each target row.
+
+    Zero-norm operands map to distance 1.0, as in
+    :func:`cosine_distance`.
+    """
+    q = np.asarray(query, dtype=np.float32)
+    t = np.atleast_2d(np.asarray(targets, dtype=np.float32))
+    dots = (t @ q).astype(np.float64)
+    q_norm = float(np.linalg.norm(q))
+    t_norms = np.sqrt(np.einsum("ij,ij->i", t, t)).astype(np.float64)
+    denom = q_norm * t_norms
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.where(denom > 0.0, 1.0 - dots / denom, 1.0)
+
+
 def squared_norms(matrix: np.ndarray) -> np.ndarray:
     """Row-wise squared L2 norms ``||x_i||^2`` as a float32 vector."""
     m = np.atleast_2d(np.asarray(matrix, dtype=np.float32))
@@ -148,6 +183,12 @@ _BATCH: dict[DistanceType, BatchKernel] = {
     DistanceType.COSINE: cosine_distance_batch,
 }
 
+_ROWS: dict[DistanceType, BatchKernel] = {
+    DistanceType.L2: l2_sqr_rows,
+    DistanceType.INNER_PRODUCT: inner_product_rows,
+    DistanceType.COSINE: cosine_distance_rows,
+}
+
 
 def pairwise_kernel(distance_type: DistanceType) -> PairwiseKernel:
     """Per-pair kernel for ``distance_type`` (smaller = more similar)."""
@@ -161,5 +202,13 @@ def batch_kernel(distance_type: DistanceType) -> BatchKernel:
     """SGEMM-backed batch kernel for ``distance_type``."""
     try:
         return _BATCH[DistanceType(distance_type)]
+    except KeyError:
+        raise ValueError(f"unsupported distance type: {distance_type!r}") from None
+
+
+def rows_kernel(distance_type: DistanceType) -> BatchKernel:
+    """One-query row-wise kernel for ``distance_type`` (float64 out)."""
+    try:
+        return _ROWS[DistanceType(distance_type)]
     except KeyError:
         raise ValueError(f"unsupported distance type: {distance_type!r}") from None

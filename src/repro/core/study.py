@@ -133,11 +133,21 @@ class GeneralizedVectorDB:
             self.db.execute(f"SET pase.efs = {int(efs)}")
         accesses_before = self.db.buffer.stats.accesses
         table = self.db.catalog.table(self.table_name)
+        use_batch = self.db.catalog.get_bool("enable_batch_exec")
         start = time.perf_counter()
         neighbors = []
-        for tid, dist in self.am.scan(np.ascontiguousarray(query, dtype=np.float32), k):
-            row_id = table.heap.fetch_column(tid, 0)
-            neighbors.append(_neighbor(row_id, dist))
+        if use_batch:
+            # RC#3 ablation: amgetbatch + block-grouped heap fetches.
+            batch = self.am.get_batch(np.ascontiguousarray(query, dtype=np.float32), k)
+            row_ids = table.heap.fetch_column_many(batch.tids(), 0)
+            neighbors = [
+                _neighbor(row_id, dist)
+                for row_id, dist in zip(row_ids, batch.distances.tolist())
+            ]
+        else:
+            for tid, dist in self.am.scan(np.ascontiguousarray(query, dtype=np.float32), k):
+                row_id = table.heap.fetch_column(tid, 0)
+                neighbors.append(_neighbor(row_id, dist))
         elapsed = time.perf_counter() - start
         return SearchResult(
             neighbors=neighbors,

@@ -38,7 +38,7 @@ from repro.common.profiling import NULL_PROFILER
 from repro.common.rng import make_rng
 from repro.common.types import BuildStats, IndexSizeInfo
 from repro.pase.options import parse_hnsw_options
-from repro.pgsim.am import IndexAmRoutine, register_am
+from repro.pgsim.am import IndexAmRoutine, ScanBatch, register_am
 from repro.pgsim.heapam import TID
 from repro.pgsim.page import Page, PageFullError
 
@@ -256,6 +256,20 @@ class PageGraphStore:
             __, heap_blk, heap_off, __ = _DATA_HEAD.unpack_from(view, 0)
             return TID(heap_blk, heap_off)
 
+    def heap_tids(self, nodes: Sequence[int]) -> list[TID]:
+        """Batched :meth:`heap_tid`: one buffer pin per data block."""
+        out: list[TID | None] = [None] * len(nodes)
+        by_block: dict[int, list[int]] = {}
+        for i, node in enumerate(nodes):
+            by_block.setdefault(self._nodes[node].data_blkno, []).append(i)
+        for blkno, positions in by_block.items():
+            with self.buffer.page(self.data_rel, blkno) as page:
+                for i in positions:
+                    view = page.get_item_view(self._nodes[nodes[i]].data_offset)
+                    __, heap_blk, heap_off, __ = _DATA_HEAD.unpack_from(view, 0)
+                    out[i] = TID(heap_blk, heap_off)
+        return out  # type: ignore[return-value]
+
 
 def _reset_page(page: Page, special: bytes) -> None:
     """Re-format a page in place, preserving its special-space size."""
@@ -320,6 +334,28 @@ class PaseHNSW(IndexAmRoutine):
         self.store.profiler = self.profiler
         for neighbor in graph.search(self.store, self.params, query, k, efs=efs):
             yield self.store.heap_tid(neighbor.vector_id), neighbor.distance
+
+    def get_batch(self, query: np.ndarray, k: int) -> ScanBatch:
+        """Batched scan: graph search once, heap TIDs resolved per block.
+
+        The traversal itself is identical to :meth:`scan` (same graph
+        walk, same float results); what batching removes is the one
+        buffer pin per result that ``heap_tid`` costs on the tuple path.
+        """
+        if self.store is None or self.store.node_count() == 0:
+            return ScanBatch.empty()
+        efs = int(self.catalog.get_setting("pase.efs"))
+        query = np.ascontiguousarray(query, dtype=np.float32)
+        self.store.profiler = self.profiler
+        neighbors = graph.search(self.store, self.params, query, k, efs=efs)
+        if not neighbors:
+            return ScanBatch.empty()
+        tids = self.store.heap_tids([n.vector_id for n in neighbors])
+        return ScanBatch(
+            blknos=np.array([t.blkno for t in tids], dtype=np.int64),
+            offsets=np.array([t.offset for t in tids], dtype=np.int64),
+            distances=np.array([n.distance for n in neighbors], dtype=np.float64),
+        )
 
     # ------------------------------------------------------------------
     # size accounting

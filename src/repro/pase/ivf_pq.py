@@ -32,7 +32,7 @@ from repro.common.profiling import NULL_PROFILER
 from repro.common.types import BuildStats, IndexSizeInfo
 from repro.pase.ivf_flat import _key_tid, _tid_key
 from repro.pase.options import parse_ivfpq_options
-from repro.pgsim.am import IndexAmRoutine, register_am
+from repro.pgsim.am import IndexAmRoutine, ScanBatch, register_am, topk_batch
 from repro.pgsim.constants import LINE_POINTER_SIZE, PAGE_HEADER_SIZE
 from repro.pgsim.heapam import TID
 from repro.pgsim.page import PageFullError
@@ -236,8 +236,8 @@ class PaseIVFPQ(IndexAmRoutine):
         if query.shape != (self.dim,):
             raise ValueError(f"query must be {self.dim}-dim, got shape {query.shape}")
         nprobe = int(self.catalog.get_setting("pase.nprobe"))
-        fixed_heap = bool(self.catalog.get_setting("pase.fixed_heap"))
-        optimized = bool(self.catalog.get_setting("pase.optimized_pctable"))
+        fixed_heap = self.catalog.get_bool("pase.fixed_heap")
+        optimized = self.catalog.get_bool("pase.optimized_pctable")
         codebook = self._load_codebook()
 
         cent_dists: list[float] = []
@@ -279,6 +279,57 @@ class PaseIVFPQ(IndexAmRoutine):
         for neighbor in results:
             yield _key_tid(neighbor.vector_id), neighbor.distance
 
+    def get_batch(self, query: np.ndarray, k: int) -> ScanBatch:
+        """Batched scan: bucket code matrices scored by array ADC lookups.
+
+        Accumulates the ADC sum column-by-column in float64 — the same
+        sub-space order and precision as
+        :func:`repro.common.pq.adc_distance_single` — so both executor
+        paths compute bit-identical distances.
+        """
+        if self.dim is None:
+            raise RuntimeError("index has not been built")
+        prof = self.profiler
+        query = np.ascontiguousarray(query, dtype=np.float32)
+        if query.shape != (self.dim,):
+            raise ValueError(f"query must be {self.dim}-dim, got shape {query.shape}")
+        nprobe = int(self.catalog.get_setting("pase.nprobe"))
+        optimized = self.catalog.get_bool("pase.optimized_pctable")
+        codebook = self._load_codebook()
+
+        cent_dists: list[float] = []
+        heads: list[int] = []
+        for __, head, centroid in self._iter_centroids():
+            with prof.section(SEC_DISTANCE):
+                diff = centroid - query
+                cent_dists.append(float(np.dot(diff, diff)))
+            heads.append(head)
+        order = np.argsort(np.asarray(cent_dists), kind="stable")[: max(nprobe, 1)]
+
+        with prof.section(SEC_PCTABLE):
+            if optimized:
+                table = pq.optimized_adc_table(codebook, query)
+            else:
+                table = pq.naive_adc_table(codebook, query)
+
+        key_parts: list[np.ndarray] = []
+        dist_parts: list[np.ndarray] = []
+        for bucket in order.tolist():
+            with prof.section(SEC_TUPLE_ACCESS):
+                keys, codes = self._gather_bucket(heads[bucket])
+            if keys.shape[0] == 0:
+                continue
+            with prof.section(SEC_DISTANCE):
+                acc = np.zeros(codes.shape[0], dtype=np.float64)
+                for j in range(table.shape[0]):
+                    acc += table[j, codes[:, j]]
+                dist_parts.append(acc)
+            key_parts.append(keys)
+        with prof.section(SEC_HEAP):
+            if not key_parts:
+                return ScanBatch.empty()
+            return topk_batch(np.concatenate(key_parts), np.concatenate(dist_parts), k)
+
     # ------------------------------------------------------------------
     # page iteration
     # ------------------------------------------------------------------
@@ -315,6 +366,53 @@ class PaseIVFPQ(IndexAmRoutine):
                 (blkno,) = _NEXT.unpack(page.read_special())
             finally:
                 self.buffer.unpin(frame)
+
+    def _gather_bucket(self, head: int) -> tuple[np.ndarray, np.ndarray]:
+        """Collect one bucket as ``(packed TID keys, PQ code matrix)``.
+
+        Data pages are append-only with fixed-size tuples, so the tuple
+        area decodes wholesale (see ``_decode_data_page`` in ivf_flat);
+        code tuples are narrow, so headers split via contiguous copies.
+        """
+        item_size = _DATA_HEAD.size + self.opts.m
+        key_parts: list[np.ndarray] = []
+        code_parts: list[np.ndarray] = []
+        rel = self.relation_name("data")
+        blkno = head
+        while blkno != _NO_BLOCK:
+            frame = self.buffer.pin(rel, blkno)
+            try:
+                page = frame.page
+                n = page.item_count
+                upper = page.upper
+                if n and page.special - upper == n * item_size:
+                    mat = np.frombuffer(
+                        page.buf, dtype=np.uint8, count=n * item_size, offset=upper
+                    ).reshape(n, item_size)
+                    blks = np.ascontiguousarray(mat[:, 0:4]).view("<u4").reshape(n)
+                    offs = np.ascontiguousarray(mat[:, 4:6]).view("<u2").reshape(n)
+                    key_parts.append(
+                        (blks.astype(np.int64) << 16) | offs.astype(np.int64)
+                    )
+                    code_parts.append(mat[:, _DATA_HEAD.size :])
+                elif n:
+                    keys = np.empty(n, dtype=np.int64)
+                    codes: list[np.ndarray] = []
+                    for off in range(1, n + 1):
+                        view = page.get_item_view(off)
+                        heap_blk, heap_off = _DATA_HEAD.unpack_from(view, 0)
+                        keys[off - 1] = (heap_blk << 16) | heap_off
+                        codes.append(
+                            np.frombuffer(view, dtype=np.uint8, offset=_DATA_HEAD.size)
+                        )
+                    key_parts.append(keys)
+                    code_parts.append(np.vstack(codes))
+                (blkno,) = _NEXT.unpack(page.read_special())
+            finally:
+                self.buffer.unpin(frame)
+        if not key_parts:
+            return np.empty(0, dtype=np.int64), np.empty((0, self.opts.m), dtype=np.uint8)
+        return np.concatenate(key_parts), np.vstack(code_parts)
 
     def _load_codebook(self) -> pq.PQCodebook:
         """Decode codebook pages once and cache (PASE keeps it resident)."""

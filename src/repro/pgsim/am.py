@@ -13,6 +13,7 @@ so ``CREATE INDEX ... USING <am>`` can find them.
 from __future__ import annotations
 
 import abc
+from dataclasses import dataclass
 from typing import Any, Iterator
 
 import numpy as np
@@ -21,6 +22,73 @@ from repro.common.types import IndexSizeInfo
 from repro.pgsim.buffer import BufferManager
 from repro.pgsim.catalog import Catalog
 from repro.pgsim.heapam import TID, HeapTable
+
+
+@dataclass(slots=True)
+class ScanBatch:
+    """One batch of index-scan candidates, nearest-first.
+
+    The batched counterpart of the ``(tid, distance)`` stream that
+    :meth:`IndexAmRoutine.scan` yields: three parallel NumPy arrays so
+    the executor can consume a whole result set without one Python
+    round trip per candidate (the paper's RC#3 interface cost).
+    """
+
+    blknos: np.ndarray  #: int64 heap block numbers
+    offsets: np.ndarray  #: int64 1-based heap offsets
+    distances: np.ndarray  #: float64 distances, ascending
+
+    def __len__(self) -> int:
+        return int(self.blknos.shape[0])
+
+    def tids(self) -> list[TID]:
+        return [
+            TID(int(b), int(o))
+            for b, o in zip(self.blknos.tolist(), self.offsets.tolist())
+        ]
+
+    def pairs(self) -> list[tuple[TID, float]]:
+        """The batch as ``(tid, distance)`` pairs (tuple-stream form)."""
+        return list(zip(self.tids(), self.distances.tolist()))
+
+    @classmethod
+    def empty(cls) -> "ScanBatch":
+        return cls(
+            blknos=np.empty(0, dtype=np.int64),
+            offsets=np.empty(0, dtype=np.int64),
+            distances=np.empty(0, dtype=np.float64),
+        )
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterator[tuple[TID, float]]) -> "ScanBatch":
+        materialized = list(pairs)
+        if not materialized:
+            return cls.empty()
+        return cls(
+            blknos=np.array([t.blkno for t, __ in materialized], dtype=np.int64),
+            offsets=np.array([t.offset for t, __ in materialized], dtype=np.int64),
+            distances=np.array([d for __, d in materialized], dtype=np.float64),
+        )
+
+
+def topk_batch(tid_keys: np.ndarray, distances: np.ndarray, k: int) -> ScanBatch:
+    """Select the k nearest candidates from packed-TID/distance arrays.
+
+    ``tid_keys`` uses the AMs' ``(blkno << 16) | offset`` packing.  Ties
+    break toward the smallest key — the same (distance, id) order the
+    tuple-path heaps produce — so both executor paths agree exactly.
+    """
+    tid_keys = np.asarray(tid_keys, dtype=np.int64)
+    distances = np.asarray(distances, dtype=np.float64)
+    order = np.lexsort((tid_keys, distances))
+    if k < order.shape[0]:
+        order = order[:k]
+    keys = tid_keys[order]
+    return ScanBatch(
+        blknos=keys >> 16,
+        offsets=keys & 0xFFFF,
+        distances=distances[order],
+    )
 
 
 class IndexAmRoutine(abc.ABC):
@@ -70,6 +138,17 @@ class IndexAmRoutine(abc.ABC):
         This is the ``amgettuple`` path the executor pulls from for
         ``ORDER BY vec <-> q LIMIT k`` plans.
         """
+
+    def get_batch(self, query: np.ndarray, k: int) -> ScanBatch:
+        """Batched scan: the k nearest candidates as one :class:`ScanBatch`.
+
+        The ``amgetbatch`` counterpart of :meth:`scan`: instead of one
+        ``(tid, distance)`` per executor pull, the whole candidate set
+        comes back in NumPy arrays.  The default implementation wraps
+        :meth:`scan`, so every AM supports the batch executor path;
+        vector AMs override it with genuinely vectorized versions.
+        """
+        return ScanBatch.from_pairs(self.scan(query, k))
 
     def delete(self, tid: TID) -> None:
         """Unindex a heap tuple (default: not supported)."""

@@ -52,7 +52,11 @@ DEFAULT_SETTINGS: dict[str, Any] = {
     "pase.optimized_pctable": False,  # RC#7 ablation
     "enable_indexscan": True,
     "enable_seqscan": True,
+    "enable_batch_exec": False,  # RC#3 ablation: batch-at-a-time executor
 }
+
+_TRUTHY = {"on", "true", "yes", "1"}
+_FALSY = {"off", "false", "no", "0"}
 
 
 class Catalog:
@@ -128,3 +132,23 @@ class Catalog:
             return self.settings[name.lower()]
         except KeyError:
             raise CatalogError(f"unrecognized configuration parameter: {name!r}") from None
+
+    def get_bool(self, name: str) -> bool:
+        """A setting as a boolean, accepting PostgreSQL's spellings.
+
+        ``SET x = off`` reaches the catalog as the string ``"off"``
+        (and ``on`` as ``True`` via the parser), so boolean GUCs must
+        coerce rather than rely on Python truthiness.
+        """
+        value = self.get_setting(name)
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, (int, float)):
+            return bool(value)
+        if isinstance(value, str):
+            lowered = value.strip().lower()
+            if lowered in _TRUTHY:
+                return True
+            if lowered in _FALSY:
+                return False
+        raise CatalogError(f"parameter {name!r} requires a Boolean value, got {value!r}")

@@ -282,7 +282,10 @@ class Executor:
     def _select(self, stmt: ast.Select) -> P.QueryResult:
         plan = plan_select(stmt, self.catalog)
         assert isinstance(plan, P.Project)
-        rows = list(self._project_rows(plan))
+        if plan.batch:
+            rows = list(self._project_rows_batch(plan))
+        else:
+            rows = list(self._project_rows(plan))
         return P.QueryResult(command=f"SELECT {len(rows)}", columns=plan.columns, rows=rows)
 
     def _explain(self, stmt: ast.Explain) -> P.QueryResult:
@@ -301,7 +304,10 @@ class Executor:
         instrument: dict[int, list] = {}
         start = time.perf_counter()
         assert isinstance(plan, P.Project)
-        n_rows = sum(1 for __ in self._project_rows(plan, instrument))
+        if plan.batch:
+            n_rows = sum(1 for __ in self._project_rows_batch(plan, instrument))
+        else:
+            n_rows = sum(1 for __ in self._project_rows(plan, instrument))
         total = time.perf_counter() - start
         lines = self._annotated_lines(plan, 0, instrument)
         lines.append(f"Execution: {n_rows} rows in {total * 1e3:.3f} ms")
@@ -334,13 +340,16 @@ class Executor:
                 yield (row["__agg__"],)
             return
         for row in self._plan_rows(project.child, instrument):
-            out: list[Any] = []
-            for target in project.targets:
-                if isinstance(target.expr, ast.Star):
-                    out.extend(row[name] for name in row if not name.startswith("__"))
-                else:
-                    out.append(E.evaluate(target.expr, row))
-            yield tuple(out)
+            yield self._project_one(project, row)
+
+    def _project_one(self, project: P.Project, row: dict[str, Any]) -> tuple[Any, ...]:
+        out: list[Any] = []
+        for target in project.targets:
+            if isinstance(target.expr, ast.Star):
+                out.extend(row[name] for name in row if not name.startswith("__"))
+            else:
+                out.append(E.evaluate(target.expr, row))
+        return tuple(out)
 
     def _plan_rows(
         self, node: P.PlanNode, instrument: dict[int, list] | None = None
@@ -441,12 +450,166 @@ class Executor:
                 return  # no dead entries left to compensate, or index exhausted
             k *= 2
 
+    # ------------------------------------------------------------------
+    # batch-at-a-time execution (``SET enable_batch_exec = on``)
+    # ------------------------------------------------------------------
+    def _project_rows_batch(
+        self, project: P.Project, instrument: dict[int, list] | None = None
+    ) -> Iterator[tuple[Any, ...]]:
+        """Batch counterpart of :meth:`_project_rows`.
+
+        Identical output (rows and ordering) to the tuple path; the
+        difference is purely in how rows move through the plan — whole
+        batches per pull instead of one dict per pull (the RC#3 fix).
+        """
+        if project.aggregated:
+            assert isinstance(project.child, (P.Aggregate, P.Limit))
+            for batch in self._plan_batches(project.child, instrument):
+                for row in batch:
+                    yield (row["__agg__"],)
+            return
+        for batch in self._plan_batches(project.child, instrument):
+            for row in batch:
+                yield self._project_one(project, row)
+
+    def _plan_batches(
+        self, node: P.PlanNode, instrument: dict[int, list] | None = None
+    ) -> Iterator[list[dict[str, Any]]]:
+        gen = self._plan_batches_inner(node, instrument)
+        if instrument is None:
+            return gen
+        return self._instrumented_batches(gen, node, instrument)
+
+    def _instrumented_batches(
+        self,
+        gen: Iterator[list[dict[str, Any]]],
+        node: P.PlanNode,
+        instrument: dict[int, list],
+    ) -> Iterator[list[dict[str, Any]]]:
+        """Row/time accounting for a batch stream.
+
+        The row counter advances by ``len(batch)`` per pull so EXPLAIN
+        ANALYZE reports tuples, not batches, on either executor path.
+        """
+        entry = instrument.setdefault(id(node), [0, 0.0])
+        while True:
+            start = time.perf_counter()
+            try:
+                batch = next(gen)
+            except StopIteration:
+                entry[1] += time.perf_counter() - start
+                return
+            entry[1] += time.perf_counter() - start
+            entry[0] += len(batch)
+            yield batch
+
+    def _plan_batches_inner(
+        self, node: P.PlanNode, instrument: dict[int, list] | None = None
+    ) -> Iterator[list[dict[str, Any]]]:
+        if isinstance(node, P.OneRow):
+            yield [{}]
+            return
+        if isinstance(node, P.SeqScan):
+            names = node.table.column_names()
+            for page_rows in node.table.heap.scan_batches():
+                batch = []
+                for tid, values in page_rows:
+                    row = dict(zip(names, values))
+                    row["__tid__"] = tid
+                    batch.append(row)
+                yield batch
+            return
+        if isinstance(node, P.IndexScan):
+            rows = self._index_scan_batch(node)
+            if rows:
+                yield rows
+            return
+        if isinstance(node, P.Filter):
+            for batch in self._plan_batches(node.child, instrument):
+                kept = [row for row in batch if E.evaluate(node.predicate, row)]
+                if kept:
+                    yield kept
+            return
+        if isinstance(node, P.Sort):
+            rows = [r for batch in self._plan_batches(node.child, instrument) for r in batch]
+            rows.sort(key=lambda r: E.evaluate(node.key, r), reverse=not node.ascending)
+            if rows:
+                yield rows
+            return
+        if isinstance(node, P.Limit):
+            remaining = node.count
+            if remaining <= 0:
+                return
+            for batch in self._plan_batches(node.child, instrument):
+                if len(batch) >= remaining:
+                    yield batch[:remaining]
+                    return
+                remaining -= len(batch)
+                yield batch
+            return
+        if isinstance(node, P.Aggregate):
+            rows = (
+                r for batch in self._plan_batches(node.child, instrument) for r in batch
+            )
+            yield [self._aggregate_row(node, rows=rows)]
+            return
+        if isinstance(node, P.Project):
+            # Nested projection (not produced by the current planner).
+            names = node.columns
+            batch = [dict(zip(names, out)) for out in self._project_rows_batch(node)]
+            if batch:
+                yield batch
+            return
+        raise ExecutionError(f"unknown plan node: {type(node).__name__}")
+
+    def _index_scan_batch(self, node: P.IndexScan) -> list[dict[str, Any]]:
+        """Batched index scan: ``am.get_batch`` + block-grouped heap fetch.
+
+        Same dead-tuple semantics and k-widening retry as
+        :meth:`_index_scan_rows`, but candidates arrive as arrays and
+        heap fetches are grouped by block (one pin per page).
+        """
+        names = node.table.column_names()
+        heap = node.table.heap
+        k = node.k
+        emitted: set = set()
+        out: list[dict[str, Any]] = []
+        while True:
+            batch = node.index.am.get_batch(node.query_vector, k)
+            hits = len(batch)
+            tids = batch.tids()
+            fetched = heap.fetch_many(tids)
+            distances = batch.distances.tolist()
+            live = 0
+            for tid, values, distance in zip(tids, fetched, distances):
+                if tid in emitted:
+                    live += 1
+                    continue
+                if values is None:
+                    continue  # dead tuple: index entry awaiting vacuum
+                emitted.add(tid)
+                live += 1
+                row = dict(zip(names, values))
+                row["__tid__"] = tid
+                row["__distance__"] = distance
+                out.append(row)
+                if len(emitted) >= node.k:
+                    return out
+            if live >= hits or hits < k:
+                return out  # no dead entries left to compensate, or index exhausted
+            k *= 2
+
     def _aggregate_row(
-        self, node: P.Aggregate, instrument: dict[int, list] | None = None
+        self,
+        node: P.Aggregate,
+        instrument: dict[int, list] | None = None,
+        rows: Iterator[dict[str, Any]] | None = None,
     ) -> dict[str, Any]:
+        if rows is None:
+            rows = self._plan_rows(node.child, instrument)
         values: list[Any] = []
         count = 0
-        for row in self._plan_rows(node.child, instrument):
+        for row in rows:
             count += 1
             if node.arg is not None:
                 values.append(E.evaluate(node.arg, row))

@@ -203,6 +203,47 @@ class HeapTable:
                 raise KeyError(f"tuple {tid} is deleted")
             return decode_column(self.schema, view, column_index)
 
+    def fetch_many(self, tids: Sequence[TID]) -> list[list[Any] | None]:
+        """Fetch many rows by TID with one buffer pin per heap block.
+
+        Results align with ``tids``; deleted tuples come back as
+        ``None`` (the batched analogue of :meth:`fetch` raising
+        ``KeyError``), so index scans can skip dead entries without a
+        per-tuple exception round trip.
+        """
+        out: list[list[Any] | None] = [None] * len(tids)
+        by_block: dict[int, list[int]] = {}
+        for i, tid in enumerate(tids):
+            by_block.setdefault(tid.blkno, []).append(i)
+        for blkno, positions in by_block.items():
+            with self.buffer.page(self.relation, blkno) as page:
+                for i in positions:
+                    view = page.get_item_view(tids[i].offset)
+                    if tuple_xmax(view) != 0:
+                        continue
+                    out[i] = decode_tuple(self.schema, view)
+        return out
+
+    def fetch_column_many(self, tids: Sequence[TID], column_index: int) -> list[Any]:
+        """Batched :meth:`fetch_column`, grouped by heap block.
+
+        Raises:
+            KeyError: if any addressed tuple is deleted (mirroring the
+                single-tuple path's contract).
+        """
+        out: list[Any] = [None] * len(tids)
+        by_block: dict[int, list[int]] = {}
+        for i, tid in enumerate(tids):
+            by_block.setdefault(tid.blkno, []).append(i)
+        for blkno, positions in by_block.items():
+            with self.buffer.page(self.relation, blkno) as page:
+                for i in positions:
+                    view = page.get_item_view(tids[i].offset)
+                    if tuple_xmax(view) != 0:
+                        raise KeyError(f"tuple {tids[i]} is deleted")
+                    out[i] = decode_column(self.schema, view, column_index)
+        return out
+
     def scan(self) -> Iterator[tuple[TID, list[Any]]]:
         """Sequential scan over all live rows."""
         for blkno in range(self.n_blocks()):
@@ -212,6 +253,23 @@ class HeapTable:
                     if tuple_xmax(view) != 0:
                         continue
                     yield TID(blkno, off), decode_tuple(self.schema, view)
+
+    def scan_batches(self) -> Iterator[list[tuple[TID, list[Any]]]]:
+        """Block-at-a-time sequential scan: one batch per heap page.
+
+        Row order across batches matches :meth:`scan` exactly; pages
+        with no live rows produce no batch.
+        """
+        for blkno in range(self.n_blocks()):
+            batch: list[tuple[TID, list[Any]]] = []
+            with self.buffer.page(self.relation, blkno) as page:
+                for off in page.live_items():
+                    view = page.get_item_view(off)
+                    if tuple_xmax(view) != 0:
+                        continue
+                    batch.append((TID(blkno, off), decode_tuple(self.schema, view)))
+            if batch:
+                yield batch
 
     # ------------------------------------------------------------------
     # stats

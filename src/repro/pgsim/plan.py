@@ -44,9 +44,12 @@ class SeqScan(PlanNode):
     """Full scan of a heap table."""
 
     table: TableInfo
+    #: True when the batch executor will run this scan page-at-a-time.
+    batch: bool = False
 
     def explain_lines(self, depth: int = 0) -> list[str]:
-        return [_line(depth, f"Seq Scan on {self.table.name}")]
+        suffix = " (batch)" if self.batch else ""
+        return [_line(depth, f"Seq Scan on {self.table.name}{suffix}")]
 
 
 @dataclass
@@ -58,13 +61,16 @@ class IndexScan(PlanNode):
     query_vector: np.ndarray
     k: int
     order_expr: ast.Expr
+    #: True when the batch executor will pull via ``am.get_batch``.
+    batch: bool = False
 
     def explain_lines(self, depth: int = 0) -> list[str]:
+        suffix = ", batch" if self.batch else ""
         return [
             _line(
                 depth,
                 f"Index Scan using {self.index.name} on {self.table.name} "
-                f"({self.index.am_name}, k={self.k})",
+                f"({self.index.am_name}, k={self.k}{suffix})",
             )
         ]
 
@@ -114,6 +120,9 @@ class Project(PlanNode):
     #: True when the child is a single-group Aggregate whose one value
     #: is the only output column.
     aggregated: bool = False
+    #: True when the executor should run the batch-at-a-time path
+    #: (``SET enable_batch_exec = on``).
+    batch: bool = False
 
     def explain_lines(self, depth: int = 0) -> list[str]:
         return [_line(depth, "Project")] + self.child.explain_lines(depth + 1)

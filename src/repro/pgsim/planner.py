@@ -40,7 +40,7 @@ def plan_select(stmt: ast.Select, catalog: Catalog) -> P.PlanNode:
     """Build the plan tree for a SELECT statement."""
     if stmt.table is None:
         node: P.PlanNode = P.OneRow()
-        return _project(node, stmt.targets, table=None)
+        return _mark_batch(_project(node, stmt.targets, table=None), catalog)
 
     table = catalog.table(stmt.table)
     node = _scan_node(stmt, table, catalog)
@@ -53,7 +53,7 @@ def plan_select(stmt: ast.Select, catalog: Catalog) -> P.PlanNode:
         agg: P.PlanNode = P.Aggregate(node, func, arg)
         if stmt.limit is not None:
             agg = P.Limit(agg, stmt.limit)
-        return _project(agg, stmt.targets, table, aggregated=True)
+        return _mark_batch(_project(agg, stmt.targets, table, aggregated=True), catalog)
 
     if stmt.limit is not None and not isinstance(node, P.IndexScan):
         node = P.Limit(node, stmt.limit)
@@ -61,7 +61,20 @@ def plan_select(stmt: ast.Select, catalog: Catalog) -> P.PlanNode:
         # The index scan already stops at k, but LIMIT stays in the
         # plan so WHERE filters above it cannot widen the result.
         node = P.Limit(node, stmt.limit)
-    return _project(node, stmt.targets, table)
+    return _mark_batch(_project(node, stmt.targets, table), catalog)
+
+
+def _mark_batch(project: P.Project, catalog: Catalog) -> P.Project:
+    """Flag a finished plan for the batch executor when the GUC is on."""
+    if not catalog.get_bool("enable_batch_exec"):
+        return project
+    project.batch = True
+    node: P.PlanNode | None = project.child
+    while node is not None:
+        if isinstance(node, (P.SeqScan, P.IndexScan)):
+            node.batch = True
+        node = getattr(node, "child", None)
+    return project
 
 
 def _scan_node(stmt: ast.Select, table: TableInfo, catalog: Catalog) -> P.PlanNode:
@@ -86,7 +99,7 @@ def _try_index_scan(
         return None
     if not stmt.order_by.ascending:
         return None  # farthest-first is not an index-supported order
-    if not catalog.get_setting("enable_indexscan"):
+    if not catalog.get_bool("enable_indexscan"):
         return None
     order_expr = stmt.order_by.expr
     if not isinstance(order_expr, ast.BinaryOp):

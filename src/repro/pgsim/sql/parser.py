@@ -322,7 +322,7 @@ class _Parser:
             return _number(tok.value)
         if tok.type == TokenType.STRING:
             return tok.value
-        if tok.is_keyword("true"):
+        if tok.is_keyword("true") or tok.is_keyword("on"):
             return True
         if tok.is_keyword("false"):
             return False

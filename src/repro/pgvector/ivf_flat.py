@@ -20,7 +20,7 @@ from typing import Any, Iterator
 
 import numpy as np
 
-from repro.common.distance import pairwise_kernel
+from repro.common.distance import pairwise_kernel, rows_kernel
 from repro.common.heap import NaiveTopK
 from repro.common.kmeans import pase_kmeans, sample_training_rows
 from repro.common.profiling import NULL_PROFILER
@@ -28,7 +28,7 @@ from repro.common.types import BuildStats, IndexSizeInfo
 from repro.pase.ivf_flat import _key_tid as key_to_tid
 from repro.pase.ivf_flat import _tid_key
 from repro.pase.options import parse_ivf_options
-from repro.pgsim.am import IndexAmRoutine, register_am
+from repro.pgsim.am import IndexAmRoutine, ScanBatch, register_am, topk_batch
 from repro.pgsim.constants import LINE_POINTER_SIZE, PAGE_HEADER_SIZE
 from repro.pgsim.heapam import TID
 from repro.pgsim.page import PageFullError
@@ -194,6 +194,45 @@ class PgVectorIVFFlat(IndexAmRoutine):
         for neighbor in heap.results():
             yield key_to_tid(neighbor.vector_id), neighbor.distance
 
+    def get_batch(self, query: np.ndarray, k: int) -> ScanBatch:
+        """Batched scan: block-grouped heap gathers + one kernel call.
+
+        The tuple path pays one heap-table round trip per candidate
+        (pgvector's defining cost); here candidate vectors are fetched
+        via :meth:`HeapTable.fetch_column_many` — one buffer pin per
+        heap block — and scored in a single row-wise kernel call.
+        """
+        if self.dim is None:
+            raise RuntimeError("index has not been built")
+        prof = self.profiler
+        query = np.ascontiguousarray(query, dtype=np.float32)
+        nprobe = int(self.catalog.get_setting("pase.nprobe"))
+        kernel = pairwise_kernel(self.opts.distance_type)
+        rows = rows_kernel(self.opts.distance_type)
+
+        cent_dists: list[float] = []
+        heads: list[int] = []
+        for __, head, centroid in self._iter_centroids():
+            with prof.section(SEC_DISTANCE):
+                cent_dists.append(kernel(query, centroid))
+            heads.append(head)
+        order = np.argsort(np.asarray(cent_dists), kind="stable")[: max(nprobe, 1)]
+
+        with prof.section(SEC_TUPLE_ACCESS):
+            tids: list[TID] = []
+            for bucket in order.tolist():
+                self._gather_bucket(heads[bucket], tids)
+        if not tids:
+            return ScanBatch.empty()
+        with prof.section(SEC_HEAP_FETCH):
+            columns = self.table.fetch_column_many(tids, self.column_index)
+            vectors = np.asarray(columns, dtype=np.float32)
+        with prof.section(SEC_DISTANCE):
+            dists = rows(query, vectors)
+        with prof.section(SEC_HEAP):
+            keys = np.asarray([_tid_key(tid) for tid in tids], dtype=np.int64)
+            return topk_batch(keys, dists, k)
+
     # ------------------------------------------------------------------
     # page iteration
     # ------------------------------------------------------------------
@@ -210,6 +249,39 @@ class PgVectorIVFFlat(IndexAmRoutine):
                         cent_id, head = _CENTROID_HEAD.unpack_from(view, 0)
                         vec = np.frombuffer(view, dtype=np.float32, offset=_CENTROID_HEAD.size)
                     yield cent_id, head, vec
+            finally:
+                self.buffer.unpin(frame)
+
+    def _gather_bucket(self, head: int, out: list[TID]) -> None:
+        """Append one bucket's TIDs to ``out``, one pin per chain page.
+
+        Data tuples are fixed-size (8-byte TID records) on append-only
+        pages, so each page decodes with one reinterpreting view; the
+        line-pointer walk remains as a defensive fallback.
+        """
+        rel = self.relation_name("data")
+        item_size = _TID_TUPLE.size
+        blkno = head
+        while blkno != _NO_BLOCK:
+            frame = self.buffer.pin(rel, blkno)
+            try:
+                page = frame.page
+                n = page.item_count
+                upper = page.upper
+                if n and page.special - upper == n * item_size:
+                    words = np.frombuffer(
+                        page.buf, dtype="<u4", count=n * 2, offset=upper
+                    ).reshape(n, 2)
+                    blks = words[:, 0].tolist()
+                    offs = (words[:, 1] & 0xFFFF).tolist()
+                    out.extend(TID(b, o) for b, o in zip(blks, offs))
+                else:
+                    for off in range(1, n + 1):
+                        heap_blk, heap_off = _TID_TUPLE.unpack_from(
+                            page.get_item_view(off), 0
+                        )
+                        out.append(TID(heap_blk, heap_off))
+                (blkno,) = _NEXT.unpack(page.read_special())
             finally:
                 self.buffer.unpin(frame)
 

@@ -1,0 +1,326 @@
+"""Differential tests: tuple-at-a-time vs batch executor paths.
+
+Every supported SELECT shape is run through both executor paths
+(``enable_batch_exec`` off and on) and must produce bit-identical
+rows in identical order.  The batch path is the RC#3 ablation, so any
+divergence — even a last-ulp distance difference that reorders two
+rows — is a bug, not noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pgsim import PgSimDatabase
+
+
+def _rows_equal(a, b) -> bool:
+    """Bit-identical row comparison that tolerates numpy payloads."""
+    if len(a) != len(b):
+        return False
+    for row_a, row_b in zip(a, b):
+        if len(row_a) != len(row_b):
+            return False
+        for va, vb in zip(row_a, row_b):
+            if isinstance(va, np.ndarray) or isinstance(vb, np.ndarray):
+                va, vb = np.asarray(va), np.asarray(vb)
+                if va.dtype != vb.dtype or not np.array_equal(va, vb):
+                    return False
+            elif va != vb or type(va) is not type(vb):
+                return False
+    return True
+
+
+def both_paths(db: PgSimDatabase, sql: str):
+    """Run ``sql`` under both executor paths and assert identical rows."""
+    db.execute("SET enable_batch_exec = off")
+    tuple_rows = db.query(sql)
+    db.execute("SET enable_batch_exec = on")
+    try:
+        batch_rows = db.query(sql)
+    finally:
+        db.execute("SET enable_batch_exec = off")
+    assert _rows_equal(tuple_rows, batch_rows), (
+        f"executor paths diverged for {sql!r}:\n"
+        f"  tuple: {tuple_rows[:5]}...\n  batch: {batch_rows[:5]}..."
+    )
+    return tuple_rows
+
+
+class TestSeqScanShapes:
+    """Non-indexed SELECT shapes through both paths."""
+
+    @pytest.fixture()
+    def db(self, fresh_db):
+        fresh_db.execute("CREATE TABLE t (id int, name text, score float)")
+        for i in range(50):
+            fresh_db.execute(
+                f"INSERT INTO t VALUES ({i}, 'n{i % 7}', {i * 0.5})"
+            )
+        return fresh_db
+
+    def test_full_scan(self, db):
+        assert len(both_paths(db, "SELECT id, name, score FROM t")) == 50
+
+    def test_star(self, db):
+        both_paths(db, "SELECT * FROM t")
+
+    def test_projection_expressions(self, db):
+        both_paths(db, "SELECT id * 2 + 1, score / 2 FROM t")
+
+    def test_filter(self, db):
+        assert len(both_paths(db, "SELECT id FROM t WHERE id < 7")) == 7
+
+    def test_filter_no_matches(self, db):
+        assert both_paths(db, "SELECT id FROM t WHERE id > 999") == []
+
+    def test_compound_filter(self, db):
+        both_paths(db, "SELECT id FROM t WHERE id >= 10 AND name = 'n3'")
+
+    def test_order_by_column(self, db):
+        both_paths(db, "SELECT id FROM t ORDER BY score DESC")
+
+    def test_order_by_expression_with_ties(self, db):
+        # id % 7 collides; stable sort order must match exactly.
+        both_paths(db, "SELECT id, name FROM t ORDER BY name")
+
+    def test_limit(self, db):
+        assert len(both_paths(db, "SELECT id FROM t LIMIT 3")) == 3
+
+    def test_limit_zero(self, db):
+        assert both_paths(db, "SELECT id FROM t LIMIT 0") == []
+
+    def test_limit_past_end(self, db):
+        assert len(both_paths(db, "SELECT id FROM t LIMIT 999")) == 50
+
+    def test_filter_then_limit(self, db):
+        both_paths(db, "SELECT id FROM t WHERE id >= 20 LIMIT 5")
+
+    def test_order_by_then_limit(self, db):
+        both_paths(db, "SELECT id FROM t ORDER BY score DESC LIMIT 4")
+
+    @pytest.mark.parametrize("agg", ["count(*)", "count(id)", "sum(id)",
+                                     "min(score)", "max(score)", "avg(id)"])
+    def test_aggregates(self, db, agg):
+        both_paths(db, f"SELECT {agg} FROM t")
+
+    def test_aggregate_with_filter(self, db):
+        both_paths(db, "SELECT count(*) FROM t WHERE id < 25")
+
+    def test_select_without_table(self, db):
+        assert both_paths(db, "SELECT 1 + 1") == [(2,)]
+
+    def test_vector_column_roundtrip(self, fresh_db):
+        fresh_db.execute("CREATE TABLE v (id int, vec float[])")
+        fresh_db.execute("INSERT INTO v VALUES (1, '0.5,1.5,2.5'::PASE)")
+        rows = both_paths(fresh_db, "SELECT vec FROM v")
+        assert rows[0][0].dtype == np.float32
+
+    def test_post_delete_scan(self, db):
+        db.execute("DELETE FROM t WHERE id < 10")
+        assert len(both_paths(db, "SELECT id FROM t")) == 40
+
+    def test_empty_table(self, fresh_db):
+        fresh_db.execute("CREATE TABLE e (id int)")
+        assert both_paths(fresh_db, "SELECT id FROM e") == []
+
+    def test_empty_table_aggregate(self, fresh_db):
+        fresh_db.execute("CREATE TABLE e (id int)")
+        assert both_paths(fresh_db, "SELECT count(*) FROM e") == [(0,)]
+
+
+# One spec per index AM: (amname, WITH-clause options).
+AM_SPECS = {
+    "pase_ivfflat": "clusters = 10, sample_ratio = 0.6, seed = 2",
+    "pase_ivfpq": "clusters = 10, m = 4, c_pq = 16, sample_ratio = 0.6, seed = 2",
+    "pase_hnsw": "bnn = 8, efb = 24, seed = 4",
+    "ivfflat": "clusters = 10, sample_ratio = 0.6, seed = 2",
+    "bridged_ivfflat": "clusters = 10, sample_ratio = 0.6, seed = 2",
+    "bridged_hnsw": "bnn = 8, efb = 24, seed = 4",
+}
+
+
+@pytest.fixture(scope="module")
+def indexed_dbs():
+    """One database per AM, each with the small dataset + one index.
+
+    Module-scoped: index builds (HNSW especially) dominate runtime and
+    every test here is read-only apart from GUC toggles.
+    """
+    from repro.common.datasets import tiny_dataset
+
+    dataset = tiny_dataset(n=600, dim=16, n_queries=8, seed=101)
+    dbs = {}
+    for amname, opts in AM_SPECS.items():
+        db = PgSimDatabase(buffer_pool_pages=512)
+        db.execute("CREATE TABLE items (id int, vec float[])")
+        table = db.catalog.table("items")
+        for i, vec in enumerate(dataset.base):
+            table.heap.insert([i, vec])
+        db.wal.log_commit(1)
+        db.execute(f"CREATE INDEX ix ON items USING {amname} (vec) WITH ({opts})")
+        dbs[amname] = db
+    return dataset, dbs
+
+
+def _knn_sql(lit: str, k: int) -> str:
+    return f"SELECT id FROM items ORDER BY vec <-> '{lit}'::PASE LIMIT {k}"
+
+
+class TestIndexScanDifferential:
+    @pytest.mark.parametrize("amname", sorted(AM_SPECS))
+    @pytest.mark.parametrize("k", [1, 5, 20])
+    def test_knn_identical(self, indexed_dbs, vec_lit, amname, k):
+        dataset, dbs = indexed_dbs
+        db = dbs[amname]
+        db.execute("SET pase.nprobe = 6")
+        db.execute("SET pase.efs = 40")
+        for q in dataset.queries[:4]:
+            both_paths(db, _knn_sql(vec_lit(q), k))
+
+    @pytest.mark.parametrize("amname", sorted(AM_SPECS))
+    def test_plan_uses_index_on_both_paths(self, indexed_dbs, vec_lit, amname):
+        dataset, dbs = indexed_dbs
+        db = dbs[amname]
+        sql = _knn_sql(vec_lit(dataset.queries[0]), 5)
+        db.execute("SET enable_batch_exec = on")
+        try:
+            plan = db.explain(sql)
+        finally:
+            db.execute("SET enable_batch_exec = off")
+        assert "Index Scan using ix" in plan
+        assert "batch" in plan
+        assert "batch" not in db.explain(sql)
+
+    @pytest.mark.parametrize("nprobe", [1, 3, 8, 12])
+    def test_nprobe_sweep(self, indexed_dbs, vec_lit, nprobe):
+        dataset, dbs = indexed_dbs
+        for amname in ("pase_ivfflat", "pase_ivfpq", "ivfflat", "bridged_ivfflat"):
+            db = dbs[amname]
+            db.execute(f"SET pase.nprobe = {nprobe}")
+            for q in dataset.queries[:3]:
+                both_paths(db, _knn_sql(vec_lit(q), 10))
+
+    @pytest.mark.parametrize("efs", [10, 40, 80])
+    def test_ef_search_sweep(self, indexed_dbs, vec_lit, efs):
+        dataset, dbs = indexed_dbs
+        for amname in ("pase_hnsw", "bridged_hnsw"):
+            db = dbs[amname]
+            db.execute(f"SET pase.efs = {efs}")
+            for q in dataset.queries[:3]:
+                both_paths(db, _knn_sql(vec_lit(q), 10))
+
+    def test_knn_with_projection(self, indexed_dbs, vec_lit):
+        dataset, dbs = indexed_dbs
+        db = dbs["pase_ivfflat"]
+        db.execute("SET pase.nprobe = 6")
+        lit = vec_lit(dataset.queries[0])
+        both_paths(
+            db, f"SELECT id, vec FROM items ORDER BY vec <-> '{lit}'::PASE LIMIT 5"
+        )
+        both_paths(
+            db, f"SELECT id * 10 FROM items ORDER BY vec <-> '{lit}'::PASE LIMIT 5"
+        )
+
+
+class TestDistanceOperators:
+    """``<->`` / ``<#>`` / ``<=>`` order-by through both paths (seq scan)."""
+
+    @pytest.mark.parametrize("op", ["<->", "<#>", "<=>"])
+    def test_seqscan_order_by(self, loaded_db, small_dataset, vec_lit, op):
+        lit = vec_lit(small_dataset.queries[0])
+        both_paths(
+            loaded_db,
+            f"SELECT id FROM items ORDER BY vec {op} '{lit}'::PASE LIMIT 10",
+        )
+
+    @pytest.mark.parametrize("dtype,op", [(1, "<#>"), (2, "<=>")])
+    def test_indexed_non_l2_metric(self, loaded_db, small_dataset, vec_lit, dtype, op):
+        loaded_db.execute(
+            "CREATE INDEX mx ON items USING pase_ivfflat (vec) "
+            f"WITH (clusters = 10, sample_ratio = 0.6, seed = 2, distance_type = {dtype})"
+        )
+        loaded_db.execute("SET pase.nprobe = 6")
+        lit = vec_lit(small_dataset.queries[1])
+        sql = f"SELECT id FROM items ORDER BY vec {op} '{lit}'::PASE LIMIT 10"
+        assert "Index Scan using mx" in loaded_db.explain(sql)
+        both_paths(loaded_db, sql)
+
+
+class TestDegenerateIndexScans:
+    def test_single_row_table(self, fresh_db, vec_lit):
+        fresh_db.execute("CREATE TABLE items (id int, vec float[])")
+        fresh_db.execute("INSERT INTO items VALUES (1, '1.0,2.0,3.0'::PASE)")
+        fresh_db.execute(
+            "CREATE INDEX ix ON items USING pase_ivfflat (vec) "
+            "WITH (clusters = 1, sample_ratio = 1.0, seed = 1)"
+        )
+        rows = both_paths(
+            fresh_db,
+            "SELECT id FROM items ORDER BY vec <-> '1.0,2.0,3.0'::PASE LIMIT 5",
+        )
+        assert rows == [(1,)]
+
+    def test_k_larger_than_table(self, indexed_dbs, vec_lit):
+        dataset, dbs = indexed_dbs
+        db = dbs["pase_ivfflat"]
+        db.execute("SET pase.nprobe = 12")
+        lit = vec_lit(dataset.queries[0])
+        rows = both_paths(db, _knn_sql(lit, 5000))
+        assert len(rows) <= 600
+
+    def test_post_delete_index_scan(self, loaded_db, small_dataset, vec_lit):
+        """Dead heap tuples force the k-widening retry on both paths."""
+        loaded_db.execute(
+            "CREATE INDEX dx ON items USING pase_ivfflat (vec) "
+            "WITH (clusters = 10, sample_ratio = 0.6, seed = 2)"
+        )
+        loaded_db.execute("SET pase.nprobe = 12")
+        lit = vec_lit(small_dataset.queries[2])
+        before = both_paths(loaded_db, _knn_sql(lit, 10))
+        victims = ", ".join(str(r[0]) for r in before[:4])
+        loaded_db.execute(f"DELETE FROM items WHERE id = {before[0][0]}")
+        for vid in [r[0] for r in before[1:4]]:
+            loaded_db.execute(f"DELETE FROM items WHERE id = {vid}")
+        after = both_paths(loaded_db, _knn_sql(lit, 10))
+        assert len(after) == 10
+        survivors = {r[0] for r in after}
+        assert not survivors & {int(v) for v in victims.split(", ")}
+
+    def test_delete_everything_then_scan(self, fresh_db, vec_lit):
+        fresh_db.execute("CREATE TABLE items (id int, vec float[])")
+        for i in range(20):
+            fresh_db.execute(f"INSERT INTO items VALUES ({i}, '{i}.0,{i}.0'::PASE)")
+        fresh_db.execute(
+            "CREATE INDEX ix ON items USING pase_ivfflat (vec) "
+            "WITH (clusters = 2, sample_ratio = 1.0, seed = 1)"
+        )
+        fresh_db.execute("SET pase.nprobe = 2")
+        fresh_db.execute("DELETE FROM items")
+        rows = both_paths(
+            fresh_db,
+            "SELECT id FROM items ORDER BY vec <-> '0.0,0.0'::PASE LIMIT 5",
+        )
+        assert rows == []
+
+
+class TestGucSurface:
+    def test_string_off_disables_batch(self, fresh_db):
+        """``SET x = off`` lexes as a string; get_bool must coerce it."""
+        fresh_db.execute("CREATE TABLE t (id int)")
+        fresh_db.execute("INSERT INTO t VALUES (1)")
+        fresh_db.execute("SET enable_batch_exec = on")
+        assert "batch" in fresh_db.explain("SELECT id FROM t")
+        fresh_db.execute("SET enable_batch_exec = off")
+        assert "batch" not in fresh_db.explain("SELECT id FROM t")
+
+    def test_default_is_tuple_path(self, fresh_db):
+        fresh_db.execute("CREATE TABLE t (id int)")
+        assert "batch" not in fresh_db.explain("SELECT id FROM t")
+
+    @pytest.mark.parametrize("value", ["true", "1", "yes"])
+    def test_truthy_spellings(self, fresh_db, value):
+        fresh_db.execute("CREATE TABLE t (id int)")
+        fresh_db.execute(f"SET enable_batch_exec = {value}")
+        assert "batch" in fresh_db.explain("SELECT id FROM t")

@@ -74,3 +74,91 @@ class TestExplainAnalyze:
 
         with pytest.raises(ExecutionError):
             db.execute("EXPLAIN ANALYZE INSERT INTO t VALUES (99, '1.0,1.0'::PASE)")
+
+
+class TestExplainAnalyzeBatch:
+    """Batch-emitting nodes must report the same actual rows as the
+    tuple path — counters advance by len(batch) per pull, not by 1."""
+
+    @pytest.fixture()
+    def batch_db(self, db):
+        db.execute("SET enable_batch_exec = on")
+        return db
+
+    def _actual_rows(self, db, sql, fragment):
+        lines = _lines(db, sql)
+        line = next(line for line in lines if fragment in line)
+        return int(line.split("actual rows=")[1].split(" ")[0])
+
+    def test_seqscan_counts_whole_batches(self, batch_db):
+        sql = "EXPLAIN ANALYZE SELECT id FROM t"
+        assert self._actual_rows(batch_db, sql, "Seq Scan") == 40
+        assert _lines(batch_db, sql)[-1].startswith("Execution: 40 rows")
+
+    def test_filter_counts_survivors(self, batch_db):
+        sql = "EXPLAIN ANALYZE SELECT id FROM t WHERE id < 7"
+        assert self._actual_rows(batch_db, sql, "Filter") == 7
+
+    def test_limit_truncates_final_batch(self, batch_db):
+        sql = "EXPLAIN ANALYZE SELECT id FROM t LIMIT 3"
+        assert self._actual_rows(batch_db, sql, "Limit") == 3
+
+    def test_aggregate_rows(self, batch_db):
+        sql = "EXPLAIN ANALYZE SELECT count(*) FROM t"
+        assert self._actual_rows(batch_db, sql, "Aggregate") == 1
+
+    def test_index_scan_batch_annotated(self, batch_db):
+        batch_db.execute(
+            "CREATE INDEX ix ON t USING pase_ivfflat (vec) "
+            "WITH (clusters = 4, sample_ratio = 1.0, seed = 1)"
+        )
+        lines = _lines(
+            batch_db,
+            "EXPLAIN ANALYZE SELECT id FROM t ORDER BY vec <-> '0.0,0.0'::PASE LIMIT 5",
+        )
+        scan = next(line for line in lines if "Index Scan" in line)
+        assert "batch" in scan
+        assert "actual rows=5" in scan
+        assert "time=" in scan
+
+    def test_limit_overshoot_is_at_most_one_batch(self, batch_db):
+        """Unlike the tuple path, a batch scan below a Limit emits its
+        current batch in full before truncation — the Limit node must
+        still report exactly the limit."""
+        lines = _lines(batch_db, "EXPLAIN ANALYZE SELECT id FROM t LIMIT 3")
+        limit = next(line for line in lines if "Limit" in line)
+        assert "actual rows=3" in limit
+        scan = next(line for line in lines if "Seq Scan" in line)
+        scanned = int(scan.split("actual rows=")[1].split(" ")[0])
+        assert 3 <= scanned <= 40
+        assert lines[-1].startswith("Execution: 3 rows")
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT id FROM t",
+            "SELECT id FROM t WHERE id < 7",
+            "SELECT id FROM t ORDER BY id",
+            "SELECT count(*) FROM t",
+        ],
+    )
+    def test_counters_match_tuple_path(self, db, sql):
+        """Every per-node 'actual rows=' figure is identical on both
+        executor paths (modulo the batch annotation itself). Nodes
+        directly below a LIMIT are exempt: the batch path overshoots
+        by up to one batch (see test_limit_overshoot_is_at_most_one_batch)."""
+
+        def counters(mode):
+            db.execute(f"SET enable_batch_exec = {mode}")
+            out = []
+            for line in _lines(db, f"EXPLAIN ANALYZE {sql}"):
+                if "actual rows=" in line:
+                    node = line.split("(actual")[0].strip().replace(" (batch)", "")
+                    rows = int(line.split("actual rows=")[1].split(" ")[0])
+                    out.append((node, rows))
+            return out
+
+        try:
+            assert counters("off") == counters("on")
+        finally:
+            db.execute("SET enable_batch_exec = off")

@@ -1,0 +1,104 @@
+"""Golden qualitative-shape tests for the paper's headline claims.
+
+Tiny-scale runs that assert the *shape* of the paper's findings, not
+absolute numbers:
+
+1. the specialized engine beats PASE on search (the Fig. 14 gap),
+2. the batch execution path (RC#3 ablation) shrinks that gap, and
+3. both executor paths return identical neighbors, so the speedup is
+   not bought with accuracy.
+
+Timing assertions use best-of-N and lenient thresholds to stay stable
+on noisy CI hosts.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.common.datasets import tiny_dataset
+from repro.core.study import ComparativeStudy
+
+K = 10
+NPROBE = 6
+N_QUERIES = 6
+REPS = 5
+
+
+@pytest.fixture(scope="module")
+def study() -> ComparativeStudy:
+    dataset = tiny_dataset(n=800, dim=24, n_queries=N_QUERIES, seed=31)
+    s = ComparativeStudy(
+        dataset, "ivf_flat", {"clusters": 16, "sample_ratio": 0.5, "seed": 9}
+    )
+    s.compare_build()
+    return s
+
+
+def _best_of(fn, reps: int = REPS) -> float:
+    best = float("inf")
+    for __ in range(reps):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _search_all(engine, queries, **opts) -> list[list[int]]:
+    return [[n.vector_id for n in engine.search(q, K, **opts).neighbors] for q in queries]
+
+
+class TestGoldenSearchGap:
+    def test_specialized_beats_pase_and_batch_shrinks_gap(self, study):
+        queries = study.dataset.queries[:N_QUERIES]
+        gen, spec = study.generalized, study.specialized
+
+        gen.db.execute("SET enable_batch_exec = off")
+        tuple_ids = _search_all(gen, queries, nprobe=NPROBE)
+        gen.db.execute("SET enable_batch_exec = on")
+        batch_ids = _search_all(gen, queries, nprobe=NPROBE)
+
+        # The speedup must not change a single neighbor.
+        assert batch_ids == tuple_ids
+
+        spec_t = _best_of(lambda: _search_all(spec, queries, nprobe=NPROBE))
+        gen.db.execute("SET enable_batch_exec = off")
+        tuple_t = _best_of(lambda: _search_all(gen, queries, nprobe=NPROBE))
+        gen.db.execute("SET enable_batch_exec = on")
+        batch_t = _best_of(lambda: _search_all(gen, queries, nprobe=NPROBE))
+        gen.db.execute("SET enable_batch_exec = off")
+
+        tuple_gap = tuple_t / spec_t
+        batch_gap = batch_t / spec_t
+
+        # Shape 1 (Fig. 14): PASE is clearly slower than specialized.
+        assert tuple_gap > 1.3, f"expected a search gap, got {tuple_gap:.2f}x"
+        # Shape 2 (RC#3): batching recovers a large part of the gap.
+        assert batch_gap < tuple_gap * 0.75, (
+            f"batch path should shrink the gap: tuple {tuple_gap:.2f}x "
+            f"vs batch {batch_gap:.2f}x"
+        )
+
+    def test_recall_identical_across_paths(self, study):
+        """Recall vs ground truth is a property of the index, not the
+        executor path."""
+        queries = study.dataset.queries[:N_QUERIES]
+        gt = study.dataset.ground_truth(K)
+        gen = study.generalized
+
+        def recall(ids_per_query) -> float:
+            hits = sum(
+                len(set(ids) & set(gt[qi].tolist()))
+                for qi, ids in enumerate(ids_per_query)
+            )
+            return hits / (len(ids_per_query) * K)
+
+        gen.db.execute("SET enable_batch_exec = off")
+        r_tuple = recall(_search_all(gen, queries, nprobe=NPROBE))
+        gen.db.execute("SET enable_batch_exec = on")
+        r_batch = recall(_search_all(gen, queries, nprobe=NPROBE))
+        gen.db.execute("SET enable_batch_exec = off")
+        assert r_tuple == r_batch
+        assert r_tuple > 0.5

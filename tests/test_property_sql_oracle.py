@@ -1,0 +1,204 @@
+"""Property tests: random SQL vs a naive Python oracle, both executors.
+
+Hypothesis drives random INSERT/DELETE/SELECT sequences against a
+pgsim database and re-derives every answer from a plain Python list.
+Each check runs under both ``enable_batch_exec`` settings, so the
+oracle simultaneously validates the engine and the tuple/batch parity
+the RC#3 ablation depends on.
+
+Vectors are integer-valued and small, so float32 distance arithmetic
+is exact and the oracle can use Python ints.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, precondition, rule
+
+from repro.pgsim import PgSimDatabase
+
+DIM = 4
+
+small_int = st.integers(min_value=-50, max_value=50)
+vec_strategy = st.lists(
+    st.integers(min_value=-8, max_value=8), min_size=DIM, max_size=DIM
+)
+
+
+def _vec_lit(vec) -> str:
+    return ",".join(f"{x}.0" for x in vec)
+
+
+def _sq_dist(a, b) -> int:
+    return sum((x - y) ** 2 for x, y in zip(a, b))
+
+
+def _query_both(db: PgSimDatabase, sql: str):
+    """Run under both executor paths; assert parity; return the rows."""
+    db.execute("SET enable_batch_exec = off")
+    tuple_rows = db.query(sql)
+    db.execute("SET enable_batch_exec = on")
+    batch_rows = db.query(sql)
+    db.execute("SET enable_batch_exec = off")
+    assert tuple_rows == batch_rows, f"paths diverged for {sql!r}"
+    return tuple_rows
+
+
+class SqlOracleMachine(RuleBasedStateMachine):
+    """Random DML + queries vs a list-of-tuples oracle."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.db = PgSimDatabase(buffer_pool_pages=128)
+        self.db.execute("CREATE TABLE t (id int, a int, vec float[])")
+        #: oracle rows as (id, a, vec-tuple), in heap (insertion) order
+        self.oracle: list[tuple[int, int, tuple[int, ...]]] = []
+        self.next_id = 0
+
+    @rule(a=small_int, vec=vec_strategy)
+    def insert_row(self, a, vec) -> None:
+        rid = self.next_id
+        self.next_id += 1
+        self.db.execute(
+            f"INSERT INTO t VALUES ({rid}, {a}, '{_vec_lit(vec)}'::PASE)"
+        )
+        self.oracle.append((rid, a, tuple(vec)))
+
+    @precondition(lambda self: self.oracle)
+    @rule(threshold=small_int)
+    def delete_where(self, threshold) -> None:
+        self.db.execute(f"DELETE FROM t WHERE a < {threshold}")
+        self.oracle = [row for row in self.oracle if not row[1] < threshold]
+
+    @rule()
+    def check_full_scan(self) -> None:
+        rows = _query_both(self.db, "SELECT id, a FROM t")
+        assert rows == [(rid, a) for rid, a, __ in self.oracle]
+
+    @precondition(lambda self: self.oracle)
+    @rule(threshold=small_int)
+    def check_filter(self, threshold) -> None:
+        rows = _query_both(self.db, f"SELECT id FROM t WHERE a >= {threshold}")
+        assert rows == [(rid,) for rid, a, __ in self.oracle if a >= threshold]
+
+    @rule(limit=st.integers(min_value=0, max_value=10))
+    def check_limit(self, limit) -> None:
+        rows = _query_both(self.db, f"SELECT id FROM t LIMIT {limit}")
+        assert rows == [(rid,) for rid, __, __ in self.oracle[:limit]]
+
+    @rule()
+    def check_aggregates(self) -> None:
+        rows = _query_both(self.db, "SELECT count(*) FROM t")
+        assert rows == [(len(self.oracle),)]
+        if self.oracle:
+            rows = _query_both(self.db, "SELECT sum(a) FROM t")
+            assert rows == [(sum(a for __, a, __ in self.oracle),)]
+
+    @rule()
+    def check_order_by(self) -> None:
+        rows = _query_both(self.db, "SELECT id FROM t ORDER BY a")
+        expected = [
+            (rid,)
+            for rid, __, __ in sorted(self.oracle, key=lambda row: row[1])
+        ]
+        assert rows == expected
+
+    @precondition(lambda self: self.oracle)
+    @rule(query=vec_strategy, k=st.integers(min_value=1, max_value=8))
+    def check_knn_seqscan(self, query, k) -> None:
+        """ORDER BY distance via seq scan: exact ordered match.
+
+        The Sort node is stable, so ties keep heap order — exactly
+        what a stable Python sort over the oracle produces.
+        """
+        sql = (
+            f"SELECT id FROM t ORDER BY vec <-> '{_vec_lit(query)}'::PASE "
+            f"LIMIT {k}"
+        )
+        rows = _query_both(self.db, sql)
+        ranked = sorted(
+            self.oracle, key=lambda row: _sq_dist(row[2], tuple(query))
+        )
+        assert rows == [(rid,) for rid, __, __ in ranked[:k]]
+
+
+TestSqlOracle = SqlOracleMachine.TestCase
+TestSqlOracle.settings = settings(
+    max_examples=15, stateful_step_count=30, deadline=None
+)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    data=st.lists(vec_strategy, min_size=8, max_size=40),
+    query=vec_strategy,
+    k=st.integers(min_value=1, max_value=10),
+)
+def test_indexed_knn_matches_oracle(data, query, k) -> None:
+    """IVF index with nprobe == clusters is exhaustive: distances must
+    match the oracle's k smallest, and both executor paths must agree
+    row-for-row (ties included — both break toward the smallest TID
+    under the naive top-k default)."""
+    db = PgSimDatabase(buffer_pool_pages=128)
+    db.execute("CREATE TABLE t (id int, vec float[])")
+    for i, vec in enumerate(data):
+        db.execute(f"INSERT INTO t VALUES ({i}, '{_vec_lit(vec)}'::PASE)")
+    db.execute(
+        "CREATE INDEX ix ON t USING pase_ivfflat (vec) "
+        "WITH (clusters = 4, sample_ratio = 1.0, seed = 7)"
+    )
+    db.execute("SET pase.nprobe = 4")
+
+    sql = f"SELECT id FROM t ORDER BY vec <-> '{_vec_lit(query)}'::PASE LIMIT {k}"
+    assert "Index Scan using ix" in db.explain(sql)
+    rows = _query_both(db, sql)
+
+    got_dists = [_sq_dist(data[rid], tuple(query)) for (rid,) in rows]
+    want_dists = sorted(_sq_dist(v, tuple(query)) for v in data)[: len(rows)]
+    assert got_dists == want_dists
+    assert len(rows) == min(k, len(data))
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    data=st.lists(vec_strategy, min_size=10, max_size=30),
+    drop=st.integers(min_value=1, max_value=5),
+    query=vec_strategy,
+)
+def test_indexed_knn_after_deletes(data, drop, query) -> None:
+    """Deletes leave dead index entries; the k-widening retry on both
+    paths must still return the oracle's nearest live rows."""
+    db = PgSimDatabase(buffer_pool_pages=128)
+    db.execute("CREATE TABLE t (id int, vec float[])")
+    for i, vec in enumerate(data):
+        db.execute(f"INSERT INTO t VALUES ({i}, '{_vec_lit(vec)}'::PASE)")
+    db.execute(
+        "CREATE INDEX ix ON t USING pase_ivfflat (vec) "
+        "WITH (clusters = 3, sample_ratio = 1.0, seed = 7)"
+    )
+    db.execute("SET pase.nprobe = 3")
+    db.execute(f"DELETE FROM t WHERE id < {drop}")
+    live = [(i, v) for i, v in enumerate(data) if i >= drop]
+
+    k = 5
+    sql = f"SELECT id FROM t ORDER BY vec <-> '{_vec_lit(query)}'::PASE LIMIT {k}"
+    rows = _query_both(db, sql)
+    got_dists = [_sq_dist(data[rid], tuple(query)) for (rid,) in rows]
+    want_dists = sorted(_sq_dist(v, tuple(query)) for __, v in live)[: len(rows)]
+    assert got_dists == want_dists
+    assert len(rows) == min(k, len(live))
+    assert all(rid >= drop for (rid,) in rows)
+
+
+@pytest.mark.parametrize("setting", ["off", "on"])
+def test_oracle_harness_smoke(setting) -> None:
+    """The harness itself: one deterministic pass per GUC setting."""
+    db = PgSimDatabase(buffer_pool_pages=128)
+    db.execute("CREATE TABLE t (id int, a int, vec float[])")
+    db.execute("INSERT INTO t VALUES (0, 5, '1.0,0.0,0.0,0.0'::PASE)")
+    db.execute("INSERT INTO t VALUES (1, -5, '0.0,1.0,0.0,0.0'::PASE)")
+    db.execute(f"SET enable_batch_exec = {setting}")
+    assert db.query("SELECT count(*) FROM t") == [(2,)]
+    assert db.query("SELECT id FROM t WHERE a > 0") == [(0,)]
