@@ -3,7 +3,7 @@
 Paper shape: PASE 2.0x-3.4x slower (larger in Python, same ordering).
 """
 
-from conftest import K, N_QUERIES, NPROBE, search_batch
+from conftest import K, N_QUERIES, NPROBE, emit_bench, search_batch
 
 
 def test_fig14_pase_search(benchmark, ivf_study):
@@ -30,3 +30,33 @@ def test_fig14_shape(ivf_study):
     assert cmp.generalized_recall == cmp.specialized_recall or abs(
         cmp.generalized_recall - cmp.specialized_recall
     ) < 0.3
+
+
+def test_fig14_emit_bench_json(ivf_study):
+    """Report the PASE side through the unified BENCH_*.json schema,
+    with the counter deltas the observability layer attributes to the
+    query batch."""
+    gen = ivf_study.generalized
+    queries = ivf_study.dataset.queries[:N_QUERIES]
+    buffers_before = gen.db.buffer.stats.snapshot()
+    scans_before = gen.am.scan_stats.snapshot()
+    latencies = []
+    for q in queries:
+        result = gen.search(q, K, nprobe=NPROBE)
+        latencies.append(result.elapsed_seconds)
+    path = emit_bench(
+        "fig14_ivfflat_search",
+        params={
+            "engine": gen.name,
+            "dataset": ivf_study.dataset.name,
+            "k": K,
+            "nprobe": NPROBE,
+            "n_queries": len(queries),
+        },
+        latencies_seconds=latencies,
+        counters={
+            "buffer": gen.db.buffer.stats.delta(buffers_before),
+            "index": gen.am.scan_stats.delta(scans_before),
+        },
+    )
+    assert path.exists()

@@ -1,0 +1,62 @@
+"""Overhead of per-query stats tracking (``track_query_stats`` GUC).
+
+The observability layer's acceptance bar: snapshot/delta accounting
+around every statement must stay well under 10% of a Fig. 14-style SQL
+search. Measured as best-of-N batch times with the GUC on vs off; the
+assertion bound is deliberately looser than the target (CI timers are
+noisy) and the measured ratio lands in ``BENCH_obs_overhead.json`` so
+the trend is machine-checkable across PRs.
+"""
+
+import time
+
+from conftest import K, N_QUERIES, NPROBE, emit_bench
+
+REPEATS = 7
+
+
+def _probe_sqls(study):
+    sqls = []
+    for q in study.dataset.queries[:N_QUERIES]:
+        literal = ",".join(f"{x:.6f}" for x in q)
+        sqls.append(
+            f"SELECT id FROM vectors ORDER BY vec <-> '{literal}'::pase LIMIT {K}"
+        )
+    return sqls
+
+
+def _best_batch_seconds(db, sqls):
+    best = float("inf")
+    for __ in range(REPEATS):
+        start = time.perf_counter()
+        for sql in sqls:
+            db.execute(sql)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_tracking_overhead(ivf_study):
+    db = ivf_study.generalized.db
+    db.execute(f"SET pase.nprobe = {NPROBE}")
+    sqls = _probe_sqls(ivf_study)
+    for sql in sqls:  # warm the buffer pool and plan paths
+        db.execute(sql)
+
+    db.execute("SET track_query_stats = on")
+    tracked = _best_batch_seconds(db, sqls)
+    db.execute("SET track_query_stats = off")
+    untracked = _best_batch_seconds(db, sqls)
+    db.execute("SET track_query_stats = on")
+
+    ratio = tracked / untracked if untracked > 0 else 1.0
+    emit_bench(
+        "obs_overhead",
+        params={"k": K, "nprobe": NPROBE, "n_queries": N_QUERIES, "repeats": REPEATS},
+        latency={
+            "tracked_ms": tracked / len(sqls) * 1e3,
+            "untracked_ms": untracked / len(sqls) * 1e3,
+        },
+        extra={"overhead_ratio": ratio},
+    )
+    # Target is <1.10; the gate leaves headroom for shared-runner noise.
+    assert ratio < 1.35, f"stats tracking overhead too high: {ratio:.2f}x"

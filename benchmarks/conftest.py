@@ -15,6 +15,7 @@ from __future__ import annotations
 import pytest
 
 from repro.common.datasets import Dataset, load_dataset
+from repro.common.obs import write_bench_json
 from repro.core.study import ComparativeStudy, GeneralizedVectorDB, SpecializedVectorDB
 
 #: Scale relative to the paper's dataset sizes (SIFT1M -> 1000 rows).
@@ -74,3 +75,13 @@ def search_batch(engine, queries, k=K, **opts) -> None:
     """One timed unit of work: a small query batch on one engine."""
     for q in queries:
         engine.search(q, k, **opts)
+
+
+def emit_bench(workload: str, **kwargs):
+    """Write the unified ``BENCH_<workload>.json`` result file.
+
+    Thin alias for :func:`repro.common.obs.write_bench_json` so every
+    bench module reports through one schema; the output directory
+    follows ``$BENCH_RESULTS_DIR`` (CI sets it to the artifact dir).
+    """
+    return write_bench_json(workload, **kwargs)

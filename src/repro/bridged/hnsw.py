@@ -105,7 +105,11 @@ class BridgedHNSW(IndexAmRoutine):
         efs = int(self.catalog.get_setting("pase.efs"))
         query = np.ascontiguousarray(query, dtype=np.float32)
         self.store.profiler = self.profiler
-        for neighbor in graph.search(self.store, self.params, query, k, efs=efs):
+        dist0 = self.store.counters.distance_computations
+        neighbors = graph.search(self.store, self.params, query, k, efs=efs)
+        self.scan_stats.scans += 1
+        self.scan_stats.candidates += self.store.counters.distance_computations - dist0
+        for neighbor in neighbors:
             yield self._heap_tids[neighbor.vector_id], neighbor.distance
 
     # ------------------------------------------------------------------

@@ -140,10 +140,12 @@ class BridgedIVFFlat(PaseIVFFlat):
 
         heap = BoundedMaxHeap(k)
         results: list[tuple[TID, float]] = []
+        self.scan_stats.scans += 1
         for bucket in probes.tolist():
             vectors = mirror.bucket_vectors[bucket]
             if vectors.shape[0] == 0:
                 continue
+            self.scan_stats.candidates += int(vectors.shape[0])
             dists = kernel(query, vectors)[0]
             take = min(k, dists.shape[0])
             if take < dists.shape[0]:
@@ -180,10 +182,12 @@ class BridgedIVFFlat(PaseIVFFlat):
 
         key_parts: list[np.ndarray] = []
         dist_parts: list[np.ndarray] = []
+        self.scan_stats.scans += 1
         for bucket in probes.tolist():
             vectors = mirror.bucket_vectors[bucket]
             if vectors.shape[0] == 0:
                 continue
+            self.scan_stats.candidates += int(vectors.shape[0])
             dist_parts.append(kernel(query, vectors)[0].astype(np.float64))
             key_parts.append(
                 np.asarray([_pack(t) for t in mirror.bucket_tids[bucket]], dtype=np.int64)

@@ -1,0 +1,259 @@
+"""Observability primitives shared by every layer of the stack.
+
+The paper's root-cause methodology is counter- and profile-driven:
+per-query page accesses expose RC#2, distance-computation counts
+expose nprobe/efs amplification, and flamegraphs (Fig. 8) attribute
+wall time to code regions.  This module holds the building blocks the
+rest of the reproduction composes into pg_stat-style views and bench
+reports:
+
+* :class:`CounterDeltaMixin` — ``snapshot()``/``delta()`` for counter
+  dataclasses, so per-query accounting reads two snapshots instead of
+  mutating shared counters (which double-counts across nested scans);
+* :class:`LatencyHistogram` — log-bucketed latency recording with
+  p50/p95/p99, the shape ``pg_stat_statements`` summarises queries in;
+* :class:`IndexScanStats` — cumulative per-index scan/candidate
+  counters, shared by pgsim index AMs and the specialized engines;
+* :func:`write_bench_json` — the unified ``BENCH_*.json`` emitter all
+  benchmark scripts report through.
+
+This module must stay importable without :mod:`repro.pgsim` (pgsim's
+own modules import it).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+
+class CounterDeltaMixin:
+    """snapshot/delta arithmetic for flat counter dataclasses.
+
+    Mix into a ``@dataclass`` whose fields are all numeric counters.
+    ``snapshot()`` copies the current values; ``delta(since)`` returns
+    a new instance holding field-wise differences.  Readers never
+    reset or mutate the live counters, so concurrent consumers (an
+    EXPLAIN node, the per-query tracker and a pg_stat view) cannot
+    double-count each other's windows.
+    """
+
+    def snapshot(self):
+        """An independent copy of the current counter values."""
+        return dataclasses.replace(self)  # type: ignore[type-var]
+
+    def delta(self, since):
+        """Field-wise ``self - since`` as a new instance."""
+        if type(since) is not type(self):
+            raise TypeError(
+                f"cannot delta {type(self).__name__} against {type(since).__name__}"
+            )
+        diffs = {
+            f.name: getattr(self, f.name) - getattr(since, f.name)
+            for f in dataclasses.fields(self)  # type: ignore[arg-type]
+        }
+        return type(self)(**diffs)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Plain ``{field: value}`` mapping (for JSON emission)."""
+        return {
+            f.name: getattr(self, f.name)
+            for f in dataclasses.fields(self)  # type: ignore[arg-type]
+        }
+
+
+@dataclass(slots=True)
+class IndexScanStats(CounterDeltaMixin):
+    """Cumulative index-AM work counters (``pg_stat_indexes``).
+
+    ``candidates`` counts tuples the AM actually evaluated a distance
+    for — the paper's nprobe/efs amplification factor — not the k
+    results returned.
+    """
+
+    scans: int = 0
+    candidates: int = 0
+
+
+class LatencyHistogram:
+    """Log-bucketed latency histogram with percentile estimation.
+
+    Buckets are geometrically spaced (``_PER_DECADE`` per factor of
+    ten, ~12% relative width) from 100 ns up; recording is O(1) and
+    the memory footprint is a small dict, so per-statement histograms
+    are cheap enough for ``pg_stat_statements`` to keep one each.
+    Percentiles are bucket upper-bound estimates, conservative the way
+    monitoring histograms usually are.
+    """
+
+    _PER_DECADE = 20
+    _MIN_SECONDS = 1e-7
+
+    __slots__ = ("_buckets", "count", "total_seconds", "max_seconds")
+
+    def __init__(self) -> None:
+        self._buckets: dict[int, int] = {}
+        self.count = 0
+        self.total_seconds = 0.0
+        self.max_seconds = 0.0
+
+    def record(self, seconds: float) -> None:
+        """Add one sample (negative values clamp to zero)."""
+        seconds = max(seconds, 0.0)
+        self.count += 1
+        self.total_seconds += seconds
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+        index = self._index(seconds)
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    @classmethod
+    def _index(cls, seconds: float) -> int:
+        if seconds <= cls._MIN_SECONDS:
+            return 0
+        return 1 + int(math.log10(seconds / cls._MIN_SECONDS) * cls._PER_DECADE)
+
+    @classmethod
+    def _upper_bound(cls, index: int) -> float:
+        if index == 0:
+            return cls._MIN_SECONDS
+        return cls._MIN_SECONDS * 10 ** (index / cls._PER_DECADE)
+
+    def percentile(self, q: float) -> float:
+        """Latency (seconds) at quantile ``q`` in [0, 1]."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if seen >= rank:
+                return min(self._upper_bound(index), self.max_seconds)
+        return self.max_seconds
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(0.99)
+
+    @property
+    def mean(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Accumulate another histogram's samples into this one."""
+        for index, n in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + n
+        self.count += other.count
+        self.total_seconds += other.total_seconds
+        self.max_seconds = max(self.max_seconds, other.max_seconds)
+
+
+# ----------------------------------------------------------------------
+# unified benchmark JSON emitter
+# ----------------------------------------------------------------------
+
+#: Schema identifier stamped into every emitted file.
+BENCH_SCHEMA = "repro-bench/v1"
+
+#: Environment variable overriding the output directory.
+BENCH_DIR_ENV = "BENCH_RESULTS_DIR"
+
+
+def latency_summary(latencies_seconds: Sequence[float]) -> dict[str, Any]:
+    """Percentile summary of raw latency samples (milliseconds)."""
+    if not latencies_seconds:
+        return {"count": 0}
+    ordered = sorted(latencies_seconds)
+
+    def at(q: float) -> float:
+        return ordered[min(int(q * len(ordered)), len(ordered) - 1)]
+
+    return {
+        "count": len(ordered),
+        "mean_ms": sum(ordered) / len(ordered) * 1e3,
+        "p50_ms": at(0.50) * 1e3,
+        "p95_ms": at(0.95) * 1e3,
+        "p99_ms": at(0.99) * 1e3,
+        "min_ms": ordered[0] * 1e3,
+        "max_ms": ordered[-1] * 1e3,
+    }
+
+
+def write_bench_json(
+    workload: str,
+    *,
+    params: Mapping[str, Any] | None = None,
+    latencies_seconds: Sequence[float] | None = None,
+    latency: Mapping[str, Any] | None = None,
+    counters: Mapping[str, Any] | None = None,
+    extra: Mapping[str, Any] | None = None,
+    out_dir: str | Path | None = None,
+) -> Path:
+    """Emit one ``BENCH_<workload>.json`` through the unified schema.
+
+    Every benchmark script reports through this one function so the
+    perf trajectory is machine-comparable across PRs: fixed top-level
+    keys (``schema``/``workload``/``params``/``latency``/``counters``),
+    latency always in milliseconds, counters always raw deltas.
+
+    Args:
+        workload: short identifier; becomes the filename suffix.
+        params: workload configuration (scale, k, nprobe, ...).
+        latencies_seconds: raw per-query samples to summarise; mutually
+            additive with ``latency`` (explicit summary wins per key).
+        latency: pre-computed summary (e.g. from a LatencyHistogram).
+        counters: counter deltas attributed to the run.
+        extra: anything workload-specific.
+        out_dir: target directory; defaults to ``$BENCH_RESULTS_DIR``
+            or the current directory.
+
+    Returns the path written.
+    """
+    summary: dict[str, Any] = {}
+    if latencies_seconds is not None:
+        summary.update(latency_summary(latencies_seconds))
+    if latency is not None:
+        summary.update(latency)
+    doc: dict[str, Any] = {
+        "schema": BENCH_SCHEMA,
+        "workload": workload,
+        "params": dict(params or {}),
+        "latency": summary,
+        "counters": {k: _plain(v) for k, v in (counters or {}).items()},
+    }
+    if extra:
+        doc["extra"] = {k: _plain(v) for k, v in extra.items()}
+    directory = Path(out_dir if out_dir is not None else os.environ.get(BENCH_DIR_ENV, "."))
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{workload}.json"
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def _plain(value: Any) -> Any:
+    """Coerce counter dataclasses / numpy scalars to JSON-safe values."""
+    if isinstance(value, CounterDeltaMixin):
+        return value.as_dict()
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return dataclasses.asdict(value)
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+        try:
+            return value.item()
+        except Exception:
+            return value
+    return value

@@ -18,6 +18,7 @@ drills into it (Fig. 8).
 
 from __future__ import annotations
 
+import json
 import time
 from collections import defaultdict
 from dataclasses import dataclass
@@ -188,6 +189,91 @@ class Profiler:
         for path, count in other._calls.items():
             self._calls[path] += count
 
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def to_collapsed(self) -> str:
+        """Collapsed-stack export (``flamegraph.pl`` input format).
+
+        One line per recorded section path: frame names joined by
+        ``;`` followed by a space and the path's *exclusive* time as
+        integer microseconds (flamegraph.pl splits each line on the
+        last whitespace run, so frame names may themselves contain
+        spaces — ``Tuple Access`` survives round-tripping).  Paths
+        whose exclusive time rounds to zero microseconds but were
+        entered at least once are kept with weight 1 so they still
+        show up in the flamegraph.
+
+        Pipe the result straight through the stock tooling::
+
+            flamegraph.pl profile.collapsed > profile.svg
+        """
+        lines = []
+        for path in sorted(self._exclusive):
+            micros = round(self._exclusive[path] * 1e6)
+            if micros <= 0:
+                if self._calls.get(path, 0) <= 0:
+                    continue
+                micros = 1
+            lines.append(";".join(path) + f" {micros}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_chrome_trace(self) -> str:
+        """Chrome ``trace_event`` JSON export (``chrome://tracing``).
+
+        The profiler aggregates by section path rather than keeping a
+        timeline, so this synthesises one complete (``ph: "X"``) event
+        per path: children are laid out consecutively inside their
+        parent starting at the parent's start, durations are the
+        path's *inclusive* time.  Relative widths and nesting match
+        the recorded profile exactly; absolute positions are
+        synthetic.  Deterministic for a given set of samples.
+        """
+        children: dict[tuple[str, ...], list[tuple[str, ...]]] = {}
+        for path in self._exclusive:
+            for depth in range(1, len(path) + 1):
+                prefix, parent = path[:depth], path[: depth - 1]
+                siblings = children.setdefault(parent, [])
+                if prefix not in siblings:
+                    siblings.append(prefix)
+        for siblings in children.values():
+            siblings.sort()
+
+        def inclusive(path: tuple[str, ...]) -> float:
+            total = self._exclusive.get(path, 0.0)
+            for child in children.get(path, []):
+                total += inclusive(child)
+            return total
+
+        events: list[dict] = []
+
+        def emit(path: tuple[str, ...], start_us: int) -> None:
+            events.append(
+                {
+                    "name": path[-1],
+                    "cat": "profiler",
+                    "ph": "X",
+                    "ts": start_us,
+                    "dur": max(round(inclusive(path) * 1e6), 1),
+                    "pid": 1,
+                    "tid": 1,
+                    "args": {
+                        "calls": self._calls.get(path, 0),
+                        "exclusive_us": round(self._exclusive.get(path, 0.0) * 1e6),
+                    },
+                }
+            )
+            cursor = start_us
+            for child in children.get(path, []):
+                emit(child, cursor)
+                cursor += max(round(inclusive(child) * 1e6), 1)
+
+        cursor = 0
+        for root in children.get((), []):
+            emit(root, cursor)
+            cursor += max(round(inclusive(root) * 1e6), 1)
+        return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"}, indent=1)
+
     def report(self, within: str | None = None, title: str | None = None) -> str:
         """Render a paper-style breakdown table (relative % + absolute)."""
         rows = self.breakdown(within=within)
@@ -205,5 +291,32 @@ class Profiler:
         return "\n".join(lines)
 
 
+class _FrozenProfiler(Profiler):
+    """Permanently disabled profiler (the type of :data:`NULL_PROFILER`).
+
+    ``NULL_PROFILER`` is shared by every engine that opts out of
+    profiling; a caller flipping ``.enabled = True`` on it would
+    silently turn on profiling — and mix samples — for all of them.
+    This subclass makes that a loud error instead, as does merging
+    samples into it.
+    """
+
+    def __setattr__(self, name: str, value) -> None:
+        if name == "enabled" and value:
+            raise TypeError(
+                "NULL_PROFILER is shared and permanently disabled; "
+                "create your own Profiler() instead of enabling it"
+            )
+        super().__setattr__(name, value)
+
+    def merge(self, other: Profiler) -> None:
+        raise TypeError(
+            "NULL_PROFILER is shared and cannot accumulate samples; "
+            "merge into your own Profiler() instead"
+        )
+
+
 #: Shared do-nothing profiler for callers that do not want profiling.
-NULL_PROFILER = Profiler(enabled=False)
+#: Permanently disabled — attempts to enable it raise (see
+#: :class:`_FrozenProfiler`).
+NULL_PROFILER = _FrozenProfiler(enabled=False)

@@ -132,6 +132,7 @@ class GeneralizedVectorDB:
         if efs is not None:
             self.db.execute(f"SET pase.efs = {int(efs)}")
         accesses_before = self.db.buffer.stats.accesses
+        candidates_before = self.am.scan_stats.candidates
         table = self.db.catalog.table(self.table_name)
         use_batch = self.db.catalog.get_bool("enable_batch_exec")
         start = time.perf_counter()
@@ -153,6 +154,7 @@ class GeneralizedVectorDB:
             neighbors=neighbors,
             elapsed_seconds=elapsed,
             tuples_accessed=self.db.buffer.stats.accesses - accesses_before,
+            distance_computations=self.am.scan_stats.candidates - candidates_before,
         )
 
     # ------------------------------------------------------------------

@@ -332,7 +332,11 @@ class PaseHNSW(IndexAmRoutine):
         query = np.ascontiguousarray(query, dtype=np.float32)
         # Refresh the store's profiler in case the harness replaced ours.
         self.store.profiler = self.profiler
-        for neighbor in graph.search(self.store, self.params, query, k, efs=efs):
+        dist0 = self.store.counters.distance_computations
+        neighbors = graph.search(self.store, self.params, query, k, efs=efs)
+        self.scan_stats.scans += 1
+        self.scan_stats.candidates += self.store.counters.distance_computations - dist0
+        for neighbor in neighbors:
             yield self.store.heap_tid(neighbor.vector_id), neighbor.distance
 
     def get_batch(self, query: np.ndarray, k: int) -> ScanBatch:
@@ -347,7 +351,10 @@ class PaseHNSW(IndexAmRoutine):
         efs = int(self.catalog.get_setting("pase.efs"))
         query = np.ascontiguousarray(query, dtype=np.float32)
         self.store.profiler = self.profiler
+        dist0 = self.store.counters.distance_computations
         neighbors = graph.search(self.store, self.params, query, k, efs=efs)
+        self.scan_stats.scans += 1
+        self.scan_stats.candidates += self.store.counters.distance_computations - dist0
         if not neighbors:
             return ScanBatch.empty()
         tids = self.store.heap_tids([n.vector_id for n in neighbors])

@@ -209,6 +209,7 @@ class PaseIVFFlat(IndexAmRoutine):
             heads.append(head)
         order = np.argsort(np.asarray(cent_dists), kind="stable")[: max(nprobe, 1)]
 
+        candidates = 0
         if fixed_heap:
             # RC#6 neutralized: k-sized heap, candidates rejected with a
             # single comparison against the current worst survivor.
@@ -216,6 +217,7 @@ class PaseIVFFlat(IndexAmRoutine):
             worst = heap.worst_distance
             for bucket in order.tolist():
                 for tid, vec in self._iter_bucket(heads[bucket]):
+                    candidates += 1
                     with prof.section(SEC_DISTANCE):
                         dist = kernel(query, vec)
                     with prof.section(SEC_HEAP):
@@ -227,10 +229,13 @@ class PaseIVFFlat(IndexAmRoutine):
             heap = NaiveTopK(k)
             for bucket in order.tolist():
                 for tid, vec in self._iter_bucket(heads[bucket]):
+                    candidates += 1
                     with prof.section(SEC_DISTANCE):
                         dist = kernel(query, vec)
                     with prof.section(SEC_HEAP):
                         heap.push(dist, _tid_key(tid))
+        self.scan_stats.scans += 1
+        self.scan_stats.candidates += candidates
         with prof.section(SEC_HEAP):
             results = heap.results()
         for neighbor in results:
@@ -263,11 +268,13 @@ class PaseIVFFlat(IndexAmRoutine):
 
         key_parts: list[np.ndarray] = []
         dist_parts: list[np.ndarray] = []
+        self.scan_stats.scans += 1
         for bucket in order.tolist():
             with prof.section(SEC_TUPLE_ACCESS):
                 keys, vectors = self._gather_bucket(heads[bucket])
             if keys.shape[0] == 0:
                 continue
+            self.scan_stats.candidates += int(keys.shape[0])
             with prof.section(SEC_DISTANCE):
                 dist_parts.append(rows(query, vectors))
             key_parts.append(keys)

@@ -255,11 +255,13 @@ class PaseIVFPQ(IndexAmRoutine):
             else:
                 table = pq.naive_adc_table(codebook, query)
 
+        candidates = 0
         if fixed_heap:
             heap = BoundedMaxHeap(k)
             worst = heap.worst_distance
             for bucket in order.tolist():
                 for tid, code in self._iter_bucket(heads[bucket]):
+                    candidates += 1
                     with prof.section(SEC_DISTANCE):
                         dist = pq.adc_distance_single(table, code)
                     with prof.section(SEC_HEAP):
@@ -270,10 +272,13 @@ class PaseIVFPQ(IndexAmRoutine):
             heap = NaiveTopK(k)
             for bucket in order.tolist():
                 for tid, code in self._iter_bucket(heads[bucket]):
+                    candidates += 1
                     with prof.section(SEC_DISTANCE):
                         dist = pq.adc_distance_single(table, code)
                     with prof.section(SEC_HEAP):
                         heap.push(dist, _tid_key(tid))
+        self.scan_stats.scans += 1
+        self.scan_stats.candidates += candidates
         with prof.section(SEC_HEAP):
             results = heap.results()
         for neighbor in results:
@@ -314,11 +319,13 @@ class PaseIVFPQ(IndexAmRoutine):
 
         key_parts: list[np.ndarray] = []
         dist_parts: list[np.ndarray] = []
+        self.scan_stats.scans += 1
         for bucket in order.tolist():
             with prof.section(SEC_TUPLE_ACCESS):
                 keys, codes = self._gather_bucket(heads[bucket])
             if keys.shape[0] == 0:
                 continue
+            self.scan_stats.candidates += int(keys.shape[0])
             with prof.section(SEC_DISTANCE):
                 acc = np.zeros(codes.shape[0], dtype=np.float64)
                 for j in range(table.shape[0]):

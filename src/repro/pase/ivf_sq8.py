@@ -213,8 +213,10 @@ class PaseIVFSQ8(IndexAmRoutine):
 
         heap = BoundedMaxHeap(k) if fixed_heap else NaiveTopK(k)
         worst = float("inf")
+        candidates = 0
         for bucket in order.tolist():
             for tid, code in self._iter_bucket(heads[bucket]):
+                candidates += 1
                 with prof.section(SEC_DISTANCE):
                     # Tuple-at-a-time dequantize + distance (PASE style).
                     vec = code.astype(np.float32) * scale + codec.vmin
@@ -227,6 +229,8 @@ class PaseIVFSQ8(IndexAmRoutine):
                             worst = heap.worst_distance
                     else:
                         heap.push(dist, _tid_key(tid))
+        self.scan_stats.scans += 1
+        self.scan_stats.candidates += candidates
         with prof.section(SEC_HEAP):
             results = heap.results()
         for neighbor in results:

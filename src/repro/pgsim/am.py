@@ -18,6 +18,7 @@ from typing import Any, Iterator
 
 import numpy as np
 
+from repro.common.obs import IndexScanStats
 from repro.common.types import IndexSizeInfo
 from repro.pgsim.buffer import BufferManager
 from repro.pgsim.catalog import Catalog
@@ -119,6 +120,11 @@ class IndexAmRoutine(abc.ABC):
         self.buffer = buffer
         self.catalog = catalog
         self.options = dict(options)
+        #: Cumulative scan/candidate counters (``pg_stat_indexes``).
+        #: Subclasses bump ``candidates`` once per tuple they compute a
+        #: distance for; the default :meth:`get_batch` inherits the
+        #: counts from the :meth:`scan` it wraps.
+        self.scan_stats = IndexScanStats()
 
     # ------------------------------------------------------------------
     # lifecycle (ambuild / aminsert / ambulkdelete / amgettuple)

@@ -18,6 +18,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator
 
+from repro.common.obs import CounterDeltaMixin
 from repro.pgsim.constants import DEFAULT_BUFFER_POOL_PAGES
 from repro.pgsim.page import Page
 from repro.pgsim.storage import DiskManager
@@ -45,8 +46,14 @@ class Frame:
 
 
 @dataclass(slots=True)
-class BufferStats:
-    """Access statistics (the reproduction's ``pg_stat_io``)."""
+class BufferStats(CounterDeltaMixin):
+    """Access statistics (the reproduction's ``pg_stat_io``).
+
+    Counters only ever increase; consumers that need a window take a
+    ``snapshot()`` before and ``delta()`` after (see
+    :class:`repro.common.obs.CounterDeltaMixin`) instead of resetting,
+    so concurrent readers cannot double-count.
+    """
 
     hits: int = 0
     misses: int = 0

@@ -53,6 +53,7 @@ DEFAULT_SETTINGS: dict[str, Any] = {
     "enable_indexscan": True,
     "enable_seqscan": True,
     "enable_batch_exec": False,  # RC#3 ablation: batch-at-a-time executor
+    "track_query_stats": True,  # per-statement QueryStats + pg_stat_statements
 }
 
 _TRUTHY = {"on", "true", "yes", "1"}
@@ -64,6 +65,7 @@ class Catalog:
 
     def __init__(self) -> None:
         self._tables: dict[str, TableInfo] = {}
+        self._views: dict[str, Any] = {}
         self.settings: dict[str, Any] = dict(DEFAULT_SETTINGS)
 
     # ------------------------------------------------------------------
@@ -72,6 +74,8 @@ class Catalog:
     def add_table(self, info: TableInfo) -> None:
         if info.name in self._tables:
             raise CatalogError(f"table {info.name!r} already exists")
+        if info.name in self._views:
+            raise CatalogError(f"{info.name!r} is a reserved statistics view")
         self._tables[info.name] = info
 
     def drop_table(self, name: str) -> TableInfo:
@@ -90,6 +94,31 @@ class Catalog:
 
     def table_names(self) -> list[str]:
         return sorted(self._tables)
+
+    # ------------------------------------------------------------------
+    # virtual tables (pg_stat_* views)
+    # ------------------------------------------------------------------
+    def register_view(self, view: Any) -> None:
+        """Register a read-only virtual table (a ``StatView``).
+
+        Views share the table namespace from the planner's point of
+        view, so a view may not shadow a real table.
+        """
+        if view.name in self._tables:
+            raise CatalogError(f"table {view.name!r} already exists")
+        self._views[view.name] = view
+
+    def has_view(self, name: str) -> bool:
+        return name in self._views
+
+    def view(self, name: str) -> Any:
+        try:
+            return self._views[name]
+        except KeyError:
+            raise CatalogError(f"no such view: {name!r}") from None
+
+    def view_names(self) -> list[str]:
+        return sorted(self._views)
 
     # ------------------------------------------------------------------
     # indexes

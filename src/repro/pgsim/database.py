@@ -8,6 +8,7 @@ vector index access methods (PASE and pgvector) so the paper's
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 from typing import Any
 
@@ -19,6 +20,7 @@ from repro.pgsim.faults import FaultInjector
 from repro.pgsim.plan import QueryResult
 from repro.pgsim.sql import parse_sql
 from repro.pgsim.sql import ast
+from repro.pgsim.stats import StatsCollector, install_stat_views, normalize_sql
 from repro.pgsim.storage import DiskManager, FileDisk, MemoryDisk
 from repro.pgsim.wal import WriteAheadLog, replay
 
@@ -73,7 +75,11 @@ class PgSimDatabase:
             self.wal = WriteAheadLog(faults=fault_injector)
         self.buffer = BufferManager(self.disk, capacity=buffer_pool_pages, wal=self.wal)
         self.catalog = Catalog()
-        self.executor = Executor(self.catalog, self.buffer, self.wal)
+        #: Statistics aggregation point; backs the pg_stat_* views and
+        #: the per-statement QueryStats on every execute() result.
+        self.stats = StatsCollector(self.buffer, self.wal, self.catalog)
+        self.executor = Executor(self.catalog, self.buffer, self.wal, stats=self.stats)
+        install_stat_views(self.catalog, self.stats)
         _register_default_ams()
         self._replaying_catalog = False
         if data_dir is not None:
@@ -83,20 +89,46 @@ class PgSimDatabase:
     # SQL entry points
     # ------------------------------------------------------------------
     def execute(self, sql: str) -> QueryResult:
-        """Run one or more statements; returns the last result."""
-        statements = parse_sql(sql)
-        if not statements:
+        """Run one or more statements; returns the last result.
+
+        With the ``track_query_stats`` GUC on (the default), each
+        result carries a :class:`~repro.pgsim.stats.QueryStats` in
+        ``result.stats`` and the statement is recorded in
+        ``pg_stat_statements`` under its normalized text.
+        """
+        results = self._execute_statements(sql)
+        if not results:
             raise ValueError("no SQL statements to execute")
-        result: QueryResult | None = None
-        for stmt in statements:
-            result = self.executor.execute_statement(stmt)
-            self._log_ddl(stmt)
-        assert result is not None
-        return result
+        return results[-1]
 
     def execute_all(self, sql: str) -> list[QueryResult]:
         """Run statements and return every result."""
-        return [self.executor.execute_statement(s) for s in parse_sql(sql)]
+        return self._execute_statements(sql)
+
+    def _execute_statements(self, sql: str) -> list[QueryResult]:
+        statements = parse_sql(sql)
+        track = self._tracking_enabled()
+        normalized = normalize_sql(sql) if track else []
+        results: list[QueryResult] = []
+        for i, stmt in enumerate(statements):
+            if track:
+                baseline = self.stats.begin()
+                start = time.perf_counter()
+            result = self.executor.execute_statement(stmt)
+            if track:
+                elapsed = time.perf_counter() - start
+                result.stats = self.stats.finish(baseline, elapsed)
+                if i < len(normalized):
+                    self.stats.record_statement(normalized[i], elapsed, len(result.rows))
+            self._log_ddl(stmt)
+            results.append(result)
+        return results
+
+    def _tracking_enabled(self) -> bool:
+        try:
+            return self.catalog.get_bool("track_query_stats")
+        except Exception:
+            return False
 
     def query(self, sql: str) -> list[tuple[Any, ...]]:
         """Run a query and return its rows."""

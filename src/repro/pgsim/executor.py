@@ -21,6 +21,7 @@ from repro.pgsim.catalog import Catalog, CatalogError, IndexInfo, TableInfo
 from repro.pgsim.heapam import HeapTable
 from repro.pgsim.planner import explain_plan, plan_select
 from repro.pgsim.sql import ast
+from repro.pgsim.stats import StatsCollector
 from repro.pgsim.tuple_format import Column, TypeOid
 from repro.pgsim.wal import WriteAheadLog
 
@@ -32,10 +33,20 @@ class ExecutionError(RuntimeError):
 class Executor:
     """Statement dispatcher bound to one database instance."""
 
-    def __init__(self, catalog: Catalog, buffer: BufferManager, wal: WriteAheadLog) -> None:
+    def __init__(
+        self,
+        catalog: Catalog,
+        buffer: BufferManager,
+        wal: WriteAheadLog,
+        stats: StatsCollector | None = None,
+    ) -> None:
         self.catalog = catalog
         self.buffer = buffer
         self.wal = wal
+        #: Statistics aggregation point (see :mod:`repro.pgsim.stats`).
+        #: Always present so heap tables can share its counters; the
+        #: database facade passes its own instance.
+        self.stats = stats if stats is not None else StatsCollector(buffer, wal, catalog)
         self._next_xid = 2  # xid 1 is reserved for bootstrap rows
         #: Profiler installed on index AMs before build (set by
         #: harnesses that need construction-time breakdowns).
@@ -91,7 +102,7 @@ class Executor:
         columns = [Column.from_sql(c.name, c.type_name) for c in stmt.columns]
         if len({c.name for c in columns}) != len(columns):
             raise CatalogError("duplicate column names")
-        heap = HeapTable(stmt.name, columns, self.buffer, self.wal)
+        heap = HeapTable(stmt.name, columns, self.buffer, self.wal, stats=self.stats.heap)
         self.catalog.add_table(TableInfo(name=stmt.name, columns=columns, heap=heap))
         return P.QueryResult(command="CREATE TABLE")
 
@@ -289,9 +300,19 @@ class Executor:
         return P.QueryResult(command=f"SELECT {len(rows)}", columns=plan.columns, rows=rows)
 
     def _explain(self, stmt: ast.Explain) -> P.QueryResult:
+        if stmt.buffers and not stmt.analyze:
+            raise ExecutionError("EXPLAIN option BUFFERS requires ANALYZE")
         inner = stmt.statement
-        if not isinstance(inner, ast.Select):
-            raise ExecutionError("EXPLAIN supports only SELECT statements")
+        if isinstance(inner, ast.Select):
+            return self._explain_select(stmt, inner)
+        if isinstance(inner, (ast.Insert, ast.Delete)):
+            return self._explain_dml(stmt, inner)
+        raise ExecutionError(
+            "EXPLAIN supports SELECT, INSERT and DELETE statements, "
+            f"not {type(inner).__name__}"
+        )
+
+    def _explain_select(self, stmt: ast.Explain, inner: ast.Select) -> P.QueryResult:
         plan = plan_select(inner, self.catalog)
         if not stmt.analyze:
             lines = explain_plan(plan).splitlines()
@@ -309,7 +330,7 @@ class Executor:
         else:
             n_rows = sum(1 for __ in self._project_rows(plan, instrument))
         total = time.perf_counter() - start
-        lines = self._annotated_lines(plan, 0, instrument)
+        lines = self._annotated_lines(plan, 0, instrument, buffers=stmt.buffers)
         lines.append(f"Execution: {n_rows} rows in {total * 1e3:.3f} ms")
         return P.QueryResult(
             command="EXPLAIN",
@@ -317,18 +338,76 @@ class Executor:
             rows=[(line,) for line in lines],
         )
 
+    def _explain_dml(self, stmt: ast.Explain, inner: ast.Statement) -> P.QueryResult:
+        """EXPLAIN [ANALYZE] for INSERT/DELETE: plan line + counters.
+
+        The write path has no Volcano plan tree to instrument, so
+        ANALYZE executes the statement (with its side effects, exactly
+        like PostgreSQL's EXPLAIN ANALYZE on DML) and reports actual
+        rows, wall time and — with BUFFERS — the statement's buffer
+        delta on the top line.
+        """
+        if isinstance(inner, ast.Insert):
+            self.catalog.table(inner.table)  # validate before printing
+            lines = [f"Insert on {inner.table} (rows={len(inner.rows)})"]
+        else:
+            assert isinstance(inner, ast.Delete)
+            self.catalog.table(inner.table)
+            lines = [f"Delete on {inner.table}", "->  Seq Scan on " + inner.table]
+        if not stmt.analyze:
+            return P.QueryResult(
+                command="EXPLAIN",
+                columns=["QUERY PLAN"],
+                rows=[(line,) for line in lines],
+            )
+        before = self.buffer.stats.snapshot()
+        start = time.perf_counter()
+        if isinstance(inner, ast.Insert):
+            result = self._insert(inner)
+        else:
+            result = self._delete(inner)
+        total = time.perf_counter() - start
+        affected = int(result.command.split()[-1])
+        lines[0] += f" (actual rows={affected} time={total * 1e3:.3f} ms)"
+        if stmt.buffers:
+            delta = self.buffer.stats.delta(before)
+            lines.insert(1, f"  Buffers: hits={delta.hits} misses={delta.misses}")
+        lines.append(f"Execution: {affected} rows in {total * 1e3:.3f} ms")
+        return P.QueryResult(
+            command="EXPLAIN",
+            columns=["QUERY PLAN"],
+            rows=[(line,) for line in lines],
+        )
+
     def _annotated_lines(
-        self, node: P.PlanNode, depth: int, instrument: dict[int, list]
+        self,
+        node: P.PlanNode,
+        depth: int,
+        instrument: dict[int, list],
+        buffers: bool = False,
     ) -> list[str]:
-        """Plan listing annotated with actual rows/time per node."""
+        """Plan listing annotated with actual rows/time per node.
+
+        With ``buffers`` on, each instrumented node also gets a
+        ``Buffers: hits=H misses=M`` line.  Instrumentation captures
+        *inclusive* deltas (a parent's pull runs its child's pull);
+        plans are single-child chains, so the child's inclusive figure
+        is subtracted to report each node's *exclusive* buffer traffic
+        — the per-node figures sum exactly to the query's total.
+        """
         own = node.explain_lines(depth)[0]
         entry = instrument.get(id(node))
+        child = getattr(node, "child", None)
         if entry is not None:
             own += f" (actual rows={entry[0]} time={entry[1] * 1e3:.3f} ms)"
         lines = [own]
-        child = getattr(node, "child", None)
+        if buffers and entry is not None:
+            child_entry = instrument.get(id(child)) if child is not None else None
+            hits = entry[2] - (child_entry[2] if child_entry is not None else 0)
+            misses = entry[3] - (child_entry[3] if child_entry is not None else 0)
+            lines.append("  " * (depth + 1) + f"Buffers: hits={hits} misses={misses}")
         if child is not None:
-            lines.extend(self._annotated_lines(child, depth + 1, instrument))
+            lines.extend(self._annotated_lines(child, depth + 1, instrument, buffers=buffers))
         return lines
 
     def _project_rows(
@@ -362,16 +441,27 @@ class Executor:
     def _instrumented(
         self, gen: Iterator[dict[str, Any]], node: P.PlanNode, instrument: dict[int, list]
     ) -> Iterator[dict[str, Any]]:
-        """Wrap a node's row stream with row/time accounting."""
-        entry = instrument.setdefault(id(node), [0, 0.0])
+        """Wrap a node's row stream with row/time/buffer accounting.
+
+        Entries are ``[rows, seconds, buffer_hits, buffer_misses]``;
+        the buffer figures are inclusive of child pulls (see
+        :meth:`_annotated_lines` for the exclusive subtraction).
+        """
+        entry = instrument.setdefault(id(node), [0, 0.0, 0, 0])
+        bstats = self.buffer.stats
         while True:
+            hits0, misses0 = bstats.hits, bstats.misses
             start = time.perf_counter()
             try:
                 row = next(gen)
             except StopIteration:
                 entry[1] += time.perf_counter() - start
+                entry[2] += bstats.hits - hits0
+                entry[3] += bstats.misses - misses0
                 return
             entry[1] += time.perf_counter() - start
+            entry[2] += bstats.hits - hits0
+            entry[3] += bstats.misses - misses0
             entry[0] += 1
             yield row
 
@@ -390,6 +480,11 @@ class Executor:
             return
         if isinstance(node, P.IndexScan):
             yield from self._index_scan_rows(node)
+            return
+        if isinstance(node, P.VirtualScan):
+            names = node.view.column_names()
+            for values in node.view.rows():
+                yield dict(zip(names, values))
             return
         if isinstance(node, P.Filter):
             for row in self._plan_rows(node.child, instrument):
@@ -490,16 +585,23 @@ class Executor:
 
         The row counter advances by ``len(batch)`` per pull so EXPLAIN
         ANALYZE reports tuples, not batches, on either executor path.
+        Buffer accounting matches :meth:`_instrumented`.
         """
-        entry = instrument.setdefault(id(node), [0, 0.0])
+        entry = instrument.setdefault(id(node), [0, 0.0, 0, 0])
+        bstats = self.buffer.stats
         while True:
+            hits0, misses0 = bstats.hits, bstats.misses
             start = time.perf_counter()
             try:
                 batch = next(gen)
             except StopIteration:
                 entry[1] += time.perf_counter() - start
+                entry[2] += bstats.hits - hits0
+                entry[3] += bstats.misses - misses0
                 return
             entry[1] += time.perf_counter() - start
+            entry[2] += bstats.hits - hits0
+            entry[3] += bstats.misses - misses0
             entry[0] += len(batch)
             yield batch
 
@@ -523,6 +625,12 @@ class Executor:
             rows = self._index_scan_batch(node)
             if rows:
                 yield rows
+            return
+        if isinstance(node, P.VirtualScan):
+            names = node.view.column_names()
+            batch = [dict(zip(names, values)) for values in node.view.rows()]
+            if batch:
+                yield batch
             return
         if isinstance(node, P.Filter):
             for batch in self._plan_batches(node.child, instrument):

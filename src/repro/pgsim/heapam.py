@@ -16,6 +16,7 @@ from typing import Any, Iterator, Sequence
 
 from repro.pgsim.buffer import BufferManager
 from repro.pgsim.page import PageFullError
+from repro.pgsim.stats import HeapAccessStats
 from repro.pgsim.tuple_format import (
     Schema,
     decode_column,
@@ -47,11 +48,18 @@ class HeapTable:
         schema: Schema,
         buffer: BufferManager,
         wal: WriteAheadLog | None = None,
+        stats: "HeapAccessStats | None" = None,
     ) -> None:
         self.name = name
         self.schema = list(schema)
         self.buffer = buffer
         self.wal = wal
+        if stats is None:
+            stats = HeapAccessStats()
+        #: Tuple-traffic counters; the executor passes one shared
+        #: instance per database so statement deltas cover every
+        #: relation (see :class:`repro.pgsim.stats.HeapAccessStats`).
+        self.stats = stats
         self.relation = f"{name}.heap"
         if not buffer.disk.relation_exists(self.relation):
             buffer.disk.create_relation(self.relation)
@@ -88,6 +96,7 @@ class HeapTable:
             )
         blkno, offset = self._place(data, xid)
         self.tuple_count += 1
+        self.stats.tuples_inserted += 1
         return TID(blkno, offset)
 
     def _place(self, data: bytes, xid: int) -> tuple[int, int]:
@@ -153,6 +162,7 @@ class HeapTable:
         finally:
             self.buffer.unpin(frame, dirty=True)
         self.tuple_count -= 1
+        self.stats.tuples_deleted += 1
 
     def vacuum(self) -> int:
         """Physically remove deleted rows; returns tuples reclaimed.
@@ -193,6 +203,7 @@ class HeapTable:
             view = page.get_item_view(tid.offset)
             if tuple_xmax(view) != 0:
                 raise KeyError(f"tuple {tid} is deleted")
+            self.stats.tuples_fetched += 1
             return decode_tuple(self.schema, view)
 
     def fetch_column(self, tid: TID, column_index: int) -> Any:
@@ -201,6 +212,7 @@ class HeapTable:
             view = page.get_item_view(tid.offset)
             if tuple_xmax(view) != 0:
                 raise KeyError(f"tuple {tid} is deleted")
+            self.stats.tuples_fetched += 1
             return decode_column(self.schema, view, column_index)
 
     def fetch_many(self, tids: Sequence[TID]) -> list[list[Any] | None]:
@@ -222,6 +234,7 @@ class HeapTable:
                     if tuple_xmax(view) != 0:
                         continue
                     out[i] = decode_tuple(self.schema, view)
+                    self.stats.tuples_fetched += 1
         return out
 
     def fetch_column_many(self, tids: Sequence[TID], column_index: int) -> list[Any]:
@@ -242,6 +255,7 @@ class HeapTable:
                     if tuple_xmax(view) != 0:
                         raise KeyError(f"tuple {tids[i]} is deleted")
                     out[i] = decode_column(self.schema, view, column_index)
+                    self.stats.tuples_fetched += 1
         return out
 
     def scan(self) -> Iterator[tuple[TID, list[Any]]]:
@@ -252,6 +266,7 @@ class HeapTable:
                     view = page.get_item_view(off)
                     if tuple_xmax(view) != 0:
                         continue
+                    self.stats.tuples_fetched += 1
                     yield TID(blkno, off), decode_tuple(self.schema, view)
 
     def scan_batches(self) -> Iterator[list[tuple[TID, list[Any]]]]:
@@ -269,6 +284,7 @@ class HeapTable:
                         continue
                     batch.append((TID(blkno, off), decode_tuple(self.schema, view)))
             if batch:
+                self.stats.tuples_fetched += len(batch)
                 yield batch
 
     # ------------------------------------------------------------------

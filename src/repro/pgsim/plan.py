@@ -76,6 +76,24 @@ class IndexScan(PlanNode):
 
 
 @dataclass
+class VirtualScan(PlanNode):
+    """Scan of a read-only virtual table (a pg_stat_* view).
+
+    ``view`` is a :class:`~repro.pgsim.stats.StatView`; the executor
+    materialises its rows on every pull, so the output always reflects
+    the live counters.
+    """
+
+    view: Any
+    #: True when the batch executor emits the view as one batch.
+    batch: bool = False
+
+    def explain_lines(self, depth: int = 0) -> list[str]:
+        suffix = " (batch)" if self.batch else ""
+        return [_line(depth, f"Virtual Scan on {self.view.name}{suffix}")]
+
+
+@dataclass
 class Filter(PlanNode):
     """Predicate filter over a child plan."""
 
@@ -147,6 +165,11 @@ class QueryResult:
     command: str
     columns: list[str] = field(default_factory=list)
     rows: list[tuple[Any, ...]] = field(default_factory=list)
+    #: Per-statement counter deltas (:class:`repro.pgsim.stats.QueryStats`),
+    #: attached by ``PgSimDatabase.execute`` when ``track_query_stats``
+    #: is on; ``None`` when tracking is off or the statement ran
+    #: through the bare executor.
+    stats: Any = None
 
     def scalar(self) -> Any:
         """First column of the first row (raises if empty)."""

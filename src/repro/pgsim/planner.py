@@ -16,6 +16,8 @@ exactly how PostgreSQL treats an unindexed ORDER BY.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 from repro.common.types import DistanceType
@@ -42,6 +44,9 @@ def plan_select(stmt: ast.Select, catalog: Catalog) -> P.PlanNode:
         node: P.PlanNode = P.OneRow()
         return _mark_batch(_project(node, stmt.targets, table=None), catalog)
 
+    if not catalog.has_table(stmt.table) and catalog.has_view(stmt.table):
+        return _plan_view_select(stmt, catalog)
+
     table = catalog.table(stmt.table)
     node = _scan_node(stmt, table, catalog)
 
@@ -64,6 +69,35 @@ def plan_select(stmt: ast.Select, catalog: Catalog) -> P.PlanNode:
     return _mark_batch(_project(node, stmt.targets, table), catalog)
 
 
+def _plan_view_select(stmt: ast.Select, catalog: Catalog) -> P.Project:
+    """Plan a SELECT over a pg_stat_* virtual table.
+
+    Views are never index-backed; the pipeline is the seq-scan
+    fallback shape (scan → filter → sort/aggregate → limit) over a
+    :class:`~repro.pgsim.plan.VirtualScan` leaf.
+    """
+    view = catalog.view(stmt.table)
+    node: P.PlanNode = P.VirtualScan(view)
+    aggregate = _single_aggregate(stmt.targets)
+    if aggregate is not None:
+        if stmt.order_by is not None:
+            raise PlanningError("ORDER BY is not supported with aggregates")
+        if stmt.where is not None:
+            node = P.Filter(node, stmt.where)
+        func, arg = aggregate
+        agg: P.PlanNode = P.Aggregate(node, func, arg)
+        if stmt.limit is not None:
+            agg = P.Limit(agg, stmt.limit)
+        return _mark_batch(_project(agg, stmt.targets, view, aggregated=True), catalog)
+    if stmt.where is not None:
+        node = P.Filter(node, stmt.where)
+    if stmt.order_by is not None:
+        node = P.Sort(node, stmt.order_by.expr, stmt.order_by.ascending)
+    if stmt.limit is not None:
+        node = P.Limit(node, stmt.limit)
+    return _mark_batch(_project(node, stmt.targets, view), catalog)
+
+
 def _mark_batch(project: P.Project, catalog: Catalog) -> P.Project:
     """Flag a finished plan for the batch executor when the GUC is on."""
     if not catalog.get_bool("enable_batch_exec"):
@@ -71,7 +105,7 @@ def _mark_batch(project: P.Project, catalog: Catalog) -> P.Project:
     project.batch = True
     node: P.PlanNode | None = project.child
     while node is not None:
-        if isinstance(node, (P.SeqScan, P.IndexScan)):
+        if isinstance(node, (P.SeqScan, P.IndexScan, P.VirtualScan)):
             node.batch = True
         node = getattr(node, "child", None)
     return project
@@ -160,7 +194,7 @@ def _single_aggregate(
 def _project(
     node: P.PlanNode,
     targets: tuple[ast.SelectTarget, ...],
-    table: TableInfo | None,
+    table: Any,  # TableInfo, StatView or None; only column_names() is used
     aggregated: bool = False,
 ) -> P.Project:
     columns: list[str] = []

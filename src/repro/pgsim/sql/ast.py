@@ -202,10 +202,16 @@ class ShowStatement(Statement):
 
 @dataclass(frozen=True, slots=True)
 class Explain(Statement):
-    """``EXPLAIN [ANALYZE] <select>``."""
+    """``EXPLAIN [ANALYZE | ( option [, ...] )] <select|insert|delete>``.
+
+    Options follow PostgreSQL's parenthesized list: ``ANALYZE`` and
+    ``BUFFERS`` with optional boolean values.  ``BUFFERS`` requires
+    ``ANALYZE`` (enforced at execution, as in PostgreSQL).
+    """
 
     statement: Statement
     analyze: bool = False
+    buffers: bool = False
 
 
 @dataclass(frozen=True, slots=True)

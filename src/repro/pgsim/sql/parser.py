@@ -10,7 +10,8 @@ Grammar (statements separated by ``;``)::
     SELECT targets [FROM table] [WHERE expr]
         [ORDER BY expr [ASC|DESC]] [LIMIT n]
     SET name = value          SHOW name
-    EXPLAIN <select|insert>   VACUUM table
+    EXPLAIN [ANALYZE | ( ANALYZE | BUFFERS [, ...] )] <select|insert|delete>
+    VACUUM table              REINDEX index
 
 Expression precedence (loosest first): ``OR``, ``AND``, ``NOT``,
 comparisons (``= < > <= >= <> != <-> <#> <=>``), ``+ -``, ``* /``,
@@ -134,8 +135,8 @@ class _Parser:
             return self._show()
         if tok.is_keyword("explain"):
             self._advance()
-            analyze = self._accept_keyword("analyze")
-            return ast.Explain(self._statement(), analyze=analyze)
+            analyze, buffers = self._explain_options()
+            return ast.Explain(self._statement(), analyze=analyze, buffers=buffers)
         if tok.is_keyword("vacuum"):
             self._advance()
             return ast.Vacuum(self._expect_ident())
@@ -143,6 +144,49 @@ class _Parser:
             self._advance()
             return ast.Reindex(self._expect_ident())
         raise self._error(f"unsupported statement start {tok.value!r}")
+
+    def _explain_options(self) -> tuple[bool, bool]:
+        """EXPLAIN's option syntax: bare ANALYZE or a parenthesized list.
+
+        ``EXPLAIN (ANALYZE, BUFFERS) ...`` accepts the options in any
+        order, each with an optional ON/OFF/TRUE/FALSE value, matching
+        PostgreSQL's grammar.  Returns ``(analyze, buffers)``.
+        """
+        if self._accept_keyword("analyze"):
+            return True, False
+        if not self._accept_punct("("):
+            return False, False
+        analyze = buffers = False
+        while True:
+            tok = self._advance()
+            if tok.type not in (TokenType.IDENT, TokenType.KEYWORD):
+                raise SqlSyntaxError("expected EXPLAIN option name", self.sql, tok.pos)
+            name = tok.value.lower()
+            value = self._explain_option_value()
+            if name == "analyze":
+                analyze = value
+            elif name == "buffers":
+                buffers = value
+            else:
+                raise SqlSyntaxError(
+                    f"unrecognized EXPLAIN option {name!r}", self.sql, tok.pos
+                )
+            if not self._accept_punct(","):
+                break
+        self._expect_punct(")")
+        return analyze, buffers
+
+    def _explain_option_value(self) -> bool:
+        """Optional boolean after an EXPLAIN option name (default true)."""
+        spellings = {"on": True, "true": True, "off": False, "false": False}
+        tok = self._peek()
+        if tok.type in (TokenType.IDENT, TokenType.KEYWORD) and tok.value.lower() in spellings:
+            self._advance()
+            return spellings[tok.value.lower()]
+        if tok.type == TokenType.NUMBER and tok.value in ("0", "1"):
+            self._advance()
+            return tok.value == "1"
+        return True
 
     def _create(self) -> ast.Statement:
         self._expect_keyword("create")

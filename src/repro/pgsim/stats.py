@@ -1,0 +1,331 @@
+"""Cumulative statistics and per-query accounting (pgsim's pg_stat_*).
+
+Three pieces, mirroring how PostgreSQL exposes its own bookkeeping:
+
+* :class:`QueryStats` — counter deltas attributed to one executed
+  statement (buffer, WAL, heap and index-AM work), attached to every
+  :class:`~repro.pgsim.plan.QueryResult` by
+  :meth:`~repro.pgsim.database.PgSimDatabase.execute`;
+* :class:`StatsCollector` — the per-database aggregation point: it
+  owns the shared heap-access counters, snapshots/deltas all counter
+  families around statements, and keeps the
+  ``pg_stat_statements``-style per-normalized-query histograms;
+* :class:`StatView` + :func:`install_stat_views` — read-only virtual
+  tables (``pg_stat_buffers``, ``pg_stat_wal``, ``pg_stat_indexes``,
+  ``pg_stat_statements``) the planner exposes to ordinary SQL.
+
+Per-query tracking is controlled by the ``track_query_stats`` GUC
+(default on); the cumulative counters themselves are always live —
+they are plain integer increments on hot paths that already exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any, Callable, Iterator
+
+from repro.common.obs import CounterDeltaMixin, IndexScanStats, LatencyHistogram
+from repro.pgsim.buffer import BufferManager, BufferStats
+from repro.pgsim.sql.lexer import TokenType, tokenize
+from repro.pgsim.wal import WalStats, WriteAheadLog
+
+
+@dataclass(slots=True)
+class HeapAccessStats(CounterDeltaMixin):
+    """Cumulative heap-AM tuple traffic (``pg_stat_user_tables``-ish).
+
+    One instance is shared by every :class:`~repro.pgsim.heapam.HeapTable`
+    of a database (wired up by the executor), so a single delta covers
+    all relations a statement touched.
+    """
+
+    tuples_fetched: int = 0
+    tuples_inserted: int = 0
+    tuples_deleted: int = 0
+
+
+@dataclass
+class QueryStats:
+    """Counter deltas for one executed statement."""
+
+    elapsed_seconds: float
+    buffer: BufferStats
+    wal: WalStats
+    heap: HeapAccessStats
+    index: IndexScanStats
+
+    # Flat accessors for the counters the paper's analysis leans on.
+    @property
+    def buffer_hits(self) -> int:
+        return self.buffer.hits
+
+    @property
+    def buffer_misses(self) -> int:
+        return self.buffer.misses
+
+    @property
+    def heap_tuples_fetched(self) -> int:
+        return self.heap.tuples_fetched
+
+    @property
+    def index_candidates(self) -> int:
+        return self.index.candidates
+
+    def as_dict(self) -> dict[str, Any]:
+        """Nested plain-dict form (for the bench JSON emitter)."""
+        return {
+            "elapsed_seconds": self.elapsed_seconds,
+            "buffer": self.buffer.as_dict(),
+            "wal": self.wal.as_dict(),
+            "heap": self.heap.as_dict(),
+            "index": self.index.as_dict(),
+        }
+
+
+class StatementStats:
+    """Cumulative execution record of one normalized statement."""
+
+    __slots__ = ("calls", "rows", "histogram")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.rows = 0
+        self.histogram = LatencyHistogram()
+
+    def record(self, seconds: float, rows: int) -> None:
+        self.calls += 1
+        self.rows += rows
+        self.histogram.record(seconds)
+
+
+def normalize_sql(sql: str) -> list[str]:
+    """Normalize a SQL string into per-statement fingerprint texts.
+
+    Literal constants (numbers and strings) are replaced with ``?`` so
+    queries differing only in parameters share one
+    ``pg_stat_statements`` entry — e.g. every
+    ``ORDER BY vec <-> '...'::PASE LIMIT 10`` probe of a workload
+    collapses to a single line.  Statements are split on top-level
+    ``;`` exactly like the parser splits them, so the i-th normalized
+    text corresponds to the i-th parsed statement.
+
+    Memoized on the raw text: normalization is a full second lexer
+    pass, and repeated statements (the common case in benchmark loops)
+    would otherwise pay it on every execution.
+    """
+    return list(_normalize_cached(sql))
+
+
+@lru_cache(maxsize=512)
+def _normalize_cached(sql: str) -> tuple[str, ...]:
+    groups: list[list[str]] = [[]]
+    for token in tokenize(sql):
+        if token.type == TokenType.EOF:
+            break
+        if token.type == TokenType.PUNCT and token.value == ";":
+            groups.append([])
+            continue
+        if token.type in (TokenType.NUMBER, TokenType.STRING):
+            groups[-1].append("?")
+        else:
+            groups[-1].append(token.value)
+    return tuple(" ".join(group) for group in groups if group)
+
+
+class StatView:
+    """A read-only virtual table backed by a row-producing callable.
+
+    Quacks enough like :class:`~repro.pgsim.catalog.TableInfo` for the
+    planner's projection logic (``column_names()``) while carrying no
+    heap — the executor materialises ``rows()`` on every scan, so a
+    view always reflects the current counters.
+    """
+
+    __slots__ = ("name", "columns", "_rows_fn")
+
+    def __init__(
+        self, name: str, columns: list[str], rows_fn: Callable[[], list[tuple]]
+    ) -> None:
+        self.name = name
+        self.columns = list(columns)
+        self._rows_fn = rows_fn
+
+    def column_names(self) -> list[str]:
+        return list(self.columns)
+
+    def rows(self) -> list[tuple]:
+        return self._rows_fn()
+
+
+@dataclass
+class _Baseline:
+    """Counter snapshots taken at statement start."""
+
+    buffer: BufferStats
+    wal: WalStats
+    heap: HeapAccessStats
+    index: IndexScanStats
+
+
+class StatsCollector:
+    """Aggregation point for one database's statistics."""
+
+    def __init__(self, buffer: BufferManager, wal: WriteAheadLog, catalog: Any) -> None:
+        self.buffer = buffer
+        self.wal = wal
+        self.catalog = catalog
+        #: Shared by every HeapTable of this database.
+        self.heap = HeapAccessStats()
+        self.statements: dict[str, StatementStats] = {}
+
+    # ------------------------------------------------------------------
+    # per-query windows
+    # ------------------------------------------------------------------
+    def begin(self) -> _Baseline:
+        """Snapshot every counter family before a statement runs."""
+        return _Baseline(
+            buffer=self.buffer.stats.snapshot(),
+            wal=self.wal.stats.snapshot(),
+            heap=self.heap.snapshot(),
+            index=self.index_totals(),
+        )
+
+    def finish(self, baseline: _Baseline, elapsed_seconds: float) -> QueryStats:
+        """Delta against a :meth:`begin` snapshot."""
+        return QueryStats(
+            elapsed_seconds=elapsed_seconds,
+            buffer=self.buffer.stats.delta(baseline.buffer),
+            wal=self.wal.stats.delta(baseline.wal),
+            heap=self.heap.delta(baseline.heap),
+            index=self.index_totals().delta(baseline.index),
+        )
+
+    # ------------------------------------------------------------------
+    # cumulative rollups
+    # ------------------------------------------------------------------
+    def iter_indexes(self) -> Iterator[Any]:
+        for table_name in self.catalog.table_names():
+            yield from self.catalog.table(table_name).indexes.values()
+
+    def index_totals(self) -> IndexScanStats:
+        """Sum of every index AM's scan counters."""
+        total = IndexScanStats()
+        for info in self.iter_indexes():
+            stats = getattr(info.am, "scan_stats", None)
+            if stats is not None:
+                total.scans += stats.scans
+                total.candidates += stats.candidates
+        return total
+
+    # ------------------------------------------------------------------
+    # pg_stat_statements
+    # ------------------------------------------------------------------
+    def record_statement(self, normalized: str, seconds: float, rows: int) -> None:
+        entry = self.statements.get(normalized)
+        if entry is None:
+            entry = self.statements[normalized] = StatementStats()
+        entry.record(seconds, rows)
+
+    def reset_statements(self) -> None:
+        """The moral equivalent of ``pg_stat_statements_reset()``."""
+        self.statements.clear()
+
+
+def install_stat_views(catalog: Any, collector: StatsCollector) -> None:
+    """Register the pg_stat_* virtual tables on a catalog."""
+
+    def buffers_rows() -> list[tuple]:
+        s = collector.buffer.stats
+        return [
+            (s.hits, s.misses, s.evictions, s.dirty_writebacks, s.accesses, s.hit_ratio)
+        ]
+
+    def wal_rows() -> list[tuple]:
+        s = collector.wal.stats
+        return [
+            (
+                s.records,
+                s.bytes_written,
+                s.flushes,
+                s.records_flushed,
+                s.bytes_flushed,
+                collector.wal.flushed_lsn,
+            )
+        ]
+
+    def index_rows() -> list[tuple]:
+        rows = []
+        for info in collector.iter_indexes():
+            stats = getattr(info.am, "scan_stats", None) or IndexScanStats()
+            per_scan = stats.candidates / stats.scans if stats.scans else 0.0
+            rows.append(
+                (
+                    info.name,
+                    info.table_name,
+                    info.am_name,
+                    stats.scans,
+                    stats.candidates,
+                    per_scan,
+                )
+            )
+        return rows
+
+    def statement_rows() -> list[tuple]:
+        rows = []
+        for text, entry in collector.statements.items():
+            h = entry.histogram
+            rows.append(
+                (
+                    text,
+                    entry.calls,
+                    entry.rows,
+                    h.total_seconds * 1e3,
+                    h.mean * 1e3,
+                    h.p50 * 1e3,
+                    h.p95 * 1e3,
+                    h.p99 * 1e3,
+                )
+            )
+        rows.sort(key=lambda r: r[3], reverse=True)
+        return rows
+
+    for view in (
+        StatView(
+            "pg_stat_buffers",
+            ["hits", "misses", "evictions", "dirty_writebacks", "accesses", "hit_ratio"],
+            buffers_rows,
+        ),
+        StatView(
+            "pg_stat_wal",
+            [
+                "records",
+                "bytes_written",
+                "flushes",
+                "records_flushed",
+                "bytes_flushed",
+                "flushed_lsn",
+            ],
+            wal_rows,
+        ),
+        StatView(
+            "pg_stat_indexes",
+            ["index", "table", "am", "scans", "candidates", "candidates_per_scan"],
+            index_rows,
+        ),
+        StatView(
+            "pg_stat_statements",
+            [
+                "query",
+                "calls",
+                "rows",
+                "total_ms",
+                "mean_ms",
+                "p50_ms",
+                "p95_ms",
+                "p99_ms",
+            ],
+            statement_rows,
+        ),
+    ):
+        catalog.register_view(view)

@@ -34,6 +34,7 @@ import struct
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.common.obs import CounterDeltaMixin
 from repro.pgsim.faults import NO_FAULTS, FaultInjector
 from repro.pgsim.storage import DiskManager
 
@@ -66,6 +67,23 @@ class WalRecord:
     payload: bytes = b""
 
 
+@dataclass(slots=True)
+class WalStats(CounterDeltaMixin):
+    """Cumulative WAL activity counters (``pg_stat_wal``).
+
+    ``records``/``bytes_written`` advance at append time (the record
+    is in the log, durable or not); ``flushes`` counts :meth:`flush`
+    calls that found work to make durable, and ``records_flushed`` /
+    ``bytes_flushed`` advance as the durable horizon does.
+    """
+
+    records: int = 0
+    bytes_written: int = 0
+    flushes: int = 0
+    records_flushed: int = 0
+    bytes_flushed: int = 0
+
+
 class WriteAheadLog:
     """Append-only log of serialized records.
 
@@ -90,6 +108,12 @@ class WriteAheadLog:
         self.flushed_lsn = 0
         self._durable_count = 0
         self._panicked = False
+        self.stats = WalStats()
+        # Appended-but-not-yet-flushed accounting for ``stats`` (kept
+        # separately from ``_durable_count`` because in-memory logs
+        # never advance that).
+        self._pending_records = 0
+        self._pending_bytes = 0
         #: Pages already full-page-imaged since the last checkpoint.
         self._fpw_done: set[tuple[str, int]] = set()
         self.faults = faults if faults is not None else NO_FAULTS
@@ -194,6 +218,7 @@ class WriteAheadLog:
         self._check_panic()
         if self.path is None:
             self.flushed_lsn = self._next_lsn - 1
+            self._note_flushed()
             return
         if self._durable_count == len(self._records):
             self.flushed_lsn = self._next_lsn - 1
@@ -208,6 +233,17 @@ class WriteAheadLog:
             raise
         self._durable_count = len(self._records)
         self.flushed_lsn = self._next_lsn - 1
+        self._note_flushed()
+
+    def _note_flushed(self) -> None:
+        """Move appended-but-unflushed accounting to the flushed side."""
+        if not self._pending_records:
+            return
+        self.stats.flushes += 1
+        self.stats.records_flushed += self._pending_records
+        self.stats.bytes_flushed += self._pending_bytes
+        self._pending_records = 0
+        self._pending_bytes = 0
 
     def truncate_before(self, lsn: int) -> int:
         """Discard records with an LSN below ``lsn``; returns the count.
@@ -268,6 +304,10 @@ class WriteAheadLog:
             + payload
         )
         self._records.append(record)
+        self.stats.records += 1
+        self.stats.bytes_written += len(record)
+        self._pending_records += 1
+        self._pending_bytes += len(record)
         return lsn
 
     def _check_panic(self) -> None:

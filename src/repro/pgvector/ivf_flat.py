@@ -181,8 +181,10 @@ class PgVectorIVFFlat(IndexAmRoutine):
         order = np.argsort(np.asarray(cent_dists), kind="stable")[: max(nprobe, 1)]
 
         heap = NaiveTopK(k)
+        candidates = 0
         for bucket in order.tolist():
             for tid in self._iter_bucket(heads[bucket]):
+                candidates += 1
                 # The defining pgvector cost: fetch the candidate's
                 # vector from the base heap table.
                 with prof.section(SEC_HEAP_FETCH):
@@ -191,6 +193,8 @@ class PgVectorIVFFlat(IndexAmRoutine):
                     dist = kernel(query, np.asarray(vec, dtype=np.float32))
                 with prof.section(SEC_HEAP):
                     heap.push(dist, _tid_key(tid))
+        self.scan_stats.scans += 1
+        self.scan_stats.candidates += candidates
         for neighbor in heap.results():
             yield key_to_tid(neighbor.vector_id), neighbor.distance
 
@@ -222,6 +226,8 @@ class PgVectorIVFFlat(IndexAmRoutine):
             tids: list[TID] = []
             for bucket in order.tolist():
                 self._gather_bucket(heads[bucket], tids)
+        self.scan_stats.scans += 1
+        self.scan_stats.candidates += len(tids)
         if not tids:
             return ScanBatch.empty()
         with prof.section(SEC_HEAP_FETCH):

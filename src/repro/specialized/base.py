@@ -6,6 +6,7 @@ import abc
 
 import numpy as np
 
+from repro.common.obs import IndexScanStats
 from repro.common.profiling import NULL_PROFILER, Profiler
 from repro.common.types import (
     BuildStats,
@@ -41,6 +42,9 @@ class VectorIndex(abc.ABC):
         self.is_trained = not self.requires_training
         self.ntotal = 0
         self.build_stats = BuildStats()
+        #: Cumulative scan statistics (same shape the pgsim index AMs
+        #: expose), fed from each SearchResult's distance_computations.
+        self.scan_stats = IndexScanStats()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -68,7 +72,10 @@ class VectorIndex(abc.ABC):
         matrix) override it.
         """
         arr = self._check_matrix(queries)
-        return [self._search(arr[i], k, **kwargs) for i in range(arr.shape[0])]
+        results = [self._search(arr[i], k, **kwargs) for i in range(arr.shape[0])]
+        for result in results:
+            self._note_search(result)
+        return results
 
     def search(self, query: np.ndarray, k: int, **kwargs) -> SearchResult:
         """Top-``k`` search for one query vector."""
@@ -79,7 +86,13 @@ class VectorIndex(abc.ABC):
         vec = as_float32_vector(query)
         if vec.shape[0] != self.dim:
             raise ValueError(f"query dim {vec.shape[0]} != index dim {self.dim}")
-        return self._search(vec, k, **kwargs)
+        result = self._search(vec, k, **kwargs)
+        self._note_search(result)
+        return result
+
+    def _note_search(self, result: SearchResult) -> None:
+        self.scan_stats.scans += 1
+        self.scan_stats.candidates += result.distance_computations
 
     # ------------------------------------------------------------------
     # to implement

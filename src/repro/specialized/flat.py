@@ -42,7 +42,7 @@ class FlatIndex(VectorIndex):
         dists = batch_kernel(self.distance_type)(arr, self._vectors)
         elapsed = time.perf_counter() - start
         per_query = elapsed / arr.shape[0]
-        return [
+        results = [
             SearchResult(
                 neighbors=exact_topk(dists[i], k),
                 elapsed_seconds=per_query,
@@ -50,6 +50,9 @@ class FlatIndex(VectorIndex):
             )
             for i in range(arr.shape[0])
         ]
+        for result in results:
+            self._note_search(result)
+        return results
 
     def _search(self, query: np.ndarray, k: int, **kwargs) -> SearchResult:
         if kwargs:

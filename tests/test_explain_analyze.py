@@ -69,11 +69,37 @@ class TestExplainAnalyze:
         # A parent's time includes its child's.
         assert time_of("Limit") >= time_of("Filter") * 0.5
 
-    def test_analyze_on_non_select_rejected(self, db):
+    def test_analyze_insert_runs_and_annotates(self, db):
+        lines = _lines(db, "EXPLAIN ANALYZE INSERT INTO t VALUES (99, '1.0,1.0'::PASE)")
+        assert lines[0].startswith("Insert on t")
+        assert "actual rows=1" in lines[0]
+        assert lines[-1].startswith("Execution: 1 rows")
+        # ANALYZE really executes: the row is in the table.
+        assert db.query("SELECT count(*) FROM t WHERE id = 99") == [(1,)]
+
+    def test_analyze_delete_runs(self, db):
+        lines = _lines(db, "EXPLAIN ANALYZE DELETE FROM t WHERE id = 3")
+        assert lines[0].startswith("Delete on t")
+        assert "actual rows=1" in lines[0]
+        assert db.query("SELECT count(*) FROM t WHERE id = 3") == [(0,)]
+
+    def test_analyze_on_unsupported_statement_rejected(self, db):
         from repro.pgsim.executor import ExecutionError
 
         with pytest.raises(ExecutionError):
-            db.execute("EXPLAIN ANALYZE INSERT INTO t VALUES (99, '1.0,1.0'::PASE)")
+            db.execute("EXPLAIN ANALYZE CREATE TABLE u (id int)")
+
+    def test_buffers_requires_analyze(self, db):
+        from repro.pgsim.executor import ExecutionError
+
+        with pytest.raises(ExecutionError):
+            db.execute("EXPLAIN (BUFFERS) SELECT id FROM t")
+
+    def test_analyze_buffers_per_node(self, db):
+        lines = _lines(db, "EXPLAIN (ANALYZE, BUFFERS) SELECT id FROM t")
+        buffers = [line for line in lines if "Buffers:" in line]
+        assert buffers, lines
+        assert all("hits=" in line and "misses=" in line for line in buffers)
 
 
 class TestExplainAnalyzeBatch:

@@ -1,0 +1,215 @@
+"""Tests for the pg_stat-style views and per-query QueryStats."""
+
+import pytest
+
+from repro.pgsim import PgSimDatabase
+from repro.pgsim.catalog import CatalogError
+from repro.pgsim.sql.parser import SqlSyntaxError
+from repro.pgsim.stats import normalize_sql
+
+
+@pytest.fixture()
+def db(fresh_db):
+    fresh_db.execute("CREATE TABLE t (id int, vec float[])")
+    for i in range(30):
+        fresh_db.execute(f"INSERT INTO t VALUES ({i}, '{i}.0,{2 * i}.0'::PASE)")
+    return fresh_db
+
+
+@pytest.fixture()
+def indexed_db(db):
+    db.execute(
+        "CREATE INDEX ix ON t USING pase_ivfflat (vec) "
+        "WITH (clusters = 4, sample_ratio = 1.0, seed = 1)"
+    )
+    return db
+
+
+class TestNormalizeSql:
+    def test_literals_collapse(self):
+        assert normalize_sql("SELECT id FROM t WHERE id < 7") == [
+            "select id from t where id < ?"
+        ]
+
+    def test_strings_collapse(self):
+        one = normalize_sql("INSERT INTO t VALUES (1, '1.0,2.0'::PASE)")
+        two = normalize_sql("INSERT INTO t VALUES (2, '9.0,8.0'::PASE)")
+        assert one == two
+
+    def test_statement_split_matches_parser(self):
+        texts = normalize_sql("SELECT 1; SELECT id FROM t; ")
+        assert len(texts) == 2
+        assert texts[1] == "select id from t"
+
+
+class TestQueryStatsOnResults:
+    def test_select_carries_stats(self, db):
+        result = db.execute("SELECT id FROM t WHERE id < 5")
+        assert result.stats is not None
+        assert result.stats.buffer_hits + result.stats.buffer_misses > 0
+        assert result.stats.heap_tuples_fetched >= 30  # full scan under the filter
+        assert result.stats.elapsed_seconds > 0
+
+    def test_insert_counts_wal_and_heap(self, db):
+        result = db.execute("INSERT INTO t VALUES (99, '1.0,1.0'::PASE)")
+        assert result.stats.heap.tuples_inserted == 1
+        assert result.stats.wal.records >= 1
+        assert result.stats.wal.bytes_written > 0
+
+    def test_delete_counts_heap(self, db):
+        result = db.execute("DELETE FROM t WHERE id = 3")
+        assert result.stats.heap.tuples_deleted == 1
+
+    def test_tracking_can_be_disabled(self, db):
+        db.execute("SET track_query_stats = off")
+        result = db.execute("SELECT id FROM t")
+        assert result.stats is None
+        before = len(db.query("SELECT query FROM pg_stat_statements"))
+        db.execute("SELECT id FROM t WHERE id < 9")
+        assert len(db.query("SELECT query FROM pg_stat_statements")) == before
+
+    def test_index_scan_attributes_candidates(self, indexed_db):
+        result = indexed_db.execute(
+            "SELECT id FROM t ORDER BY vec <-> '0.0,0.0'::PASE LIMIT 5"
+        )
+        assert result.stats.index.scans == 1
+        assert result.stats.index_candidates > 0
+
+
+class TestStatViews:
+    def test_pg_stat_buffers_tracks_totals(self, db):
+        hits0, misses0 = db.query("SELECT hits, misses FROM pg_stat_buffers")[0]
+        db.execute("SELECT id FROM t")
+        hits1, misses1 = db.query("SELECT hits, misses FROM pg_stat_buffers")[0]
+        assert hits1 + misses1 > hits0 + misses0
+
+    def test_pg_stat_wal_tracks_appends(self, db):
+        records0 = db.query("SELECT records FROM pg_stat_wal")[0][0]
+        db.execute("INSERT INTO t VALUES (77, '1.0,1.0'::PASE)")
+        records1 = db.query("SELECT records FROM pg_stat_wal")[0][0]
+        assert records1 > records0
+
+    def test_pg_stat_indexes_row_shape(self, indexed_db):
+        indexed_db.execute("SELECT id FROM t ORDER BY vec <-> '0.0,0.0'::PASE LIMIT 5")
+        rows = indexed_db.query("SELECT * FROM pg_stat_indexes")
+        assert len(rows) == 1
+        name, table, am, scans, candidates, per_scan = rows[0]
+        assert (name, table, am) == ("ix", "t", "pase_ivfflat")
+        assert scans >= 1
+        assert candidates > 0
+        assert per_scan == pytest.approx(candidates / scans)
+
+    def test_pg_stat_statements_aggregates_calls(self, db):
+        for i in range(5):
+            db.execute(f"SELECT id FROM t WHERE id < {i}")
+        rows = db.query(
+            "SELECT query, calls, p50_ms, p95_ms, p99_ms FROM pg_stat_statements "
+            "WHERE calls >= 5"
+        )
+        entry = next(r for r in rows if "where id < ?" in r[0])
+        __, calls, p50, p95, p99 = entry
+        assert calls == 5
+        assert 0 <= p50 <= p95 <= p99
+
+    def test_views_support_where_order_limit(self, db):
+        db.execute("SELECT id FROM t")
+        rows = db.query(
+            "SELECT query, calls FROM pg_stat_statements ORDER BY calls LIMIT 1"
+        )
+        assert len(rows) == 1
+        count = db.query("SELECT count(*) FROM pg_stat_buffers")
+        assert count == [(1,)]
+
+    def test_views_work_on_batch_path(self, db):
+        db.execute("SET enable_batch_exec = on")
+        try:
+            rows = db.query("SELECT hits, misses FROM pg_stat_buffers")
+            assert len(rows) == 1
+        finally:
+            db.execute("SET enable_batch_exec = off")
+
+    def test_view_names_are_reserved(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("CREATE TABLE pg_stat_buffers (id int)")
+
+    def test_unknown_view_or_table_still_errors(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("SELECT * FROM pg_stat_nonexistent")
+
+    def test_explain_shows_virtual_scan(self, db):
+        plan = db.explain("SELECT hits FROM pg_stat_buffers")
+        assert "Virtual Scan on pg_stat_buffers" in plan
+
+
+class TestExplainBuffersDifferential:
+    """EXPLAIN (ANALYZE, BUFFERS) per-node counters must sum to the
+    pg_stat_buffers delta the same statement produces — the acceptance
+    check tying the per-node and cumulative views together."""
+
+    @staticmethod
+    def _node_totals(lines):
+        hits = misses = 0
+        for line in lines:
+            if "Buffers:" in line:
+                hits += int(line.split("hits=")[1].split(" ")[0])
+                misses += int(line.split("misses=")[1].split(" ")[0].rstrip())
+        return hits, misses
+
+    @pytest.mark.parametrize("batch", [False, True])
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT id FROM t",
+            "SELECT id FROM t WHERE id < 7",
+            "SELECT id FROM t ORDER BY vec <-> '0.0,0.0'::PASE LIMIT 5",
+        ],
+    )
+    def test_per_node_sums_to_cumulative_delta(self, indexed_db, sql, batch):
+        db = indexed_db
+        db.execute(f"SET enable_batch_exec = {'on' if batch else 'off'}")
+        try:
+            before = db.buffer.stats.snapshot()
+            lines = [r[0] for r in db.execute(f"EXPLAIN (ANALYZE, BUFFERS) {sql}").rows]
+            delta = db.buffer.stats.delta(before)
+            hits, misses = self._node_totals(lines)
+            assert (hits, misses) == (delta.hits, delta.misses)
+        finally:
+            db.execute("SET enable_batch_exec = off")
+
+
+class TestExplainOptionParsing:
+    def test_unknown_option_rejected(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.execute("EXPLAIN (VERBOSE) SELECT id FROM t")
+
+    def test_option_values(self, db):
+        lines = [
+            r[0]
+            for r in db.execute(
+                "EXPLAIN (ANALYZE on, BUFFERS off) SELECT id FROM t"
+            ).rows
+        ]
+        assert any("actual rows=" in line for line in lines)
+        assert not any("Buffers:" in line for line in lines)
+
+    def test_plain_explain_insert(self, db):
+        lines = [r[0] for r in db.execute("EXPLAIN INSERT INTO t VALUES (1, '1.0,1.0'::PASE)").rows]
+        assert lines[0].startswith("Insert on t")
+        # Plain EXPLAIN must not execute.
+        assert db.query("SELECT count(*) FROM t") == [(30,)]
+
+    def test_plain_explain_delete(self, db):
+        lines = [r[0] for r in db.execute("EXPLAIN DELETE FROM t WHERE id = 1").rows]
+        assert lines[0].startswith("Delete on t")
+        assert db.query("SELECT count(*) FROM t") == [(30,)]
+
+
+class TestStatementReset:
+    def test_reset_statements(self, db):
+        db.execute("SELECT id FROM t")
+        assert db.query("SELECT count(*) FROM pg_stat_statements") != [(0,)]
+        db.stats.reset_statements()
+        # The count query itself gets tracked after the reset, so look
+        # for the pre-reset entry specifically.
+        rows = db.query("SELECT query FROM pg_stat_statements")
+        assert ("select id from t",) not in rows

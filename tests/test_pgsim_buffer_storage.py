@@ -98,12 +98,14 @@ class TestFileDisk:
 class TestBufferManager:
     def test_miss_then_hit(self, buffer, disk):
         disk.extend("r", _blank_page())
+        before = buffer.stats.snapshot()
         frame = buffer.pin("r", 0)
         buffer.unpin(frame)
         frame = buffer.pin("r", 0)
         buffer.unpin(frame)
-        assert buffer.stats.misses == 1
-        assert buffer.stats.hits == 1
+        delta = buffer.stats.delta(before)
+        assert delta.misses == 1
+        assert delta.hits == 1
         assert buffer.stats.hit_ratio == 0.5
 
     def test_new_page_is_pinned_dirty(self, buffer):
@@ -137,11 +139,12 @@ class TestBufferManager:
         buffer.unpin(f)
 
     def test_capacity_respected(self, buffer):
+        before = buffer.stats.snapshot()
         for __ in range(16):
             __, f = buffer.new_page("r")
             buffer.unpin(f)
         assert buffer.cached_pages <= 4
-        assert buffer.stats.evictions >= 12
+        assert buffer.stats.delta(before).evictions >= 12
 
     def test_page_context_manager(self, buffer, disk):
         disk.extend("r", _blank_page())
