@@ -1,16 +1,21 @@
-"""Overhead of per-query stats tracking (``track_query_stats`` GUC).
+"""Overhead of per-query stats tracking (``track_query_stats`` GUC)
+and of span tracing (``Profiler(tracer=Tracer())``).
 
 The observability layer's acceptance bar: snapshot/delta accounting
 around every statement must stay well under 10% of a Fig. 14-style SQL
-search. Measured as best-of-N batch times with the GUC on vs off; the
-assertion bound is deliberately looser than the target (CI timers are
-noisy) and the measured ratio lands in ``BENCH_obs_overhead.json`` so
-the trend is machine-checkable across PRs.
+search, and recording real spans for every profiler section must stay
+under 10% on the batch search path. Measured as best-of-N batch times
+on vs off; the assertion bounds are deliberately looser than the
+target (CI timers are noisy) and the measured ratios land in
+``BENCH_obs_overhead.json`` so the trend is machine-checkable across
+PRs.
 """
 
 import time
 
 from conftest import K, N_QUERIES, NPROBE, emit_bench
+from repro.common.profiling import NULL_PROFILER, Profiler
+from repro.common.tracing import Tracer
 
 REPEATS = 7
 
@@ -60,3 +65,46 @@ def test_tracking_overhead(ivf_study):
     )
     # Target is <1.10; the gate leaves headroom for shared-runner noise.
     assert ratio < 1.35, f"stats tracking overhead too high: {ratio:.2f}x"
+
+
+def test_tracing_overhead(ivf_study):
+    """Span recording must stay cheap on the batch search path.
+
+    Compares best-of-N batch search times with a tracer-backed
+    profiler installed on the PASE AM against no profiler at all — the
+    full price of observability (sections + spans), not just the
+    tracer increment.
+    """
+    db = ivf_study.generalized.db
+    am = ivf_study.generalized.am
+    db.execute(f"SET pase.nprobe = {NPROBE}")
+    db.execute("SET enable_batch_exec = on")
+    sqls = _probe_sqls(ivf_study)
+    try:
+        for sql in sqls:  # warm the buffer pool and plan paths
+            db.execute(sql)
+
+        tracer = Tracer()
+        am.profiler = Profiler(tracer=tracer)
+        traced = _best_batch_seconds(db, sqls)
+        span_count = len(tracer.spans)
+        am.profiler = NULL_PROFILER
+        untraced = _best_batch_seconds(db, sqls)
+    finally:
+        am.profiler = NULL_PROFILER
+        db.execute("SET enable_batch_exec = off")
+
+    ratio = traced / untraced if untraced > 0 else 1.0
+    assert span_count > 0, "tracer recorded no spans"
+    emit_bench(
+        "tracing_overhead",
+        params={"k": K, "nprobe": NPROBE, "n_queries": N_QUERIES, "repeats": REPEATS},
+        latency={
+            "traced_ms": traced / len(sqls) * 1e3,
+            "untraced_ms": untraced / len(sqls) * 1e3,
+        },
+        counters={"spans": span_count},
+        extra={"overhead_ratio": ratio},
+    )
+    # Target is <1.10; the gate leaves headroom for shared-runner noise.
+    assert ratio < 1.35, f"span tracing overhead too high: {ratio:.2f}x"

@@ -2,18 +2,35 @@
 
 Paper shape: Faiss spends ~95% in fvec_L2sqr; PASE's distance share is
 much lower, with large Tuple Access and Min-heap shares.
+
+Since the tracing PR the PASE profile is span-backed: the breakdown
+below is *regenerated from the recorded span tree* (not the live
+aggregate counters), the same spans also produce the RC#1–RC#7
+attribution and a chrome-trace timeline emitted next to the
+``BENCH_*.json`` results for CI artifact upload.
 """
+
+import json
+import os
+from pathlib import Path
 
 import pytest
 
-from conftest import IVF_PARAMS, K, N_QUERIES, NPROBE
+from conftest import IVF_PARAMS, K, N_QUERIES, NPROBE, emit_bench
+from repro.common.obs import BENCH_DIR_ENV
 from repro.common.profiling import Profiler
+from repro.common.tracing import Tracer
+from repro.core.rc_attribution import attribute_profile, format_rc_breakdown
+from repro.core.root_causes import RootCause
 from repro.core.study import ComparativeStudy, GeneralizedVectorDB, SpecializedVectorDB
 
 
 @pytest.fixture(scope="module")
-def profiles(sift):
-    profs = {"PASE": Profiler(), "Faiss": Profiler()}
+def profilers(sift):
+    profs = {
+        "PASE": Profiler(tracer=Tracer()),
+        "Faiss": Profiler(tracer=Tracer()),
+    }
     study = ComparativeStudy(
         sift,
         "ivf_flat",
@@ -22,8 +39,15 @@ def profiles(sift):
         specialized=SpecializedVectorDB(profiler=profs["Faiss"]),
     )
     study.compare_search(k=K, nprobe=NPROBE, n_queries=N_QUERIES)
+    return profs
+
+
+@pytest.fixture(scope="module")
+def profiles(profilers):
+    """Breakdown rows regenerated from each engine's span tree."""
     return {
-        name: {r.name: r for r in prof.breakdown()} for name, prof in profs.items()
+        name: {r.name: r for r in prof.tracer.to_profiler().breakdown()}
+        for name, prof in profilers.items()
     }
 
 
@@ -51,3 +75,43 @@ def test_tab5_shape_pase_tuple_access_large(profiles):
     assert pase["Min-heap"].fraction > 0.05
     # PASE's distance share is well below Faiss's.
     assert pase["fvec_L2sqr"].fraction < profiles["Faiss"]["fvec_L2sqr"].fraction
+
+
+def test_tab5_spans_agree_with_aggregate(profilers):
+    """Span-derived totals must match the live aggregate counters."""
+    for prof in profilers.values():
+        assert prof.tracer.spans
+        span_total = prof.tracer.to_profiler().total_seconds()
+        assert span_total == pytest.approx(prof.total_seconds(), rel=0.05)
+
+
+def test_tab5_rc_attribution_from_spans(profilers):
+    """The paper's Table V conclusions, restated as an RC attribution."""
+    attribution = attribute_profile(profilers["PASE"].tracer)
+    assert attribution.buckets
+    # Buckets partition the recorded span time exactly.
+    assert sum(b.seconds for b in attribution.buckets) == pytest.approx(
+        attribution.total_seconds
+    )
+    # PASE search pays RC#2 (page indirection) and RC#6 (size-n heap).
+    assert attribution.seconds_for(RootCause.MEMORY_MANAGEMENT) > 0
+    assert attribution.seconds_for(RootCause.HEAP_SIZE) > 0
+    report = format_rc_breakdown(attribution, title="Table V (PASE, from spans):")
+    assert "RC#2" in report and "RC#6" in report
+
+    tracer = profilers["PASE"].tracer
+    out_dir = Path(os.environ.get(BENCH_DIR_ENV, "."))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    trace_path = out_dir / "TRACE_tab05_ivfflat_search.json"
+    trace_path.write_text(tracer.to_chrome_trace() + "\n")
+    json.loads(trace_path.read_text())  # artifact must be valid JSON
+    emit_bench(
+        "tab05_rc_breakdown",
+        params=dict(IVF_PARAMS, k=K, nprobe=NPROBE, n_queries=N_QUERIES),
+        counters={"spans": len(tracer.spans)},
+        extra={
+            "rc_attribution": attribution.as_dict(),
+            "report": report,
+            "chrome_trace": trace_path.name,
+        },
+    )

@@ -6,6 +6,7 @@ Examples::
     repro-bench --experiment fig3
     repro-bench --experiment fig14 --scale 0.002
     repro-bench --all
+    repro-bench trend --baseline benchmarks/results --current bench-results
 """
 
 from __future__ import annotations
@@ -19,6 +20,13 @@ from repro.bench.experiments import EXPERIMENTS, run_experiment
 
 def main(argv: list[str] | None = None) -> int:
     """CLI driver; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "trend":
+        # Subcommand: benchmark trend gate (see repro.bench.trend).
+        from repro.bench.trend import main as trend_main
+
+        return trend_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description="Regenerate the figures/tables of the PASE-vs-Faiss ICDE'24 study.",

@@ -1,0 +1,163 @@
+"""Benchmark trend analysis: diff two directories of BENCH_*.json.
+
+The CI regression gate: every benchmark emits a ``BENCH_<w>.json``
+through :func:`repro.common.obs.write_bench_json` (schema
+``repro-bench/v1``), committed baselines live in
+``benchmarks/results/``, and ``repro-bench trend`` compares a fresh
+run against them.  A latency metric that grew by more than the
+threshold (default 25%) fails the gate.
+
+Only latency metrics gate (``mean_ms``/``p50_ms``; tail percentiles
+are too noisy at smoke scale) and only workloads present on *both*
+sides are compared — a new benchmark can land together with its
+baseline without tripping the gate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.common.obs import BENCH_SCHEMA
+
+#: Latency metrics compared by the gate, in report order.
+GATED_METRICS = ("mean_ms", "p50_ms")
+
+#: Default allowed relative growth before a metric is a regression.
+DEFAULT_THRESHOLD = 0.25
+
+#: Ignore metric movement below this many milliseconds: at smoke-bench
+#: scale a sub-0.05 ms jitter can be a large *relative* change while
+#: meaning nothing.
+MIN_ABS_DELTA_MS = 0.05
+
+
+@dataclass(slots=True)
+class MetricDelta:
+    """One gated metric compared across baseline and current."""
+
+    workload: str
+    metric: str
+    baseline: float
+    current: float
+
+    @property
+    def ratio(self) -> float:
+        return self.current / self.baseline if self.baseline > 0 else float("inf")
+
+    def regressed(self, threshold: float) -> bool:
+        if self.current - self.baseline < MIN_ABS_DELTA_MS:
+            return False
+        return self.current > self.baseline * (1.0 + threshold)
+
+
+@dataclass(slots=True)
+class TrendReport:
+    """Outcome of one baseline-vs-current comparison."""
+
+    deltas: list[MetricDelta]
+    threshold: float
+    only_baseline: list[str]  #: workloads missing from the current run
+    only_current: list[str]  #: new workloads without a baseline
+
+    @property
+    def regressions(self) -> list[MetricDelta]:
+        return [d for d in self.deltas if d.regressed(self.threshold)]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        lines = [
+            f"benchmark trend: {len(self.deltas)} gated metrics, "
+            f"threshold +{self.threshold * 100:.0f}%"
+        ]
+        for d in sorted(self.deltas, key=lambda d: d.ratio, reverse=True):
+            flag = "REGRESSION" if d.regressed(self.threshold) else "ok"
+            lines.append(
+                f"  {d.workload:<28} {d.metric:<8} "
+                f"{d.baseline:9.3f} -> {d.current:9.3f} ms "
+                f"({d.ratio:5.2f}x)  {flag}"
+            )
+        if self.only_current:
+            lines.append(f"  new workloads (no baseline): {', '.join(self.only_current)}")
+        if self.only_baseline:
+            lines.append(f"  missing from current run: {', '.join(self.only_baseline)}")
+        lines.append(
+            "trend: OK" if self.ok else f"trend: {len(self.regressions)} regression(s)"
+        )
+        return "\n".join(lines)
+
+
+def load_bench_dir(directory: str | Path) -> dict[str, dict]:
+    """Read every ``BENCH_*.json`` in a directory, keyed by workload.
+
+    Files that do not parse or carry a different schema are skipped —
+    the gate must not fail on stray artifacts.
+    """
+    docs: dict[str, dict] = {}
+    for path in sorted(Path(directory).glob("BENCH_*.json")):
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        if not isinstance(doc, dict) or doc.get("schema") != BENCH_SCHEMA:
+            continue
+        workload = doc.get("workload") or path.stem.removeprefix("BENCH_")
+        docs[workload] = doc
+    return docs
+
+
+def compare(
+    baseline_dir: str | Path,
+    current_dir: str | Path,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> TrendReport:
+    """Compare two benchmark-result directories workload by workload."""
+    baseline = load_bench_dir(baseline_dir)
+    current = load_bench_dir(current_dir)
+    deltas: list[MetricDelta] = []
+    for workload in sorted(baseline.keys() & current.keys()):
+        base_lat = baseline[workload].get("latency") or {}
+        cur_lat = current[workload].get("latency") or {}
+        for metric in GATED_METRICS:
+            b, c = base_lat.get(metric), cur_lat.get(metric)
+            if isinstance(b, (int, float)) and isinstance(c, (int, float)):
+                deltas.append(
+                    MetricDelta(
+                        workload=workload,
+                        metric=metric,
+                        baseline=float(b),
+                        current=float(c),
+                    )
+                )
+    return TrendReport(
+        deltas=deltas,
+        threshold=threshold,
+        only_baseline=sorted(baseline.keys() - current.keys()),
+        only_current=sorted(current.keys() - baseline.keys()),
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``repro-bench trend`` driver; returns a process exit code."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro-bench trend",
+        description="Diff BENCH_*.json latency metrics against a baseline directory.",
+    )
+    parser.add_argument("--baseline", required=True, help="directory of baseline BENCH_*.json")
+    parser.add_argument("--current", required=True, help="directory of current BENCH_*.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="allowed relative latency growth (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    report = compare(args.baseline, args.current, threshold=args.threshold)
+    print(report.render())
+    return 0 if report.ok else 1

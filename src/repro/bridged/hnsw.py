@@ -53,10 +53,13 @@ class BridgedHNSW(IndexAmRoutine):
     def build(self) -> None:
         start = time.perf_counter()
         count = 0
+        self.progress.set_phase("insert")
         for tid, values in self.table.scan():
             vec = np.ascontiguousarray(values[self.column_index], dtype=np.float32)
             self._insert_one(tid, vec)
             count += 1
+            self.progress.tick()
+        self.progress.set_phase("link")
         if count == 0:
             raise RuntimeError("cannot build an HNSW index over an empty table")
         self.build_stats.add_seconds = time.perf_counter() - start

@@ -58,10 +58,12 @@ class BridgedIVFFlat(PaseIVFFlat):
         n_clusters = min(self.opts.clusters, vectors.shape[0])
 
         start = time.perf_counter()
+        self.progress.set_phase("sample")
         sample = sample_training_rows(
             vectors, self.opts.sample_ratio, n_clusters, self.opts.seed
         )
         # Step#5: the well-tuned k-means flavour (RC#5).
+        self.progress.set_phase("kmeans")
         result = faiss_kmeans(
             sample, n_clusters, self.opts.kmeans_iterations, seed=self.opts.seed
         )
@@ -69,14 +71,18 @@ class BridgedIVFFlat(PaseIVFFlat):
         self.build_stats.train_seconds = time.perf_counter() - start
 
         start = time.perf_counter()
-        # Step#2: SGEMM-batched assignment (RC#1).
+        # Step#2: SGEMM-batched assignment (RC#1) — one batched call,
+        # so the assign phase ticks once for the whole table.
+        self.progress.set_phase("assign", tuples_total=len(rows))
         assignments, __ = assign_nearest_batch(vectors, centroids)
+        self.progress.tick(len(rows))
         self.build_stats.distance_computations += len(rows) * n_clusters
         buckets: list[list[tuple[TID, np.ndarray]]] = [[] for __ in range(n_clusters)]
         for (tid, vec), bucket in zip(rows, assignments.tolist()):
             buckets[bucket].append((tid, vec))
 
         # Durability: persist the same page layout PASE uses.
+        self.progress.set_phase("flush")
         heads = [self._write_bucket(bucket) for bucket in buckets]
         self._write_centroids(centroids, heads)
         self._write_meta(n_clusters)

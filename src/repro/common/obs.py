@@ -67,6 +67,142 @@ class CounterDeltaMixin:
         }
 
 
+# ----------------------------------------------------------------------
+# wait events
+# ----------------------------------------------------------------------
+
+#: Canonical wait-event names (PostgreSQL's ``pg_stat_activity``
+#: vocabulary).  pgsim records blocked time under these when a
+#: statement waits on storage or the buffer clock instead of running
+#: engine code; classification is exclusive — the events never overlap
+#: — so summing them never double-counts.
+EV_BUFFER_READ = "BufferRead"  #: buffer-miss handling minus read/evict
+EV_DATA_FILE_READ = "DataFileRead"  #: block read from the disk manager
+EV_WAL_WRITE = "WALWrite"  #: WAL file append
+EV_WAL_SYNC = "WALSync"  #: WAL fsync
+EV_LWLOCK_BUFFER_CLOCK = "LWLockBufferClock"  #: clock-sweep eviction
+
+#: event name -> PostgreSQL-style wait-event class.
+WAIT_EVENT_TYPES = {
+    EV_BUFFER_READ: "IO",
+    EV_DATA_FILE_READ: "IO",
+    EV_WAL_WRITE: "IO",
+    EV_WAL_SYNC: "IO",
+    EV_LWLOCK_BUFFER_CLOCK: "LWLock",
+}
+
+
+class WaitEventStats:
+    """Cumulative per-event wait accounting (count + blocked seconds).
+
+    Dict-keyed rather than a counter dataclass so new event names need
+    no schema change; supports the same snapshot/delta protocol as
+    :class:`CounterDeltaMixin` plus an explicit :meth:`reset` (the
+    ``pg_stat_reset()`` contract).
+    """
+
+    __slots__ = ("counts", "seconds")
+
+    def __init__(
+        self,
+        counts: dict[str, int] | None = None,
+        seconds: dict[str, float] | None = None,
+    ) -> None:
+        self.counts: dict[str, int] = dict(counts or {})
+        self.seconds: dict[str, float] = dict(seconds or {})
+
+    def record(self, event: str, elapsed: float) -> None:
+        """Add one occurrence of ``event`` that blocked for ``elapsed`` s."""
+        self.counts[event] = self.counts.get(event, 0) + 1
+        self.seconds[event] = self.seconds.get(event, 0.0) + elapsed
+
+    def snapshot(self) -> "WaitEventStats":
+        return WaitEventStats(self.counts, self.seconds)
+
+    def delta(self, since: "WaitEventStats") -> "WaitEventStats":
+        counts = {}
+        seconds = {}
+        for event, n in self.counts.items():
+            diff = n - since.counts.get(event, 0)
+            if diff:
+                counts[event] = diff
+                seconds[event] = self.seconds.get(event, 0.0) - since.seconds.get(event, 0.0)
+        return WaitEventStats(counts, seconds)
+
+    def reset(self) -> None:
+        self.counts.clear()
+        self.seconds.clear()
+
+    def events(self) -> list[str]:
+        """Recorded event names, sorted."""
+        return sorted(self.counts)
+
+    def total_seconds(self) -> float:
+        return sum(self.seconds.values())
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            event: {"count": self.counts[event], "seconds": self.seconds.get(event, 0.0)}
+            for event in self.events()
+        }
+
+    def __bool__(self) -> bool:
+        return bool(self.counts)
+
+
+# ----------------------------------------------------------------------
+# index-build progress
+# ----------------------------------------------------------------------
+
+
+class BuildProgress:
+    """Live phase/tuple progress of one index build.
+
+    The moral equivalent of a ``pg_stat_progress_create_index`` row:
+    the access method reports its current phase (sample/kmeans/assign/
+    flush for IVF, insert/link for HNSW) and ticks tuples as it
+    processes them; observers read the fields at any time.
+    """
+
+    __slots__ = ("index_name", "am_name", "phase", "tuples_done", "tuples_total", "phases_seen", "finished")
+
+    def __init__(self, index_name: str = "", am_name: str = "") -> None:
+        self.index_name = index_name
+        self.am_name = am_name
+        self.phase = "initializing"
+        self.tuples_done = 0
+        self.tuples_total = 0
+        #: Phases in the order the AM entered them.
+        self.phases_seen: list[str] = []
+        self.finished = False
+
+    def set_phase(self, phase: str, tuples_total: int | None = None) -> None:
+        """Enter a build phase; optionally (re)declare the tuple goal."""
+        self.phase = phase
+        self.phases_seen.append(phase)
+        if tuples_total is not None:
+            self.tuples_total = tuples_total
+            self.tuples_done = 0
+
+    def tick(self, n: int = 1) -> None:
+        """Advance the current phase's tuple counter."""
+        self.tuples_done += n
+
+
+class _NullProgress(BuildProgress):
+    """Do-nothing progress sink (default on every index AM)."""
+
+    def set_phase(self, phase: str, tuples_total: int | None = None) -> None:
+        return None
+
+    def tick(self, n: int = 1) -> None:
+        return None
+
+
+#: Shared no-op progress reporter for builds nobody is watching.
+NULL_PROGRESS = _NullProgress()
+
+
 @dataclass(slots=True)
 class IndexScanStats(CounterDeltaMixin):
     """Cumulative index-AM work counters (``pg_stat_indexes``).

@@ -71,6 +71,9 @@ class _Section:
         prof._stack.append(self._name)
         prof._calls[tuple(prof._stack)] += 1
         prof._last_ts = now
+        tracer = prof.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.begin(self._name, now)
 
     def __exit__(self, *exc_info) -> None:
         prof = self._profiler
@@ -78,6 +81,9 @@ class _Section:
         prof._exclusive[tuple(prof._stack)] += now - prof._last_ts
         prof._stack.pop()
         prof._last_ts = now
+        tracer = prof.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.end(now)
 
 
 class Profiler:
@@ -85,10 +91,19 @@ class Profiler:
 
     A disabled profiler (``enabled=False``) turns :meth:`section` into
     a near-no-op so production paths can keep their instrumentation.
+
+    With a :class:`~repro.common.tracing.Tracer` attached (``tracer=``),
+    every section additionally records a real timestamped span — the
+    exports then render the actual timeline (see
+    :meth:`to_chrome_trace` / :meth:`to_collapsed`) while breakdown
+    tables keep coming from the aggregate counters.
     """
 
-    def __init__(self, enabled: bool = True) -> None:
+    def __init__(self, enabled: bool = True, tracer=None) -> None:
         self.enabled = enabled
+        #: Optional attached :class:`repro.common.tracing.Tracer`;
+        #: sections open/close spans on it using their own timestamps.
+        self.tracer = tracer
         self._stack: list[str] = []
         self._last_ts = 0.0
         self._exclusive: dict[tuple[str, ...], float] = defaultdict(float)
@@ -100,6 +115,8 @@ class Profiler:
             raise RuntimeError(f"cannot reset with open sections: {self._stack}")
         self._exclusive.clear()
         self._calls.clear()
+        if self.tracer is not None:
+            self.tracer.reset()
 
     def section(self, name: str) -> "_Section | _NullSection":
         """Attribute enclosed wall time to ``name`` (nested-aware)."""
@@ -195,7 +212,9 @@ class Profiler:
     def to_collapsed(self) -> str:
         """Collapsed-stack export (``flamegraph.pl`` input format).
 
-        One line per recorded section path: frame names joined by
+        With an attached tracer that holds spans, weights come from the
+        recorded span tree (identical totals, span-exact attribution).
+        Otherwise, one line per recorded section path: frame names joined by
         ``;`` followed by a space and the path's *exclusive* time as
         integer microseconds (flamegraph.pl splits each line on the
         last whitespace run, so frame names may themselves contain
@@ -208,6 +227,8 @@ class Profiler:
 
             flamegraph.pl profile.collapsed > profile.svg
         """
+        if self.tracer is not None and self.tracer.spans:
+            return self.tracer.to_collapsed()
         lines = []
         for path in sorted(self._exclusive):
             micros = round(self._exclusive[path] * 1e6)
@@ -221,14 +242,21 @@ class Profiler:
     def to_chrome_trace(self) -> str:
         """Chrome ``trace_event`` JSON export (``chrome://tracing``).
 
-        The profiler aggregates by section path rather than keeping a
-        timeline, so this synthesises one complete (``ph: "X"``) event
+        With an attached tracer that holds spans, this is the *real*
+        recorded timeline — every section entry as its own event with
+        actual timestamps (see
+        :meth:`repro.common.tracing.Tracer.to_chrome_trace`).
+
+        Without one, the profiler only has per-path aggregates, so it
+        synthesises one complete (``ph: "X"``) event
         per path: children are laid out consecutively inside their
         parent starting at the parent's start, durations are the
         path's *inclusive* time.  Relative widths and nesting match
         the recorded profile exactly; absolute positions are
         synthetic.  Deterministic for a given set of samples.
         """
+        if self.tracer is not None and self.tracer.spans:
+            return self.tracer.to_chrome_trace()
         children: dict[tuple[str, ...], list[tuple[str, ...]]] = {}
         for path in self._exclusive:
             for depth in range(1, len(path) + 1):

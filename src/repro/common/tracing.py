@@ -1,0 +1,334 @@
+"""Span-based tracing: real timelines behind the category profiler.
+
+The :class:`~repro.common.profiling.Profiler` aggregates time by
+section path — ideal for paper-style breakdown tables, useless for
+answering "what happened *when*".  A :class:`Tracer` records the other
+half: every section entry becomes a :class:`Span` with a real start
+and end timestamp, a deterministic id, and a parent link, so exports
+render the actual execution timeline instead of a synthetic layout.
+
+The two are designed to run together: ``Profiler(tracer=tracer)``
+makes every ``profiler.section(name)`` also open/close a span, reusing
+the section's own ``perf_counter`` reads so the added cost per section
+is one object allocation and two list operations.  Disabled tracers
+(``enabled=False``) cost nothing — ``span()`` hands back a shared
+no-op context manager, and an attached disabled tracer is never
+called from the profiler hot path.
+
+Spans carry optional point-in-time :class:`SpanEvent` annotations
+(``tracer.event("cache-miss", blkno=17)``) which export as Chrome
+instant events.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Iterator
+
+#: Default bound on retained spans; entries past it are counted in
+#: ``Tracer.dropped_spans`` instead of retained (an OOM guard for
+#: tracing long loops without ``reset()``).
+DEFAULT_MAX_SPANS = 1_000_000
+
+
+class SpanEvent:
+    """A point-in-time annotation attached to a span."""
+
+    __slots__ = ("name", "ts", "attrs")
+
+    def __init__(self, name: str, ts: float, attrs: dict[str, Any]) -> None:
+        self.name = name
+        self.ts = ts
+        self.attrs = attrs
+
+
+class Span:
+    """One traced region: a named interval with parent linkage.
+
+    ``span_id`` values are sequential from 1 in span-open order, and
+    ``parent_id`` is 0 for roots — deterministic for a given execution,
+    so trace-diffing across runs lines spans up by id.
+    """
+
+    __slots__ = ("span_id", "parent_id", "name", "path", "start", "end", "events")
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: int,
+        name: str,
+        path: tuple[str, ...],
+        start: float,
+    ) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.path = path
+        self.start = start
+        self.end: float | None = None
+        self.events: list[SpanEvent] | None = None
+
+    @property
+    def duration(self) -> float:
+        """Span length in seconds (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def add_event(self, name: str, ts: float, **attrs: Any) -> SpanEvent:
+        event = SpanEvent(name, ts, attrs)
+        if self.events is None:
+            self.events = []
+        self.events.append(event)
+        return event
+
+
+class _SpanHandle:
+    """Context manager for standalone ``tracer.span(name)`` use."""
+
+    __slots__ = ("_tracer", "_name")
+
+    def __init__(self, tracer: "Tracer", name: str) -> None:
+        self._tracer = tracer
+        self._name = name
+
+    def __enter__(self) -> Span:
+        return self._tracer.begin(self._name, time.perf_counter())
+
+    def __exit__(self, *exc_info) -> None:
+        self._tracer.end(time.perf_counter())
+
+
+class _NullSpanHandle:
+    """Do-nothing context manager returned by disabled tracers."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpanHandle()
+
+
+class Tracer:
+    """Records a tree of timed spans with deterministic ids.
+
+    Use standalone::
+
+        tracer = Tracer()
+        with tracer.span("query"):
+            with tracer.span("index scan"):
+                ...
+
+    or attached to a profiler (``Profiler(tracer=tracer)``), where
+    every profiler section opens a span with the same name.
+    """
+
+    def __init__(self, enabled: bool = True, max_spans: int = DEFAULT_MAX_SPANS) -> None:
+        self.enabled = enabled
+        self.max_spans = max_spans
+        #: Completed and open spans, in open order.
+        self.spans: list[Span] = []
+        #: Spans discarded after :attr:`max_spans` was reached.
+        self.dropped_spans = 0
+        self._stack: list[Span] = []
+        self._next_id = 1
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def begin(self, name: str, ts: float) -> Span:
+        """Open a span at timestamp ``ts`` (a ``perf_counter`` value)."""
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            self._next_id,
+            parent.span_id if parent is not None else 0,
+            name,
+            (parent.path + (name,)) if parent is not None else (name,),
+            ts,
+        )
+        self._next_id += 1
+        if len(self.spans) < self.max_spans:
+            self.spans.append(span)
+        else:
+            self.dropped_spans += 1
+        self._stack.append(span)
+        return span
+
+    def end(self, ts: float) -> Span:
+        """Close the innermost open span at timestamp ``ts``."""
+        if not self._stack:
+            raise RuntimeError("no open span to end")
+        span = self._stack.pop()
+        span.end = ts
+        return span
+
+    def span(self, name: str) -> "_SpanHandle | _NullSpanHandle":
+        """Scoped span: ``with tracer.span("region"): ...``."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _SpanHandle(self, name)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Attach a point-in-time event to the current open span.
+
+        Silently a no-op when disabled or no span is open, so call
+        sites need no guards.
+        """
+        if not self.enabled or not self._stack:
+            return
+        self._stack[-1].add_event(name, time.perf_counter(), **attrs)
+
+    def reset(self) -> None:
+        """Drop all recorded spans (open spans must be closed first)."""
+        if self._stack:
+            raise RuntimeError(
+                f"cannot reset with open spans: {[s.name for s in self._stack]}"
+            )
+        self.spans.clear()
+        self.dropped_spans = 0
+        self._next_id = 1
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def root_spans(self) -> list[Span]:
+        """Spans with no parent, in open order."""
+        return [s for s in self.spans if s.parent_id == 0]
+
+    def total_seconds(self) -> float:
+        """Sum of root span durations (the traced wall time)."""
+        return sum(s.duration for s in self.root_spans())
+
+    def iter_closed(self) -> Iterator[Span]:
+        for span in self.spans:
+            if span.end is not None:
+                yield span
+
+    def aggregate(self) -> tuple[dict[tuple[str, ...], float], dict[tuple[str, ...], int]]:
+        """Exclusive seconds and entry counts per section path.
+
+        The same shape :class:`~repro.common.profiling.Profiler` keeps
+        internally: a span's exclusive time is its duration minus its
+        children's durations, keyed by the full name path — so
+        breakdowns computed from spans match the profiler's exactly
+        (modulo spans dropped past :attr:`max_spans`).
+        """
+        inclusive: dict[tuple[str, ...], float] = {}
+        calls: dict[tuple[str, ...], int] = {}
+        child_time: dict[int, float] = {}
+        for span in self.iter_closed():
+            if span.parent_id:
+                child_time[span.parent_id] = child_time.get(span.parent_id, 0.0) + span.duration
+        exclusive: dict[tuple[str, ...], float] = {}
+        for span in self.iter_closed():
+            own = span.duration - child_time.get(span.span_id, 0.0)
+            exclusive[span.path] = exclusive.get(span.path, 0.0) + own
+            inclusive[span.path] = inclusive.get(span.path, 0.0) + span.duration
+            calls[span.path] = calls.get(span.path, 0) + 1
+        return exclusive, calls
+
+    def to_profiler(self):
+        """Materialise the spans as a Profiler (for breakdown tables)."""
+        from repro.common.profiling import Profiler
+
+        prof = Profiler()
+        exclusive, calls = self.aggregate()
+        for path, seconds in exclusive.items():
+            prof._exclusive[path] += seconds
+        for path, count in calls.items():
+            prof._calls[path] += count
+        return prof
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def to_chrome_trace(self) -> str:
+        """Chrome ``trace_event`` JSON of the real span timeline.
+
+        Unlike the profiler's synthetic export, timestamps here are the
+        recorded ones (relative to the first span's start), so gaps,
+        ordering and repeated entries appear exactly as they ran.
+        Span events export as instant (``ph: "i"``) events.
+        """
+        t0 = self.spans[0].start if self.spans else 0.0
+        events: list[dict] = []
+        for span in self.spans:
+            end = span.end if span.end is not None else span.start
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": "trace",
+                    "ph": "X",
+                    "ts": round((span.start - t0) * 1e6, 3),
+                    "dur": round((end - span.start) * 1e6, 3),
+                    "pid": 1,
+                    "tid": 1,
+                    "args": {"span_id": span.span_id, "parent_id": span.parent_id},
+                }
+            )
+            for ev in span.events or ():
+                events.append(
+                    {
+                        "name": ev.name,
+                        "cat": "trace",
+                        "ph": "i",
+                        "s": "t",
+                        "ts": round((ev.ts - t0) * 1e6, 3),
+                        "pid": 1,
+                        "tid": 1,
+                        "args": dict(ev.attrs),
+                    }
+                )
+        doc = {"traceEvents": events, "displayTimeUnit": "ms"}
+        if self.dropped_spans:
+            doc["metadata"] = {"dropped_spans": self.dropped_spans}
+        return json.dumps(doc, indent=1)
+
+    def to_collapsed(self) -> str:
+        """Collapsed-stack export (``flamegraph.pl`` input format).
+
+        Weights are span-derived exclusive microseconds per path; paths
+        whose time rounds to zero keep weight 1 so they stay visible.
+        """
+        exclusive, calls = self.aggregate()
+        lines = []
+        for path in sorted(exclusive):
+            micros = round(exclusive[path] * 1e6)
+            if micros <= 0:
+                if calls.get(path, 0) <= 0:
+                    continue
+                micros = 1
+            lines.append(";".join(path) + f" {micros}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+class _FrozenTracer(Tracer):
+    """Permanently disabled tracer (the type of :data:`NULL_TRACER`).
+
+    Mirrors ``NULL_PROFILER``: the shared instance must never be
+    enabled or it would silently collect spans from every caller that
+    opted out of tracing.
+    """
+
+    def __setattr__(self, name: str, value) -> None:
+        if name == "enabled" and value:
+            raise TypeError(
+                "NULL_TRACER is shared and permanently disabled; "
+                "create your own Tracer() instead of enabling it"
+            )
+        super().__setattr__(name, value)
+
+
+#: Shared do-nothing tracer for callers that do not want tracing.
+NULL_TRACER = _FrozenTracer(enabled=False)

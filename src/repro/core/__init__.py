@@ -17,9 +17,17 @@ database, profile both, and attribute every gap to a root cause
 - :mod:`repro.core.guidelines` — the Sec. IX-C actionable guidelines
   as an executable checklist;
 - :mod:`repro.core.report` — ASCII renderers for the paper's
-  figure/table formats.
+  figure/table formats;
+- :mod:`repro.core.rc_attribution` — automated RC#1–RC#7 attribution
+  of span/section profiles (backs ``EXPLAIN (ANALYZE, TRACE)``).
 """
 
+from repro.core.rc_attribution import (
+    RCAttribution,
+    RCBucket,
+    attribute_profile,
+    format_rc_breakdown,
+)
 from repro.core.root_causes import RootCause, ROOT_CAUSES
 from repro.core.study import (
     BuildComparison,
@@ -35,8 +43,12 @@ __all__ = [
     "BuildComparison",
     "ComparativeStudy",
     "GeneralizedVectorDB",
+    "RCAttribution",
+    "RCBucket",
     "RootCause",
     "SearchComparison",
     "SizeComparison",
     "SpecializedVectorDB",
+    "attribute_profile",
+    "format_rc_breakdown",
 ]

@@ -302,6 +302,10 @@ class PaseHNSW(IndexAmRoutine):
         self.store = PageGraphStore(self)
         start = time.perf_counter()
         count = 0
+        # HNSW builds incrementally: each tuple is inserted and linked
+        # in one pass, so "insert" covers the whole loop and "link" is
+        # the (cheap) final state, mirroring pg_stat_progress phases.
+        self.progress.set_phase("insert")
         for tid, values in self.table.scan():
             vec = np.ascontiguousarray(values[self.column_index], dtype=np.float32)
             if self.dim is None:
@@ -309,6 +313,8 @@ class PaseHNSW(IndexAmRoutine):
             node = graph.insert(self.store, self.params, vec, self._rng)
             self.store.set_heap_tid(node, tid)
             count += 1
+            self.progress.tick()
+        self.progress.set_phase("link")
         self.build_stats.add_seconds = time.perf_counter() - start
         self.build_stats.vectors_added = count
         self.build_stats.distance_computations = self.store.counters.distance_computations

@@ -77,14 +77,17 @@ class PaseIVFFlat(IndexAmRoutine):
         n_clusters = min(self.opts.clusters, vectors.shape[0])
 
         start = time.perf_counter()
+        self.progress.set_phase("sample")
         sample = sample_training_rows(
             vectors, self.opts.sample_ratio, n_clusters, self.opts.seed
         )
+        self.progress.set_phase("kmeans")
         result = pase_kmeans(sample, n_clusters, self.opts.kmeans_iterations)
         centroids = result.centroids
         self.build_stats.train_seconds = time.perf_counter() - start
 
         start = time.perf_counter()
+        self.progress.set_phase("assign", tuples_total=len(rows))
         buckets: list[list[tuple[TID, np.ndarray]]] = [[] for _ in range(n_clusters)]
         # PASE's adding phase: one distance row per base vector, no
         # SGEMM (the paper's RC#1).
@@ -92,8 +95,10 @@ class PaseIVFFlat(IndexAmRoutine):
             diff = centroids - vec
             dists = np.einsum("ij,ij->i", diff, diff)
             buckets[int(np.argmin(dists))].append((tid, vec))
+            self.progress.tick()
         self.build_stats.distance_computations += len(rows) * n_clusters
 
+        self.progress.set_phase("flush")
         heads = [self._write_bucket(bucket) for bucket in buckets]
         self._write_centroids(centroids, heads)
         self._write_meta(n_clusters)

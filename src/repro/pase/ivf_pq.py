@@ -84,9 +84,11 @@ class PaseIVFPQ(IndexAmRoutine):
         c_pq = min(self.opts.c_pq, vectors.shape[0])
 
         start = time.perf_counter()
+        self.progress.set_phase("sample")
         sample = sample_training_rows(
             vectors, self.opts.ivf.sample_ratio, max(n_clusters, c_pq), self.opts.ivf.seed
         )
+        self.progress.set_phase("kmeans")
         coarse = pase_kmeans(sample, n_clusters, self.opts.ivf.kmeans_iterations)
         self._codebook = pq.train_codebook(
             sample,
@@ -99,6 +101,7 @@ class PaseIVFPQ(IndexAmRoutine):
         self.build_stats.train_seconds = time.perf_counter() - start
 
         start = time.perf_counter()
+        self.progress.set_phase("assign", tuples_total=len(rows))
         codes = pq.encode(self._codebook, vectors)
         buckets: list[list[tuple[TID, np.ndarray]]] = [[] for _ in range(n_clusters)]
         centroids = coarse.centroids
@@ -106,8 +109,10 @@ class PaseIVFPQ(IndexAmRoutine):
             diff = centroids - vectors[i]
             dists = np.einsum("ij,ij->i", diff, diff)
             buckets[int(np.argmin(dists))].append((tid, codes[i]))
+            self.progress.tick()
         self.build_stats.distance_computations += len(rows) * n_clusters
 
+        self.progress.set_phase("flush")
         heads = [self._write_bucket(bucket) for bucket in buckets]
         self._write_centroids(centroids, heads)
         self._write_codebook()

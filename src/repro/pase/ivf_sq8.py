@@ -69,14 +69,17 @@ class PaseIVFSQ8(IndexAmRoutine):
         n_clusters = min(self.opts.clusters, vectors.shape[0])
 
         start = time.perf_counter()
+        self.progress.set_phase("sample")
         sample = sample_training_rows(
             vectors, self.opts.sample_ratio, n_clusters, self.opts.seed
         )
+        self.progress.set_phase("kmeans")
         coarse = pase_kmeans(sample, n_clusters, self.opts.kmeans_iterations)
         self._codec = sq.train_codec(sample)
         self.build_stats.train_seconds = time.perf_counter() - start
 
         start = time.perf_counter()
+        self.progress.set_phase("assign", tuples_total=len(rows))
         codes = sq.encode(self._codec, vectors)
         centroids = coarse.centroids
         buckets: list[list[tuple[TID, np.ndarray]]] = [[] for __ in range(n_clusters)]
@@ -84,8 +87,10 @@ class PaseIVFSQ8(IndexAmRoutine):
             diff = centroids - vectors[i]
             dists = np.einsum("ij,ij->i", diff, diff)
             buckets[int(np.argmin(dists))].append((tid, codes[i]))
+            self.progress.tick()
         self.build_stats.distance_computations += len(rows) * n_clusters
 
+        self.progress.set_phase("flush")
         heads = [self._write_bucket(bucket) for bucket in buckets]
         self._write_centroids(centroids, heads)
         self._write_codec()

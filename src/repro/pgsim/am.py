@@ -18,7 +18,8 @@ from typing import Any, Iterator
 
 import numpy as np
 
-from repro.common.obs import IndexScanStats
+from repro.common.obs import NULL_PROGRESS, IndexScanStats
+from repro.common.profiling import NULL_PROFILER
 from repro.common.types import IndexSizeInfo
 from repro.pgsim.buffer import BufferManager
 from repro.pgsim.catalog import Catalog
@@ -125,6 +126,12 @@ class IndexAmRoutine(abc.ABC):
         #: distance for; the default :meth:`get_batch` inherits the
         #: counts from the :meth:`scan` it wraps.
         self.scan_stats = IndexScanStats()
+        #: Section profiler for build/scan breakdowns.  Harnesses (and
+        #: EXPLAIN (ANALYZE, TRACE)) replace this with a live one.
+        self.profiler = NULL_PROFILER
+        #: Build-progress reporter (``pg_stat_progress_create_index``);
+        #: the executor installs a live one around :meth:`build`.
+        self.progress = NULL_PROGRESS
 
     # ------------------------------------------------------------------
     # lifecycle (ambuild / aminsert / ambulkdelete / amgettuple)

@@ -16,9 +16,16 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Iterator
 
-from repro.common.obs import CounterDeltaMixin
+from repro.common.obs import (
+    EV_BUFFER_READ,
+    EV_DATA_FILE_READ,
+    EV_LWLOCK_BUFFER_CLOCK,
+    CounterDeltaMixin,
+    WaitEventStats,
+)
 from repro.pgsim.constants import DEFAULT_BUFFER_POOL_PAGES
 from repro.pgsim.page import Page
 from repro.pgsim.storage import DiskManager
@@ -79,11 +86,18 @@ class BufferManager:
         disk: DiskManager,
         capacity: int = DEFAULT_BUFFER_POOL_PAGES,
         wal=None,
+        waits: WaitEventStats | None = None,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.disk = disk
         self.capacity = capacity
+        #: Wait-event accumulator.  Only miss/eviction paths are timed
+        #: (``DataFileRead``, ``BufferRead``, ``LWLockBufferClock``);
+        #: the hit path stays untimed so the hot loop pays nothing.
+        #: The database facade passes a shared instance so buffer and
+        #: WAL waits land in one ``pg_stat_wait_events`` accumulator.
+        self.waits = waits if waits is not None else WaitEventStats()
         #: Optional :class:`repro.pgsim.wal.WriteAheadLog`.  When set,
         #: eviction enforces a no-steal policy: a dirty page whose LSN
         #: is past the durable WAL horizon holds effects of an
@@ -110,14 +124,28 @@ class BufferManager:
                 frame.usage += 1
             return frame
         self.stats.misses += 1
+        miss_start = perf_counter()
+        evict_seconds = 0.0
         if len(self._frames) >= self.capacity:
             self._evict_one()
-        page = Page(bytearray(self.disk.read_block(rel, blkno)))
+            evict_end = perf_counter()
+            evict_seconds = evict_end - miss_start
+            self.waits.record(EV_LWLOCK_BUFFER_CLOCK, evict_seconds)
+        read_start = perf_counter()
+        data = self.disk.read_block(rel, blkno)
+        read_seconds = perf_counter() - read_start
+        self.waits.record(EV_DATA_FILE_READ, read_seconds)
+        page = Page(bytearray(data))
         page.verify_checksum()
         frame = Frame(rel, blkno, page)
         frame.pin_count = 1
         self._frames[key] = frame
         self._clock_keys.append(key)
+        # Remaining miss handling (checksum verify, frame install):
+        # blocked time that a pointer dereference would not pay.
+        self.waits.record(
+            EV_BUFFER_READ, perf_counter() - miss_start - evict_seconds - read_seconds
+        )
         return frame
 
     def unpin(self, frame: Frame, dirty: bool = False) -> None:
@@ -150,7 +178,9 @@ class BufferManager:
         blkno = self.disk.extend(rel, bytes(page.buf))
         key = (rel, blkno)
         if len(self._frames) >= self.capacity:
+            evict_start = perf_counter()
             self._evict_one()
+            self.waits.record(EV_LWLOCK_BUFFER_CLOCK, perf_counter() - evict_start)
         frame = Frame(rel, blkno, page)
         frame.pin_count = 1
         frame.dirty = True

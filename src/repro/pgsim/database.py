@@ -12,6 +12,7 @@ import time
 from pathlib import Path
 from typing import Any
 
+from repro.common.obs import WaitEventStats
 from repro.pgsim.buffer import BufferManager
 from repro.pgsim.catalog import Catalog
 from repro.pgsim.constants import DEFAULT_BUFFER_POOL_PAGES, DEFAULT_PAGE_SIZE
@@ -67,17 +68,22 @@ class PgSimDatabase:
             self.disk = FileDisk(data_dir, page_size=page_size, faults=fault_injector)
         else:
             self.disk = MemoryDisk(page_size=page_size)
+        #: One wait-event accumulator shared by the WAL and buffer
+        #: manager, so ``pg_stat_wait_events`` sees all blocked time.
+        self.waits = WaitEventStats()
         if data_dir is not None:
             wal_path = Path(data_dir) / "wal.log"
-            self.wal = WriteAheadLog(wal_path, faults=fault_injector)
+            self.wal = WriteAheadLog(wal_path, faults=fault_injector, waits=self.waits)
             self._catalog_log = Path(data_dir) / "catalog.sql"
         else:
-            self.wal = WriteAheadLog(faults=fault_injector)
-        self.buffer = BufferManager(self.disk, capacity=buffer_pool_pages, wal=self.wal)
+            self.wal = WriteAheadLog(faults=fault_injector, waits=self.waits)
+        self.buffer = BufferManager(
+            self.disk, capacity=buffer_pool_pages, wal=self.wal, waits=self.waits
+        )
         self.catalog = Catalog()
         #: Statistics aggregation point; backs the pg_stat_* views and
         #: the per-statement QueryStats on every execute() result.
-        self.stats = StatsCollector(self.buffer, self.wal, self.catalog)
+        self.stats = StatsCollector(self.buffer, self.wal, self.catalog, waits=self.waits)
         self.executor = Executor(self.catalog, self.buffer, self.wal, stats=self.stats)
         install_stat_views(self.catalog, self.stats)
         _register_default_ams()

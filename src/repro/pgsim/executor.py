@@ -13,6 +13,7 @@ import itertools
 import time
 from typing import Any, Iterator
 
+from repro.common.profiling import NULL_PROFILER
 from repro.pgsim import expr as E
 from repro.pgsim import plan as P
 from repro.pgsim.am import lookup_am
@@ -51,6 +52,13 @@ class Executor:
         #: Profiler installed on index AMs before build (set by
         #: harnesses that need construction-time breakdowns).
         self.am_profiler = None
+        #: Profiler the executor itself reports into during an
+        #: ``EXPLAIN (ANALYZE, TRACE)`` run: heap fetches on the index
+        #: scan paths file under "Tuple Access".  NULL_PROFILER (and a
+        #: cheap ``.enabled`` guard) outside trace runs.
+        self.trace_profiler = NULL_PROFILER
+        #: Tracer of the most recent EXPLAIN (ANALYZE, TRACE) run.
+        self.last_trace = None
 
     # ------------------------------------------------------------------
     # dispatch
@@ -143,7 +151,13 @@ class Executor:
         )
         if self.am_profiler is not None:
             am.profiler = self.am_profiler
-        am.build()
+        # Build-progress reporting (pg_stat_progress_create_index):
+        # the AM flips phases and ticks tuple counters as it goes.
+        am.progress = self.stats.start_build(stmt.name, stmt.am)
+        try:
+            am.build()
+        finally:
+            self.stats.finish_build()
         self.catalog.add_index(
             IndexInfo(
                 name=stmt.name,
@@ -291,6 +305,11 @@ class Executor:
     # queries
     # ------------------------------------------------------------------
     def _select(self, stmt: ast.Select) -> P.QueryResult:
+        if self._is_stat_reset_call(stmt):
+            self.stats.reset()
+            return P.QueryResult(
+                command="SELECT 1", columns=["pg_stat_reset"], rows=[(None,)]
+            )
         plan = plan_select(stmt, self.catalog)
         assert isinstance(plan, P.Project)
         if plan.batch:
@@ -299,9 +318,27 @@ class Executor:
             rows = list(self._project_rows(plan))
         return P.QueryResult(command=f"SELECT {len(rows)}", columns=plan.columns, rows=rows)
 
+    @staticmethod
+    def _is_stat_reset_call(stmt: ast.Select) -> bool:
+        """``SELECT pg_stat_reset()`` — statistics reset, like PostgreSQL's."""
+        if stmt.table is not None or stmt.where is not None or len(stmt.targets) != 1:
+            return False
+        expr = stmt.targets[0].expr
+        return (
+            isinstance(expr, ast.FuncCall)
+            and expr.name.lower() == "pg_stat_reset"
+            and not expr.args
+        )
+
     def _explain(self, stmt: ast.Explain) -> P.QueryResult:
         if stmt.buffers and not stmt.analyze:
             raise ExecutionError("EXPLAIN option BUFFERS requires ANALYZE")
+        if stmt.trace and not stmt.analyze:
+            raise ExecutionError("EXPLAIN option TRACE requires ANALYZE")
+        if stmt.timing and not stmt.analyze:
+            # Matches PostgreSQL: TIMING off without ANALYZE is fine,
+            # TIMING on without ANALYZE is not.
+            raise ExecutionError("EXPLAIN option TIMING requires ANALYZE")
         inner = stmt.statement
         if isinstance(inner, ast.Select):
             return self._explain_select(stmt, inner)
@@ -322,21 +359,100 @@ class Executor:
                 rows=[(line,) for line in lines],
             )
         # EXPLAIN ANALYZE: execute the plan with per-node counters.
+        # TIMING defaults on; TIMING off keeps counters only (no
+        # wall-clock in the output), as in PostgreSQL.
+        timing = stmt.timing if stmt.timing is not None else True
         instrument: dict[int, list] = {}
+        if stmt.trace:
+            profiler, tracer, restore = self._begin_trace(plan)
+            waits_before = self.stats.waits.snapshot()
         start = time.perf_counter()
         assert isinstance(plan, P.Project)
-        if plan.batch:
-            n_rows = sum(1 for __ in self._project_rows_batch(plan, instrument))
-        else:
-            n_rows = sum(1 for __ in self._project_rows(plan, instrument))
+        try:
+            if stmt.trace:
+                # The root span covers the whole execution window, so
+                # the RC buckets (which partition recorded span time)
+                # reconcile against the query's elapsed time.
+                with profiler.section("Executor"):
+                    if plan.batch:
+                        n_rows = sum(1 for __ in self._project_rows_batch(plan, instrument))
+                    else:
+                        n_rows = sum(1 for __ in self._project_rows(plan, instrument))
+            elif plan.batch:
+                n_rows = sum(1 for __ in self._project_rows_batch(plan, instrument))
+            else:
+                n_rows = sum(1 for __ in self._project_rows(plan, instrument))
+        finally:
+            if stmt.trace:
+                restore()
         total = time.perf_counter() - start
-        lines = self._annotated_lines(plan, 0, instrument, buffers=stmt.buffers)
-        lines.append(f"Execution: {n_rows} rows in {total * 1e3:.3f} ms")
+        lines = self._annotated_lines(
+            plan, 0, instrument, buffers=stmt.buffers, timing=timing
+        )
+        if timing:
+            lines.append(f"Execution: {n_rows} rows in {total * 1e3:.3f} ms")
+        else:
+            lines.append(f"Execution: {n_rows} rows")
+        if stmt.trace:
+            waits_delta = self.stats.waits.delta(waits_before)
+            lines.extend(self._trace_lines(tracer, waits_delta, total))
         return P.QueryResult(
             command="EXPLAIN",
             columns=["QUERY PLAN"],
             rows=[(line,) for line in lines],
         )
+
+    def _begin_trace(self, plan: P.PlanNode):
+        """Arm span tracing for one EXPLAIN (ANALYZE, TRACE) run.
+
+        One tracer-backed profiler is shared by the executor (heap
+        fetches -> "Tuple Access") and every index AM reachable from
+        the plan (their paper-named sections: fvec_L2sqr, Min-heap,
+        Pctable, ...), so the span tree nests AM work under the
+        executor root.  Returns ``(profiler, tracer, restore)`` where
+        ``restore()`` puts the previous profilers back.
+        """
+        from repro.common.profiling import Profiler
+        from repro.common.tracing import Tracer
+
+        tracer = Tracer()
+        profiler = Profiler(tracer=tracer)
+        ams = []
+        node: P.PlanNode | None = plan
+        while node is not None:
+            if isinstance(node, P.IndexScan):
+                ams.append(node.index.am)
+            node = getattr(node, "child", None)
+        saved = [(am, am.profiler) for am in ams]
+        saved_exec = self.trace_profiler
+        for am in ams:
+            am.profiler = profiler
+        self.trace_profiler = profiler
+
+        def restore() -> None:
+            self.trace_profiler = saved_exec
+            for am, prev in saved:
+                am.profiler = prev
+
+        #: Kept for harnesses that want the raw spans after the run
+        #: (chrome-trace export, flamegraphs).
+        self.last_trace = tracer
+        return profiler, tracer, restore
+
+    def _trace_lines(self, tracer, waits_delta, total_seconds: float) -> list[str]:
+        """Render the RC#1–RC#7 attribution block of a TRACE run."""
+        # Function-level import: repro.core imports pgsim packages.
+        from repro.core.rc_attribution import attribute_profile, format_rc_breakdown
+
+        attribution = attribute_profile(tracer, wait_events=waits_delta)
+        lines = ["Root-cause attribution (spans):"]
+        lines.extend(format_rc_breakdown(attribution).splitlines())
+        covered = attribution.total_seconds / total_seconds if total_seconds > 0 else 0.0
+        note = f"Trace: {len(tracer.spans)} spans, {covered * 100:.1f}% of elapsed attributed"
+        if tracer.dropped_spans:
+            note += f" ({tracer.dropped_spans} spans dropped)"
+        lines.append(note)
+        return lines
 
     def _explain_dml(self, stmt: ast.Explain, inner: ast.Statement) -> P.QueryResult:
         """EXPLAIN [ANALYZE] for INSERT/DELETE: plan line + counters.
@@ -360,6 +476,7 @@ class Executor:
                 columns=["QUERY PLAN"],
                 rows=[(line,) for line in lines],
             )
+        timing = stmt.timing if stmt.timing is not None else True
         before = self.buffer.stats.snapshot()
         start = time.perf_counter()
         if isinstance(inner, ast.Insert):
@@ -368,11 +485,17 @@ class Executor:
             result = self._delete(inner)
         total = time.perf_counter() - start
         affected = int(result.command.split()[-1])
-        lines[0] += f" (actual rows={affected} time={total * 1e3:.3f} ms)"
+        if timing:
+            lines[0] += f" (actual rows={affected} time={total * 1e3:.3f} ms)"
+        else:
+            lines[0] += f" (actual rows={affected})"
         if stmt.buffers:
             delta = self.buffer.stats.delta(before)
             lines.insert(1, f"  Buffers: hits={delta.hits} misses={delta.misses}")
-        lines.append(f"Execution: {affected} rows in {total * 1e3:.3f} ms")
+        if timing:
+            lines.append(f"Execution: {affected} rows in {total * 1e3:.3f} ms")
+        else:
+            lines.append(f"Execution: {affected} rows")
         return P.QueryResult(
             command="EXPLAIN",
             columns=["QUERY PLAN"],
@@ -385,6 +508,7 @@ class Executor:
         depth: int,
         instrument: dict[int, list],
         buffers: bool = False,
+        timing: bool = True,
     ) -> list[str]:
         """Plan listing annotated with actual rows/time per node.
 
@@ -394,12 +518,18 @@ class Executor:
         plans are single-child chains, so the child's inclusive figure
         is subtracted to report each node's *exclusive* buffer traffic
         — the per-node figures sum exactly to the query's total.
+
+        With ``timing`` off the per-node wall-clock is withheld
+        (counters only), matching EXPLAIN (ANALYZE, TIMING off).
         """
         own = node.explain_lines(depth)[0]
         entry = instrument.get(id(node))
         child = getattr(node, "child", None)
         if entry is not None:
-            own += f" (actual rows={entry[0]} time={entry[1] * 1e3:.3f} ms)"
+            if timing:
+                own += f" (actual rows={entry[0]} time={entry[1] * 1e3:.3f} ms)"
+            else:
+                own += f" (actual rows={entry[0]})"
         lines = [own]
         if buffers and entry is not None:
             child_entry = instrument.get(id(child)) if child is not None else None
@@ -407,7 +537,11 @@ class Executor:
             misses = entry[3] - (child_entry[3] if child_entry is not None else 0)
             lines.append("  " * (depth + 1) + f"Buffers: hits={hits} misses={misses}")
         if child is not None:
-            lines.extend(self._annotated_lines(child, depth + 1, instrument, buffers=buffers))
+            lines.extend(
+                self._annotated_lines(
+                    child, depth + 1, instrument, buffers=buffers, timing=timing
+                )
+            )
         return lines
 
     def _project_rows(
@@ -520,6 +654,7 @@ class Executor:
         """
         names = node.table.column_names()
         heap = node.table.heap
+        prof = self.trace_profiler
         k = node.k
         emitted: set = set()
         while True:
@@ -530,7 +665,11 @@ class Executor:
                     live += 1
                     continue
                 try:
-                    values = heap.fetch(tid)
+                    if prof.enabled:
+                        with prof.section("Tuple Access"):
+                            values = heap.fetch(tid)
+                    else:
+                        values = heap.fetch(tid)
                 except KeyError:
                     continue  # dead tuple: index entry awaiting vacuum
                 emitted.add(tid)
@@ -679,6 +818,7 @@ class Executor:
         """
         names = node.table.column_names()
         heap = node.table.heap
+        prof = self.trace_profiler
         k = node.k
         emitted: set = set()
         out: list[dict[str, Any]] = []
@@ -686,7 +826,11 @@ class Executor:
             batch = node.index.am.get_batch(node.query_vector, k)
             hits = len(batch)
             tids = batch.tids()
-            fetched = heap.fetch_many(tids)
+            if prof.enabled:
+                with prof.section("Tuple Access"):
+                    fetched = heap.fetch_many(tids)
+            else:
+                fetched = heap.fetch_many(tids)
             distances = batch.distances.tolist()
             live = 0
             for tid, values, distance in zip(tids, fetched, distances):

@@ -204,14 +204,19 @@ class ShowStatement(Statement):
 class Explain(Statement):
     """``EXPLAIN [ANALYZE | ( option [, ...] )] <select|insert|delete>``.
 
-    Options follow PostgreSQL's parenthesized list: ``ANALYZE`` and
-    ``BUFFERS`` with optional boolean values.  ``BUFFERS`` requires
-    ``ANALYZE`` (enforced at execution, as in PostgreSQL).
+    Options follow PostgreSQL's parenthesized list: ``ANALYZE``,
+    ``BUFFERS``, ``TIMING`` and ``TRACE`` with optional boolean values.
+    ``BUFFERS``/``TRACE`` — and an explicit ``TIMING on`` — require
+    ``ANALYZE`` (enforced at execution, as in PostgreSQL).  ``timing``
+    is tri-state: ``None`` means unspecified (defaults on under
+    ANALYZE), matching PostgreSQL's option resolution.
     """
 
     statement: Statement
     analyze: bool = False
     buffers: bool = False
+    timing: bool | None = None
+    trace: bool = False
 
 
 @dataclass(frozen=True, slots=True)

@@ -10,7 +10,8 @@ Grammar (statements separated by ``;``)::
     SELECT targets [FROM table] [WHERE expr]
         [ORDER BY expr [ASC|DESC]] [LIMIT n]
     SET name = value          SHOW name
-    EXPLAIN [ANALYZE | ( ANALYZE | BUFFERS [, ...] )] <select|insert|delete>
+    EXPLAIN [ANALYZE | ( ANALYZE | BUFFERS | TIMING | TRACE [, ...] )]
+        <select|insert|delete>
     VACUUM table              REINDEX index
 
 Expression precedence (loosest first): ``OR``, ``AND``, ``NOT``,
@@ -135,8 +136,14 @@ class _Parser:
             return self._show()
         if tok.is_keyword("explain"):
             self._advance()
-            analyze, buffers = self._explain_options()
-            return ast.Explain(self._statement(), analyze=analyze, buffers=buffers)
+            analyze, buffers, timing, trace = self._explain_options()
+            return ast.Explain(
+                self._statement(),
+                analyze=analyze,
+                buffers=buffers,
+                timing=timing,
+                trace=trace,
+            )
         if tok.is_keyword("vacuum"):
             self._advance()
             return ast.Vacuum(self._expect_ident())
@@ -145,18 +152,22 @@ class _Parser:
             return ast.Reindex(self._expect_ident())
         raise self._error(f"unsupported statement start {tok.value!r}")
 
-    def _explain_options(self) -> tuple[bool, bool]:
+    def _explain_options(self) -> tuple[bool, bool, bool | None, bool]:
         """EXPLAIN's option syntax: bare ANALYZE or a parenthesized list.
 
-        ``EXPLAIN (ANALYZE, BUFFERS) ...`` accepts the options in any
-        order, each with an optional ON/OFF/TRUE/FALSE value, matching
-        PostgreSQL's grammar.  Returns ``(analyze, buffers)``.
+        ``EXPLAIN (ANALYZE, BUFFERS, TIMING off, TRACE) ...`` accepts
+        the options in any order, each with an optional
+        ON/OFF/TRUE/FALSE value, matching PostgreSQL's grammar.
+        Returns ``(analyze, buffers, timing, trace)``; ``timing`` is
+        ``None`` when the option was not given (its effective default
+        follows ANALYZE, resolved at execution).
         """
         if self._accept_keyword("analyze"):
-            return True, False
+            return True, False, None, False
         if not self._accept_punct("("):
-            return False, False
-        analyze = buffers = False
+            return False, False, None, False
+        analyze = buffers = trace = False
+        timing: bool | None = None
         while True:
             tok = self._advance()
             if tok.type not in (TokenType.IDENT, TokenType.KEYWORD):
@@ -167,6 +178,10 @@ class _Parser:
                 analyze = value
             elif name == "buffers":
                 buffers = value
+            elif name == "timing":
+                timing = value
+            elif name == "trace":
+                trace = value
             else:
                 raise SqlSyntaxError(
                     f"unrecognized EXPLAIN option {name!r}", self.sql, tok.pos
@@ -174,7 +189,7 @@ class _Parser:
             if not self._accept_punct(","):
                 break
         self._expect_punct(")")
-        return analyze, buffers
+        return analyze, buffers, timing, trace
 
     def _explain_option_value(self) -> bool:
         """Optional boolean after an EXPLAIN option name (default true)."""

@@ -12,7 +12,9 @@ Three pieces, mirroring how PostgreSQL exposes its own bookkeeping:
   ``pg_stat_statements``-style per-normalized-query histograms;
 * :class:`StatView` + :func:`install_stat_views` — read-only virtual
   tables (``pg_stat_buffers``, ``pg_stat_wal``, ``pg_stat_indexes``,
-  ``pg_stat_statements``) the planner exposes to ordinary SQL.
+  ``pg_stat_statements``, ``pg_stat_wait_events``,
+  ``pg_stat_progress_create_index``) the planner exposes to ordinary
+  SQL.
 
 Per-query tracking is controlled by the ``track_query_stats`` GUC
 (default on); the cumulative counters themselves are always live —
@@ -21,11 +23,18 @@ they are plain integer increments on hot paths that already exist.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Any, Callable, Iterator
 
-from repro.common.obs import CounterDeltaMixin, IndexScanStats, LatencyHistogram
+from repro.common.obs import (
+    WAIT_EVENT_TYPES,
+    BuildProgress,
+    CounterDeltaMixin,
+    IndexScanStats,
+    LatencyHistogram,
+    WaitEventStats,
+)
 from repro.pgsim.buffer import BufferManager, BufferStats
 from repro.pgsim.sql.lexer import TokenType, tokenize
 from repro.pgsim.wal import WalStats, WriteAheadLog
@@ -54,6 +63,7 @@ class QueryStats:
     wal: WalStats
     heap: HeapAccessStats
     index: IndexScanStats
+    wait_events: WaitEventStats = field(default_factory=WaitEventStats)
 
     # Flat accessors for the counters the paper's analysis leans on.
     @property
@@ -80,6 +90,7 @@ class QueryStats:
             "wal": self.wal.as_dict(),
             "heap": self.heap.as_dict(),
             "index": self.index.as_dict(),
+            "wait_events": self.wait_events.as_dict(),
         }
 
 
@@ -166,18 +177,38 @@ class _Baseline:
     wal: WalStats
     heap: HeapAccessStats
     index: IndexScanStats
+    waits: WaitEventStats
+
+
+#: Completed build-progress records the progress view keeps around.
+_BUILD_HISTORY_LIMIT = 32
 
 
 class StatsCollector:
     """Aggregation point for one database's statistics."""
 
-    def __init__(self, buffer: BufferManager, wal: WriteAheadLog, catalog: Any) -> None:
+    def __init__(
+        self,
+        buffer: BufferManager,
+        wal: WriteAheadLog,
+        catalog: Any,
+        waits: WaitEventStats | None = None,
+    ) -> None:
         self.buffer = buffer
         self.wal = wal
         self.catalog = catalog
         #: Shared by every HeapTable of this database.
         self.heap = HeapAccessStats()
+        #: Wait-event accumulator; the database facade passes the one
+        #: instance it shared with the buffer manager and WAL.  The
+        #: fallback to the buffer's own accumulator keeps direct
+        #: ``Executor(...)`` constructions (tests) observable.
+        self.waits = waits if waits is not None else buffer.waits
         self.statements: dict[str, StatementStats] = {}
+        #: Index builds, most recent last; the in-flight one (if any)
+        #: is ``self.current_build``.
+        self.builds: list[BuildProgress] = []
+        self.current_build: BuildProgress | None = None
 
     # ------------------------------------------------------------------
     # per-query windows
@@ -189,6 +220,7 @@ class StatsCollector:
             wal=self.wal.stats.snapshot(),
             heap=self.heap.snapshot(),
             index=self.index_totals(),
+            waits=self.waits.snapshot(),
         )
 
     def finish(self, baseline: _Baseline, elapsed_seconds: float) -> QueryStats:
@@ -199,7 +231,25 @@ class StatsCollector:
             wal=self.wal.stats.delta(baseline.wal),
             heap=self.heap.delta(baseline.heap),
             index=self.index_totals().delta(baseline.index),
+            wait_events=self.waits.delta(baseline.waits),
         )
+
+    # ------------------------------------------------------------------
+    # index-build progress (pg_stat_progress_create_index)
+    # ------------------------------------------------------------------
+    def start_build(self, index_name: str, am_name: str) -> BuildProgress:
+        """Open a progress record for an index build about to run."""
+        progress = BuildProgress(index_name=index_name, am_name=am_name)
+        self.builds.append(progress)
+        del self.builds[:-_BUILD_HISTORY_LIMIT]
+        self.current_build = progress
+        return progress
+
+    def finish_build(self) -> None:
+        """Close the in-flight build's progress record."""
+        if self.current_build is not None:
+            self.current_build.finished = True
+            self.current_build = None
 
     # ------------------------------------------------------------------
     # cumulative rollups
@@ -230,6 +280,18 @@ class StatsCollector:
     def reset_statements(self) -> None:
         """The moral equivalent of ``pg_stat_statements_reset()``."""
         self.statements.clear()
+
+    def reset(self) -> None:
+        """``SELECT pg_stat_reset()``: zero the resettable accumulators.
+
+        Clears ``pg_stat_statements`` and the wait-event accumulator.
+        The buffer/WAL/heap/index counters are monotonic by design
+        (consumers window them with snapshot/delta, see
+        :class:`~repro.common.obs.CounterDeltaMixin`) and are left
+        untouched, as is the build-progress history.
+        """
+        self.reset_statements()
+        self.waits.reset()
 
 
 def install_stat_views(catalog: Any, collector: StatsCollector) -> None:
@@ -290,6 +352,31 @@ def install_stat_views(catalog: Any, collector: StatsCollector) -> None:
         rows.sort(key=lambda r: r[3], reverse=True)
         return rows
 
+    def wait_event_rows() -> list[tuple]:
+        waits = collector.waits
+        return [
+            (
+                WAIT_EVENT_TYPES.get(event, "Extension"),
+                event,
+                waits.counts[event],
+                waits.seconds.get(event, 0.0) * 1e3,
+            )
+            for event in waits.events()
+        ]
+
+    def progress_rows() -> list[tuple]:
+        return [
+            (
+                p.index_name,
+                p.am_name,
+                p.phase,
+                p.tuples_done,
+                p.tuples_total,
+                "done" if p.finished else "in progress",
+            )
+            for p in collector.builds
+        ]
+
     for view in (
         StatView(
             "pg_stat_buffers",
@@ -326,6 +413,16 @@ def install_stat_views(catalog: Any, collector: StatsCollector) -> None:
                 "p99_ms",
             ],
             statement_rows,
+        ),
+        StatView(
+            "pg_stat_wait_events",
+            ["wait_event_type", "wait_event", "count", "total_ms"],
+            wait_event_rows,
+        ),
+        StatView(
+            "pg_stat_progress_create_index",
+            ["index", "am", "phase", "tuples_done", "tuples_total", "status"],
+            progress_rows,
         ),
     ):
         catalog.register_view(view)

@@ -33,8 +33,14 @@ import os
 import struct
 from dataclasses import dataclass
 from pathlib import Path
+from time import perf_counter
 
-from repro.common.obs import CounterDeltaMixin
+from repro.common.obs import (
+    EV_WAL_SYNC,
+    EV_WAL_WRITE,
+    CounterDeltaMixin,
+    WaitEventStats,
+)
 from repro.pgsim.faults import NO_FAULTS, FaultInjector
 from repro.pgsim.storage import DiskManager
 
@@ -97,12 +103,20 @@ class WriteAheadLog:
         path: log file location, or ``None`` for an in-memory log.
         faults: fault injector through which all file I/O flows
             (defaults to real, unbroken I/O).
+        waits: wait-event accumulator for ``WALWrite``/``WALSync``
+            blocked time (the database facade shares one instance with
+            the buffer manager).
     """
 
     #: Framing: 4-byte little-endian record length before each record.
     _FRAME = struct.Struct("<I")
 
-    def __init__(self, path: str | Path | None = None, faults: FaultInjector | None = None) -> None:
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        faults: FaultInjector | None = None,
+        waits: WaitEventStats | None = None,
+    ) -> None:
         self._records: list[bytes] = []
         self._next_lsn = 1
         self.flushed_lsn = 0
@@ -117,6 +131,7 @@ class WriteAheadLog:
         #: Pages already full-page-imaged since the last checkpoint.
         self._fpw_done: set[tuple[str, int]] = set()
         self.faults = faults if faults is not None else NO_FAULTS
+        self.waits = waits if waits is not None else WaitEventStats()
         self.path = Path(path) if path is not None else None
         if self.path is not None and self.path.exists():
             self._load()
@@ -225,9 +240,13 @@ class WriteAheadLog:
             return
         try:
             with self.path.open("ab") as f:
+                write_start = perf_counter()
                 for record in self._records[self._durable_count :]:
                     self.faults.write("wal.append", f, self._FRAME.pack(len(record)) + record)
+                sync_start = perf_counter()
+                self.waits.record(EV_WAL_WRITE, sync_start - write_start)
                 self.faults.fsync("wal.fsync", f)
+                self.waits.record(EV_WAL_SYNC, perf_counter() - sync_start)
         except Exception:
             self._panicked = True
             raise

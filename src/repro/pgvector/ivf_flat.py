@@ -70,20 +70,25 @@ class PgVectorIVFFlat(IndexAmRoutine):
         n_clusters = min(self.opts.clusters, vectors.shape[0])
 
         start = time.perf_counter()
+        self.progress.set_phase("sample")
         sample = sample_training_rows(
             vectors, self.opts.sample_ratio, n_clusters, self.opts.seed
         )
+        self.progress.set_phase("kmeans")
         centroids = pase_kmeans(sample, n_clusters, self.opts.kmeans_iterations).centroids
         self.build_stats.train_seconds = time.perf_counter() - start
 
         start = time.perf_counter()
+        self.progress.set_phase("assign", tuples_total=len(rows))
         buckets: list[list[TID]] = [[] for _ in range(n_clusters)]
         for (tid, __), vec in zip(rows, vectors):
             diff = centroids - vec
             dists = np.einsum("ij,ij->i", diff, diff)
             buckets[int(np.argmin(dists))].append(tid)
+            self.progress.tick()
         self.build_stats.distance_computations += len(rows) * n_clusters
 
+        self.progress.set_phase("flush")
         heads = [self._write_bucket(bucket) for bucket in buckets]
         self._write_centroids(centroids, heads)
         self.build_stats.add_seconds = time.perf_counter() - start

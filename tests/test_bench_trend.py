@@ -1,0 +1,116 @@
+"""Tests for the ``repro-bench trend`` regression gate."""
+
+import json
+
+import pytest
+
+from repro.bench.cli import main as cli_main
+from repro.bench.trend import (
+    DEFAULT_THRESHOLD,
+    MIN_ABS_DELTA_MS,
+    compare,
+    load_bench_dir,
+)
+from repro.common.obs import write_bench_json
+
+
+def emit(directory, workload, mean_ms, p50_ms=None):
+    return write_bench_json(
+        workload,
+        latency={"mean_ms": mean_ms, "p50_ms": p50_ms if p50_ms is not None else mean_ms},
+        out_dir=directory,
+    )
+
+
+class TestLoadBenchDir:
+    def test_reads_schema_files_by_workload(self, tmp_path):
+        emit(tmp_path, "fig14", 2.0)
+        docs = load_bench_dir(tmp_path)
+        assert set(docs) == {"fig14"}
+        assert docs["fig14"]["latency"]["mean_ms"] == 2.0
+
+    def test_skips_foreign_and_broken_files(self, tmp_path):
+        emit(tmp_path, "fig14", 2.0)
+        (tmp_path / "BENCH_broken.json").write_text("{nope")
+        (tmp_path / "BENCH_other.json").write_text(json.dumps({"schema": "else/v9"}))
+        assert set(load_bench_dir(tmp_path)) == {"fig14"}
+
+
+class TestCompare:
+    def test_flat_run_passes(self, tmp_path):
+        base, cur = tmp_path / "base", tmp_path / "cur"
+        emit(base, "fig14", 10.0)
+        emit(cur, "fig14", 10.4)
+        report = compare(base, cur)
+        assert report.ok
+        assert len(report.deltas) == 2  # mean_ms + p50_ms
+
+    def test_large_regression_fails(self, tmp_path):
+        base, cur = tmp_path / "base", tmp_path / "cur"
+        emit(base, "fig14", 10.0)
+        emit(cur, "fig14", 14.0)
+        report = compare(base, cur)
+        assert not report.ok
+        assert {d.metric for d in report.regressions} == {"mean_ms", "p50_ms"}
+
+    def test_threshold_is_configurable(self, tmp_path):
+        base, cur = tmp_path / "base", tmp_path / "cur"
+        emit(base, "fig14", 10.0)
+        emit(cur, "fig14", 14.0)
+        assert compare(base, cur, threshold=0.50).ok
+        assert not compare(base, cur, threshold=0.25).ok
+
+    def test_tiny_absolute_jitter_ignored(self, tmp_path):
+        """A big relative change below MIN_ABS_DELTA_MS must not gate."""
+        base, cur = tmp_path / "base", tmp_path / "cur"
+        emit(base, "fast", 0.010)
+        emit(cur, "fast", 0.010 + MIN_ABS_DELTA_MS / 2)
+        assert compare(base, cur).ok
+
+    def test_new_workload_does_not_gate(self, tmp_path):
+        base, cur = tmp_path / "base", tmp_path / "cur"
+        emit(base, "fig14", 10.0)
+        emit(cur, "fig14", 10.0)
+        emit(cur, "brand_new", 99.0)
+        report = compare(base, cur)
+        assert report.ok
+        assert report.only_current == ["brand_new"]
+
+    def test_missing_workload_reported_not_gated(self, tmp_path):
+        base, cur = tmp_path / "base", tmp_path / "cur"
+        emit(base, "fig14", 10.0)
+        emit(base, "gone", 1.0)
+        emit(cur, "fig14", 10.0)
+        report = compare(base, cur)
+        assert report.ok
+        assert report.only_baseline == ["gone"]
+
+    def test_render_flags_regressions(self, tmp_path):
+        base, cur = tmp_path / "base", tmp_path / "cur"
+        emit(base, "fig14", 10.0)
+        emit(cur, "fig14", 20.0)
+        text = compare(base, cur).render()
+        assert "REGRESSION" in text
+        assert "fig14" in text
+
+    def test_improvement_never_gates(self, tmp_path):
+        base, cur = tmp_path / "base", tmp_path / "cur"
+        emit(base, "fig14", 20.0)
+        emit(cur, "fig14", 1.0)
+        assert compare(base, cur).ok
+
+
+class TestCli:
+    def test_trend_subcommand_exit_codes(self, tmp_path, capsys):
+        base, cur = tmp_path / "base", tmp_path / "cur"
+        emit(base, "fig14", 10.0)
+        emit(cur, "fig14", 10.0)
+        args = ["trend", "--baseline", str(base), "--current", str(cur)]
+        assert cli_main(args) == 0
+        emit(cur, "fig14", 50.0)
+        assert cli_main(args) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+
+    def test_default_threshold_constant(self):
+        assert DEFAULT_THRESHOLD == pytest.approx(0.25)

@@ -102,6 +102,124 @@ class TestExplainAnalyze:
         assert all("hits=" in line and "misses=" in line for line in buffers)
 
 
+class TestExplainTiming:
+    """``TIMING`` follows PostgreSQL's grammar: it defaults to on under
+    ANALYZE, can be switched off, and TIMING *on* without ANALYZE is an
+    error (TIMING off without ANALYZE is accepted, as in PG)."""
+
+    def test_timing_off_drops_times(self, db):
+        lines = _lines(db, "EXPLAIN (ANALYZE, TIMING off) SELECT id FROM t")
+        assert not any("time=" in line for line in lines)
+        scan = next(line for line in lines if "Seq Scan" in line)
+        assert "(actual rows=40)" in scan
+        assert lines[-1] == "Execution: 40 rows"
+
+    def test_timing_defaults_on_under_analyze(self, db):
+        lines = _lines(db, "EXPLAIN (ANALYZE) SELECT id FROM t")
+        assert any("time=" in line for line in lines)
+        assert "ms" in lines[-1]
+
+    def test_timing_on_requires_analyze(self, db):
+        from repro.pgsim.executor import ExecutionError
+
+        for sql in (
+            "EXPLAIN (TIMING) SELECT id FROM t",
+            "EXPLAIN (TIMING on) SELECT id FROM t",
+        ):
+            with pytest.raises(ExecutionError, match="TIMING"):
+                db.execute(sql)
+
+    def test_timing_off_without_analyze_allowed(self, db):
+        lines = _lines(db, "EXPLAIN (TIMING off) SELECT id FROM t")
+        assert not any("actual" in line for line in lines)
+
+    def test_timing_off_for_dml(self, db):
+        lines = _lines(db, "EXPLAIN (ANALYZE, TIMING off) DELETE FROM t WHERE id = 3")
+        assert "(actual rows=1)" in lines[0]
+        assert not any("time=" in line for line in lines)
+
+
+class TestExplainTrace:
+    """``EXPLAIN (ANALYZE, TRACE)`` — span-backed RC#1–RC#7 attribution."""
+
+    @pytest.fixture()
+    def indexed_db(self, db):
+        db.execute(
+            "CREATE INDEX ix ON t USING pase_ivfflat (vec) "
+            "WITH (clusters = 4, sample_ratio = 1.0, seed = 1)"
+        )
+        return db
+
+    KNN_SQL = (
+        "EXPLAIN (ANALYZE, TRACE) "
+        "SELECT id FROM t ORDER BY vec <-> '0.0,0.0'::PASE LIMIT 5"
+    )
+
+    def test_trace_requires_analyze(self, db):
+        from repro.pgsim.executor import ExecutionError
+
+        with pytest.raises(ExecutionError, match="TRACE"):
+            db.execute("EXPLAIN (TRACE) SELECT id FROM t")
+
+    def test_trace_appends_rc_breakdown(self, indexed_db):
+        lines = _lines(indexed_db, self.KNN_SQL)
+        assert any("Root-cause attribution (spans):" in line for line in lines)
+        body = "\n".join(lines)
+        # The paper's memory-management cost (RC#2) shows up on any
+        # index-backed KNN query; the executor itself books to RC#3.
+        assert "RC#2 Memory Management" in body
+        assert "RC#3 Parallel Execution" in body
+        assert any("Total attributed" in line for line in lines)
+        assert lines[-1].startswith("Trace: ")
+
+    def test_trace_on_seqscan_query(self, db):
+        """TRACE without a vector index still attributes executor time."""
+        lines = _lines(db, "EXPLAIN (ANALYZE, TRACE) SELECT id FROM t WHERE id < 7")
+        assert any("RC#3 Parallel Execution" in line for line in lines)
+        assert any(line.startswith("Trace: ") for line in lines)
+
+    @pytest.mark.parametrize("batch_mode", ["off", "on"])
+    def test_trace_attribution_reconciles_with_elapsed(self, indexed_db, batch_mode):
+        """Acceptance bar: bucket times sum to within 5% of elapsed on
+        both executor paths."""
+        indexed_db.execute(f"SET enable_batch_exec = {batch_mode}")
+        try:
+            lines = _lines(indexed_db, self.KNN_SQL)
+        finally:
+            indexed_db.execute("SET enable_batch_exec = off")
+
+        exec_line = next(line for line in lines if line.startswith("Execution: "))
+        elapsed_ms = float(exec_line.split(" in ")[1].split(" ms")[0])
+        total_line = next(line for line in lines if "Total attributed" in line)
+        attributed_ms = float(total_line.split("%")[1].split("ms")[0])
+        assert attributed_ms == pytest.approx(elapsed_ms, rel=0.05)
+        covered = float(
+            next(line for line in lines if line.startswith("Trace: "))
+            .split(", ")[1]
+            .split("%")[0]
+        )
+        assert covered > 95.0
+
+    def test_trace_restores_profilers(self, indexed_db):
+        """TRACE must not leave the AM or executor instrumented."""
+        from repro.common.profiling import NULL_PROFILER
+
+        indexed_db.execute(self.KNN_SQL)
+        am = indexed_db.catalog.find_index("ix").am
+        assert am.profiler is NULL_PROFILER or not am.profiler.enabled
+        assert not indexed_db.executor.trace_profiler.enabled
+
+    def test_last_trace_exposes_spans(self, indexed_db):
+        import json
+
+        indexed_db.execute(self.KNN_SQL)
+        tracer = indexed_db.executor.last_trace
+        assert tracer is not None and tracer.spans
+        doc = json.loads(tracer.to_chrome_trace())
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "Executor" in names
+
+
 class TestExplainAnalyzeBatch:
     """Batch-emitting nodes must report the same actual rows as the
     tuple path — counters advance by len(batch) per pull, not by 1."""

@@ -5,7 +5,7 @@ import pytest
 from repro.pgsim import PgSimDatabase
 from repro.pgsim.catalog import CatalogError
 from repro.pgsim.sql.parser import SqlSyntaxError
-from repro.pgsim.stats import normalize_sql
+from repro.pgsim.stats import _normalize_cached, normalize_sql
 
 
 @pytest.fixture()
@@ -40,6 +40,22 @@ class TestNormalizeSql:
         texts = normalize_sql("SELECT 1; SELECT id FROM t; ")
         assert len(texts) == 2
         assert texts[1] == "select id from t"
+
+    def test_memo_cache_is_bounded(self):
+        """The normalization memo must not grow without bound under a
+        stream of distinct statement texts (ad-hoc queries with inlined
+        vector literals are exactly that)."""
+        maxsize = _normalize_cached.cache_info().maxsize
+        assert maxsize is not None
+        _normalize_cached.cache_clear()
+        for i in range(maxsize + 100):
+            normalize_sql(f"SELECT id FROM t WHERE id < {i} AND tag = 'q{i}'")
+        info = _normalize_cached.cache_info()
+        assert info.currsize <= maxsize
+        # LRU, not a freeze-once cache: recent entries are retained.
+        hits0 = info.hits
+        normalize_sql(f"SELECT id FROM t WHERE id < {maxsize + 99} AND tag = 'q{maxsize + 99}'")
+        assert _normalize_cached.cache_info().hits == hits0 + 1
 
 
 class TestQueryStatsOnResults:
@@ -213,3 +229,172 @@ class TestStatementReset:
         # for the pre-reset entry specifically.
         rows = db.query("SELECT query FROM pg_stat_statements")
         assert ("select id from t",) not in rows
+
+    def test_pg_stat_reset_clears_statements(self, db):
+        db.execute("SELECT id FROM t")
+        result = db.execute("SELECT pg_stat_reset()")
+        assert result.columns == ["pg_stat_reset"]
+        assert result.rows == [(None,)]
+        rows = db.query("SELECT query FROM pg_stat_statements")
+        assert ("select id from t",) not in rows
+
+    def test_pg_stat_reset_clears_wait_events(self, db):
+        db.stats.waits.record("DataFileRead", 0.25)
+        assert db.query("SELECT count(*) FROM pg_stat_wait_events") != [(0,)]
+        db.execute("SELECT pg_stat_reset()")
+        assert db.query("SELECT count(*) FROM pg_stat_wait_events") == [(0,)]
+
+    def test_pg_stat_reset_keeps_monotonic_counters(self, db):
+        """Like PostgreSQL, pg_stat_reset() zeroes the *statistics*
+        accumulators; engine-lifetime counters keep counting."""
+        db.execute("SELECT id FROM t")
+        hits0, misses0 = db.query("SELECT hits, misses FROM pg_stat_buffers")[0]
+        db.execute("SELECT pg_stat_reset()")
+        hits1, misses1 = db.query("SELECT hits, misses FROM pg_stat_buffers")[0]
+        assert hits1 + misses1 >= hits0 + misses0
+
+
+class TestWaitEventView:
+    def test_wait_events_appear_under_buffer_pressure(self, tmp_path):
+        # Tiny pages + a tiny pool force eviction on an ordinary scan.
+        db = PgSimDatabase(page_size=512, buffer_pool_pages=8, data_dir=tmp_path)
+        db.execute("CREATE TABLE t (id int, vec float[])")
+        for i in range(120):
+            db.execute(f"INSERT INTO t VALUES ({i}, '{i}.0,{2 * i}.0'::PASE)")
+        db.execute("SELECT id FROM t")
+        rows = db.query("SELECT * FROM pg_stat_wait_events")
+        events = {r[1]: r for r in rows}
+        # Eviction pressure: clock sweeps and re-reads from disk.
+        assert "LWLockBufferClock" in events
+        assert "DataFileRead" in events
+        for wait_type, event, count, total_ms in rows:
+            assert wait_type in ("IO", "LWLock")
+            assert count > 0
+            assert total_ms >= 0.0
+
+    def test_wal_flush_records_write_and_sync(self, tmp_path):
+        db = PgSimDatabase(data_dir=tmp_path)
+        db.execute("CREATE TABLE t (id int)")
+        db.execute("INSERT INTO t VALUES (1)")
+        db.wal.flush()
+        events = {r[1] for r in db.query("SELECT * FROM pg_stat_wait_events")}
+        assert {"WALWrite", "WALSync"} <= events
+
+    def test_per_statement_wait_delta(self, tmp_path):
+        db = PgSimDatabase(page_size=512, buffer_pool_pages=8, data_dir=tmp_path)
+        db.execute("CREATE TABLE t (id int, vec float[])")
+        for i in range(120):
+            db.execute(f"INSERT INTO t VALUES ({i}, '{i}.0,{2 * i}.0'::PASE)")
+        result = db.execute("SELECT id FROM t")
+        waits = result.stats.wait_events
+        assert waits.counts.get("DataFileRead", 0) > 0
+        assert "wait_events" in result.stats.as_dict()
+
+    def test_memory_db_sees_no_io_waits_when_pool_fits(self, fresh_db):
+        fresh_db.execute("CREATE TABLE t (id int)")
+        fresh_db.execute("INSERT INTO t VALUES (1)")
+        fresh_db.execute("SELECT id FROM t")
+        events = {r[1] for r in fresh_db.query("SELECT * FROM pg_stat_wait_events")}
+        assert "DataFileRead" not in events
+
+
+class TestProgressView:
+    def test_ivf_build_phases(self, db):
+        db.execute(
+            "CREATE INDEX ix ON t USING pase_ivfflat (vec) "
+            "WITH (clusters = 4, sample_ratio = 1.0, seed = 1)"
+        )
+        rows = db.query("SELECT * FROM pg_stat_progress_create_index")
+        assert len(rows) == 1
+        index, am, phase, done, total, status = rows[0]
+        assert (index, am) == ("ix", "pase_ivfflat")
+        assert status == "done"
+        assert done == total == 30  # every heap tuple assigned
+        (progress,) = db.stats.builds
+        assert progress.phases_seen == ["sample", "kmeans", "assign", "flush"]
+
+    def test_hnsw_build_phases(self, db):
+        db.execute(
+            "CREATE INDEX hx ON t USING pase_hnsw (vec) "
+            "WITH (bnn = 4, efb = 8, seed = 1)"
+        )
+        (progress,) = db.stats.builds
+        assert progress.phases_seen == ["insert", "link"]
+        assert progress.tuples_done == 30
+
+    def test_in_progress_status_mid_build(self, db):
+        progress = db.stats.start_build("fake", "pase_ivfflat")
+        progress.set_phase("kmeans")
+        try:
+            rows = db.query(
+                "SELECT * FROM pg_stat_progress_create_index WHERE status = 'in progress'"
+            )
+            assert rows[0][:3] == ("fake", "pase_ivfflat", "kmeans")
+        finally:
+            db.stats.finish_build()
+
+    def test_failed_build_still_finishes_progress(self, fresh_db):
+        fresh_db.execute("CREATE TABLE empty_t (id int, vec float[])")
+        with pytest.raises(RuntimeError):
+            fresh_db.execute("CREATE INDEX ex ON empty_t USING pase_ivfflat (vec)")
+        assert fresh_db.stats.current_build is None
+
+    def test_build_history_is_bounded(self, db):
+        from repro.pgsim.stats import _BUILD_HISTORY_LIMIT
+
+        for i in range(_BUILD_HISTORY_LIMIT + 5):
+            db.stats.start_build(f"ix{i}", "pase_ivfflat")
+            db.stats.finish_build()
+        assert len(db.stats.builds) == _BUILD_HISTORY_LIMIT
+
+
+class TestViewsSurviveMaintenance:
+    """pg_stat views must stay consistent across checkpoint() and a
+    crash-recovery restart (the observability layer sits above the
+    durability machinery and must not trip over it)."""
+
+    def _populate(self, db):
+        db.execute("CREATE TABLE t (id int, vec float[])")
+        for i in range(40):
+            db.execute(f"INSERT INTO t VALUES ({i}, '{i}.0,{2 * i}.0'::PASE)")
+        db.execute(
+            "CREATE INDEX ix ON t USING pase_ivfflat (vec) "
+            "WITH (clusters = 4, sample_ratio = 1.0, seed = 1)"
+        )
+
+    def test_views_after_checkpoint(self, tmp_path):
+        db = PgSimDatabase(buffer_pool_pages=16, data_dir=tmp_path)
+        self._populate(db)
+        before = {r[1]: r[2] for r in db.query("SELECT * FROM pg_stat_wait_events")}
+        db.checkpoint()
+        after = {r[1]: r[2] for r in db.query("SELECT * FROM pg_stat_wait_events")}
+        # Accumulators survive the checkpoint and keep growing (the
+        # checkpoint itself fsyncs the WAL).
+        for event, count in before.items():
+            assert after.get(event, 0) >= count
+        assert after.get("WALSync", 0) >= 1
+        # The other stat views still answer.
+        assert db.query("SELECT count(*) FROM pg_stat_buffers") == [(1,)]
+        rows = db.query("SELECT * FROM pg_stat_progress_create_index")
+        assert rows and rows[0][-1] == "done"
+
+    def test_views_after_crash_recovery(self, tmp_path):
+        db = PgSimDatabase(buffer_pool_pages=16, data_dir=tmp_path)
+        self._populate(db)
+        db.wal.flush()
+        del db  # simulate a crash: no checkpoint, no clean shutdown
+
+        recovered = PgSimDatabase(buffer_pool_pages=16, data_dir=tmp_path)
+        # Recovery re-ran CREATE INDEX from the DDL log, so the
+        # progress view reflects the rebuild.
+        rows = recovered.query("SELECT * FROM pg_stat_progress_create_index")
+        assert rows and rows[0][:2] == ("ix", "pase_ivfflat") and rows[0][-1] == "done"
+        # Redo + rebuild went through the buffer manager: IO wait
+        # events and buffer counters are already non-zero.
+        events = {r[1] for r in recovered.query("SELECT * FROM pg_stat_wait_events")}
+        assert "DataFileRead" in events
+        # Statement stats start fresh but track new work immediately.
+        recovered.execute("SELECT id FROM t")
+        rows = recovered.query("SELECT query FROM pg_stat_statements")
+        assert ("select id from t",) in rows
+        assert recovered.query("SELECT count(*) FROM t") == [(40,)]

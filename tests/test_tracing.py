@@ -1,0 +1,256 @@
+"""Tests for the span tracer and its profiler integration."""
+
+import json
+
+import pytest
+
+from repro.common.profiling import Profiler
+from repro.common.tracing import NULL_TRACER, Span, Tracer
+
+
+class TestTracerCore:
+    def test_nested_spans_record_tree(self):
+        tracer = Tracer()
+        with tracer.span("query"):
+            with tracer.span("scan"):
+                pass
+            with tracer.span("scan"):
+                pass
+        assert [s.name for s in tracer.spans] == ["query", "scan", "scan"]
+        root = tracer.spans[0]
+        assert root.parent_id == 0
+        assert all(s.parent_id == root.span_id for s in tracer.spans[1:])
+        assert tracer.spans[1].path == ("query", "scan")
+
+    def test_span_ids_sequential_and_deterministic(self):
+        def run():
+            tracer = Tracer()
+            with tracer.span("a"):
+                with tracer.span("b"):
+                    pass
+            with tracer.span("c"):
+                pass
+            return [(s.span_id, s.parent_id, s.name) for s in tracer.spans]
+
+        assert run() == run() == [(1, 0, "a"), (2, 1, "b"), (3, 0, "c")]
+
+    def test_duration_zero_while_open(self):
+        tracer = Tracer()
+        span = tracer.begin("open", 10.0)
+        assert span.duration == 0.0
+        tracer.end(12.5)
+        assert span.duration == pytest.approx(2.5)
+
+    def test_end_without_open_span_raises(self):
+        with pytest.raises(RuntimeError):
+            Tracer().end(1.0)
+
+    def test_current_tracks_stack(self):
+        tracer = Tracer()
+        assert tracer.current is None
+        with tracer.span("outer"):
+            assert tracer.current.name == "outer"
+            with tracer.span("inner"):
+                assert tracer.current.name == "inner"
+            assert tracer.current.name == "outer"
+        assert tracer.current is None
+
+    def test_events_attach_to_open_span(self):
+        tracer = Tracer()
+        with tracer.span("scan"):
+            tracer.event("cache-miss", blkno=17)
+        (span,) = tracer.spans
+        assert span.events[0].name == "cache-miss"
+        assert span.events[0].attrs == {"blkno": 17}
+
+    def test_event_outside_span_is_noop(self):
+        tracer = Tracer()
+        tracer.event("orphan")
+        assert tracer.spans == []
+
+    def test_total_seconds_sums_roots_only(self):
+        tracer = Tracer()
+        tracer.begin("a", 0.0)
+        tracer.begin("a.child", 0.5)
+        tracer.end(1.5)
+        tracer.end(2.0)
+        tracer.begin("b", 3.0)
+        tracer.end(4.0)
+        assert tracer.total_seconds() == pytest.approx(3.0)
+        assert [s.name for s in tracer.root_spans()] == ["a", "b"]
+
+    def test_reset_clears_and_restarts_ids(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        tracer.reset()
+        assert tracer.spans == []
+        with tracer.span("y"):
+            pass
+        assert tracer.spans[0].span_id == 1
+
+    def test_reset_with_open_span_raises(self):
+        tracer = Tracer()
+        tracer.begin("open", 0.0)
+        with pytest.raises(RuntimeError):
+            tracer.reset()
+
+    def test_max_spans_drops_but_stays_balanced(self):
+        tracer = Tracer(max_spans=2)
+        for __ in range(5):
+            with tracer.span("work"):
+                pass
+        assert len(tracer.spans) == 2
+        assert tracer.dropped_spans == 3
+        assert tracer.current is None  # stack stayed balanced
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("ignored"):
+            tracer.event("also-ignored")
+        assert tracer.spans == []
+        assert tracer.span("x") is tracer.span("y")  # shared null handle
+
+    def test_null_tracer_cannot_be_enabled(self):
+        assert not NULL_TRACER.enabled
+        with pytest.raises(TypeError):
+            NULL_TRACER.enabled = True
+
+
+class TestAggregation:
+    def _sample(self):
+        tracer = Tracer()
+        tracer.begin("query", 0.0)
+        tracer.begin("scan", 1.0)
+        tracer.end(4.0)  # scan: 3s
+        tracer.begin("scan", 5.0)
+        tracer.end(6.0)  # scan: 1s
+        tracer.end(10.0)  # query: 10s total, 6s exclusive
+        return tracer
+
+    def test_exclusive_subtracts_children(self):
+        exclusive, calls = self._sample().aggregate()
+        assert exclusive[("query",)] == pytest.approx(6.0)
+        assert exclusive[("query", "scan")] == pytest.approx(4.0)
+        assert calls == {("query",): 1, ("query", "scan"): 2}
+
+    def test_to_profiler_matches_aggregate(self):
+        tracer = self._sample()
+        prof = tracer.to_profiler()
+        assert prof.total_seconds() == pytest.approx(10.0)
+        assert prof.exclusive_seconds("scan") == pytest.approx(4.0)
+        assert prof.inclusive_seconds("query") == pytest.approx(10.0)
+        assert prof.call_count("scan") == 2
+
+    def test_open_spans_excluded_from_aggregate(self):
+        tracer = Tracer()
+        tracer.begin("open", 0.0)
+        exclusive, calls = tracer.aggregate()
+        assert exclusive == {} and calls == {}
+
+
+class TestExports:
+    def test_chrome_trace_real_timeline(self):
+        tracer = Tracer()
+        tracer.begin("query", 100.0)
+        tracer.begin("scan", 100.25)
+        tracer.end(100.75)
+        tracer.end(101.0)
+        doc = json.loads(tracer.to_chrome_trace())
+        events = doc["traceEvents"]
+        assert [e["name"] for e in events] == ["query", "scan"]
+        assert events[0]["ts"] == 0.0
+        assert events[0]["dur"] == pytest.approx(1e6)
+        assert events[1]["ts"] == pytest.approx(0.25e6)
+        assert events[1]["args"]["parent_id"] == events[0]["args"]["span_id"]
+
+    def test_chrome_trace_emits_instant_events(self):
+        tracer = Tracer()
+        with tracer.span("scan"):
+            tracer.event("pin", blkno=3)
+        doc = json.loads(tracer.to_chrome_trace())
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert instants[0]["name"] == "pin"
+        assert instants[0]["args"] == {"blkno": 3}
+
+    def test_chrome_trace_reports_drops(self):
+        tracer = Tracer(max_spans=1)
+        for __ in range(3):
+            with tracer.span("w"):
+                pass
+        doc = json.loads(tracer.to_chrome_trace())
+        assert doc["metadata"]["dropped_spans"] == 2
+
+    def test_collapsed_weights_by_exclusive_micros(self):
+        tracer = Tracer()
+        tracer.begin("a", 0.0)
+        tracer.begin("b", 0.0)
+        tracer.end(0.25)
+        tracer.end(1.0)
+        lines = tracer.to_collapsed().strip().splitlines()
+        assert f"a {round(0.75e6)}" in lines
+        assert f"a;b {round(0.25e6)}" in lines
+
+
+class TestProfilerIntegration:
+    def test_sections_open_spans(self):
+        tracer = Tracer()
+        prof = Profiler(tracer=tracer)
+        with prof.section("query"):
+            with prof.section("scan"):
+                pass
+        assert [s.path for s in tracer.spans] == [("query",), ("query", "scan")]
+        assert all(s.end is not None for s in tracer.spans)
+
+    def test_span_totals_match_profiler_totals(self):
+        tracer = Tracer()
+        prof = Profiler(tracer=tracer)
+        with prof.section("outer"):
+            for __ in range(50):
+                with prof.section("inner"):
+                    sum(range(100))
+        assert tracer.to_profiler().total_seconds() == pytest.approx(
+            prof.total_seconds(), rel=0.05
+        )
+        assert tracer.to_profiler().call_count("inner") == prof.call_count("inner")
+
+    def test_disabled_profiler_leaves_tracer_untouched(self):
+        tracer = Tracer()
+        prof = Profiler(enabled=False, tracer=tracer)
+        with prof.section("ignored"):
+            pass
+        assert tracer.spans == []
+
+    def test_profiler_reset_cascades(self):
+        tracer = Tracer()
+        prof = Profiler(tracer=tracer)
+        with prof.section("x"):
+            pass
+        prof.reset()
+        assert tracer.spans == []
+
+    def test_exports_delegate_to_tracer(self):
+        tracer = Tracer()
+        prof = Profiler(tracer=tracer)
+        with prof.section("a"):
+            with prof.section("b"):
+                pass
+        doc = json.loads(prof.to_chrome_trace())
+        names = [e["name"] for e in doc["traceEvents"]]
+        assert names == ["a", "b"]
+        # Real parent linkage, not the synthetic aggregate layout.
+        assert doc["traceEvents"][1]["args"]["parent_id"] == 1
+        assert "a;b" in prof.to_collapsed()
+
+    def test_exports_fall_back_without_spans(self):
+        prof = Profiler()
+        with prof.section("solo"):
+            pass
+        assert "solo" in prof.to_collapsed()
+
+
+class TestSpanRepr:
+    def test_add_event_returns_event(self):
+        span = Span(1, 0, "s", ("s",), 0.0)
+        event = span.add_event("e", 1.0, detail="x")
+        assert span.events == [event]
