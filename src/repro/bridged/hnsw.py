@@ -10,6 +10,7 @@ index can be rebuilt after a restart.  The SQL surface is unchanged:
 
 from __future__ import annotations
 
+import math
 import struct
 import time
 from typing import Any, Iterator
@@ -23,6 +24,7 @@ from repro.common.types import BuildStats, IndexSizeInfo
 from repro.pase.options import parse_hnsw_options
 from repro.pgsim.am import IndexAmRoutine, register_am
 from repro.pgsim.heapam import TID
+from repro.pgsim.paths import DISTANCE_OP_WEIGHT
 from repro.pgsim.page import PageFullError
 from repro.specialized.hnsw import ArrayGraphStore
 
@@ -114,6 +116,22 @@ class BridgedHNSW(IndexAmRoutine):
         self.scan_stats.candidates += self.store.counters.distance_computations - dist0
         for neighbor in neighbors:
             yield self._heap_tids[neighbor.vector_id], neighbor.distance
+
+    # ------------------------------------------------------------------
+    # planner cost estimate
+    # ------------------------------------------------------------------
+    def amcostestimate(self, ntuples: float, fetch_k: int, cost: Any) -> tuple[float, float]:
+        """Beam-search cost over the in-memory array graph: the same
+        ``ef * log2(n)`` candidate count as the page-backed HNSW, but
+        neighbor lists are array slices, not page tuples — modeled as
+        half its per-candidate toll."""
+        n = max(float(ntuples), 2.0)
+        ef = float(max(int(self.catalog.get_setting("pase.efs")), fetch_k, 1))
+        candidates = min(n, ef * math.log2(n))
+        total = 0.5 * candidates * (
+            2.0 * cost.cpu_index_tuple_cost + DISTANCE_OP_WEIGHT * cost.cpu_operator_cost
+        )
+        return total, total
 
     # ------------------------------------------------------------------
     # size accounting

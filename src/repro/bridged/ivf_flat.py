@@ -202,6 +202,25 @@ class BridgedIVFFlat(PaseIVFFlat):
             return ScanBatch.empty()
         return topk_batch(np.concatenate(key_parts), np.concatenate(dist_parts), k)
 
+    # ------------------------------------------------------------------
+    # planner contract
+    # ------------------------------------------------------------------
+    def amcostestimate(self, ntuples: float, fetch_k: int, cost: Any) -> tuple[float, float]:
+        """Same probe shape as PASE IVF_FLAT but memory-resident: the
+        SGEMM bucket scoring skips the per-tuple page toll, modeled as
+        half the page-structured cost."""
+        startup, total = super().amcostestimate(ntuples, fetch_k, cost)
+        return startup * 0.5, total * 0.5
+
+    def amrescan_continue(self, query: np.ndarray, k: int) -> Iterator[tuple[TID, float]]:
+        """Rescan off the mirror — the inherited page-path continuation
+        (cached centroid ranking) does not apply here."""
+        return self.scan(query, k)
+
+    def amrescan_continue_batch(self, query: np.ndarray, k: int) -> ScanBatch:
+        """Batched mirror rescan (see :meth:`amrescan_continue`)."""
+        return self.get_batch(query, k)
+
     def _ensure_mirror(self) -> _MemoryMirror:
         if self._mirror is not None:
             return self._mirror

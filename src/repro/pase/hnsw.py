@@ -26,6 +26,7 @@ vector``.
 
 from __future__ import annotations
 
+import math
 import struct
 import time
 from dataclasses import dataclass
@@ -40,6 +41,7 @@ from repro.common.types import BuildStats, IndexSizeInfo
 from repro.pase.options import parse_hnsw_options
 from repro.pgsim.am import IndexAmRoutine, ScanBatch, register_am
 from repro.pgsim.heapam import TID
+from repro.pgsim.paths import DISTANCE_OP_WEIGHT
 from repro.pgsim.page import Page, PageFullError
 
 #: The 24-byte HNSWNeighborTuple (Sec. VI-C2).  The 8-byte PaseTuple
@@ -369,6 +371,22 @@ class PaseHNSW(IndexAmRoutine):
             offsets=np.array([t.offset for t in tids], dtype=np.int64),
             distances=np.array([n.distance for n in neighbors], dtype=np.float64),
         )
+
+    # ------------------------------------------------------------------
+    # planner cost estimate
+    # ------------------------------------------------------------------
+    def amcostestimate(self, ntuples: float, fetch_k: int, cost: Any) -> tuple[float, float]:
+        """Beam-search cost: roughly ``ef * log2(n)`` candidates visited,
+        each paying two page-tuple reads (data tuple + neighbor tuple)
+        and one distance.  ``ef`` widens with ``fetch_k`` exactly as the
+        search does when the executor over-fetches past ``ef_search``."""
+        n = max(float(ntuples), 2.0)
+        ef = float(max(int(self.catalog.get_setting("pase.efs")), fetch_k, 1))
+        candidates = min(n, ef * math.log2(n))
+        total = candidates * (
+            2.0 * cost.cpu_index_tuple_cost + DISTANCE_OP_WEIGHT * cost.cpu_operator_cost
+        )
+        return total, total
 
     # ------------------------------------------------------------------
     # size accounting

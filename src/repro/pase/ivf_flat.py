@@ -33,6 +33,7 @@ from repro.common.profiling import NULL_PROFILER
 from repro.common.types import BuildStats, IndexSizeInfo
 from repro.pase.options import parse_ivf_options
 from repro.pgsim.am import IndexAmRoutine, ScanBatch, register_am, topk_batch
+from repro.pgsim.paths import DISTANCE_OP_WEIGHT
 from repro.pgsim.constants import LINE_POINTER_SIZE, PAGE_HEADER_SIZE
 from repro.pgsim.heapam import TID
 from repro.pgsim.page import PageFullError
@@ -64,6 +65,10 @@ class PaseIVFFlat(IndexAmRoutine):
         self.build_stats = BuildStats()
         self.dim: int | None = None
         self._centroids_per_page: int | None = None
+        #: ``(query bytes, full centroid order, bucket heads)`` from the
+        #: most recent scan — lets ``amrescan_continue`` skip re-ranking
+        #: the centroids when the over-fetch loop widens ``k``.
+        self._rescan_cache: tuple[bytes, np.ndarray, list[int]] | None = None
 
     # ------------------------------------------------------------------
     # build
@@ -104,6 +109,7 @@ class PaseIVFFlat(IndexAmRoutine):
         self._write_meta(n_clusters)
         self.build_stats.add_seconds = time.perf_counter() - start
         self.build_stats.vectors_added = len(rows)
+        self._rescan_cache = None
 
     def _write_meta(self, n_clusters: int) -> None:
         rel = self.create_fork("meta")
@@ -163,6 +169,7 @@ class PaseIVFFlat(IndexAmRoutine):
     def insert(self, tid: TID, value: Any) -> None:
         if self.dim is None:
             raise RuntimeError("index must be built before single inserts")
+        self._rescan_cache = None
         vec = np.ascontiguousarray(value, dtype=np.float32)
         if vec.shape != (self.dim,):
             raise ValueError(f"expected a {self.dim}-dim vector, got shape {vec.shape}")
@@ -195,25 +202,65 @@ class PaseIVFFlat(IndexAmRoutine):
     # ------------------------------------------------------------------
     # search
     # ------------------------------------------------------------------
-    def scan(self, query: np.ndarray, k: int) -> Iterator[tuple[TID, float]]:
+    def _check_query(self, query: np.ndarray) -> np.ndarray:
         if self.dim is None:
             raise RuntimeError("index has not been built")
-        prof = self.profiler
         query = np.ascontiguousarray(query, dtype=np.float32)
         if query.shape != (self.dim,):
             raise ValueError(f"query must be {self.dim}-dim, got shape {query.shape}")
-        nprobe = int(self.catalog.get_setting("pase.nprobe"))
-        fixed_heap = self.catalog.get_bool("pase.fixed_heap")
-        kernel = pairwise_kernel(self.opts.distance_type)
+        return query
 
+    def _rank_centroids(
+        self, query: np.ndarray, kernel, reuse: bool = False
+    ) -> tuple[np.ndarray, list[int]]:
+        """Rank every centroid by distance to ``query``.
+
+        Returns ``(full sorted centroid order, bucket heads)``.  With
+        ``reuse`` (the over-fetch rescan path) a cached ranking from the
+        initial scan of the same query is returned without recomputing
+        the centroid distances; plain scans always recompute, keeping
+        their measured work identical to before.
+        """
+        key = query.tobytes()
+        if reuse and self._rescan_cache is not None and self._rescan_cache[0] == key:
+            return self._rescan_cache[1], self._rescan_cache[2]
+        prof = self.profiler
         cent_dists: list[float] = []
         heads: list[int] = []
         for __, head, centroid in self._iter_centroids():
             with prof.section(SEC_DISTANCE):
                 cent_dists.append(kernel(query, centroid))
             heads.append(head)
-        order = np.argsort(np.asarray(cent_dists), kind="stable")[: max(nprobe, 1)]
+        order = np.argsort(np.asarray(cent_dists), kind="stable")
+        self._rescan_cache = (key, order, heads)
+        return order, heads
 
+    def scan(self, query: np.ndarray, k: int) -> Iterator[tuple[TID, float]]:
+        query = self._check_query(query)
+        kernel = pairwise_kernel(self.opts.distance_type)
+        nprobe = int(self.catalog.get_setting("pase.nprobe"))
+        order, heads = self._rank_centroids(query, kernel)
+        return self._scan_buckets(query, k, order[: max(nprobe, 1)], heads, kernel)
+
+    def amrescan_continue(self, query: np.ndarray, k: int) -> Iterator[tuple[TID, float]]:
+        """Over-fetch continuation: reuse the scan's centroid ranking."""
+        query = self._check_query(query)
+        kernel = pairwise_kernel(self.opts.distance_type)
+        nprobe = int(self.catalog.get_setting("pase.nprobe"))
+        order, heads = self._rank_centroids(query, kernel, reuse=True)
+        return self._scan_buckets(query, k, order[: max(nprobe, 1)], heads, kernel)
+
+    def _scan_buckets(
+        self,
+        query: np.ndarray,
+        k: int,
+        order: np.ndarray,
+        heads: list[int],
+        kernel,
+    ) -> Iterator[tuple[TID, float]]:
+        """Walk the probed buckets, yielding the k nearest ``(tid, dist)``."""
+        prof = self.profiler
+        fixed_heap = self.catalog.get_bool("pase.fixed_heap")
         candidates = 0
         if fixed_heap:
             # RC#6 neutralized: k-sized heap, candidates rejected with a
@@ -253,24 +300,26 @@ class PaseIVFFlat(IndexAmRoutine):
         Python work (kernel call, profiler section, heap push — the
         paper's RC#3/RC#6 toll) collapses into per-bucket array ops.
         """
-        if self.dim is None:
-            raise RuntimeError("index has not been built")
-        prof = self.profiler
-        query = np.ascontiguousarray(query, dtype=np.float32)
-        if query.shape != (self.dim,):
-            raise ValueError(f"query must be {self.dim}-dim, got shape {query.shape}")
-        nprobe = int(self.catalog.get_setting("pase.nprobe"))
+        query = self._check_query(query)
         kernel = pairwise_kernel(self.opts.distance_type)
+        nprobe = int(self.catalog.get_setting("pase.nprobe"))
+        order, heads = self._rank_centroids(query, kernel)
+        return self._batch_buckets(query, k, order[: max(nprobe, 1)], heads)
+
+    def amrescan_continue_batch(self, query: np.ndarray, k: int) -> ScanBatch:
+        """Batched over-fetch continuation (cached centroid ranking)."""
+        query = self._check_query(query)
+        kernel = pairwise_kernel(self.opts.distance_type)
+        nprobe = int(self.catalog.get_setting("pase.nprobe"))
+        order, heads = self._rank_centroids(query, kernel, reuse=True)
+        return self._batch_buckets(query, k, order[: max(nprobe, 1)], heads)
+
+    def _batch_buckets(
+        self, query: np.ndarray, k: int, order: np.ndarray, heads: list[int]
+    ) -> ScanBatch:
+        """Score the probed buckets bucket-at-a-time into a ScanBatch."""
+        prof = self.profiler
         rows = rows_kernel(self.opts.distance_type)
-
-        cent_dists: list[float] = []
-        heads: list[int] = []
-        for __, head, centroid in self._iter_centroids():
-            with prof.section(SEC_DISTANCE):
-                cent_dists.append(kernel(query, centroid))
-            heads.append(head)
-        order = np.argsort(np.asarray(cent_dists), kind="stable")[: max(nprobe, 1)]
-
         key_parts: list[np.ndarray] = []
         dist_parts: list[np.ndarray] = []
         self.scan_stats.scans += 1
@@ -287,6 +336,27 @@ class PaseIVFFlat(IndexAmRoutine):
             if not key_parts:
                 return ScanBatch.empty()
             return topk_batch(np.concatenate(key_parts), np.concatenate(dist_parts), k)
+
+    # ------------------------------------------------------------------
+    # planner cost estimate
+    # ------------------------------------------------------------------
+    #: Cost weight of one candidate distance evaluation, in
+    #: cpu_operator_cost units (subclasses tune for their codecs).
+    _COST_DISTANCE_WEIGHT = DISTANCE_OP_WEIGHT
+
+    def amcostestimate(self, ntuples: float, fetch_k: int, cost: Any) -> tuple[float, float]:
+        """IVF scan cost: rank every centroid, score ``nprobe/clusters``
+        of the indexed tuples.  ``fetch_k`` barely matters — the heap is
+        k-bounded but every probed candidate still gets a distance."""
+        n = max(float(ntuples), 1.0)
+        clusters = max(1.0, min(float(self.opts.clusters), n))
+        nprobe = float(min(max(int(self.catalog.get_setting("pase.nprobe")), 1), int(clusters)))
+        candidates = n * (nprobe / clusters)
+        total = clusters * DISTANCE_OP_WEIGHT * cost.cpu_operator_cost
+        total += candidates * (
+            cost.cpu_index_tuple_cost + self._COST_DISTANCE_WEIGHT * cost.cpu_operator_cost
+        )
+        return total, total
 
     # ------------------------------------------------------------------
     # page iteration

@@ -34,6 +34,7 @@ from repro.pase.ivf_flat import _key_tid, _tid_key
 from repro.pase.options import parse_ivfpq_options
 from repro.pgsim.am import IndexAmRoutine, ScanBatch, register_am, topk_batch
 from repro.pgsim.constants import LINE_POINTER_SIZE, PAGE_HEADER_SIZE
+from repro.pgsim.paths import DISTANCE_OP_WEIGHT
 from repro.pgsim.heapam import TID
 from repro.pgsim.page import PageFullError
 
@@ -341,6 +342,23 @@ class PaseIVFPQ(IndexAmRoutine):
             if not key_parts:
                 return ScanBatch.empty()
             return topk_batch(np.concatenate(key_parts), np.concatenate(dist_parts), k)
+
+    # ------------------------------------------------------------------
+    # planner cost estimate
+    # ------------------------------------------------------------------
+    def amcostestimate(self, ntuples: float, fetch_k: int, cost: Any) -> tuple[float, float]:
+        """IVF cost with ADC distances: building the per-query lookup
+        table costs ``c_pq * m`` operators up front, after which each
+        probed candidate's distance is ``m`` table lookups — far cheaper
+        than a full float distance."""
+        n = max(float(ntuples), 1.0)
+        clusters = max(1.0, min(float(self.opts.ivf.clusters), n))
+        nprobe = float(min(max(int(self.catalog.get_setting("pase.nprobe")), 1), int(clusters)))
+        candidates = n * (nprobe / clusters)
+        total = clusters * DISTANCE_OP_WEIGHT * cost.cpu_operator_cost
+        total += float(self.opts.c_pq * self.opts.m) * cost.cpu_operator_cost
+        total += candidates * (cost.cpu_index_tuple_cost + 3.0 * cost.cpu_operator_cost)
+        return total, total
 
     # ------------------------------------------------------------------
     # page iteration

@@ -25,6 +25,7 @@ from repro.common.types import BuildStats, IndexSizeInfo
 from repro.pase.ivf_flat import _key_tid, _tid_key
 from repro.pase.options import parse_ivf_options
 from repro.pgsim.am import IndexAmRoutine, register_am
+from repro.pgsim.paths import DISTANCE_OP_WEIGHT
 from repro.pgsim.constants import LINE_POINTER_SIZE, PAGE_HEADER_SIZE
 from repro.pgsim.heapam import TID
 from repro.pgsim.page import PageFullError
@@ -240,6 +241,21 @@ class PaseIVFSQ8(IndexAmRoutine):
             results = heap.results()
         for neighbor in results:
             yield _key_tid(neighbor.vector_id), neighbor.distance
+
+    # ------------------------------------------------------------------
+    # planner cost estimate
+    # ------------------------------------------------------------------
+    def amcostestimate(self, ntuples: float, fetch_k: int, cost: Any) -> tuple[float, float]:
+        """IVF cost, with each probed candidate also paying a
+        tuple-at-a-time SQ8 dequantization before its distance."""
+        n = max(float(ntuples), 1.0)
+        clusters = max(1.0, min(float(self.opts.clusters), n))
+        nprobe = float(min(max(int(self.catalog.get_setting("pase.nprobe")), 1), int(clusters)))
+        candidates = n * (nprobe / clusters)
+        per_candidate = (DISTANCE_OP_WEIGHT + 2.0) * cost.cpu_operator_cost
+        total = clusters * DISTANCE_OP_WEIGHT * cost.cpu_operator_cost
+        total += candidates * (cost.cpu_index_tuple_cost + per_candidate)
+        return total, total
 
     # ------------------------------------------------------------------
     # page iteration / codec

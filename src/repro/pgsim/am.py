@@ -167,6 +167,42 @@ class IndexAmRoutine(abc.ABC):
         """Unindex a heap tuple (default: not supported)."""
         raise NotImplementedError(f"{self.amname} does not support deletes")
 
+    # ------------------------------------------------------------------
+    # planner contract (amcostestimate / amrescan)
+    # ------------------------------------------------------------------
+    def amcostestimate(self, ntuples: float, fetch_k: int, cost: Any) -> tuple[float, float]:
+        """Estimate ``(startup, total)`` cost of an ordered k-NN scan.
+
+        ``ntuples`` is the planner's row estimate for the base table,
+        ``fetch_k`` the number of candidates the executor will request,
+        and ``cost`` a :class:`repro.pgsim.paths.CostParams`.  pgsim's
+        ordered scans materialize their whole candidate set before the
+        first tuple comes back, so startup equals total.  The default
+        assumes an exhaustive scan of the index (every indexed tuple
+        gets a distance computation); AMs that prune — IVF probing a
+        cluster subset, HNSW walking ``ef_search`` beams — override
+        this with their actual candidate counts.
+        """
+        total = float(ntuples) * (cost.cpu_index_tuple_cost + cost.cpu_operator_cost)
+        return total, total
+
+    def amrescan_continue(self, query: np.ndarray, k: int) -> Iterator[tuple[TID, float]]:
+        """Continue an ordered scan at a larger ``k`` (over-fetch rescan).
+
+        The executor's adaptive over-fetch loop calls this when the
+        first ``scan()`` did not yield enough predicate survivors: same
+        query, geometrically larger ``k``.  The contract is merely that
+        the result is the ordered prefix of size ``k`` — the default
+        re-runs :meth:`scan` from scratch; AMs may override to reuse
+        per-query state (e.g. IVF's ranked centroid order) across
+        continuations.
+        """
+        return self.scan(query, k)
+
+    def amrescan_continue_batch(self, query: np.ndarray, k: int) -> ScanBatch:
+        """Batched counterpart of :meth:`amrescan_continue`."""
+        return self.get_batch(query, k)
+
     @abc.abstractmethod
     def size_info(self) -> IndexSizeInfo:
         """Byte-level size accounting (drives the Figs. 11-13 benches)."""

@@ -39,12 +39,17 @@ class TableInfo:
     columns: list[Column]
     heap: HeapTable
     indexes: dict[str, IndexInfo] = field(default_factory=dict)
+    #: Planner statistics (:class:`repro.pgsim.analyze.TableStats`),
+    #: populated by ``ANALYZE`` — the pg_class/pg_statistic role.
+    #: ``None`` until the table has been analyzed.
+    stats: Any = None
 
     def column_names(self) -> list[str]:
         return [c.name for c in self.columns]
 
 
-#: Default GUC values; names follow PASE's SQL examples and Table II.
+#: Default GUC values; names follow PASE's SQL examples and Table II,
+#: plus PostgreSQL's planner cost constants (costsize.c defaults).
 DEFAULT_SETTINGS: dict[str, Any] = {
     "pase.nprobe": 20,
     "pase.efs": 200,
@@ -54,6 +59,14 @@ DEFAULT_SETTINGS: dict[str, Any] = {
     "enable_seqscan": True,
     "enable_batch_exec": False,  # RC#3 ablation: batch-at-a-time executor
     "track_query_stats": True,  # per-statement QueryStats + pg_stat_statements
+    # Planner cost model (PostgreSQL costsize.c defaults).
+    "seq_page_cost": 1.0,
+    "random_page_cost": 4.0,
+    "cpu_tuple_cost": 0.01,
+    "cpu_index_tuple_cost": 0.005,
+    "cpu_operator_cost": 0.0025,
+    # ANALYZE sampling resolution: MCV list length and histogram buckets.
+    "default_statistics_target": 100,
 }
 
 _TRUTHY = {"on", "true", "yes", "1"}

@@ -237,4 +237,9 @@ def _ddl_to_sql(stmt) -> str | None:
         return sql
     if isinstance(stmt, ast.DropIndex):
         return f"DROP INDEX IF EXISTS {stmt.name}"
+    if isinstance(stmt, ast.Analyze):
+        # Statistics are a catalog mutation: replaying ANALYZE after
+        # WAL redo recomputes them over the recovered heap, so planner
+        # stats (and the pg_stats views) survive checkpoint + crash.
+        return f"ANALYZE {stmt.table}" if stmt.table else "ANALYZE"
     return None

@@ -17,6 +17,7 @@ from repro.common.profiling import NULL_PROFILER
 from repro.pgsim import expr as E
 from repro.pgsim import plan as P
 from repro.pgsim.am import lookup_am
+from repro.pgsim.analyze import analyze_table
 from repro.pgsim.buffer import BufferManager
 from repro.pgsim.catalog import Catalog, CatalogError, IndexInfo, TableInfo
 from repro.pgsim.heapam import HeapTable
@@ -97,7 +98,16 @@ class Executor:
             return P.QueryResult(command=f"VACUUM {reclaimed}")
         if isinstance(stmt, ast.Reindex):
             return self._reindex(stmt)
+        if isinstance(stmt, ast.Analyze):
+            return self._analyze(stmt)
         raise ExecutionError(f"unsupported statement: {type(stmt).__name__}")
+
+    def _analyze(self, stmt: ast.Analyze) -> P.QueryResult:
+        """ANALYZE [table]: collect planner statistics into the catalog."""
+        names = [stmt.table] if stmt.table is not None else self.catalog.table_names()
+        for name in names:
+            analyze_table(self.catalog.table(name), self.catalog)
+        return P.QueryResult(command="ANALYZE")
 
     # ------------------------------------------------------------------
     # DDL
@@ -352,7 +362,7 @@ class Executor:
     def _explain_select(self, stmt: ast.Explain, inner: ast.Select) -> P.QueryResult:
         plan = plan_select(inner, self.catalog)
         if not stmt.analyze:
-            lines = explain_plan(plan).splitlines()
+            lines = explain_plan(plan, costs=stmt.costs).splitlines()
             return P.QueryResult(
                 command="EXPLAIN",
                 columns=["QUERY PLAN"],
@@ -387,7 +397,7 @@ class Executor:
                 restore()
         total = time.perf_counter() - start
         lines = self._annotated_lines(
-            plan, 0, instrument, buffers=stmt.buffers, timing=timing
+            plan, 0, instrument, buffers=stmt.buffers, timing=timing, costs=stmt.costs
         )
         if timing:
             lines.append(f"Execution: {n_rows} rows in {total * 1e3:.3f} ms")
@@ -509,20 +519,25 @@ class Executor:
         instrument: dict[int, list],
         buffers: bool = False,
         timing: bool = True,
+        costs: bool = True,
     ) -> list[str]:
         """Plan listing annotated with actual rows/time per node.
 
-        With ``buffers`` on, each instrumented node also gets a
-        ``Buffers: hits=H misses=M`` line.  Instrumentation captures
-        *inclusive* deltas (a parent's pull runs its child's pull);
-        plans are single-child chains, so the child's inclusive figure
-        is subtracted to report each node's *exclusive* buffer traffic
-        — the per-node figures sum exactly to the query's total.
+        Each head line keeps the planner's ``(cost=.. rows=..)``
+        estimate (suppressed with COSTS off) followed by the actuals,
+        as in PostgreSQL.  With ``buffers`` on, each instrumented node
+        also gets a ``Buffers: hits=H misses=M`` line.  Instrumentation
+        captures *inclusive* deltas (a parent's pull runs its child's
+        pull); plans are single-child chains, so the child's inclusive
+        figure is subtracted to report each node's *exclusive* buffer
+        traffic — the per-node figures sum exactly to the query's
+        total.
 
         With ``timing`` off the per-node wall-clock is withheld
         (counters only), matching EXPLAIN (ANALYZE, TIMING off).
         """
-        own = node.explain_lines(depth)[0]
+        node_lines = node.own_lines(depth, costs=costs)
+        own, details = node_lines[0], node_lines[1:]
         entry = instrument.get(id(node))
         child = getattr(node, "child", None)
         if entry is not None:
@@ -536,10 +551,11 @@ class Executor:
             hits = entry[2] - (child_entry[2] if child_entry is not None else 0)
             misses = entry[3] - (child_entry[3] if child_entry is not None else 0)
             lines.append("  " * (depth + 1) + f"Buffers: hits={hits} misses={misses}")
+        lines.extend(details)
         if child is not None:
             lines.extend(
                 self._annotated_lines(
-                    child, depth + 1, instrument, buffers=buffers, timing=timing
+                    child, depth + 1, instrument, buffers=buffers, timing=timing, costs=costs
                 )
             )
         return lines
@@ -645,25 +661,33 @@ class Executor:
         raise ExecutionError(f"unknown plan node: {type(node).__name__}")
 
     def _index_scan_rows(self, node: P.IndexScan) -> Iterator[dict[str, Any]]:
-        """Pull index hits nearest-first, skipping dead heap tuples.
+        """Pull index hits nearest-first until k rows survive.
 
-        Deleted rows keep their index entries until vacuum (as in
-        PostgreSQL/PASE), so the heap fetch may find a dead tuple.  If
-        skips leave fewer than k live rows, the scan retries with a
-        widened k until satisfied or the index is exhausted.
+        Two things can make a fetched candidate a non-result: a dead
+        heap tuple (deleted rows keep their index entries until
+        vacuum, as in PostgreSQL/PASE) and — for the hybrid shape — a
+        pushed-down filter the row fails.  Either way the scan keeps
+        going: the first pass requests ``fetch_k`` candidates (the
+        planner's ``k / selectivity`` over-fetch), and each exhausted
+        pass doubles the request through ``amrescan_continue`` until k
+        rows survive or the index returns fewer candidates than asked
+        (index exhausted).
         """
         names = node.table.column_names()
         heap = node.table.heap
         prof = self.trace_profiler
-        k = node.k
-        emitted: set = set()
+        am = node.index.am
+        fetch_k = max(node.fetch_k or node.k, node.k)
+        emitted = 0
+        seen: set = set()
+        hits: Iterator = am.scan(node.query_vector, fetch_k)
         while True:
-            hits = list(node.index.am.scan(node.query_vector, k))
-            live = 0
+            n_hits = 0
             for tid, distance in hits:
-                if tid in emitted:
-                    live += 1
+                n_hits += 1
+                if tid in seen:
                     continue
+                seen.add(tid)
                 try:
                     if prof.enabled:
                         with prof.section("Tuple Access"):
@@ -672,17 +696,19 @@ class Executor:
                         values = heap.fetch(tid)
                 except KeyError:
                     continue  # dead tuple: index entry awaiting vacuum
-                emitted.add(tid)
-                live += 1
                 row = dict(zip(names, values))
                 row["__tid__"] = tid
                 row["__distance__"] = distance
+                if node.filter is not None and not E.evaluate(node.filter, row):
+                    continue  # index-time post-filter
+                emitted += 1
                 yield row
-                if len(emitted) >= node.k:
+                if emitted >= node.k:
                     return
-            if live >= len(hits) or len(hits) < k:
-                return  # no dead entries left to compensate, or index exhausted
-            k *= 2
+            if n_hits < fetch_k:
+                return  # index exhausted: fewer candidates than requested
+            fetch_k *= 2
+            hits = am.amrescan_continue(node.query_vector, fetch_k)
 
     # ------------------------------------------------------------------
     # batch-at-a-time execution (``SET enable_batch_exec = on``)
@@ -812,19 +838,23 @@ class Executor:
     def _index_scan_batch(self, node: P.IndexScan) -> list[dict[str, Any]]:
         """Batched index scan: ``am.get_batch`` + block-grouped heap fetch.
 
-        Same dead-tuple semantics and k-widening retry as
-        :meth:`_index_scan_rows`, but candidates arrive as arrays and
-        heap fetches are grouped by block (one pin per page).
+        Same survivor semantics and over-fetch/rescan loop as
+        :meth:`_index_scan_rows` (dead tuples skipped, pushed-down
+        filter applied, ``fetch_k`` doubled via
+        ``amrescan_continue_batch`` until k survivors or exhaustion),
+        but candidates arrive as arrays and heap fetches are grouped
+        by block (one pin per page).
         """
         names = node.table.column_names()
         heap = node.table.heap
         prof = self.trace_profiler
-        k = node.k
-        emitted: set = set()
+        am = node.index.am
+        fetch_k = max(node.fetch_k or node.k, node.k)
+        seen: set = set()
         out: list[dict[str, Any]] = []
+        batch = am.get_batch(node.query_vector, fetch_k)
         while True:
-            batch = node.index.am.get_batch(node.query_vector, k)
-            hits = len(batch)
+            n_hits = len(batch)
             tids = batch.tids()
             if prof.enabled:
                 with prof.section("Tuple Access"):
@@ -832,24 +862,24 @@ class Executor:
             else:
                 fetched = heap.fetch_many(tids)
             distances = batch.distances.tolist()
-            live = 0
             for tid, values, distance in zip(tids, fetched, distances):
-                if tid in emitted:
-                    live += 1
+                if tid in seen:
                     continue
+                seen.add(tid)
                 if values is None:
                     continue  # dead tuple: index entry awaiting vacuum
-                emitted.add(tid)
-                live += 1
                 row = dict(zip(names, values))
                 row["__tid__"] = tid
                 row["__distance__"] = distance
+                if node.filter is not None and not E.evaluate(node.filter, row):
+                    continue  # index-time post-filter
                 out.append(row)
-                if len(emitted) >= node.k:
+                if len(out) >= node.k:
                     return out
-            if live >= hits or hits < k:
-                return out  # no dead entries left to compensate, or index exhausted
-            k *= 2
+            if n_hits < fetch_k:
+                return out  # index exhausted: fewer candidates than requested
+            fetch_k *= 2
+            batch = am.amrescan_continue_batch(node.query_vector, fetch_k)
 
     def _aggregate_row(
         self,

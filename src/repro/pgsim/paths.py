@@ -1,0 +1,365 @@
+"""Access paths and the planner cost model.
+
+PostgreSQL's planner separates *what strategies exist* (paths) from
+*what plan gets built* (the cheapest path is lowered to plan nodes).
+This module is that middle layer for pgsim's single-table SELECT core
+(scan + filter + order + limit):
+
+* :class:`SeqScanPath` — heap scan, residual filter, explicit sort.
+* :class:`IndexScanPath` — ordered vector-index scan satisfying
+  ``ORDER BY vec <op> const LIMIT k`` with no predicate (PASE's
+  ``amgettuple`` path, Sec. II-E).
+* :class:`OrderedIndexScanPath` — the hybrid shape: the same ordered
+  scan with the WHERE clause pushed into the scan as an index-time
+  post-filter, over-fetching ``k / selectivity`` candidates and
+  re-scanning geometrically (``amrescan_continue``) until k survive.
+
+Costs follow PostgreSQL's ``costsize.c`` vocabulary: page fetches are
+charged ``seq_page_cost``/``random_page_cost``, per-tuple CPU is
+``cpu_tuple_cost``/``cpu_index_tuple_cost``, and expression evaluation
+``cpu_operator_cost`` (vector distances are weighted
+:data:`DISTANCE_OP_WEIGHT` operators).  Each index AM prices its own
+candidate generation through ``IndexAmRoutine.amcostestimate``.
+
+Path selection is cost-based with one deliberate exception, also
+borrowed from how PASE is used in practice: a pure ordered-KNN query
+(:class:`IndexScanPath`, no WHERE) always takes the matching index.
+At paper scale the index wins outright, and pinning the choice keeps
+the search path deterministic across dataset sizes; ``SET
+enable_indexscan = off`` still disables it.  The hybrid shape — where
+the paper-adjacent filtered-search literature shows the decision is
+genuinely data-dependent — is decided purely by comparing costs, so
+the plan flips from index scan to seq-scan + sort as the estimated
+selectivity drops.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.common.types import DistanceType
+from repro.pgsim import expr as expr_eval
+from repro.pgsim import plan as P
+from repro.pgsim.analyze import clause_selectivity, table_shape
+from repro.pgsim.catalog import Catalog, IndexInfo, TableInfo
+from repro.pgsim.sql import ast
+
+#: A vector distance evaluation costs this many "operators" — a dim-d
+#: fvec_L2sqr is far more work than an integer comparison.
+DISTANCE_OP_WEIGHT = 8.0
+
+#: Penalty applied to paths the user disabled via enable_* GUCs; the
+#: path stays plannable (it may be the only one) but never wins a
+#: comparison, exactly PostgreSQL's disable_cost.
+DISABLE_COST = 1.0e10
+
+#: distance-operator metric name -> DistanceType (index option value).
+METRIC_TO_TYPE = {
+    "l2": DistanceType.L2,
+    "inner_product": DistanceType.INNER_PRODUCT,
+    "cosine": DistanceType.COSINE,
+}
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """The planner cost constants (PostgreSQL's costsize GUCs)."""
+
+    seq_page_cost: float
+    random_page_cost: float
+    cpu_tuple_cost: float
+    cpu_index_tuple_cost: float
+    cpu_operator_cost: float
+
+    @classmethod
+    def from_catalog(cls, catalog: Catalog) -> "CostParams":
+        """Read the cost GUCs (``SET random_page_cost = ...`` works)."""
+        return cls(
+            seq_page_cost=float(catalog.get_setting("seq_page_cost")),
+            random_page_cost=float(catalog.get_setting("random_page_cost")),
+            cpu_tuple_cost=float(catalog.get_setting("cpu_tuple_cost")),
+            cpu_index_tuple_cost=float(catalog.get_setting("cpu_index_tuple_cost")),
+            cpu_operator_cost=float(catalog.get_setting("cpu_operator_cost")),
+        )
+
+
+class Path:
+    """One candidate strategy for a single-table SELECT core.
+
+    ``startup_cost``/``total_cost``/``rows`` describe the *root* of the
+    subtree :meth:`lower` would produce (after any LIMIT).  Comparison
+    happens on :meth:`compare_cost`; the winner is lowered to plan
+    nodes, each annotated with its own cost estimates for EXPLAIN.
+    """
+
+    startup_cost: float = 0.0
+    total_cost: float = 0.0
+    rows: float = 0.0
+    #: disable_cost surcharge (kept separate so EXPLAIN shows honest
+    #: estimates while comparisons still respect enable_* GUCs).
+    disabled: bool = False
+
+    def compare_cost(self) -> float:
+        """Cost used to pick the cheapest path."""
+        return self.total_cost + (DISABLE_COST if self.disabled else 0.0)
+
+    def lower(self) -> P.PlanNode:
+        """Build the plan subtree for this path."""
+        raise NotImplementedError
+
+
+def _qual_cost_per_row(where: ast.Expr | None, cost: CostParams) -> float:
+    """Per-row cost of evaluating a predicate tree."""
+    if where is None:
+        return 0.0
+    ops = 0.0
+    for node in ast.walk(where):
+        if isinstance(node, ast.BinaryOp):
+            ops += DISTANCE_OP_WEIGHT if node.op in ast.DISTANCE_OPERATORS else 1.0
+        elif isinstance(node, ast.UnaryOp):
+            ops += 1.0
+    return ops * cost.cpu_operator_cost
+
+
+def _plan_rows(estimate: float) -> int:
+    """Row estimates as EXPLAIN prints them (clamped to >= 1, like PG)."""
+    return max(1, int(round(estimate)))
+
+
+def _set_cost(node: P.PlanNode, startup: float, total: float, rows: float) -> None:
+    """Attach cost estimates to a plan node (rendered by EXPLAIN)."""
+    node.startup_cost = startup
+    node.total_cost = total
+    node.plan_rows = _plan_rows(rows)
+
+
+class SeqScanPath(Path):
+    """Heap scan + residual filter + explicit sort (+ limit)."""
+
+    def __init__(self, stmt: ast.Select, table: TableInfo, catalog: Catalog) -> None:
+        self.stmt = stmt
+        self.table = table
+        self.cost = CostParams.from_catalog(catalog)
+        self.disabled = not catalog.get_bool("enable_seqscan")
+        cost = self.cost
+        ntuples, relpages = table_shape(table)
+        self.selectivity = clause_selectivity(stmt.where, table)
+
+        # Seq Scan node: every page once, every tuple once.
+        self._scan_total = relpages * cost.seq_page_cost + ntuples * cost.cpu_tuple_cost
+        self._scan_rows = ntuples
+
+        # Filter node: qual evaluation over every input row.
+        node_startup, node_total, node_rows = 0.0, self._scan_total, ntuples
+        if stmt.where is not None:
+            node_total += ntuples * _qual_cost_per_row(stmt.where, cost)
+            node_rows = ntuples * self.selectivity
+        self._filter_total, self._filter_rows = node_total, node_rows
+
+        # Sort node: materializes its input — full cost before the
+        # first row comes back (that startup is what LIMIT cannot
+        # save, and why a k-bounded index scan wins at high
+        # selectivity).
+        if stmt.order_by is not None:
+            key_weight = DISTANCE_OP_WEIGHT if (
+                isinstance(stmt.order_by.expr, ast.BinaryOp)
+                and stmt.order_by.expr.op in ast.DISTANCE_OPERATORS
+            ) else 1.0
+            n = max(node_rows, 2.0)
+            sort_cost = node_rows * key_weight * cost.cpu_operator_cost
+            sort_cost += 2.0 * cost.cpu_operator_cost * n * math.log2(n)
+            node_startup = node_total + sort_cost
+            node_total = node_startup + node_rows * cost.cpu_operator_cost
+        self._sort_startup, self._sort_total = node_startup, node_total
+
+        # Limit node: stop early — pay startup plus a run fraction.
+        if stmt.limit is not None and node_rows > 0:
+            frac = min(1.0, stmt.limit / node_rows)
+            node_total = node_startup + (node_total - node_startup) * frac
+            node_rows = min(float(stmt.limit), node_rows)
+        self.startup_cost = node_startup
+        self.total_cost = node_total
+        self.rows = node_rows
+
+    def lower(self) -> P.PlanNode:
+        stmt, cost = self.stmt, self.cost
+        node: P.PlanNode = P.SeqScan(self.table)
+        _set_cost(node, 0.0, self._scan_total, self._scan_rows)
+        if stmt.where is not None:
+            node = P.Filter(node, stmt.where)
+            _set_cost(node, 0.0, self._filter_total, self._filter_rows)
+        if stmt.order_by is not None:
+            node = P.Sort(node, stmt.order_by.expr, stmt.order_by.ascending)
+            _set_cost(node, self._sort_startup, self._sort_total, self._filter_rows)
+        if stmt.limit is not None:
+            node = P.Limit(node, stmt.limit)
+            _set_cost(node, self.startup_cost, self.total_cost, self.rows)
+        return node
+
+
+class IndexScanPath(Path):
+    """Ordered vector-index scan for a pure KNN query (no WHERE).
+
+    The scan is inherently k-bounded, so the LIMIT above it is free;
+    the AM prices its candidate generation via ``amcostestimate`` and
+    the path adds one heap fetch per returned row.
+    """
+
+    #: Predicate pushed into the scan (None here; the hybrid subclass
+    #: sets it).
+    filter: ast.Expr | None = None
+
+    def __init__(
+        self,
+        stmt: ast.Select,
+        table: TableInfo,
+        index: IndexInfo,
+        query_vector: np.ndarray,
+        catalog: Catalog,
+    ) -> None:
+        self.stmt = stmt
+        self.table = table
+        self.index = index
+        self.query_vector = query_vector
+        self.cost = CostParams.from_catalog(catalog)
+        cost = self.cost
+        assert stmt.limit is not None and stmt.order_by is not None
+        self.k = stmt.limit
+        ntuples, relpages = table_shape(table)
+        self.selectivity = clause_selectivity(self.filter, table)
+        self.fetch_k = self._initial_fetch_k(ntuples)
+
+        am_startup, am_total = index.am.amcostestimate(ntuples, self.fetch_k, cost)
+        # Heap side: each candidate costs a by-TID fetch.  Random page
+        # reads are bounded by the relation size (repeat visits to a
+        # page hit shared buffers — the Mackert-Lohman intuition).
+        pages = min(float(self.fetch_k), float(relpages))
+        heap_total = pages * cost.random_page_cost + self.fetch_k * cost.cpu_tuple_cost
+        heap_total += self.fetch_k * _qual_cost_per_row(self.filter, cost)
+        total = am_total + heap_total
+        self.startup_cost = am_startup
+        self.total_cost = total
+        self.rows = min(float(self.k), max(ntuples * self.selectivity, 0.0))
+
+    def _initial_fetch_k(self, ntuples: float) -> int:
+        """How many candidates the first scan pass requests."""
+        return self.k
+
+    def lower(self) -> P.PlanNode:
+        stmt = self.stmt
+        node: P.PlanNode = P.IndexScan(
+            table=self.table,
+            index=self.index,
+            query_vector=self.query_vector,
+            k=self.k,
+            order_expr=stmt.order_by.expr,
+            filter=self.filter,
+            fetch_k=self.fetch_k,
+        )
+        _set_cost(node, self.startup_cost, self.total_cost, self.rows)
+        # LIMIT stays in the plan even though the scan is k-bounded:
+        # it documents the bound and guards the batch executor path.
+        limit = P.Limit(node, self.k)
+        _set_cost(limit, self.startup_cost, self.total_cost, self.rows)
+        return limit
+
+
+class OrderedIndexScanPath(IndexScanPath):
+    """The hybrid shape: ordered index scan with a pushed-down filter.
+
+    The executor evaluates the WHERE clause on each fetched heap row
+    (an index-time post-filter) and keeps scanning — geometrically
+    growing ``fetch_k`` through ``amrescan_continue`` — until k rows
+    survive or the index is exhausted, so the query returns exactly k
+    rows whenever at least k rows match.  The cost model sizes the
+    first pass at ``k / selectivity`` candidates, which is what makes
+    this path lose to seq-scan + sort at low selectivity.
+    """
+
+    def __init__(
+        self,
+        stmt: ast.Select,
+        table: TableInfo,
+        index: IndexInfo,
+        query_vector: np.ndarray,
+        catalog: Catalog,
+    ) -> None:
+        assert stmt.where is not None
+        self.filter = stmt.where
+        super().__init__(stmt, table, index, query_vector, catalog)
+
+    def _initial_fetch_k(self, ntuples: float) -> int:
+        floor = 1.0 / ntuples if ntuples >= 1.0 else 1.0
+        fetch = math.ceil(self.k / max(self.selectivity, floor))
+        return int(min(max(fetch, self.k), max(ntuples, self.k)))
+
+
+def generate_paths(stmt: ast.Select, table: TableInfo, catalog: Catalog) -> list[Path]:
+    """All viable paths for a SELECT over a real table.
+
+    A seq-scan path always exists; index paths require the
+    ``ORDER BY vec <op> const ASC LIMIT k`` shape, a metric-matching
+    index, and ``enable_indexscan`` on.
+    """
+    paths: list[Path] = [SeqScanPath(stmt, table, catalog)]
+    match = _ordered_index_match(stmt, table, catalog)
+    if match is not None:
+        index, query_vector = match
+        if stmt.where is None:
+            paths.append(IndexScanPath(stmt, table, index, query_vector, catalog))
+        else:
+            paths.append(OrderedIndexScanPath(stmt, table, index, query_vector, catalog))
+    return paths
+
+
+def choose_path(paths: list[Path]) -> Path:
+    """Pick the winning path (see the module docstring for the rule)."""
+    for path in paths:
+        if type(path) is IndexScanPath:
+            return path
+    return min(paths, key=lambda p: p.compare_cost())
+
+
+def _ordered_index_match(
+    stmt: ast.Select, table: TableInfo, catalog: Catalog
+) -> tuple[IndexInfo, np.ndarray] | None:
+    """Find an index whose ordering satisfies the query's ORDER BY."""
+    if stmt.order_by is None or stmt.limit is None:
+        return None
+    if not stmt.order_by.ascending:
+        return None  # farthest-first is not an index-supported order
+    if not catalog.get_bool("enable_indexscan"):
+        return None
+    order_expr = stmt.order_by.expr
+    if not isinstance(order_expr, ast.BinaryOp):
+        return None
+    if order_expr.op not in ast.DISTANCE_OPERATORS:
+        return None
+    column, const_side = _split_distance_operands(order_expr)
+    if column is None or const_side is None:
+        return None
+    metric = METRIC_TO_TYPE[ast.DISTANCE_OPERATORS[order_expr.op]]
+    for index in catalog.indexes_on(table.name, column):
+        index_metric = DistanceType(index.options.get("distance_type", DistanceType.L2))
+        if index_metric != metric:
+            continue
+        query = expr_eval.coerce_vector(expr_eval.evaluate(const_side, row=None))
+        return index, np.ascontiguousarray(query, dtype=np.float32)
+    return None
+
+
+def _split_distance_operands(
+    op: ast.BinaryOp,
+) -> tuple[str | None, ast.Expr | None]:
+    """Identify the (column, constant) sides of a distance expression."""
+    left_col = isinstance(op.left, ast.ColumnRef)
+    right_col = isinstance(op.right, ast.ColumnRef)
+    if left_col and expr_eval.is_constant(op.right):
+        return op.left.name, op.right
+    if right_col and expr_eval.is_constant(op.left):
+        return op.right.name, op.left
+    return None, None

@@ -5,7 +5,13 @@ tree of these nodes; the executor (:mod:`repro.pgsim.executor`) runs
 them Volcano-style.  The node the whole paper revolves around is
 :class:`IndexScan`: an ordered scan pulling ``(tid, distance)`` pairs
 from a vector index AM, produced for
-``ORDER BY vec <-> '...'::PASE LIMIT k`` queries.
+``ORDER BY vec <-> '...'::PASE LIMIT k`` queries — with an optional
+pushed-down filter for the hybrid ``WHERE p AND ORDER BY ... LIMIT k``
+shape (evaluated index-side with adaptive over-fetch).
+
+Every node carries the planner's cost estimates
+(``startup_cost``/``total_cost``/``plan_rows``); EXPLAIN renders them
+as ``(cost=S..T rows=N)`` suffixes unless ``COSTS off`` was given.
 """
 
 from __future__ import annotations
@@ -20,10 +26,36 @@ from repro.pgsim.sql import ast
 
 
 class PlanNode:
-    """Base plan node."""
+    """Base plan node.
 
-    def explain_lines(self, depth: int = 0) -> list[str]:
+    Cost estimates are optional (``None`` on nodes the planner did not
+    cost, e.g. virtual-view scans); EXPLAIN omits the suffix for them.
+    """
+
+    startup_cost: float | None = None
+    total_cost: float | None = None
+    plan_rows: int | None = None
+
+    def own_lines(self, depth: int = 0, costs: bool = True) -> list[str]:
+        """This node's EXPLAIN lines (head + detail), children excluded."""
         raise NotImplementedError
+
+    def explain_lines(self, depth: int = 0, costs: bool = True) -> list[str]:
+        """Full EXPLAIN listing for this subtree."""
+        lines = self.own_lines(depth, costs)
+        child = getattr(self, "child", None)
+        if child is not None:
+            lines.extend(child.explain_lines(depth + 1, costs))
+        return lines
+
+    def cost_suffix(self, costs: bool = True) -> str:
+        """``  (cost=S..T rows=N)`` — empty under COSTS off or uncosted."""
+        if not costs or self.total_cost is None:
+            return ""
+        return (
+            f"  (cost={self.startup_cost:.2f}..{self.total_cost:.2f}"
+            f" rows={self.plan_rows})"
+        )
 
 
 def _line(depth: int, text: str) -> str:
@@ -35,8 +67,8 @@ def _line(depth: int, text: str) -> str:
 class OneRow(PlanNode):
     """Produces exactly one empty row (``SELECT 1``-style queries)."""
 
-    def explain_lines(self, depth: int = 0) -> list[str]:
-        return [_line(depth, "Result")]
+    def own_lines(self, depth: int = 0, costs: bool = True) -> list[str]:
+        return [_line(depth, "Result") + self.cost_suffix(costs)]
 
 
 @dataclass
@@ -47,14 +79,20 @@ class SeqScan(PlanNode):
     #: True when the batch executor will run this scan page-at-a-time.
     batch: bool = False
 
-    def explain_lines(self, depth: int = 0) -> list[str]:
+    def own_lines(self, depth: int = 0, costs: bool = True) -> list[str]:
         suffix = " (batch)" if self.batch else ""
-        return [_line(depth, f"Seq Scan on {self.table.name}{suffix}")]
+        return [_line(depth, f"Seq Scan on {self.table.name}{suffix}") + self.cost_suffix(costs)]
 
 
 @dataclass
 class IndexScan(PlanNode):
-    """Ordered vector-index scan (the paper's search path)."""
+    """Ordered vector-index scan (the paper's search path).
+
+    With ``filter`` set, the executor evaluates the predicate on each
+    fetched heap row and keeps pulling — starting at ``fetch_k``
+    candidates and growing geometrically via ``amrescan_continue`` —
+    until ``k`` rows survive or the index is exhausted.
+    """
 
     table: TableInfo
     index: IndexInfo
@@ -63,16 +101,26 @@ class IndexScan(PlanNode):
     order_expr: ast.Expr
     #: True when the batch executor will pull via ``am.get_batch``.
     batch: bool = False
+    #: Predicate pushed into the scan (index-time post-filter).
+    filter: ast.Expr | None = None
+    #: First-pass candidate count (``k / estimated_selectivity``,
+    #: clamped); ``None`` behaves as ``k``.
+    fetch_k: int | None = None
 
-    def explain_lines(self, depth: int = 0) -> list[str]:
+    def own_lines(self, depth: int = 0, costs: bool = True) -> list[str]:
         suffix = ", batch" if self.batch else ""
-        return [
-            _line(
-                depth,
-                f"Index Scan using {self.index.name} on {self.table.name} "
-                f"({self.index.am_name}, k={self.k}{suffix})",
-            )
-        ]
+        head = _line(
+            depth,
+            f"Index Scan using {self.index.name} on {self.table.name} "
+            f"({self.index.am_name}, k={self.k}{suffix})",
+        ) + self.cost_suffix(costs)
+        lines = [head]
+        if self.filter is not None:
+            detail = "  " * (depth + 1)
+            lines.append(f"{detail}Filter: {ast.to_sql(self.filter)}")
+            if costs and self.fetch_k is not None:
+                lines.append(f"{detail}Over-fetch: fetch_k={self.fetch_k}")
+        return lines
 
 
 @dataclass
@@ -88,9 +136,9 @@ class VirtualScan(PlanNode):
     #: True when the batch executor emits the view as one batch.
     batch: bool = False
 
-    def explain_lines(self, depth: int = 0) -> list[str]:
+    def own_lines(self, depth: int = 0, costs: bool = True) -> list[str]:
         suffix = " (batch)" if self.batch else ""
-        return [_line(depth, f"Virtual Scan on {self.view.name}{suffix}")]
+        return [_line(depth, f"Virtual Scan on {self.view.name}{suffix}") + self.cost_suffix(costs)]
 
 
 @dataclass
@@ -100,8 +148,8 @@ class Filter(PlanNode):
     child: PlanNode
     predicate: ast.Expr
 
-    def explain_lines(self, depth: int = 0) -> list[str]:
-        return [_line(depth, "Filter")] + self.child.explain_lines(depth + 1)
+    def own_lines(self, depth: int = 0, costs: bool = True) -> list[str]:
+        return [_line(depth, "Filter") + self.cost_suffix(costs)]
 
 
 @dataclass
@@ -112,9 +160,9 @@ class Sort(PlanNode):
     key: ast.Expr
     ascending: bool = True
 
-    def explain_lines(self, depth: int = 0) -> list[str]:
+    def own_lines(self, depth: int = 0, costs: bool = True) -> list[str]:
         direction = "ASC" if self.ascending else "DESC"
-        return [_line(depth, f"Sort ({direction})")] + self.child.explain_lines(depth + 1)
+        return [_line(depth, f"Sort ({direction})") + self.cost_suffix(costs)]
 
 
 @dataclass
@@ -124,8 +172,8 @@ class Limit(PlanNode):
     child: PlanNode
     count: int
 
-    def explain_lines(self, depth: int = 0) -> list[str]:
-        return [_line(depth, f"Limit (count={self.count})")] + self.child.explain_lines(depth + 1)
+    def own_lines(self, depth: int = 0, costs: bool = True) -> list[str]:
+        return [_line(depth, f"Limit (count={self.count})") + self.cost_suffix(costs)]
 
 
 @dataclass
@@ -142,8 +190,8 @@ class Project(PlanNode):
     #: (``SET enable_batch_exec = on``).
     batch: bool = False
 
-    def explain_lines(self, depth: int = 0) -> list[str]:
-        return [_line(depth, "Project")] + self.child.explain_lines(depth + 1)
+    def own_lines(self, depth: int = 0, costs: bool = True) -> list[str]:
+        return [_line(depth, "Project") + self.cost_suffix(costs)]
 
 
 @dataclass
@@ -154,8 +202,8 @@ class Aggregate(PlanNode):
     func: str
     arg: ast.Expr | None
 
-    def explain_lines(self, depth: int = 0) -> list[str]:
-        return [_line(depth, f"Aggregate ({self.func})")] + self.child.explain_lines(depth + 1)
+    def own_lines(self, depth: int = 0, costs: bool = True) -> list[str]:
+        return [_line(depth, f"Aggregate ({self.func})") + self.cost_suffix(costs)]
 
 
 @dataclass

@@ -1,37 +1,35 @@
 """Query planner.
 
-The one planning decision that matters for the paper: a query shaped
+Planning is now three-stage, PostgreSQL-style:
 
-.. code-block:: sql
+1. **Statistics** — ``ANALYZE`` (:mod:`repro.pgsim.analyze`) records
+   reltuples/relpages and per-column n_distinct/MCVs/histograms, from
+   which WHERE-clause selectivity is estimated.
+2. **Paths** — :mod:`repro.pgsim.paths` generates the viable access
+   paths (seq scan, ordered index scan, hybrid ordered index scan with
+   a pushed-down filter) and costs each one, pricing index candidate
+   generation through each AM's ``amcostestimate``.
+3. **Lowering** — the winning path becomes a plan-node subtree, each
+   node annotated with ``(cost=.. rows=..)`` estimates for EXPLAIN.
 
-    SELECT ... FROM t
-    ORDER BY vec <op> '...'::PASE ASC
-    LIMIT k
-
-over a column with a vector index becomes an ordered
+The decision the paper revolves around is unchanged: a query shaped
+``SELECT ... FROM t ORDER BY vec <op> '...'::PASE ASC LIMIT k`` over a
+column with a metric-matching vector index becomes an ordered
 :class:`~repro.pgsim.plan.IndexScan` — PASE's ``amgettuple`` path
-(Sec. II-E).  Everything else falls back to seq-scan + sort + limit,
-exactly how PostgreSQL treats an unindexed ORDER BY.
+(Sec. II-E).  New is the hybrid shape: with a WHERE clause the filter
+is pushed into the index scan (adaptive over-fetch) *when the
+estimated selectivity makes that cheaper*, and falls back to
+seq-scan + sort below the crossover.
 """
 
 from __future__ import annotations
 
 from typing import Any
 
-import numpy as np
-
-from repro.common.types import DistanceType
-from repro.pgsim import expr as expr_eval
 from repro.pgsim import plan as P
-from repro.pgsim.catalog import Catalog, TableInfo
+from repro.pgsim.catalog import Catalog
+from repro.pgsim.paths import CostParams, choose_path, generate_paths
 from repro.pgsim.sql import ast
-
-#: distance-operator metric name -> DistanceType (index option value).
-_METRIC_TO_TYPE = {
-    "l2": DistanceType.L2,
-    "inner_product": DistanceType.INNER_PRODUCT,
-    "cosine": DistanceType.COSINE,
-}
 
 
 class PlanningError(ValueError):
@@ -48,32 +46,50 @@ def plan_select(stmt: ast.Select, catalog: Catalog) -> P.PlanNode:
         return _plan_view_select(stmt, catalog)
 
     table = catalog.table(stmt.table)
-    node = _scan_node(stmt, table, catalog)
 
     aggregate = _single_aggregate(stmt.targets)
     if aggregate is not None:
         if stmt.order_by is not None:
             raise PlanningError("ORDER BY is not supported with aggregates")
+        # Aggregates consume every qualifying row: plan the scan core
+        # without ORDER BY/LIMIT (they apply above the Aggregate).
+        core = ast.Select(stmt.targets, stmt.table, stmt.where, None, None)
+        node = choose_path(generate_paths(core, table, catalog)).lower()
         func, arg = aggregate
         agg: P.PlanNode = P.Aggregate(node, func, arg)
+        _annotate_above(agg, node, catalog, rows=1.0)
         if stmt.limit is not None:
             agg = P.Limit(agg, stmt.limit)
+            _annotate_above(agg, agg.child, catalog, rows=1.0)
         return _mark_batch(_project(agg, stmt.targets, table, aggregated=True), catalog)
 
-    if stmt.limit is not None and not isinstance(node, P.IndexScan):
-        node = P.Limit(node, stmt.limit)
-    elif stmt.limit is not None and isinstance(node, P.IndexScan):
-        # The index scan already stops at k, but LIMIT stays in the
-        # plan so WHERE filters above it cannot widen the result.
-        node = P.Limit(node, stmt.limit)
-    return _mark_batch(_project(node, stmt.targets, table), catalog)
+    best = choose_path(generate_paths(stmt, table, catalog))
+    node = best.lower()
+    project = _project(node, stmt.targets, table)
+    _annotate_above(project, node, catalog)
+    return _mark_batch(project, catalog)
+
+
+def _annotate_above(
+    node: P.PlanNode, child: P.PlanNode, catalog: Catalog, rows: float | None = None
+) -> None:
+    """Cost a pass-through node (Project/Aggregate/Limit) from its child."""
+    if child.total_cost is None:
+        return
+    cost = CostParams.from_catalog(catalog)
+    child_rows = child.plan_rows or 0
+    out_rows = child_rows if rows is None else rows
+    node.startup_cost = child.startup_cost
+    node.total_cost = child.total_cost + child_rows * cost.cpu_operator_cost
+    node.plan_rows = max(1, int(round(out_rows)))
 
 
 def _plan_view_select(stmt: ast.Select, catalog: Catalog) -> P.Project:
     """Plan a SELECT over a pg_stat_* virtual table.
 
-    Views are never index-backed; the pipeline is the seq-scan
-    fallback shape (scan → filter → sort/aggregate → limit) over a
+    Views are never index-backed (and carry no statistics, so their
+    nodes stay uncosted); the pipeline is the seq-scan fallback shape
+    (scan → filter → sort/aggregate → limit) over a
     :class:`~repro.pgsim.plan.VirtualScan` leaf.
     """
     view = catalog.view(stmt.table)
@@ -109,67 +125,6 @@ def _mark_batch(project: P.Project, catalog: Catalog) -> P.Project:
             node.batch = True
         node = getattr(node, "child", None)
     return project
-
-
-def _scan_node(stmt: ast.Select, table: TableInfo, catalog: Catalog) -> P.PlanNode:
-    index_scan = _try_index_scan(stmt, table, catalog)
-    if index_scan is not None:
-        node: P.PlanNode = index_scan
-        if stmt.where is not None:
-            node = P.Filter(node, stmt.where)
-        return node
-    node = P.SeqScan(table)
-    if stmt.where is not None:
-        node = P.Filter(node, stmt.where)
-    if stmt.order_by is not None:
-        node = P.Sort(node, stmt.order_by.expr, stmt.order_by.ascending)
-    return node
-
-
-def _try_index_scan(
-    stmt: ast.Select, table: TableInfo, catalog: Catalog
-) -> P.IndexScan | None:
-    if stmt.order_by is None or stmt.limit is None:
-        return None
-    if not stmt.order_by.ascending:
-        return None  # farthest-first is not an index-supported order
-    if not catalog.get_bool("enable_indexscan"):
-        return None
-    order_expr = stmt.order_by.expr
-    if not isinstance(order_expr, ast.BinaryOp):
-        return None
-    if order_expr.op not in ast.DISTANCE_OPERATORS:
-        return None
-    column, const_side = _split_distance_operands(order_expr)
-    if column is None or const_side is None:
-        return None
-    metric = _METRIC_TO_TYPE[ast.DISTANCE_OPERATORS[order_expr.op]]
-    for index in catalog.indexes_on(table.name, column):
-        index_metric = DistanceType(index.options.get("distance_type", DistanceType.L2))
-        if index_metric != metric:
-            continue
-        query = expr_eval.coerce_vector(expr_eval.evaluate(const_side, row=None))
-        return P.IndexScan(
-            table=table,
-            index=index,
-            query_vector=np.ascontiguousarray(query, dtype=np.float32),
-            k=stmt.limit,
-            order_expr=order_expr,
-        )
-    return None
-
-
-def _split_distance_operands(
-    op: ast.BinaryOp,
-) -> tuple[str | None, ast.Expr | None]:
-    """Identify the (column, constant) sides of a distance expression."""
-    left_col = isinstance(op.left, ast.ColumnRef)
-    right_col = isinstance(op.right, ast.ColumnRef)
-    if left_col and expr_eval.is_constant(op.right):
-        return op.left.name, op.right
-    if right_col and expr_eval.is_constant(op.left):
-        return op.right.name, op.left
-    return None, None
 
 
 def _single_aggregate(
@@ -214,6 +169,6 @@ def _project(
     return P.Project(node, targets, columns, aggregated=aggregated)
 
 
-def explain_plan(node: P.PlanNode) -> str:
+def explain_plan(node: P.PlanNode, costs: bool = True) -> str:
     """Render an EXPLAIN listing for a plan tree."""
-    return "\n".join(node.explain_lines())
+    return "\n".join(node.explain_lines(costs=costs))

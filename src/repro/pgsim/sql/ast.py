@@ -217,6 +217,9 @@ class Explain(Statement):
     buffers: bool = False
     timing: bool | None = None
     trace: bool = False
+    #: ``COSTS`` — print ``(cost=.. rows=..)`` estimates (on by default,
+    #: as in PostgreSQL; ``EXPLAIN (COSTS off)`` suppresses them).
+    costs: bool = True
 
 
 @dataclass(frozen=True, slots=True)
@@ -227,10 +230,56 @@ class Vacuum(Statement):
 
 
 @dataclass(frozen=True, slots=True)
+class Analyze(Statement):
+    """``ANALYZE [table]`` — collect planner statistics.
+
+    With no table, every user table in the catalog is analyzed.
+    """
+
+    table: str | None = None
+
+
+@dataclass(frozen=True, slots=True)
 class Reindex(Statement):
     """``REINDEX name`` — rebuild an index from its table's live rows."""
 
     index: str
+
+
+def to_sql(expr: Expr) -> str:
+    """Render an expression back to SQL text (for EXPLAIN detail lines).
+
+    The output is meant for humans reading plans — round-tripping is
+    best-effort (string literals are re-quoted, operator precedence is
+    made explicit with parentheses).
+    """
+    if isinstance(expr, ColumnRef):
+        return f"{expr.table}.{expr.name}" if expr.table else expr.name
+    if isinstance(expr, Literal):
+        value = expr.value
+        if value is None:
+            return "NULL"
+        if isinstance(value, bool):
+            return "true" if value else "false"
+        if isinstance(value, str):
+            escaped = value.replace("'", "''")
+            return f"'{escaped}'"
+        return str(value)
+    if isinstance(expr, ArrayLiteral):
+        return "ARRAY[" + ", ".join(to_sql(item) for item in expr.items) + "]"
+    if isinstance(expr, Cast):
+        return f"{to_sql(expr.operand)}::{expr.type_name}"
+    if isinstance(expr, BinaryOp):
+        op = expr.op.upper() if expr.op in ("and", "or") else expr.op
+        return f"({to_sql(expr.left)} {op} {to_sql(expr.right)})"
+    if isinstance(expr, UnaryOp):
+        op = "NOT " if expr.op == "not" else expr.op
+        return f"{op}{to_sql(expr.operand)}"
+    if isinstance(expr, FuncCall):
+        return expr.name + "(" + ", ".join(to_sql(arg) for arg in expr.args) + ")"
+    if isinstance(expr, Star):
+        return "*"
+    return repr(expr)
 
 
 def walk(expr: Expr):

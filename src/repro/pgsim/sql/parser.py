@@ -10,9 +10,10 @@ Grammar (statements separated by ``;``)::
     SELECT targets [FROM table] [WHERE expr]
         [ORDER BY expr [ASC|DESC]] [LIMIT n]
     SET name = value          SHOW name
-    EXPLAIN [ANALYZE | ( ANALYZE | BUFFERS | TIMING | TRACE [, ...] )]
+    EXPLAIN [ANALYZE | ( ANALYZE | BUFFERS | TIMING | TRACE | COSTS [, ...] )]
         <select|insert|delete>
     VACUUM table              REINDEX index
+    ANALYZE [table]
 
 Expression precedence (loosest first): ``OR``, ``AND``, ``NOT``,
 comparisons (``= < > <= >= <> != <-> <#> <=>``), ``+ -``, ``* /``,
@@ -136,37 +137,46 @@ class _Parser:
             return self._show()
         if tok.is_keyword("explain"):
             self._advance()
-            analyze, buffers, timing, trace = self._explain_options()
+            analyze, buffers, timing, trace, costs = self._explain_options()
             return ast.Explain(
                 self._statement(),
                 analyze=analyze,
                 buffers=buffers,
                 timing=timing,
                 trace=trace,
+                costs=costs,
             )
         if tok.is_keyword("vacuum"):
             self._advance()
             return ast.Vacuum(self._expect_ident())
+        if tok.is_keyword("analyze"):
+            self._advance()
+            nxt = self._peek()
+            if nxt.type == TokenType.IDENT:
+                return ast.Analyze(self._expect_ident())
+            return ast.Analyze(None)
         if tok.is_keyword("reindex"):
             self._advance()
             return ast.Reindex(self._expect_ident())
         raise self._error(f"unsupported statement start {tok.value!r}")
 
-    def _explain_options(self) -> tuple[bool, bool, bool | None, bool]:
+    def _explain_options(self) -> tuple[bool, bool, bool | None, bool, bool]:
         """EXPLAIN's option syntax: bare ANALYZE or a parenthesized list.
 
-        ``EXPLAIN (ANALYZE, BUFFERS, TIMING off, TRACE) ...`` accepts
-        the options in any order, each with an optional
+        ``EXPLAIN (ANALYZE, BUFFERS, TIMING off, TRACE, COSTS off) ...``
+        accepts the options in any order, each with an optional
         ON/OFF/TRUE/FALSE value, matching PostgreSQL's grammar.
-        Returns ``(analyze, buffers, timing, trace)``; ``timing`` is
-        ``None`` when the option was not given (its effective default
-        follows ANALYZE, resolved at execution).
+        Returns ``(analyze, buffers, timing, trace, costs)``; ``timing``
+        is ``None`` when the option was not given (its effective default
+        follows ANALYZE, resolved at execution).  ``costs`` defaults on,
+        as in PostgreSQL.
         """
         if self._accept_keyword("analyze"):
-            return True, False, None, False
+            return True, False, None, False, True
         if not self._accept_punct("("):
-            return False, False, None, False
+            return False, False, None, False, True
         analyze = buffers = trace = False
+        costs = True
         timing: bool | None = None
         while True:
             tok = self._advance()
@@ -182,6 +192,8 @@ class _Parser:
                 timing = value
             elif name == "trace":
                 trace = value
+            elif name == "costs":
+                costs = value
             else:
                 raise SqlSyntaxError(
                     f"unrecognized EXPLAIN option {name!r}", self.sql, tok.pos
@@ -189,7 +201,7 @@ class _Parser:
             if not self._accept_punct(","):
                 break
         self._expect_punct(")")
-        return analyze, buffers, timing, trace
+        return analyze, buffers, timing, trace, costs
 
     def _explain_option_value(self) -> bool:
         """Optional boolean after an EXPLAIN option name (default true)."""

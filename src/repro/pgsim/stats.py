@@ -13,8 +13,9 @@ Three pieces, mirroring how PostgreSQL exposes its own bookkeeping:
 * :class:`StatView` + :func:`install_stat_views` — read-only virtual
   tables (``pg_stat_buffers``, ``pg_stat_wal``, ``pg_stat_indexes``,
   ``pg_stat_statements``, ``pg_stat_wait_events``,
-  ``pg_stat_progress_create_index``) the planner exposes to ordinary
-  SQL.
+  ``pg_stat_progress_create_index``, and the ANALYZE-backed
+  ``pg_stats`` / ``pg_stat_user_tables``) the planner exposes to
+  ordinary SQL.
 
 Per-query tracking is controlled by the ``track_query_stats`` GUC
 (default on); the cumulative counters themselves are always live —
@@ -377,6 +378,48 @@ def install_stat_views(catalog: Any, collector: StatsCollector) -> None:
             for p in collector.builds
         ]
 
+    def _render_list(values: list) -> str | None:
+        """pg_stats-style array text: ``{v1,v2,...}`` (None when empty)."""
+        if not values:
+            return None
+        return "{" + ",".join(str(v) for v in values) + "}"
+
+    def pg_stats_rows() -> list[tuple]:
+        rows = []
+        for table_name in catalog.table_names():
+            table = catalog.table(table_name)
+            if table.stats is None:
+                continue
+            for attname, col in sorted(table.stats.columns.items()):
+                rows.append(
+                    (
+                        table_name,
+                        attname,
+                        col.null_frac,
+                        col.n_distinct,
+                        _render_list(col.mcv_values),
+                        _render_list([f"{f:.6g}" for f in col.mcv_freqs]),
+                        _render_list(col.histogram_bounds),
+                    )
+                )
+        return rows
+
+    def user_table_rows() -> list[tuple]:
+        rows = []
+        for table_name in catalog.table_names():
+            table = catalog.table(table_name)
+            stats = table.stats
+            rows.append(
+                (
+                    table_name,
+                    float(stats.reltuples) if stats is not None else None,
+                    stats.relpages if stats is not None else None,
+                    table.heap.tuple_count,
+                    stats.last_analyze if stats is not None else None,
+                )
+            )
+        return rows
+
     for view in (
         StatView(
             "pg_stat_buffers",
@@ -423,6 +466,24 @@ def install_stat_views(catalog: Any, collector: StatsCollector) -> None:
             "pg_stat_progress_create_index",
             ["index", "am", "phase", "tuples_done", "tuples_total", "status"],
             progress_rows,
+        ),
+        StatView(
+            "pg_stats",
+            [
+                "tablename",
+                "attname",
+                "null_frac",
+                "n_distinct",
+                "most_common_vals",
+                "most_common_freqs",
+                "histogram_bounds",
+            ],
+            pg_stats_rows,
+        ),
+        StatView(
+            "pg_stat_user_tables",
+            ["relname", "reltuples", "relpages", "n_live_tup", "last_analyze"],
+            user_table_rows,
         ),
     ):
         catalog.register_view(view)

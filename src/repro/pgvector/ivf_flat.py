@@ -30,6 +30,7 @@ from repro.pase.ivf_flat import _tid_key
 from repro.pase.options import parse_ivf_options
 from repro.pgsim.am import IndexAmRoutine, ScanBatch, register_am, topk_batch
 from repro.pgsim.constants import LINE_POINTER_SIZE, PAGE_HEADER_SIZE
+from repro.pgsim.paths import DISTANCE_OP_WEIGHT
 from repro.pgsim.heapam import TID
 from repro.pgsim.page import PageFullError
 
@@ -243,6 +244,25 @@ class PgVectorIVFFlat(IndexAmRoutine):
         with prof.section(SEC_HEAP):
             keys = np.asarray([_tid_key(tid) for tid in tids], dtype=np.int64)
             return topk_batch(keys, dists, k)
+
+    # ------------------------------------------------------------------
+    # planner cost estimate
+    # ------------------------------------------------------------------
+    def amcostestimate(self, ntuples: float, fetch_k: int, cost: Any) -> tuple[float, float]:
+        """IVF cost where buckets store bare TIDs: every probed
+        candidate pays an extra heap-tuple fetch for its vector before
+        the distance (pgvector's layout, vs PASE's vector-in-index)."""
+        n = max(float(ntuples), 1.0)
+        clusters = max(1.0, min(float(self.opts.clusters), n))
+        nprobe = float(min(max(int(self.catalog.get_setting("pase.nprobe")), 1), int(clusters)))
+        candidates = n * (nprobe / clusters)
+        total = clusters * DISTANCE_OP_WEIGHT * cost.cpu_operator_cost
+        total += candidates * (
+            cost.cpu_index_tuple_cost
+            + cost.cpu_tuple_cost
+            + DISTANCE_OP_WEIGHT * cost.cpu_operator_cost
+        )
+        return total, total
 
     # ------------------------------------------------------------------
     # page iteration

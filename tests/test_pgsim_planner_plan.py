@@ -72,15 +72,39 @@ class TestPlannerDecisions:
         assert isinstance(node, P.Limit)
         assert isinstance(node.child, P.Sort)
 
-    def test_where_becomes_filter_above_index(self, indexed_db):
+    def test_where_pushed_into_index_scan(self, indexed_db):
+        # Force the index path; the WHERE clause must ride along as an
+        # index-time post-filter with an over-fetched first pass.
+        indexed_db.execute("SET enable_seqscan = off")
         plan = _plan(
             indexed_db,
             f"SELECT id FROM items WHERE id > 5 "
             f"ORDER BY vec <-> '{QUERY_VEC}'::PASE LIMIT 5",
         )
-        limit = plan.child
-        assert isinstance(limit.child, P.Filter)
-        assert isinstance(limit.child.child, P.IndexScan)
+        scan = plan.child.child
+        assert isinstance(scan, P.IndexScan)
+        assert scan.filter is not None
+        assert scan.fetch_k >= scan.k
+
+    def test_hybrid_cost_based_fallback_on_tiny_table(self, indexed_db):
+        # Unanalyzed 600-row table, default selectivity: the planner is
+        # free to pick either shape, but the plan must carry the filter
+        # somewhere (pushed into the scan or as a Filter node).
+        plan = _plan(
+            indexed_db,
+            f"SELECT id FROM items WHERE id > 5 "
+            f"ORDER BY vec <-> '{QUERY_VEC}'::PASE LIMIT 5",
+        )
+        nodes = []
+        node = plan
+        while node is not None:
+            nodes.append(node)
+            node = getattr(node, "child", None)
+        has_pushed = any(
+            isinstance(n, P.IndexScan) and n.filter is not None for n in nodes
+        )
+        has_filter_node = any(isinstance(n, P.Filter) for n in nodes)
+        assert has_pushed or has_filter_node
 
     def test_aggregate_plan(self, loaded_db):
         plan = _plan(loaded_db, "SELECT count(*) FROM items")
@@ -112,9 +136,13 @@ class TestExplainRendering:
         )
         text = explain_plan(plan)
         lines = text.splitlines()
-        assert lines[0] == "Project"
+        assert lines[0].startswith("Project")
+        assert "(cost=" in lines[0]
         assert lines[1].startswith("->  Limit")
         assert "Index Scan using ix" in lines[2]
+        bare = explain_plan(plan, costs=False).splitlines()
+        assert bare[0] == "Project"
+        assert "(cost=" not in bare[0]
 
     def test_all_nodes_render(self, loaded_db):
         plan = _plan(

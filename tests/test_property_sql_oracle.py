@@ -106,6 +106,28 @@ class SqlOracleMachine(RuleBasedStateMachine):
         assert rows == expected
 
     @precondition(lambda self: self.oracle)
+    @rule(
+        threshold=small_int,
+        query=vec_strategy,
+        k=st.integers(min_value=1, max_value=8),
+    )
+    def check_hybrid_knn_seqscan(self, threshold, query, k) -> None:
+        """WHERE + ORDER BY distance + LIMIT over the seq-scan shape.
+
+        Filter then stable sort — exactly the oracle's filtered ranking;
+        must return exactly k rows whenever at least k rows qualify.
+        """
+        sql = (
+            f"SELECT id FROM t WHERE a >= {threshold} "
+            f"ORDER BY vec <-> '{_vec_lit(query)}'::PASE LIMIT {k}"
+        )
+        rows = _query_both(self.db, sql)
+        matching = [row for row in self.oracle if row[1] >= threshold]
+        ranked = sorted(matching, key=lambda row: _sq_dist(row[2], tuple(query)))
+        assert rows == [(rid,) for rid, __, __ in ranked[:k]]
+        assert len(rows) == min(k, len(matching))
+
+    @precondition(lambda self: self.oracle)
     @rule(query=vec_strategy, k=st.integers(min_value=1, max_value=8))
     def check_knn_seqscan(self, query, k) -> None:
         """ORDER BY distance via seq scan: exact ordered match.
@@ -190,6 +212,77 @@ def test_indexed_knn_after_deletes(data, drop, query) -> None:
     assert got_dists == want_dists
     assert len(rows) == min(k, len(live))
     assert all(rid >= drop for (rid,) in rows)
+
+
+# One spec per SQL-visible index AM for the hybrid property sweep.
+_HYBRID_AM_SPECS = {
+    "pase_ivfflat": "clusters = 4, sample_ratio = 1.0, seed = 7",
+    "pase_ivfpq": "clusters = 4, m = 4, c_pq = 8, sample_ratio = 1.0, seed = 7",
+    "pase_hnsw": "bnn = 8, efb = 32, seed = 7",
+    "ivfflat": "clusters = 4, sample_ratio = 1.0, seed = 7",
+    "bridged_ivfflat": "clusters = 4, sample_ratio = 1.0, seed = 7",
+    "bridged_hnsw": "bnn = 8, efb = 32, seed = 7",
+}
+
+#: AMs whose forced-exhaustive scan (nprobe == clusters) computes exact
+#: distances, so the filtered result must equal the oracle's top-k.
+_HYBRID_EXACT = {"pase_ivfflat", "ivfflat", "bridged_ivfflat"}
+
+#: AMs whose reported distances are exact even though the candidate set
+#: is best-effort (HNSW beams): output must still be nondecreasing in
+#: true distance.  IVF_PQ is excluded — it orders by quantized (ADC)
+#: distance, which is not monotone in the true distance, so only the
+#: exact-k/predicate/path-parity invariants apply there.
+_HYBRID_ORDERED = _HYBRID_EXACT | {"pase_hnsw", "bridged_hnsw"}
+
+
+@pytest.mark.parametrize("amname", sorted(_HYBRID_AM_SPECS))
+@settings(max_examples=6, deadline=None)
+@given(
+    data=st.lists(
+        st.tuples(small_int, vec_strategy), min_size=8, max_size=30
+    ),
+    threshold=small_int,
+    query=vec_strategy,
+    k=st.integers(min_value=1, max_value=6),
+)
+def test_hybrid_filtered_knn_matches_oracle(amname, data, threshold, query, k) -> None:
+    """WHERE + ORDER BY distance + LIMIT over every index AM.
+
+    With the seq-scan path disabled the filter is pushed into the index
+    scan; the adaptive over-fetch must deliver exactly
+    ``min(k, matching)`` predicate-satisfying rows on both executor
+    paths — in nondecreasing true-distance order for the AMs that
+    report exact distances, and equal to the oracle's exact filtered
+    top-k for the exhaustive exact AMs.
+    """
+    db = PgSimDatabase(buffer_pool_pages=256)
+    db.execute("CREATE TABLE t (id int, a int, vec float[])")
+    for i, (a, vec) in enumerate(data):
+        db.execute(f"INSERT INTO t VALUES ({i}, {a}, '{_vec_lit(vec)}'::PASE)")
+    db.execute(
+        f"CREATE INDEX ix ON t USING {amname} (vec) WITH ({_HYBRID_AM_SPECS[amname]})"
+    )
+    db.execute("SET pase.nprobe = 4")
+    db.execute("SET pase.efs = 64")
+    db.execute("SET enable_seqscan = off")
+
+    sql = (
+        f"SELECT id, a FROM t WHERE a >= {threshold} "
+        f"ORDER BY vec <-> '{_vec_lit(query)}'::PASE LIMIT {k}"
+    )
+    assert "Index Scan using ix" in db.explain(sql)
+    rows = _query_both(db, sql)
+
+    matching = [(i, a, tuple(v)) for i, (a, v) in enumerate(data) if a >= threshold]
+    assert len(rows) == min(k, len(matching))
+    assert all(a >= threshold for __, a in rows)
+    got_dists = [_sq_dist(data[rid][1], tuple(query)) for rid, __ in rows]
+    if amname in _HYBRID_EXACT:
+        want_dists = sorted(_sq_dist(v, tuple(query)) for __, __, v in matching)
+        assert got_dists == want_dists[: len(rows)]
+    elif amname in _HYBRID_ORDERED:
+        assert got_dists == sorted(got_dists)
 
 
 @pytest.mark.parametrize("setting", ["off", "on"])
