@@ -36,7 +36,7 @@ def _build_db(amname: str, options: str) -> tuple[PgSimDatabase, list[str]]:
     db.execute("CREATE TABLE items (a INT4, vec FLOAT4[])")
     table = db.catalog.table("items")
     for i, vec in enumerate(dataset.base):
-        table.heap.insert([i % 100, vec])
+        table.heap.insert([i % 100, vec], xid=1)
     db.wal.log_commit(1)
     db.execute(f"CREATE INDEX ix ON items USING {amname} (vec) WITH ({options})")
     db.execute("ANALYZE items")

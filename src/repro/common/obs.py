@@ -81,6 +81,7 @@ EV_DATA_FILE_READ = "DataFileRead"  #: block read from the disk manager
 EV_WAL_WRITE = "WALWrite"  #: WAL file append
 EV_WAL_SYNC = "WALSync"  #: WAL fsync
 EV_LWLOCK_BUFFER_CLOCK = "LWLockBufferClock"  #: clock-sweep eviction
+EV_STATEMENT_LOCK = "SessionStatementLock"  #: waiting on the statement lock
 
 #: event name -> PostgreSQL-style wait-event class.
 WAIT_EVENT_TYPES = {
@@ -89,6 +90,7 @@ WAIT_EVENT_TYPES = {
     EV_WAL_WRITE: "IO",
     EV_WAL_SYNC: "IO",
     EV_LWLOCK_BUFFER_CLOCK: "LWLock",
+    EV_STATEMENT_LOCK: "Lock",
 }
 
 

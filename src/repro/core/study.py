@@ -76,7 +76,7 @@ class GeneralizedVectorDB:
         table = self.db.catalog.table(self.table_name)
         arr = np.ascontiguousarray(vectors, dtype=np.float32)
         for i in range(arr.shape[0]):
-            tid = table.heap.insert([i, arr[i]])
+            tid = table.heap.insert([i, arr[i]], xid=1)
             self._id_by_tid[tid] = i
         self.db.wal.log_commit(1)
 

@@ -77,6 +77,11 @@ class TableStats:
     relpages: int
     last_analyze: float
     columns: dict[str, ColumnStats] = field(default_factory=dict)
+    #: Heap ``n_dead_tup`` at ANALYZE time.  Deaths *since* then are
+    #: ``heap.n_dead_tup - dead_at_analyze``; :func:`table_shape`
+    #: discounts them so a bulk DELETE doesn't leave the planner
+    #: costing scans over rows that no longer exist.
+    dead_at_analyze: float = 0.0
 
 
 def analyze_table(table: TableInfo, catalog: Catalog) -> TableStats:
@@ -104,6 +109,7 @@ def analyze_table(table: TableInfo, catalog: Catalog) -> TableStats:
         reltuples=float(ntuples),
         relpages=max(table.heap.n_blocks(), 1),
         last_analyze=time.time(),
+        dead_at_analyze=float(table.heap.n_dead_tup),
     )
     for i, col in enumerate(table.columns):
         if col.type_oid not in _SCALAR_TYPES:
@@ -152,10 +158,16 @@ def table_shape(table: TableInfo) -> tuple[float, int]:
     """``(reltuples, relpages)`` — from stats if analyzed, else live heap.
 
     PostgreSQL similarly falls back to the relation's current physical
-    size when it has never been analyzed.
+    size when it has never been analyzed.  ANALYZE-time ``reltuples``
+    goes stale the moment rows die, so deaths since the last ANALYZE
+    (tracked via the heap's ``n_dead_tup``) are discounted — a bulk
+    DELETE is reflected in cost estimates immediately, without waiting
+    for the next ANALYZE (PostgreSQL leans on autovacuum's
+    ``n_dead_tup`` bookkeeping for the same reason).
     """
     if table.stats is not None:
-        return table.stats.reltuples, table.stats.relpages
+        died_since = max(0.0, float(table.heap.n_dead_tup) - table.stats.dead_at_analyze)
+        return max(0.0, table.stats.reltuples - died_since), table.stats.relpages
     return float(table.heap.tuple_count), max(table.heap.n_blocks(), 1)
 
 

@@ -8,7 +8,7 @@ vector index access methods (PASE and pgvector) so the paper's
 
 from __future__ import annotations
 
-import time
+import threading
 from pathlib import Path
 from typing import Any
 
@@ -19,11 +19,13 @@ from repro.pgsim.constants import DEFAULT_BUFFER_POOL_PAGES, DEFAULT_PAGE_SIZE
 from repro.pgsim.executor import Executor
 from repro.pgsim.faults import FaultInjector
 from repro.pgsim.plan import QueryResult
+from repro.pgsim.session import Session
 from repro.pgsim.sql import parse_sql
 from repro.pgsim.sql import ast
-from repro.pgsim.stats import StatsCollector, install_stat_views, normalize_sql
+from repro.pgsim.stats import StatsCollector, install_stat_views
 from repro.pgsim.storage import DiskManager, FileDisk, MemoryDisk
-from repro.pgsim.wal import WriteAheadLog, replay
+from repro.pgsim.wal import WriteAheadLog, next_xid_after, replay
+from repro.pgsim.xact import TransactionManager
 
 
 def _register_default_ams() -> None:
@@ -84,12 +86,21 @@ class PgSimDatabase:
         #: Statistics aggregation point; backs the pg_stat_* views and
         #: the per-statement QueryStats on every execute() result.
         self.stats = StatsCollector(self.buffer, self.wal, self.catalog, waits=self.waits)
-        self.executor = Executor(self.catalog, self.buffer, self.wal, stats=self.stats)
+        #: Transaction manager shared by the executor and all sessions.
+        self.xact = TransactionManager()
+        self.executor = Executor(
+            self.catalog, self.buffer, self.wal, stats=self.stats, xact=self.xact
+        )
         install_stat_views(self.catalog, self.stats)
         _register_default_ams()
+        #: Serializes statement execution across sessions; contention
+        #: is recorded under the ``SessionStatementLock`` wait event.
+        self._statement_lock = threading.Lock()
         self._replaying_catalog = False
         if data_dir is not None:
             self._recover()
+        #: Default session backing the facade's own ``execute()``.
+        self._default_session = Session(self, name="default")
 
     # ------------------------------------------------------------------
     # SQL entry points
@@ -97,38 +108,27 @@ class PgSimDatabase:
     def execute(self, sql: str) -> QueryResult:
         """Run one or more statements; returns the last result.
 
-        With the ``track_query_stats`` GUC on (the default), each
-        result carries a :class:`~repro.pgsim.stats.QueryStats` in
+        Runs on the facade's built-in default session, so ``BEGIN`` /
+        ``COMMIT`` / ``ROLLBACK`` work here too.  With the
+        ``track_query_stats`` GUC on (the default), each result
+        carries a :class:`~repro.pgsim.stats.QueryStats` in
         ``result.stats`` and the statement is recorded in
         ``pg_stat_statements`` under its normalized text.
         """
-        results = self._execute_statements(sql)
-        if not results:
-            raise ValueError("no SQL statements to execute")
-        return results[-1]
+        return self._default_session.execute(sql)
 
     def execute_all(self, sql: str) -> list[QueryResult]:
         """Run statements and return every result."""
-        return self._execute_statements(sql)
+        return self._default_session.execute_all(sql)
 
-    def _execute_statements(self, sql: str) -> list[QueryResult]:
-        statements = parse_sql(sql)
-        track = self._tracking_enabled()
-        normalized = normalize_sql(sql) if track else []
-        results: list[QueryResult] = []
-        for i, stmt in enumerate(statements):
-            if track:
-                baseline = self.stats.begin()
-                start = time.perf_counter()
-            result = self.executor.execute_statement(stmt)
-            if track:
-                elapsed = time.perf_counter() - start
-                result.stats = self.stats.finish(baseline, elapsed)
-                if i < len(normalized):
-                    self.stats.record_statement(normalized[i], elapsed, len(result.rows))
-            self._log_ddl(stmt)
-            results.append(result)
-        return results
+    def session(self, name: str = "session") -> Session:
+        """Open a new client session (one per simulated client/thread).
+
+        Sessions share this database's storage, catalog and transaction
+        manager but hold their own transaction state, so concurrent
+        sessions see each other only through committed snapshots.
+        """
+        return Session(self, name=name)
 
     def _tracking_enabled(self) -> bool:
         try:
@@ -151,12 +151,17 @@ class PgSimDatabase:
     def _recover(self) -> None:
         """Crash recovery for file-backed databases.
 
-        1. Redo committed WAL records onto the page files.
-        2. Replay the DDL log (catalog.sql) to rebuild the catalog;
+        1. Redo durable WAL records onto the page files, then purge
+           tuples of transactions without a durable commit record
+           (see :func:`repro.pgsim.wal.replay`).
+        2. Advance the xid allocator past every recovered xid, so new
+           transactions never alias recovered tuples.
+        3. Replay the DDL log (catalog.sql) to rebuild the catalog;
            CREATE TABLE re-attaches to the recovered heap pages and
            CREATE INDEX rebuilds the index from them.
         """
         replay(self.wal, self.disk)
+        self.xact.advance_to(next_xid_after(self.wal))
         assert self._catalog_log is not None
         if not self._catalog_log.exists():
             return
@@ -192,17 +197,26 @@ class PgSimDatabase:
            that produced them are durable (WAL-before-data);
         2. write back every dirty buffer page, so the log up to here
            is no longer needed for redo;
-        3. append + flush a checkpoint record;
+        3. append + flush a checkpoint record carrying the xid
+           allocator position and the open-transaction list (an open
+           transaction's flushed-but-truncated changes must still be
+           rolled back if we crash before its commit);
         4. truncate the log before the checkpoint record, bounding
            both the in-memory record list and the on-disk file.
 
-        Returns the checkpoint record's LSN.
+        Takes the statement lock so a checkpoint never interleaves
+        with a concurrent session's statement.  Returns the checkpoint
+        record's LSN.
         """
-        self.wal.flush()
-        self.buffer.flush_all()
-        lsn = self.wal.log_checkpoint()
-        self.wal.truncate_before(lsn)
-        return lsn
+        with self._statement_lock:
+            self.wal.flush()
+            self.buffer.flush_all()
+            lsn = self.wal.log_checkpoint(
+                next_xid=self.xact.next_xid,
+                in_progress=self.xact.in_progress_xids(),
+            )
+            self.wal.truncate_before(lsn)
+            return lsn
 
     @property
     def buffer_stats(self):

@@ -25,7 +25,8 @@ from repro.pgsim.planner import explain_plan, plan_select
 from repro.pgsim.sql import ast
 from repro.pgsim.stats import StatsCollector
 from repro.pgsim.tuple_format import Column, TypeOid
-from repro.pgsim.wal import WriteAheadLog
+from repro.pgsim.wal import WalPanicError, WriteAheadLog
+from repro.pgsim.xact import Snapshot, Transaction, TransactionManager
 
 
 class ExecutionError(RuntimeError):
@@ -33,7 +34,16 @@ class ExecutionError(RuntimeError):
 
 
 class Executor:
-    """Statement dispatcher bound to one database instance."""
+    """Statement dispatcher bound to one database instance.
+
+    Every statement runs inside a transaction.  Callers without an
+    explicit one (autocommit) get a per-statement transaction wrapped
+    around the dispatch: begin, execute under a fresh snapshot, commit
+    (or abort on any error).  Sessions running ``BEGIN`` blocks pass
+    their open :class:`~repro.pgsim.xact.Transaction` in, and commit or
+    roll back via :meth:`commit_transaction` / :meth:`abort_transaction`
+    when the user says so.
+    """
 
     def __init__(
         self,
@@ -41,6 +51,7 @@ class Executor:
         buffer: BufferManager,
         wal: WriteAheadLog,
         stats: StatsCollector | None = None,
+        xact: TransactionManager | None = None,
     ) -> None:
         self.catalog = catalog
         self.buffer = buffer
@@ -49,7 +60,15 @@ class Executor:
         #: Always present so heap tables can share its counters; the
         #: database facade passes its own instance.
         self.stats = stats if stats is not None else StatsCollector(buffer, wal, catalog)
-        self._next_xid = 2  # xid 1 is reserved for bootstrap rows
+        #: Transaction manager (xid allocation, clog, snapshots); the
+        #: database facade shares one instance with its sessions.
+        self.xact = xact if xact is not None else TransactionManager()
+        #: Transaction/snapshot of the statement currently dispatching.
+        #: Instance state is safe here: the database's statement lock
+        #: serializes execution, and nested dispatch (EXPLAIN ANALYZE
+        #: on DML) must see the same transaction anyway.
+        self._txn: Transaction | None = None
+        self._snapshot: Snapshot | None = None
         #: Profiler installed on index AMs before build (set by
         #: harnesses that need construction-time breakdowns).
         self.am_profiler = None
@@ -62,9 +81,77 @@ class Executor:
         self.last_trace = None
 
     # ------------------------------------------------------------------
+    # transaction lifecycle
+    # ------------------------------------------------------------------
+    def commit_transaction(self, txn: Transaction) -> None:
+        """Make ``txn`` durable and mark it committed.
+
+        Read-only transactions never touched the WAL and commit
+        without a record.  A WAL failure at the commit flush aborts
+        the transaction instead — its data records may be durable, but
+        without the commit record recovery rolls it back, so the
+        in-memory state must agree.
+        """
+        if txn.wrote_wal:
+            try:
+                self.wal.log_commit(txn.xid)
+            except BaseException:
+                self.abort_transaction(txn)
+                raise
+        self.xact.commit(txn)
+
+    def abort_transaction(self, txn: Transaction) -> None:
+        """Roll ``txn`` back: advisory WAL record + clog abort."""
+        if txn.wrote_wal:
+            try:
+                self.wal.log_abort(txn.xid)
+            except WalPanicError:
+                pass  # a panicked log recovers to the same rollback
+        self.xact.abort(txn)
+
+    def _ensure_wal_begin(self, txn: Transaction) -> None:
+        """Log the BEGIN record before the transaction's first write."""
+        if not txn.wrote_wal:
+            self.wal.log_begin(txn.xid)
+            txn.wrote_wal = True
+
+    # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------
-    def execute_statement(self, stmt: ast.Statement) -> P.QueryResult:
+    def execute_statement(
+        self, stmt: ast.Statement, txn: Transaction | None = None
+    ) -> P.QueryResult:
+        if isinstance(stmt, (ast.Begin, ast.Commit, ast.Rollback)):
+            raise ExecutionError(
+                "transaction control statements require a session "
+                "(use Database.execute or Database.session())"
+            )
+        if txn is not None:
+            return self._dispatch(stmt, txn)
+        txn = self.xact.begin()
+        try:
+            result = self._dispatch(stmt, txn)
+        except BaseException:
+            self.abort_transaction(txn)
+            raise
+        self.commit_transaction(txn)
+        return result
+
+    def _dispatch(self, stmt: ast.Statement, txn: Transaction) -> P.QueryResult:
+        prev_txn, prev_snapshot = self._txn, self._snapshot
+        self._txn = txn
+        # Explicit transactions pin their snapshot at BEGIN (repeatable
+        # read); autocommit statements see the latest commits.
+        if txn.snapshot is not None:
+            self._snapshot = txn.snapshot
+        else:
+            self._snapshot = self.xact.snapshot(txn.xid)
+        try:
+            return self._dispatch_inner(stmt)
+        finally:
+            self._txn, self._snapshot = prev_txn, prev_snapshot
+
+    def _dispatch_inner(self, stmt: ast.Statement) -> P.QueryResult:
         if isinstance(stmt, ast.CreateTable):
             return self._create_table(stmt)
         if isinstance(stmt, ast.DropTable):
@@ -94,7 +181,14 @@ class Executor:
             return self._explain(stmt)
         if isinstance(stmt, ast.Vacuum):
             table = self.catalog.table(stmt.table)
-            reclaimed = table.heap.vacuum()
+            reclaimed = table.heap.vacuum(horizon=self.xact.safe_horizon())
+            if table.stats is not None:
+                # Like PostgreSQL's VACUUM updating pg_class: refresh
+                # the physical shape so the planner's table_shape()
+                # discount restarts from the post-vacuum baseline.
+                table.stats.reltuples = float(table.heap.tuple_count)
+                table.stats.relpages = max(table.heap.n_blocks(), 1)
+                table.stats.dead_at_analyze = float(table.heap.n_dead_tup)
             return P.QueryResult(command=f"VACUUM {reclaimed}")
         if isinstance(stmt, ast.Reindex):
             return self._reindex(stmt)
@@ -120,7 +214,9 @@ class Executor:
         columns = [Column.from_sql(c.name, c.type_name) for c in stmt.columns]
         if len({c.name for c in columns}) != len(columns):
             raise CatalogError("duplicate column names")
-        heap = HeapTable(stmt.name, columns, self.buffer, self.wal, stats=self.stats.heap)
+        heap = HeapTable(
+            stmt.name, columns, self.buffer, self.wal, stats=self.stats.heap, xact=self.xact
+        )
         self.catalog.add_table(TableInfo(name=stmt.name, columns=columns, heap=heap))
         return P.QueryResult(command="CREATE TABLE")
 
@@ -232,17 +328,18 @@ class Executor:
             unknown = set(stmt.columns) - set(names)
             if unknown:
                 raise ExecutionError(f"unknown columns in INSERT: {sorted(unknown)}")
-        xid = self._next_xid
-        self._next_xid += 1
+        txn = self._txn
+        assert txn is not None
         inserted = 0
         indexes = list(table.indexes.values())
+        if stmt.rows:
+            self._ensure_wal_begin(txn)
         for row_exprs in stmt.rows:
             values = self._row_values(schema, names, stmt.columns, row_exprs)
-            tid = table.heap.insert(values, xid=xid)
+            tid = table.heap.insert(values, xid=txn.xid)
             for index in indexes:
                 index.am.insert(tid, values[table.heap.column_index(index.column_name)])
             inserted += 1
-        self.wal.log_commit(xid)
         return P.QueryResult(command=f"INSERT 0 {inserted}")
 
     def _row_values(
@@ -271,15 +368,16 @@ class Executor:
         vacuum, and index scans skip them (PostgreSQL's model)."""
         table = self.catalog.table(stmt.table)
         names = table.column_names()
-        xid = self._next_xid
-        self._next_xid += 1
+        txn = self._txn
+        assert txn is not None
         victims = []
-        for tid, values in table.heap.scan():
+        for tid, values in table.heap.scan(snapshot=self._snapshot):
             if stmt.where is None or E.evaluate(stmt.where, dict(zip(names, values))):
                 victims.append(tid)
+        if victims:
+            self._ensure_wal_begin(txn)
         for tid in victims:
-            table.heap.delete(tid, xid=xid)
-        self.wal.log_commit(xid)
+            table.heap.delete(tid, xid=txn.xid)
         return P.QueryResult(command=f"DELETE {len(victims)}")
 
     def _update(self, stmt: ast.Update) -> P.QueryResult:
@@ -289,26 +387,27 @@ class Executor:
         unknown = {col for col, __ in stmt.assignments} - set(names)
         if unknown:
             raise ExecutionError(f"unknown columns in UPDATE: {sorted(unknown)}")
-        xid = self._next_xid
-        self._next_xid += 1
+        txn = self._txn
+        assert txn is not None
         targets = []
-        for tid, values in table.heap.scan():
+        for tid, values in table.heap.scan(snapshot=self._snapshot):
             row = dict(zip(names, values))
             if stmt.where is None or E.evaluate(stmt.where, row):
                 targets.append((tid, values, row))
         indexes = list(table.indexes.values())
+        if targets:
+            self._ensure_wal_begin(txn)
         for tid, values, row in targets:
             new_values = list(values)
             for col, expr in stmt.assignments:
                 idx = table.heap.column_index(col)
                 new_values[idx] = _coerce_for_column(table.columns[idx], E.evaluate(expr, row))
-            table.heap.delete(tid, xid=xid)
-            new_tid = table.heap.insert(new_values, xid=xid)
+            table.heap.delete(tid, xid=txn.xid)
+            new_tid = table.heap.insert(new_values, xid=txn.xid)
             for index in indexes:
                 index.am.insert(
                     new_tid, new_values[table.heap.column_index(index.column_name)]
                 )
-        self.wal.log_commit(xid)
         return P.QueryResult(command=f"UPDATE {len(targets)}")
 
     # ------------------------------------------------------------------
@@ -623,7 +722,7 @@ class Executor:
             return
         if isinstance(node, P.SeqScan):
             names = node.table.column_names()
-            for tid, values in node.table.heap.scan():
+            for tid, values in node.table.heap.scan(snapshot=self._snapshot):
                 row = dict(zip(names, values))
                 row["__tid__"] = tid
                 yield row
@@ -691,11 +790,11 @@ class Executor:
                 try:
                     if prof.enabled:
                         with prof.section("Tuple Access"):
-                            values = heap.fetch(tid)
+                            values = heap.fetch(tid, snapshot=self._snapshot)
                     else:
-                        values = heap.fetch(tid)
+                        values = heap.fetch(tid, snapshot=self._snapshot)
                 except KeyError:
-                    continue  # dead tuple: index entry awaiting vacuum
+                    continue  # dead/invisible tuple: entry awaiting vacuum
                 row = dict(zip(names, values))
                 row["__tid__"] = tid
                 row["__distance__"] = distance
@@ -778,7 +877,7 @@ class Executor:
             return
         if isinstance(node, P.SeqScan):
             names = node.table.column_names()
-            for page_rows in node.table.heap.scan_batches():
+            for page_rows in node.table.heap.scan_batches(snapshot=self._snapshot):
                 batch = []
                 for tid, values in page_rows:
                     row = dict(zip(names, values))
@@ -858,9 +957,9 @@ class Executor:
             tids = batch.tids()
             if prof.enabled:
                 with prof.section("Tuple Access"):
-                    fetched = heap.fetch_many(tids)
+                    fetched = heap.fetch_many(tids, snapshot=self._snapshot)
             else:
-                fetched = heap.fetch_many(tids)
+                fetched = heap.fetch_many(tids, snapshot=self._snapshot)
             distances = batch.distances.tolist()
             for tid, values, distance in zip(tids, fetched, distances):
                 if tid in seen:

@@ -7,6 +7,14 @@ ctid addressing PostgreSQL uses and the one PASE's
 
 All access goes through the buffer manager, so every fetch pays the
 page-indirection toll the paper identifies as RC#2.
+
+Visibility: every read path takes an optional
+:class:`~repro.pgsim.xact.Snapshot` and evaluates the
+``HeapTupleSatisfiesMVCC`` predicate (:func:`repro.pgsim.xact.tuple_visible`)
+against the tuple's ``xmin``/``xmax``.  Without a snapshot the check is
+latest-committed; without a transaction manager (``xact=None``,
+standalone heaps in tests) it degrades to the historical
+``xmax != 0`` dead test.
 """
 
 from __future__ import annotations
@@ -23,9 +31,16 @@ from repro.pgsim.tuple_format import (
     decode_tuple,
     encode_tuple,
     set_tuple_xmax,
+    tuple_header,
     tuple_xmax,
 )
 from repro.pgsim.wal import WriteAheadLog
+from repro.pgsim.xact import (
+    SerializationError,
+    Snapshot,
+    TransactionManager,
+    tuple_visible,
+)
 
 
 @dataclass(frozen=True, slots=True, order=True)
@@ -49,6 +64,7 @@ class HeapTable:
         buffer: BufferManager,
         wal: WriteAheadLog | None = None,
         stats: "HeapAccessStats | None" = None,
+        xact: TransactionManager | None = None,
     ) -> None:
         self.name = name
         self.schema = list(schema)
@@ -60,32 +76,52 @@ class HeapTable:
         #: instance per database so statement deltas cover every
         #: relation (see :class:`repro.pgsim.stats.HeapAccessStats`).
         self.stats = stats
+        #: Commit-state oracle for visibility checks; ``None`` for
+        #: standalone heaps (every xid then counts as committed).
+        self.xact = xact
         self.relation = f"{name}.heap"
         if not buffer.disk.relation_exists(self.relation):
             buffer.disk.create_relation(self.relation)
         self.tuple_count = 0
+        #: Tuples deleted (or insert-aborted) since the last vacuum;
+        #: feeds ``pg_stat_user_tables.n_dead_tup`` and the planner's
+        #: stale-``reltuples`` discount (see ``analyze.table_shape``).
+        self.n_dead_tup = 0
         #: free-space hint: last block known to have room (mini-FSM).
         self._insert_block: int | None = None
         self._bootstrap_count()
 
     def _bootstrap_count(self) -> None:
-        """Recount tuples after opening an existing relation."""
+        """Recount tuples after opening an existing relation.
+
+        Recovery purges loser transactions from the pages (see
+        :func:`repro.pgsim.wal.replay`), so every surviving xid is
+        committed: live is simply ``xmax == 0``.
+        """
         n_blocks = self.buffer.disk.n_blocks(self.relation)
         count = 0
+        dead = 0
         for blkno in range(n_blocks):
             with self.buffer.page(self.relation, blkno) as page:
                 for off in page.live_items():
                     if tuple_xmax(page.get_item_view(off)) == 0:
                         count += 1
+                    else:
+                        dead += 1
         self.tuple_count = count
+        self.n_dead_tup = dead
         if n_blocks:
             self._insert_block = n_blocks - 1
 
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
-    def insert(self, values: Sequence[Any], xid: int = 1) -> TID:
-        """Insert one row; returns its TID."""
+    def insert(self, values: Sequence[Any], xid: int) -> TID:
+        """Insert one row stamped ``xmin = xid``; returns its TID.
+
+        ``tuple_count`` advances optimistically; if ``xid`` later
+        aborts, :meth:`TransactionManager.abort` reverses it.
+        """
         data = encode_tuple(self.schema, values, xmin=xid)
         max_item = self.buffer.disk.page_size - 28  # header + one pointer
         if len(data) > max_item:
@@ -97,7 +133,22 @@ class HeapTable:
         blkno, offset = self._place(data, xid)
         self.tuple_count += 1
         self.stats.tuples_inserted += 1
+        self._note_insert(xid)
         return TID(blkno, offset)
+
+    def _note_insert(self, xid: int) -> None:
+        if self.xact is None:
+            return
+        txn = self.xact._txns.get(xid)
+        if txn is not None:
+            txn.note_insert(self)
+
+    def _note_delete(self, xid: int) -> None:
+        if self.xact is None:
+            return
+        txn = self.xact._txns.get(xid)
+        if txn is not None:
+            txn.note_delete(self)
 
     def _place(self, data: bytes, xid: int) -> tuple[int, int]:
         if self._insert_block is not None:
@@ -139,13 +190,28 @@ class HeapTable:
         if self.wal.ensure_page_image(xid, self.relation, blkno, page) is None:
             page.lsn = self.wal.log_insert(xid, self.relation, blkno, data)
 
-    def delete(self, tid: TID, xid: int = 1) -> None:
-        """Mark a row deleted (sets its xmax; space reclaimed by vacuum)."""
+    def delete(self, tid: TID, xid: int) -> None:
+        """Mark a row deleted (sets its xmax; space reclaimed by vacuum).
+
+        Raises:
+            KeyError: if the tuple is already deleted (by this
+                transaction, or — without a transaction manager — by
+                anyone).
+            SerializationError: write-write conflict — another
+                transaction's delete of this tuple is in progress or
+                already committed (snapshot isolation's no-wait rule).
+        """
         frame = self.buffer.pin(self.relation, tid.blkno)
         try:
             view = frame.page.get_item_view(tid.offset)
-            if tuple_xmax(view) != 0:
-                raise KeyError(f"tuple {tid} is already deleted")
+            old_xmax = tuple_xmax(view)
+            if old_xmax != 0:
+                if self.xact is None or old_xmax == xid:
+                    raise KeyError(f"tuple {tid} is already deleted")
+                if self.xact.is_in_progress(old_xmax) or self.xact.is_committed(old_xmax):
+                    raise SerializationError()
+                # The previous deleter aborted: its xmax is dead weight
+                # and we may overwrite it with ours.
             off, length = frame.page._pointer(tid.offset)
             set_tuple_xmax(_writable(frame.page.buf, off, length), xid)
             if self.wal is not None:
@@ -157,71 +223,110 @@ class HeapTable:
                 except BaseException:
                     # Un-delete: a removal the WAL never recorded must
                     # not take effect (mirror of the insert undo).
-                    set_tuple_xmax(_writable(frame.page.buf, off, length), 0)
+                    set_tuple_xmax(_writable(frame.page.buf, off, length), old_xmax)
                     raise
         finally:
             self.buffer.unpin(frame, dirty=True)
         self.tuple_count -= 1
+        self.n_dead_tup += 1
         self.stats.tuples_deleted += 1
+        self._note_delete(xid)
 
-    def vacuum(self) -> int:
-        """Physically remove deleted rows; returns tuples reclaimed.
+    def vacuum(self, horizon: int | None = None) -> int:
+        """Physically remove dead rows; returns tuples reclaimed.
 
         Dead line pointers stay (TIDs of live tuples are stable);
-        tuple space is compacted per page.
+        tuple space is compacted per page.  With a transaction manager
+        attached, a tuple is reclaimable when its inserter aborted or
+        its deleter committed below ``horizon`` (no open snapshot can
+        still see it — pass :meth:`TransactionManager.safe_horizon`);
+        leftover xmax stamps from *aborted* deleters are cleared so the
+        rows stop paying the clog lookup.  Without a manager every
+        ``xmax != 0`` tuple is reclaimed, as before.
         """
         reclaimed = 0
+        unstamped = 0
         for blkno in range(self.n_blocks()):
             frame = self.buffer.pin(self.relation, blkno)
             try:
                 page = frame.page
                 dead = []
+                cleared = []
                 for off in page.live_items():
-                    if tuple_xmax(page.get_item_view(off)) != 0:
-                        dead.append(off)
+                    view = page.get_item_view(off)
+                    xmin, xmax = tuple_header(view)
+                    if self.xact is None:
+                        if xmax != 0:
+                            dead.append(off)
+                        continue
+                    if self.xact.is_aborted(xmin):
+                        dead.append(off)  # aborted insert: never visible again
+                    elif xmax != 0:
+                        if self.xact.is_aborted(xmax):
+                            cleared.append(off)  # aborted delete: row lives
+                        elif self.xact.is_committed(xmax) and (
+                            horizon is None or xmax < horizon
+                        ):
+                            dead.append(off)
+                        # else: deleter in progress (or above the
+                        # horizon) — some snapshot may still need it.
+                for off in cleared:
+                    p_off, length = page._pointer(off)
+                    set_tuple_xmax(_writable(page.buf, p_off, length), 0)
                 for off in dead:
                     page.delete_item(off)
                 if dead:
                     page.defragment()
                     reclaimed += len(dead)
+                unstamped += len(cleared)
             finally:
-                self.buffer.unpin(frame, dirty=bool(dead))
-        if reclaimed:
+                self.buffer.unpin(frame, dirty=bool(dead or cleared))
+        self.n_dead_tup = max(0, self.n_dead_tup - reclaimed)
+        if reclaimed or unstamped:
             self._insert_block = None  # hint invalidated
         return reclaimed
 
     # ------------------------------------------------------------------
     # access
     # ------------------------------------------------------------------
-    def fetch(self, tid: TID) -> list[Any]:
+    def _visible(self, view, snapshot: Snapshot | None) -> bool:
+        xmin, xmax = tuple_header(view)
+        return tuple_visible(self.xact, snapshot, xmin, xmax)
+
+    def fetch(self, tid: TID, snapshot: Snapshot | None = None) -> list[Any]:
         """Fetch one row by TID.
 
         Raises:
-            KeyError: if the tuple is dead or deleted.
+            KeyError: if the tuple is dead, deleted, or invisible to
+                ``snapshot``.
         """
         with self.buffer.page(self.relation, tid.blkno) as page:
             view = page.get_item_view(tid.offset)
-            if tuple_xmax(view) != 0:
+            if not self._visible(view, snapshot):
                 raise KeyError(f"tuple {tid} is deleted")
             self.stats.tuples_fetched += 1
             return decode_tuple(self.schema, view)
 
-    def fetch_column(self, tid: TID, column_index: int) -> Any:
+    def fetch_column(
+        self, tid: TID, column_index: int, snapshot: Snapshot | None = None
+    ) -> Any:
         """Fetch a single column of one row (PASE's hot path)."""
         with self.buffer.page(self.relation, tid.blkno) as page:
             view = page.get_item_view(tid.offset)
-            if tuple_xmax(view) != 0:
+            if not self._visible(view, snapshot):
                 raise KeyError(f"tuple {tid} is deleted")
             self.stats.tuples_fetched += 1
             return decode_column(self.schema, view, column_index)
 
-    def fetch_many(self, tids: Sequence[TID]) -> list[list[Any] | None]:
+    def fetch_many(
+        self, tids: Sequence[TID], snapshot: Snapshot | None = None
+    ) -> list[list[Any] | None]:
         """Fetch many rows by TID with one buffer pin per heap block.
 
-        Results align with ``tids``; deleted tuples come back as
-        ``None`` (the batched analogue of :meth:`fetch` raising
-        ``KeyError``), so index scans can skip dead entries without a
-        per-tuple exception round trip.
+        Results align with ``tids``; deleted or snapshot-invisible
+        tuples come back as ``None`` (the batched analogue of
+        :meth:`fetch` raising ``KeyError``), so index scans can skip
+        dead entries without a per-tuple exception round trip.
         """
         out: list[list[Any] | None] = [None] * len(tids)
         by_block: dict[int, list[int]] = {}
@@ -231,18 +336,20 @@ class HeapTable:
             with self.buffer.page(self.relation, blkno) as page:
                 for i in positions:
                     view = page.get_item_view(tids[i].offset)
-                    if tuple_xmax(view) != 0:
+                    if not self._visible(view, snapshot):
                         continue
                     out[i] = decode_tuple(self.schema, view)
                     self.stats.tuples_fetched += 1
         return out
 
-    def fetch_column_many(self, tids: Sequence[TID], column_index: int) -> list[Any]:
+    def fetch_column_many(
+        self, tids: Sequence[TID], column_index: int, snapshot: Snapshot | None = None
+    ) -> list[Any]:
         """Batched :meth:`fetch_column`, grouped by heap block.
 
         Raises:
-            KeyError: if any addressed tuple is deleted (mirroring the
-                single-tuple path's contract).
+            KeyError: if any addressed tuple is deleted or invisible
+                (mirroring the single-tuple path's contract).
         """
         out: list[Any] = [None] * len(tids)
         by_block: dict[int, list[int]] = {}
@@ -252,35 +359,37 @@ class HeapTable:
             with self.buffer.page(self.relation, blkno) as page:
                 for i in positions:
                     view = page.get_item_view(tids[i].offset)
-                    if tuple_xmax(view) != 0:
+                    if not self._visible(view, snapshot):
                         raise KeyError(f"tuple {tids[i]} is deleted")
                     out[i] = decode_column(self.schema, view, column_index)
                     self.stats.tuples_fetched += 1
         return out
 
-    def scan(self) -> Iterator[tuple[TID, list[Any]]]:
-        """Sequential scan over all live rows."""
+    def scan(self, snapshot: Snapshot | None = None) -> Iterator[tuple[TID, list[Any]]]:
+        """Sequential scan over all rows visible under ``snapshot``."""
         for blkno in range(self.n_blocks()):
             with self.buffer.page(self.relation, blkno) as page:
                 for off in page.live_items():
                     view = page.get_item_view(off)
-                    if tuple_xmax(view) != 0:
+                    if not self._visible(view, snapshot):
                         continue
                     self.stats.tuples_fetched += 1
                     yield TID(blkno, off), decode_tuple(self.schema, view)
 
-    def scan_batches(self) -> Iterator[list[tuple[TID, list[Any]]]]:
+    def scan_batches(
+        self, snapshot: Snapshot | None = None
+    ) -> Iterator[list[tuple[TID, list[Any]]]]:
         """Block-at-a-time sequential scan: one batch per heap page.
 
         Row order across batches matches :meth:`scan` exactly; pages
-        with no live rows produce no batch.
+        with no visible rows produce no batch.
         """
         for blkno in range(self.n_blocks()):
             batch: list[tuple[TID, list[Any]]] = []
             with self.buffer.page(self.relation, blkno) as page:
                 for off in page.live_items():
                     view = page.get_item_view(off)
-                    if tuple_xmax(view) != 0:
+                    if not self._visible(view, snapshot):
                         continue
                     batch.append((TID(blkno, off), decode_tuple(self.schema, view)))
             if batch:

@@ -218,6 +218,9 @@ class QueryResult:
     #: is on; ``None`` when tracking is off or the statement ran
     #: through the bare executor.
     stats: Any = None
+    #: Non-fatal notices (PostgreSQL ``WARNING:`` lines), e.g. BEGIN
+    #: inside an already-open transaction block.
+    warnings: list[str] = field(default_factory=list)
 
     def scalar(self) -> Any:
         """First column of the first row (raises if empty)."""

@@ -1,0 +1,170 @@
+"""Client sessions: per-connection transaction state over one database.
+
+A :class:`Session` is pgsim's connection object — what a backend
+process is to PostgreSQL.  N sessions (typically one per client
+thread) share one :class:`~repro.pgsim.database.PgSimDatabase`; each
+holds its own open transaction and snapshot, so concurrent clients get
+snapshot isolation: readers never block writers across statements, a
+rolled-back transaction leaves no trace visible to anyone else, and
+write-write conflicts surface as
+:class:`~repro.pgsim.xact.SerializationError` (retry, like SQLSTATE
+40001).
+
+Statement *execution* is serialized by the database's statement lock
+(pgsim is pure Python, so the GIL would serialize the CPU work
+anyway); time spent waiting for it is recorded under the
+``SessionStatementLock`` wait event, which is exactly the contention
+figure the concurrent-mixed benchmark reports.
+
+Transaction-control semantics follow PostgreSQL:
+
+- ``BEGIN`` pins the snapshot for the whole block (repeatable read);
+  a nested ``BEGIN`` is a warning, not an error.
+- A failed statement poisons the block: further statements raise
+  *"current transaction is aborted"* until ``ROLLBACK`` (or ``COMMIT``,
+  which then rolls back and reports ``ROLLBACK``).
+- ``COMMIT``/``ROLLBACK`` outside a block warn and do nothing.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Any
+
+from repro.common.obs import EV_STATEMENT_LOCK
+from repro.pgsim.executor import ExecutionError
+from repro.pgsim.plan import QueryResult
+from repro.pgsim.sql import ast, parse_sql
+from repro.pgsim.stats import normalize_sql
+from repro.pgsim.xact import Transaction
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.pgsim.database import PgSimDatabase
+
+
+class Session:
+    """One client connection to a shared database.
+
+    Not thread-safe itself — use one session per client thread, the
+    way one libpq connection serves one client.  The database-level
+    statement lock makes cross-session interleaving safe.
+    """
+
+    def __init__(self, db: "PgSimDatabase", name: str = "session") -> None:
+        self.db = db
+        self.name = name
+        #: Open explicit transaction (``BEGIN`` ... ``COMMIT`` block).
+        self._txn: Transaction | None = None
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._txn is not None
+
+    # ------------------------------------------------------------------
+    # SQL entry points (same surface as the database facade)
+    # ------------------------------------------------------------------
+    def execute(self, sql: str) -> QueryResult:
+        """Run one or more statements; returns the last result."""
+        results = self.execute_all(sql)
+        if not results:
+            raise ValueError("no SQL statements to execute")
+        return results[-1]
+
+    def query(self, sql: str) -> list[tuple[Any, ...]]:
+        """Run a query and return its rows."""
+        return self.execute(sql).rows
+
+    def execute_all(self, sql: str) -> list[QueryResult]:
+        """Run statements and return every result."""
+        db = self.db
+        statements = parse_sql(sql)
+        track = db._tracking_enabled()
+        normalized = normalize_sql(sql) if track else []
+        results: list[QueryResult] = []
+        for i, stmt in enumerate(statements):
+            # Non-blocking fast path: only actual contention between
+            # sessions is recorded as blocked time.
+            if not db._statement_lock.acquire(blocking=False):
+                wait_start = time.perf_counter()
+                db._statement_lock.acquire()
+                db.waits.record(EV_STATEMENT_LOCK, time.perf_counter() - wait_start)
+            try:
+                if track:
+                    baseline = db.stats.begin()
+                    start = time.perf_counter()
+                result = self._execute_one(stmt)
+                if track:
+                    elapsed = time.perf_counter() - start
+                    result.stats = db.stats.finish(baseline, elapsed)
+                    if i < len(normalized):
+                        db.stats.record_statement(normalized[i], elapsed, len(result.rows))
+                db._log_ddl(stmt)
+                results.append(result)
+            finally:
+                db._statement_lock.release()
+        return results
+
+    def close(self) -> None:
+        """End the session, rolling back any open transaction."""
+        if self._txn is not None:
+            txn, self._txn = self._txn, None
+            with self.db._statement_lock:
+                self.db.executor.abort_transaction(txn)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # statement handling (caller holds the statement lock)
+    # ------------------------------------------------------------------
+    def _execute_one(self, stmt: ast.Statement) -> QueryResult:
+        executor = self.db.executor
+        if isinstance(stmt, ast.Begin):
+            if self._txn is not None:
+                return QueryResult(
+                    command="BEGIN",
+                    warnings=["there is already a transaction in progress"],
+                )
+            txn = executor.xact.begin()
+            # Snapshot pinned for the whole block (repeatable read).
+            txn.snapshot = executor.xact.snapshot(txn.xid)
+            self._txn = txn
+            return QueryResult(command="BEGIN")
+        if isinstance(stmt, ast.Commit):
+            if self._txn is None:
+                return QueryResult(
+                    command="COMMIT",
+                    warnings=["there is no transaction in progress"],
+                )
+            txn, self._txn = self._txn, None
+            if txn.failed:
+                # PostgreSQL: COMMIT of a failed block rolls back and
+                # reports ROLLBACK as the command tag.
+                executor.abort_transaction(txn)
+                return QueryResult(command="ROLLBACK")
+            executor.commit_transaction(txn)
+            return QueryResult(command="COMMIT")
+        if isinstance(stmt, ast.Rollback):
+            if self._txn is None:
+                return QueryResult(
+                    command="ROLLBACK",
+                    warnings=["there is no transaction in progress"],
+                )
+            txn, self._txn = self._txn, None
+            executor.abort_transaction(txn)
+            return QueryResult(command="ROLLBACK")
+        if self._txn is not None:
+            if self._txn.failed:
+                raise ExecutionError(
+                    "current transaction is aborted, "
+                    "commands ignored until end of transaction block"
+                )
+            try:
+                return executor.execute_statement(stmt, txn=self._txn)
+            except BaseException:
+                self._txn.failed = True
+                raise
+        return executor.execute_statement(stmt)

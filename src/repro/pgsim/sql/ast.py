@@ -246,6 +246,21 @@ class Reindex(Statement):
     index: str
 
 
+@dataclass(frozen=True, slots=True)
+class Begin(Statement):
+    """``BEGIN [WORK | TRANSACTION]`` — open an explicit transaction."""
+
+
+@dataclass(frozen=True, slots=True)
+class Commit(Statement):
+    """``COMMIT [WORK | TRANSACTION]`` — commit the open transaction."""
+
+
+@dataclass(frozen=True, slots=True)
+class Rollback(Statement):
+    """``ROLLBACK [WORK | TRANSACTION]`` — abort the open transaction."""
+
+
 def to_sql(expr: Expr) -> str:
     """Render an expression back to SQL text (for EXPLAIN detail lines).
 

@@ -31,6 +31,7 @@ KEYWORDS = {
     "explain", "and", "or", "not", "null", "true", "false",
     "array", "as", "if", "exists", "vacuum", "begin", "commit",
     "distinct", "delete", "update", "analyze", "reindex", "all",
+    "rollback", "work", "transaction",
 }
 
 # Multi-character operators, longest first so the scanner is greedy.

@@ -146,6 +146,18 @@ class _Parser:
                 trace=trace,
                 costs=costs,
             )
+        if tok.is_keyword("begin"):
+            self._advance()
+            self._accept_transaction_noise()
+            return ast.Begin()
+        if tok.is_keyword("commit"):
+            self._advance()
+            self._accept_transaction_noise()
+            return ast.Commit()
+        if tok.is_keyword("rollback"):
+            self._advance()
+            self._accept_transaction_noise()
+            return ast.Rollback()
         if tok.is_keyword("vacuum"):
             self._advance()
             return ast.Vacuum(self._expect_ident())
@@ -159,6 +171,11 @@ class _Parser:
             self._advance()
             return ast.Reindex(self._expect_ident())
         raise self._error(f"unsupported statement start {tok.value!r}")
+
+    def _accept_transaction_noise(self) -> None:
+        """Optional WORK/TRANSACTION after BEGIN/COMMIT/ROLLBACK."""
+        if not self._accept_keyword("work"):
+            self._accept_keyword("transaction")
 
     def _explain_options(self) -> tuple[bool, bool, bool | None, bool, bool]:
         """EXPLAIN's option syntax: bare ANALYZE or a parenthesized list.

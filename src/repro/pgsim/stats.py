@@ -415,6 +415,7 @@ def install_stat_views(catalog: Any, collector: StatsCollector) -> None:
                     float(stats.reltuples) if stats is not None else None,
                     stats.relpages if stats is not None else None,
                     table.heap.tuple_count,
+                    table.heap.n_dead_tup,
                     stats.last_analyze if stats is not None else None,
                 )
             )
@@ -482,7 +483,7 @@ def install_stat_views(catalog: Any, collector: StatsCollector) -> None:
         ),
         StatView(
             "pg_stat_user_tables",
-            ["relname", "reltuples", "relpages", "n_live_tup", "last_analyze"],
+            ["relname", "reltuples", "relpages", "n_live_tup", "n_dead_tup", "last_analyze"],
             user_table_rows,
         ),
     ):

@@ -44,6 +44,9 @@ class DiskManager:
     def relation_exists(self, name: str) -> bool:
         raise NotImplementedError
 
+    def list_relations(self) -> list[str]:
+        raise NotImplementedError
+
     def n_blocks(self, name: str) -> int:
         raise NotImplementedError
 

@@ -177,9 +177,20 @@ def decode_tuple(schema: Schema, data: bytes | memoryview) -> list[Any]:
     return values
 
 
+def tuple_xmin(data: bytes | memoryview) -> int:
+    """Read the inserting transaction id."""
+    return _HEADER.unpack_from(memoryview(data), 0)[0]
+
+
 def tuple_xmax(data: bytes | memoryview) -> int:
     """Read the deleting transaction id (0 = live)."""
     return _HEADER.unpack_from(memoryview(data), 0)[1]
+
+
+def tuple_header(data: bytes | memoryview) -> tuple[int, int]:
+    """Read ``(xmin, xmax)`` in one unpack (the visibility hot path)."""
+    xmin, xmax, __, __ = _HEADER.unpack_from(memoryview(data), 0)
+    return xmin, xmax
 
 
 def set_tuple_xmax(data: bytearray, xmax: int) -> None:

@@ -10,12 +10,20 @@ Protocol:
 - every page mutation appends a :data:`REC_PAGE_IMAGE` record *before*
   the buffer manager may write the page back (enforced by the caller
   via LSN stamping);
-- a transaction's changes become durable at its :data:`REC_COMMIT`;
-- :func:`replay` scans the log and applies page images belonging to
-  committed transactions, in order;
+- a transaction's first write is preceded by a :data:`REC_BEGIN`, its
+  changes become durable at its :data:`REC_COMMIT`, and an in-process
+  rollback appends a :data:`REC_ABORT` (advisory: an abort record that
+  never reaches disk is indistinguishable from a crash, and recovery
+  rolls both back);
+- :func:`replay` redoes *all* durable data records — committed or not,
+  so line-pointer offsets line up — then physically purges tuples
+  belonging to transactions without a durable commit record;
 - a checkpoint (:meth:`WriteAheadLog.log_checkpoint` after the buffer
   pool is flushed) establishes a durable horizon behind which
-  :meth:`WriteAheadLog.truncate_before` may discard the log.
+  :meth:`WriteAheadLog.truncate_before` may discard the log; its
+  payload carries the xid allocator position and the in-progress xid
+  list, because truncation can discard a still-open transaction's
+  records after its dirty pages were flushed.
 
 Failure semantics: :attr:`WriteAheadLog.flushed_lsn` only advances
 after the append *and* fsync succeed, so an I/O failure can never make
@@ -34,6 +42,7 @@ import struct
 from dataclasses import dataclass
 from pathlib import Path
 from time import perf_counter
+from typing import Sequence
 
 from repro.common.obs import (
     EV_WAL_SYNC,
@@ -43,12 +52,15 @@ from repro.common.obs import (
 )
 from repro.pgsim.faults import NO_FAULTS, FaultInjector
 from repro.pgsim.storage import DiskManager
+from repro.pgsim.xact import FIRST_NORMAL_XID, losers_after_replay
 
 REC_PAGE_IMAGE = 1
 REC_COMMIT = 2
 REC_CHECKPOINT = 3
 REC_INSERT = 4
 REC_DELETE = 5
+REC_BEGIN = 6
+REC_ABORT = 7
 
 _REC_HEADER = struct.Struct("<QBIH")  # lsn, type, xid, rel name length
 
@@ -202,22 +214,47 @@ class WriteAheadLog:
         """Record a heap delete (payload = 2-byte offset number)."""
         return self._append(REC_DELETE, xid, rel, blkno, struct.pack("<H", offset_number))
 
+    def log_begin(self, xid: int) -> int:
+        """Record a transaction start (no flush; rides the next one).
+
+        Appended lazily, just before the transaction's first data
+        record — read-only transactions never touch the log.
+        """
+        return self._append(REC_BEGIN, xid, "", 0, b"")
+
+    def log_abort(self, xid: int) -> int:
+        """Record a rollback (no flush — see the module docstring).
+
+        Whether or not this record ever reaches disk, recovery rolls
+        the transaction back: its data records have no commit record.
+        The record exists for log legibility, not correctness.
+        """
+        return self._append(REC_ABORT, xid, "", 0, b"")
+
     def log_commit(self, xid: int) -> int:
         """Record a transaction commit and flush the log."""
         lsn = self._append(REC_COMMIT, xid, "", 0, b"")
         self.flush()
         return lsn
 
-    def log_checkpoint(self) -> int:
+    def log_checkpoint(self, next_xid: int = 0, in_progress: Sequence[int] = ()) -> int:
         """Record a checkpoint boundary and make it durable.
 
-        The payload carries the durable horizon at checkpoint time; a
-        checkpoint record that is itself not flushed would be useless
+        The payload carries the durable horizon, the xid allocator
+        position, and the in-progress xid list at checkpoint time.
+        The open-transaction list is what lets recovery roll back a
+        transaction whose data records were truncated away after a
+        mid-transaction checkpoint flushed its dirty pages — without
+        it, such a transaction would look bulk-loaded (committed).
+        A checkpoint record that is itself not flushed would be useless
         to recovery, so this flushes like :meth:`log_commit`.  The
         caller is responsible for having flushed dirty pages *first*
         (see :meth:`repro.pgsim.database.PgSimDatabase.checkpoint`).
         """
-        lsn = self._append(REC_CHECKPOINT, 0, "", 0, struct.pack("<Q", self.flushed_lsn))
+        payload = struct.pack(
+            "<QQI", self.flushed_lsn, next_xid, len(in_progress)
+        ) + b"".join(struct.pack("<I", x) for x in in_progress)
+        lsn = self._append(REC_CHECKPOINT, 0, "", 0, payload)
         self.flush()
         # Pages are durable as of this checkpoint: the next change to
         # each must log a fresh full-page image.
@@ -371,16 +408,61 @@ class WriteAheadLog:
         return len(self._records)
 
 
+def checkpoint_fields(payload: bytes) -> tuple[int, int, tuple[int, ...]]:
+    """Decode a checkpoint payload: (flushed_lsn, next_xid, in_progress).
+
+    Accepts the legacy 8-byte payload (durable horizon only) for logs
+    written before checkpoints carried transaction state.
+    """
+    if len(payload) < 20:
+        (flushed,) = struct.unpack_from("<Q", payload, 0)
+        return flushed, 0, ()
+    flushed, next_xid, n = struct.unpack_from("<QQI", payload, 0)
+    xids = struct.unpack_from(f"<{n}I", payload, 20) if n else ()
+    return flushed, next_xid, tuple(xids)
+
+
+def next_xid_after(wal: WriteAheadLog) -> int:
+    """First unused xid implied by the log (for post-recovery restart).
+
+    The max over every record's xid and the last checkpoint's allocator
+    position; reusing a recovered xid would let a new transaction's
+    tuples alias a purged (or committed) one's.
+    """
+    nxt = FIRST_NORMAL_XID
+    for rec in wal.records():
+        if rec.rec_type == REC_CHECKPOINT:
+            __, ckpt_next, in_progress = checkpoint_fields(rec.payload)
+            nxt = max(nxt, ckpt_next)
+            for xid in in_progress:
+                nxt = max(nxt, xid + 1)
+        else:
+            nxt = max(nxt, rec.xid + 1)
+    return nxt
+
+
 def replay(wal: WriteAheadLog, disk: DiskManager) -> int:
-    """Redo recovery: re-apply durable, committed changes to ``disk``.
+    """Redo recovery: re-apply durable changes, then roll back losers.
 
-    Classic redo rules:
+    Redo rules:
 
-    - only records with ``lsn <= wal.flushed_lsn`` whose transaction's
-      commit record is also durable are considered;
+    - only records with ``lsn <= wal.flushed_lsn`` are considered;
+    - **all** data records are redone, committed or not: an uncommitted
+      insert consumed a line pointer, so skipping it would shift every
+      later record's offsets on that page.  Deletes redo by stamping
+      ``xmax`` (not by killing the line pointer), so an uncommitted
+      delete is reversible;
     - a record is skipped when the on-disk page's LSN already covers it
       (``page.lsn >= record.lsn``), so redo is idempotent;
     - untouched (all-zero) blocks are formatted on first redo.
+
+    Then the undo-by-purge pass: a transaction that wrote durable data
+    (a data record, or membership in the last checkpoint's in-progress
+    list) without a durable commit record is a *loser*.  Every heap
+    tuple a loser inserted is physically removed, and every ``xmax``
+    stamp a loser left is cleared — after recovery, no trace remains
+    and the fresh transaction manager may treat every surviving xid as
+    committed.
 
     A truncated log (see :meth:`WriteAheadLog.truncate_before`) starts
     at a checkpoint record; everything before it is already in the
@@ -392,12 +474,21 @@ def replay(wal: WriteAheadLog, disk: DiskManager) -> int:
 
     records = [r for r in wal.records() if r.lsn <= wal.flushed_lsn]
     committed = {r.xid for r in records if r.rec_type == REC_COMMIT}
+    seen_xids: set[int] = set()
+    ckpt_in_progress: tuple[int, ...] = ()
+    data_rels: set[str] = set()
     applied = 0
     for rec in records:
-        if rec.rec_type in (REC_COMMIT, REC_CHECKPOINT):
+        if rec.rec_type == REC_CHECKPOINT:
+            # Only the latest checkpoint's open-transaction list counts:
+            # anything open at an earlier one either finished (commit
+            # record, or loser via missing commit) or is still listed.
+            __, __, ckpt_in_progress = checkpoint_fields(rec.payload)
             continue
-        if rec.xid not in committed:
+        if rec.rec_type in (REC_COMMIT, REC_BEGIN, REC_ABORT):
             continue
+        seen_xids.add(rec.xid)
+        data_rels.add(rec.rel)
         if not disk.relation_exists(rec.rel):
             disk.create_relation(rec.rel)
         while disk.n_blocks(rec.rel) <= rec.blkno:
@@ -421,14 +512,61 @@ def replay(wal: WriteAheadLog, disk: DiskManager) -> int:
             page.insert_item(rec.payload)
         elif rec.rec_type == REC_DELETE:
             (offset_number,) = struct.unpack("<H", rec.payload)
-            page.delete_item(offset_number)
+            off, length = page._pointer(offset_number)
+            if length != 0:
+                # Stamp the deleter's xid; the purge pass (or, post-
+                # recovery, MVCC visibility) decides the tuple's fate.
+                struct.pack_into("<I", page.buf, off + 4, rec.xid)
         else:
             raise ValueError(f"unknown WAL record type: {rec.rec_type}")
         page.lsn = rec.lsn
         page.update_checksum()
         disk.write_block(rec.rel, rec.blkno, bytes(page.buf))
         applied += 1
+
+    losers = losers_after_replay(seen_xids, ckpt_in_progress, committed)
+    _purge_losers(disk, losers, data_rels)
     return applied
+
+
+def _purge_losers(disk: DiskManager, losers: set[int], extra_rels: set[str]) -> int:
+    """Physically roll back loser transactions on every heap relation.
+
+    Scans all ``*.heap`` relations on disk — not just those named in
+    the surviving records, because a mid-transaction checkpoint may
+    have flushed loser tuples to relations whose records were then
+    truncated away.  Returns the number of pages rewritten.
+    """
+    from repro.pgsim.page import Page  # local import avoids a cycle
+    from repro.pgsim.tuple_format import tuple_header
+
+    if not losers:
+        return 0
+    rels = {rel for rel in disk.list_relations() if rel.endswith(".heap")}
+    rels |= {rel for rel in extra_rels if rel.endswith(".heap")}
+    purged = 0
+    for rel in sorted(rels):
+        if not disk.relation_exists(rel):
+            continue
+        for blkno in range(disk.n_blocks(rel)):
+            page = Page(bytearray(disk.read_block(rel, blkno)))
+            if not _page_initialized(page):
+                continue
+            changed = False
+            for offset_number in page.live_items():
+                xmin, xmax = tuple_header(page.get_item_view(offset_number))
+                if xmin in losers:
+                    page.delete_item(offset_number)
+                    changed = True
+                elif xmax in losers:
+                    off, __ = page._pointer(offset_number)
+                    struct.pack_into("<I", page.buf, off + 4, 0)
+                    changed = True
+            if changed:
+                page.update_checksum()
+                disk.write_block(rel, blkno, bytes(page.buf))
+                purged += 1
+    return purged
 
 
 def _page_initialized(page) -> bool:

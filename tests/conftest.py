@@ -33,7 +33,7 @@ def loaded_db(fresh_db: PgSimDatabase, small_dataset: Dataset) -> PgSimDatabase:
     fresh_db.execute("CREATE TABLE items (id int, vec float[])")
     table = fresh_db.catalog.table("items")
     for i, vec in enumerate(small_dataset.base):
-        table.heap.insert([i, vec])
+        table.heap.insert([i, vec], xid=1)
     fresh_db.wal.log_commit(1)
     return fresh_db
 

@@ -63,7 +63,7 @@ class TestBridgedIVFFlat:
     def test_insert_updates_pages_and_mirror(self, bridged_db, bridged_am, small_dataset):
         vec = small_dataset.base[0] + 20.0
         table = bridged_db.catalog.table("items")
-        tid = table.heap.insert([31337, vec])
+        tid = table.heap.insert([31337, vec], xid=1)
         bridged_am.insert(tid, vec)
         assert _ids(bridged_db, bridged_am, vec, 1) == [31337]
         # The durable path got it too.
@@ -148,7 +148,7 @@ class TestBridgedHNSW:
         am = hnsw_db.catalog.find_index("bh").am
         vec = small_dataset.base[5] + 15.0
         table = hnsw_db.catalog.table("items")
-        tid = table.heap.insert([777, vec])
+        tid = table.heap.insert([777, vec], xid=1)
         am.insert(tid, vec)
         assert _ids(hnsw_db, am, vec, 1) == [777]
 

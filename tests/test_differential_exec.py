@@ -157,7 +157,7 @@ def indexed_dbs():
         db.execute("CREATE TABLE items (id int, vec float[])")
         table = db.catalog.table("items")
         for i, vec in enumerate(dataset.base):
-            table.heap.insert([i, vec])
+            table.heap.insert([i, vec], xid=1)
         db.wal.log_commit(1)
         db.execute(f"CREATE INDEX ix ON items USING {amname} (vec) WITH ({opts})")
         dbs[amname] = db

@@ -16,8 +16,6 @@ failure scheduled at exactly that boundary — a crash, a torn write,
 or a failed fsync — and recovers from the files left behind.
 """
 
-import struct
-
 import pytest
 
 from repro.pgsim import PgSimDatabase
@@ -31,7 +29,7 @@ from repro.pgsim.faults import (
     SimulatedIOError,
 )
 from repro.pgsim.storage import MemoryDisk
-from repro.pgsim.wal import WalPanicError, WriteAheadLog, replay
+from repro.pgsim.wal import WalPanicError, WriteAheadLog, checkpoint_fields, replay
 
 #: Small pool so the workload exercises eviction paths too.
 POOL = 16
@@ -194,11 +192,13 @@ class TestFlushedLsnHonesty:
         with pytest.raises(SimulatedIOError):
             _insert(db, 1)  # its commit fsync fails -> WAL panics
         with pytest.raises(WalPanicError):
-            _insert(db, 2)  # panicked WAL rejects the insert's log record
-        # Insert 1 reached the page before its commit failed; insert 2
-        # must have been undone by the heap, not left as a phantom.
+            _insert(db, 2)  # panicked WAL rejects the transaction's BEGIN record
+        # Insert 1's transaction aborted when its commit flush failed,
+        # so in-process readers count only row 0; insert 2 never even
+        # reached the heap (the WAL rejected its first record).
         table = db.catalog.table("t")
-        assert table.heap.tuple_count == 2
+        assert table.heap.tuple_count == 1
+        assert [r[0] for r in db.query("SELECT id FROM t")] == [0]
         # After recovery: row 0 was acknowledged and must be there; row
         # 1's records reached the OS before its fsync failed, so it may
         # legitimately be durable too; row 2 must never appear.
@@ -215,7 +215,7 @@ class TestCheckpointTruncation:
             _insert(db, i)
         before_records = len(db.wal)
         before_bytes = db.wal.disk_size()
-        assert before_records == 40  # one insert + one commit per row
+        assert before_records == 60  # begin + insert + commit per row
         db.checkpoint()
         assert len(db.wal) == 1  # just the checkpoint record
         assert db.wal.disk_size() < before_bytes
@@ -246,9 +246,12 @@ class TestCheckpointTruncation:
         wal.log_insert(1, "t.heap", 0, b"x")
         wal.log_commit(1)
         horizon = wal.flushed_lsn
-        wal.log_checkpoint()
+        wal.log_checkpoint(next_xid=7, in_progress=(5, 6))
         checkpoint = wal.records()[-1]
-        assert struct.unpack("<Q", checkpoint.payload)[0] == horizon
+        flushed, next_xid, in_progress = checkpoint_fields(checkpoint.payload)
+        assert flushed == horizon
+        assert next_xid == 7
+        assert in_progress == (5, 6)
         # A checkpoint record must itself be durable (satellite fix).
         assert wal.flushed_lsn == checkpoint.lsn
 
@@ -266,6 +269,114 @@ class TestCheckpointTruncation:
         reopened = WriteAheadLog(path)
         assert len(reopened) == 6
         assert reopened.flushed_lsn == wal.records()[-1].lsn
+
+
+class TestTransactionRecovery:
+    """Recovery must roll back transactions without a durable commit
+    record — even when their data records (or flushed pages) are."""
+
+    def _fresh(self, datadir, injector=None) -> PgSimDatabase:
+        return PgSimDatabase(
+            data_dir=datadir, buffer_pool_pages=POOL, fault_injector=injector
+        )
+
+    def test_flushed_but_uncommitted_txn_rolled_back(self, tmp_path):
+        datadir = tmp_path / "db"
+        db = self._fresh(datadir)
+        db.execute("CREATE TABLE t (id int, vec float[])")
+        _insert(db, 0)
+        session = db.session("client")
+        session.execute("BEGIN")
+        session.execute("INSERT INTO t VALUES (1, '1.5,1.25'::PASE)")
+        session.execute("INSERT INTO t VALUES (2, '2.5,1.25'::PASE)")
+        db.wal.flush()  # data + BEGIN records durable; no commit record
+        del db  # crash before COMMIT
+        assert _recovered_ids(datadir) == [0]
+
+    def test_aborted_insert_does_not_shift_later_commits(self, tmp_path):
+        """Redo must re-apply an aborted insert's line pointer so a
+        later committed insert recovers at its logged offset."""
+        datadir = tmp_path / "db"
+        db = self._fresh(datadir)
+        db.execute("CREATE TABLE t (id int, vec float[])")
+        session = db.session("client")
+        session.execute("BEGIN")
+        session.execute("INSERT INTO t VALUES (99, '9.5,1.25'::PASE)")
+        session.execute("ROLLBACK")
+        _insert(db, 0)  # committed; lands on the same page, next offset
+        del db
+        assert _recovered_ids(datadir) == [0]
+
+    def test_checkpoint_mid_transaction_still_rolls_back(self, tmp_path):
+        """A checkpoint flushes uncommitted tuples and truncates their
+        records; the checkpoint's in-progress list must still identify
+        the transaction as a loser after a crash."""
+        datadir = tmp_path / "db"
+        db = self._fresh(datadir)
+        db.execute("CREATE TABLE t (id int, vec float[])")
+        _insert(db, 0)
+        session = db.session("client")
+        session.execute("BEGIN")
+        session.execute("INSERT INTO t VALUES (1, '1.5,1.25'::PASE)")
+        db.checkpoint()
+        del db  # crash before COMMIT
+        assert _recovered_ids(datadir) == [0]
+
+    def test_uncommitted_delete_resurrects_on_recovery(self, tmp_path):
+        datadir = tmp_path / "db"
+        db = self._fresh(datadir)
+        db.execute("CREATE TABLE t (id int, vec float[])")
+        for i in range(3):
+            _insert(db, i)
+        session = db.session("client")
+        session.execute("BEGIN")
+        session.execute("DELETE FROM t WHERE id = 1")
+        db.wal.flush()  # the delete's xmax stamp is durable
+        del db  # crash before COMMIT
+        assert _recovered_ids(datadir) == [0, 1, 2]
+
+    def test_crash_sweep_between_heap_writes_and_commit(self, tmp_path):
+        """Crash at every I/O boundary between a transaction's durable
+        data records and its commit record: recovery must be atomic —
+        the whole transaction or none of it, never a partial prefix."""
+
+        def run(datadir, injector):
+            db = self._fresh(datadir, injector)
+            db.execute("CREATE TABLE t (id int, vec float[])")
+            _insert(db, 0)
+            marks = []
+            session = db.session("client")
+            try:
+                session.execute("BEGIN")
+                for i in range(1, 4):
+                    session.execute(f"INSERT INTO t VALUES ({i}, '{i}.5,1.25'::PASE)")
+                marks.append(injector.ops if injector else 0)  # pre-flush
+                db.wal.flush()
+                marks.append(injector.ops if injector else 0)  # pre-commit
+                session.execute("COMMIT")
+                return marks, False
+            except (SimulatedCrash, SimulatedIOError, WalPanicError):
+                return marks, True
+
+        counter = FaultInjector()
+        marks, crashed = run(tmp_path / "baseline", counter)
+        assert not crashed
+        pre_flush, pre_commit = marks
+        assert pre_commit > pre_flush, "transaction flush did no I/O"
+
+        # +2 covers the commit record's own write and fsync ops.
+        for op in range(pre_flush, pre_commit + 2):
+            datadir = tmp_path / f"crash-{op}"
+            __, crashed = run(datadir, FaultInjector.crash_at(op))
+            assert crashed, f"crash at op {op} did not fire"
+            recovered = _recovered_ids(datadir)
+            # Atomicity: all of the transaction or none of it.
+            assert recovered in ([0], [0, 1, 2, 3]), f"op {op}: {recovered}"
+            if op <= pre_commit:
+                # Crash at or before the commit record's write: the
+                # commit can never be durable, so recovery must roll
+                # the transaction back — no committed-looking phantoms.
+                assert recovered == [0], f"op {op}: phantom commit {recovered}"
 
 
 class TestInjector:

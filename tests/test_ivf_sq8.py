@@ -107,7 +107,7 @@ class TestPaseIVFSQ8:
     def test_insert(self, loaded_db, am, small_dataset):
         vec = small_dataset.base[4] + 12.0
         table = loaded_db.catalog.table("items")
-        tid = table.heap.insert([6001, vec])
+        tid = table.heap.insert([6001, vec], xid=1)
         am.insert(tid, vec)
         assert self._ids(loaded_db, am, vec, 1) == [6001]
 

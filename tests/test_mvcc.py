@@ -1,0 +1,284 @@
+"""MVCC visibility: snapshots, BEGIN/COMMIT/ROLLBACK, vacuum horizon.
+
+Covers the transaction-visibility semantics end to end: uncommitted
+work is invisible to other sessions, rollback leaves no trace,
+deleted-then-rolled-back rows resurrect, repeatable-read snapshots
+hold inside a transaction block, write-write conflicts raise
+serialization errors, and the vacuum horizon protects tuples still
+visible to an open snapshot.
+"""
+
+import pytest
+
+from repro.pgsim import PgSimDatabase
+from repro.pgsim.executor import ExecutionError
+from repro.pgsim.xact import (
+    Snapshot,
+    SerializationError,
+    TransactionManager,
+    tuple_visible,
+)
+
+
+@pytest.fixture()
+def db():
+    database = PgSimDatabase()
+    database.execute("CREATE TABLE t (id int, val int)")
+    for i in range(3):
+        database.execute(f"INSERT INTO t VALUES ({i}, {i * 10})")
+    return database
+
+
+def ids(session) -> list[int]:
+    return sorted(r[0] for r in session.query("SELECT id FROM t"))
+
+
+class TestSnapshotIsolation:
+    def test_uncommitted_insert_invisible_to_others(self, db):
+        writer, reader = db.session("w"), db.session("r")
+        writer.execute("BEGIN")
+        writer.execute("INSERT INTO t VALUES (7, 70)")
+        assert ids(writer) == [0, 1, 2, 7]  # own changes visible
+        assert ids(reader) == [0, 1, 2]
+        writer.execute("COMMIT")
+        assert ids(reader) == [0, 1, 2, 7]
+
+    def test_uncommitted_delete_invisible_to_others(self, db):
+        writer, reader = db.session("w"), db.session("r")
+        writer.execute("BEGIN")
+        writer.execute("DELETE FROM t WHERE id = 1")
+        assert ids(writer) == [0, 2]
+        assert ids(reader) == [0, 1, 2]
+        writer.execute("COMMIT")
+        assert ids(reader) == [0, 2]
+
+    def test_repeatable_read_within_block(self, db):
+        reader, writer = db.session("r"), db.session("w")
+        reader.execute("BEGIN")
+        assert ids(reader) == [0, 1, 2]
+        writer.execute("INSERT INTO t VALUES (9, 90)")  # autocommit
+        writer.execute("DELETE FROM t WHERE id = 0")
+        # The block's snapshot was pinned at BEGIN: no phantom, no loss.
+        assert ids(reader) == [0, 1, 2]
+        reader.execute("COMMIT")
+        assert ids(reader) == [1, 2, 9]
+
+    def test_count_stable_within_block(self, db):
+        reader, writer = db.session("r"), db.session("w")
+        reader.execute("BEGIN")
+        before = reader.execute("SELECT count(*) FROM t").scalar()
+        writer.execute("INSERT INTO t VALUES (100, 0)")
+        assert reader.execute("SELECT count(*) FROM t").scalar() == before
+        reader.execute("ROLLBACK")
+
+
+class TestRollback:
+    def test_rollback_undoes_insert(self, db):
+        s = db.session()
+        s.execute("BEGIN")
+        s.execute("INSERT INTO t VALUES (5, 50)")
+        s.execute("ROLLBACK")
+        assert ids(s) == [0, 1, 2]
+        # The optimistic counters were reversed too.
+        heap = db.catalog.table("t").heap
+        assert heap.tuple_count == 3
+        assert heap.n_dead_tup == 1  # the aborted insert awaits vacuum
+
+    def test_delete_then_rollback_resurrects(self, db):
+        s, other = db.session(), db.session("other")
+        s.execute("BEGIN")
+        s.execute("DELETE FROM t WHERE id = 1")
+        assert ids(s) == [0, 2]
+        s.execute("ROLLBACK")
+        assert ids(s) == [0, 1, 2]
+        assert ids(other) == [0, 1, 2]
+        # A later transaction can delete the resurrected row (the
+        # aborted xmax stamp is overwritten, not a conflict).
+        other.execute("DELETE FROM t WHERE id = 1")
+        assert ids(other) == [0, 2]
+
+    def test_failed_statement_poisons_block(self, db):
+        s = db.session()
+        s.execute("BEGIN")
+        with pytest.raises(Exception):
+            s.execute("INSERT INTO nonexistent VALUES (1)")
+        with pytest.raises(ExecutionError, match="current transaction is aborted"):
+            s.execute("SELECT id FROM t")
+        # COMMIT of a failed block rolls back, reporting ROLLBACK.
+        assert s.execute("COMMIT").command == "ROLLBACK"
+        assert ids(s) == [0, 1, 2]
+
+    def test_close_rolls_back_open_transaction(self, db):
+        with db.session() as s:
+            s.execute("BEGIN")
+            s.execute("INSERT INTO t VALUES (5, 50)")
+        assert ids(db.session()) == [0, 1, 2]
+
+
+class TestTransactionControlEdges:
+    def test_nested_begin_warns(self, db):
+        s = db.session()
+        assert s.execute("BEGIN").warnings == []
+        result = s.execute("BEGIN")
+        assert result.command == "BEGIN"
+        assert result.warnings == ["there is already a transaction in progress"]
+        s.execute("ROLLBACK")
+
+    def test_commit_outside_block_warns(self, db):
+        result = db.session().execute("COMMIT")
+        assert result.command == "COMMIT"
+        assert result.warnings == ["there is no transaction in progress"]
+
+    def test_rollback_outside_block_warns(self, db):
+        result = db.session().execute("ROLLBACK")
+        assert result.warnings == ["there is no transaction in progress"]
+
+    def test_work_and_transaction_noise_words(self, db):
+        s = db.session()
+        assert s.execute("BEGIN TRANSACTION").command == "BEGIN"
+        assert s.execute("COMMIT WORK").command == "COMMIT"
+        assert s.execute("BEGIN WORK").command == "BEGIN"
+        assert s.execute("ROLLBACK TRANSACTION").command == "ROLLBACK"
+
+
+class TestWriteConflicts:
+    def test_concurrent_delete_raises_serialization_error(self, db):
+        a, b = db.session("a"), db.session("b")
+        a.execute("BEGIN")
+        b.execute("BEGIN")
+        a.execute("DELETE FROM t WHERE id = 1")
+        with pytest.raises(SerializationError):
+            b.execute("DELETE FROM t WHERE id = 1")
+        # b's block is now failed; a commits cleanly.
+        a.execute("COMMIT")
+        assert b.execute("COMMIT").command == "ROLLBACK"
+        assert ids(a) == [0, 2]
+
+    def test_retry_after_conflict_succeeds(self, db):
+        a, b = db.session("a"), db.session("b")
+        a.execute("BEGIN")
+        a.execute("DELETE FROM t WHERE id = 2")
+        a.execute("COMMIT")
+        # After a's commit the row is gone; b's fresh statement simply
+        # matches nothing (no conflict on an already-dead row).
+        assert b.execute("DELETE FROM t WHERE id = 2").command == "DELETE 0"
+
+
+class TestVacuumHorizon:
+    def test_vacuum_spares_tuples_visible_to_open_snapshot(self, db):
+        reader, writer = db.session("r"), db.session("w")
+        reader.execute("BEGIN")
+        assert ids(reader) == [0, 1, 2]
+        writer.execute("DELETE FROM t WHERE id = 1")
+        # The deleter committed, but reader's snapshot predates it.
+        assert writer.execute("VACUUM t").command == "VACUUM 0"
+        assert ids(reader) == [0, 1, 2]
+        reader.execute("COMMIT")
+        assert writer.execute("VACUUM t").command == "VACUUM 1"
+        assert ids(reader) == [0, 2]
+
+    def test_vacuum_reclaims_aborted_inserts(self, db):
+        s = db.session()
+        s.execute("BEGIN")
+        s.execute("INSERT INTO t VALUES (5, 50)")
+        s.execute("ROLLBACK")
+        heap = db.catalog.table("t").heap
+        assert heap.n_dead_tup == 1
+        assert s.execute("VACUUM t").command == "VACUUM 1"
+        assert heap.n_dead_tup == 0
+        assert ids(s) == [0, 1, 2]
+
+
+class TestPlannerDeadTupleAccounting:
+    def test_table_shape_discounts_post_analyze_deaths(self, db):
+        from repro.pgsim.analyze import table_shape
+
+        db.execute("ANALYZE t")
+        table = db.catalog.table("t")
+        assert table_shape(table)[0] == 3.0
+        db.execute("DELETE FROM t WHERE id < 2")
+        # Stats are stale (ANALYZE saw 3 rows) but the estimate is not.
+        assert table.stats.reltuples == 3.0
+        assert table_shape(table)[0] == 1.0
+
+    def test_vacuum_rebases_the_discount(self, db):
+        from repro.pgsim.analyze import table_shape
+
+        db.execute("ANALYZE t")
+        db.execute("DELETE FROM t WHERE id < 2")
+        db.execute("VACUUM t")
+        table = db.catalog.table("t")
+        assert table.heap.n_dead_tup == 0
+        assert table.stats.reltuples == 1.0
+        assert table_shape(table)[0] == 1.0
+
+    def test_n_dead_tup_in_pg_stat_user_tables(self, db):
+        db.execute("DELETE FROM t WHERE id = 0")
+        rows = db.query("SELECT relname, n_live_tup, n_dead_tup FROM pg_stat_user_tables")
+        assert ("t", 2, 1) in rows
+        db.execute("VACUUM t")
+        rows = db.query("SELECT relname, n_live_tup, n_dead_tup FROM pg_stat_user_tables")
+        assert ("t", 2, 0) in rows
+
+
+class TestVisibilityPredicate:
+    """Unit tests for the HeapTupleSatisfiesMVCC-style predicate."""
+
+    def test_own_changes_visible(self):
+        xact = TransactionManager()
+        txn = xact.begin()
+        snap = xact.snapshot(txn.xid)
+        assert tuple_visible(xact, snap, txn.xid, 0)  # own insert
+        assert not tuple_visible(xact, snap, txn.xid, txn.xid)  # own delete
+
+    def test_in_progress_invisible(self):
+        xact = TransactionManager()
+        other = xact.begin()
+        snap = xact.snapshot()
+        assert not tuple_visible(xact, snap, other.xid, 0)
+        # An in-progress deleter leaves the row visible.
+        assert tuple_visible(xact, snap, 1, other.xid)
+
+    def test_future_xids_invisible(self):
+        xact = TransactionManager()
+        snap = xact.snapshot()
+        later = xact.begin()
+        assert not tuple_visible(xact, snap, later.xid, 0)
+        assert tuple_visible(xact, snap, 1, later.xid)
+
+    def test_aborted_invisible_forever(self):
+        xact = TransactionManager()
+        txn = xact.begin()
+        xact.abort(txn)
+        snap = xact.snapshot()
+        assert not tuple_visible(xact, snap, txn.xid, 0)
+        assert tuple_visible(xact, snap, 1, txn.xid)  # aborted delete
+
+    def test_latest_committed_without_snapshot(self):
+        xact = TransactionManager()
+        txn = xact.begin()
+        assert not tuple_visible(xact, None, txn.xid, 0)
+        xact.commit(txn)
+        assert tuple_visible(xact, None, txn.xid, 0)
+        assert not tuple_visible(xact, None, 1, txn.xid)
+
+    def test_no_manager_reproduces_xmax_test(self):
+        assert tuple_visible(None, None, 1, 0)
+        assert not tuple_visible(None, None, 1, 2)
+
+    def test_safe_horizon_tracks_open_snapshots(self):
+        xact = TransactionManager()
+        txn = xact.begin()
+        txn.snapshot = xact.snapshot(txn.xid)
+        later = xact.begin()
+        xact.commit(later)
+        assert xact.safe_horizon() == txn.xid
+        xact.commit(txn)
+        assert xact.safe_horizon() == xact.next_xid
+
+    def test_snapshot_excludes_own_xid(self):
+        xact = TransactionManager()
+        txn = xact.begin()
+        snap = xact.snapshot(txn.xid)
+        assert txn.xid not in snap.xip
+        assert isinstance(snap, Snapshot)

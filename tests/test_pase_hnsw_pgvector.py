@@ -61,7 +61,7 @@ class TestPaseHNSW:
     def test_incremental_insert(self, loaded_db, hnsw_am, small_dataset):
         vec = small_dataset.base[3] + 40.0
         table = loaded_db.catalog.table("items")
-        tid = table.heap.insert([5555, vec])
+        tid = table.heap.insert([5555, vec], xid=1)
         hnsw_am.insert(tid, vec)
         assert _ids(loaded_db, hnsw_am, vec, 1) == [5555]
 
@@ -146,6 +146,6 @@ class TestPgVector:
     def test_insert(self, loaded_db, pgv_am, small_dataset):
         vec = small_dataset.base[2] + 60.0
         table = loaded_db.catalog.table("items")
-        tid = table.heap.insert([4444, vec])
+        tid = table.heap.insert([4444, vec], xid=1)
         pgv_am.insert(tid, vec)
         assert _ids(loaded_db, pgv_am, vec, 1) == [4444]

@@ -113,7 +113,7 @@ class TestPaseIVFFlat:
     def test_insert_lands_in_correct_bucket(self, loaded_db, flat_am, small_dataset):
         vec = small_dataset.base[0] + 30.0
         table = loaded_db.catalog.table("items")
-        tid = table.heap.insert([7777, vec])
+        tid = table.heap.insert([7777, vec], xid=1)
         flat_am.insert(tid, vec)
         got = _search_am(flat_am, vec, 1)
         assert got == [tid]
@@ -177,7 +177,7 @@ class TestPaseIVFPQ:
     def test_insert(self, loaded_db, pq_am, small_dataset):
         vec = small_dataset.base[1] + 25.0
         table = loaded_db.catalog.table("items")
-        tid = table.heap.insert([8888, vec])
+        tid = table.heap.insert([8888, vec], xid=1)
         pq_am.insert(tid, vec)
         assert _search_am(pq_am, vec, 1) == [tid]
 

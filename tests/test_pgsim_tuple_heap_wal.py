@@ -98,7 +98,7 @@ class TestHeapTable:
     def test_insert_fetch(self, table_env):
         __, __, __, table = table_env
         vec = np.array([1.5, 2.5], dtype=np.float32)
-        tid = table.insert([1, vec])
+        tid = table.insert([1, vec], xid=1)
         row = table.fetch(tid)
         assert row[0] == 1
         np.testing.assert_array_equal(row[1], vec)
@@ -106,7 +106,7 @@ class TestHeapTable:
     def test_multi_page_growth(self, table_env):
         __, __, __, table = table_env
         vec = np.zeros(64, dtype=np.float32)  # 256B+ tuples on 2KB pages
-        tids = [table.insert([i, vec]) for i in range(50)]
+        tids = [table.insert([i, vec], xid=1) for i in range(50)]
         assert table.n_blocks() > 1
         assert table.fetch(tids[-1])[0] == 49
 
@@ -114,7 +114,7 @@ class TestHeapTable:
         __, __, __, table = table_env
         vec = np.zeros(4, dtype=np.float32)
         for i in range(20):
-            table.insert([i, vec])
+            table.insert([i, vec], xid=1)
         rows = list(table.scan())
         assert [r[1][0] for r in rows] == list(range(20))
         assert table.tuple_count == 20
@@ -122,27 +122,27 @@ class TestHeapTable:
     def test_delete_hides_from_scan(self, table_env):
         __, __, __, table = table_env
         vec = np.zeros(4, dtype=np.float32)
-        tids = [table.insert([i, vec]) for i in range(5)]
-        table.delete(tids[2])
+        tids = [table.insert([i, vec], xid=1) for i in range(5)]
+        table.delete(tids[2], xid=1)
         assert [r[1][0] for r in table.scan()] == [0, 1, 3, 4]
         with pytest.raises(KeyError):
             table.fetch(tids[2])
         with pytest.raises(KeyError):
-            table.delete(tids[2])
+            table.delete(tids[2], xid=1)
 
     def test_vacuum(self, table_env):
         __, __, __, table = table_env
         vec = np.zeros(4, dtype=np.float32)
-        tids = [table.insert([i, vec]) for i in range(10)]
+        tids = [table.insert([i, vec], xid=1) for i in range(10)]
         for tid in tids[::2]:
-            table.delete(tid)
+            table.delete(tid, xid=1)
         assert table.vacuum() == 5
         # Remaining rows still fetchable at their original TIDs.
         assert table.fetch(tids[1])[0] == 1
 
     def test_fetch_column(self, table_env):
         __, __, __, table = table_env
-        tid = table.insert([9, np.array([4.0], dtype=np.float32)])
+        tid = table.insert([9, np.array([4.0], dtype=np.float32)], xid=1)
         assert table.fetch_column(tid, 0) == 9
 
     def test_column_index_lookup(self, table_env):
@@ -155,14 +155,14 @@ class TestHeapTable:
         disk, buffer, wal, table = table_env
         vec = np.zeros(4, dtype=np.float32)
         for i in range(7):
-            table.insert([i, vec])
+            table.insert([i, vec], xid=1)
         reopened = HeapTable("t", table.schema, buffer, wal)
         assert reopened.tuple_count == 7
 
     def test_oversized_tuple_rejected(self, table_env):
         __, __, __, table = table_env
         with pytest.raises(ValueError):
-            table.insert([1, np.zeros(4096, dtype=np.float32)])
+            table.insert([1, np.zeros(4096, dtype=np.float32)], xid=1)
 
 
 class TestWalRecovery:

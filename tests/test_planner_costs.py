@@ -25,7 +25,7 @@ def _load(db: PgSimDatabase, n: int, n_values: int, seed: int = 0) -> None:
     rng = np.random.default_rng(seed)
     table = db.catalog.table("t")
     for i in range(n):
-        table.heap.insert([i % n_values, rng.random(DIM).astype(np.float32)])
+        table.heap.insert([i % n_values, rng.random(DIM).astype(np.float32)], xid=1)
     db.wal.log_commit(1)
 
 
