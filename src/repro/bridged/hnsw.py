@@ -46,6 +46,8 @@ class BridgedHNSW(IndexAmRoutine):
         self.dim: int | None = None
         self.store: ArrayGraphStore | None = None
         self._heap_tids: list[TID] = []
+        #: Node ids unlinked by VACUUM (ids are positional, never reused).
+        self._removed: set[int] = set()
         self._rng = make_rng(self.opts.seed)
         self._data_insert_block: int | None = None
 
@@ -100,6 +102,49 @@ class BridgedHNSW(IndexAmRoutine):
         finally:
             self.buffer.unpin(frame, dirty=True)
         self._data_insert_block = blkno
+
+    # ------------------------------------------------------------------
+    # vacuum (ambulkdelete)
+    # ------------------------------------------------------------------
+    def ambulkdelete(self, dead_tids: set[TID]) -> int:
+        """Unlink vacuumed nodes from the in-memory graph.
+
+        Same repair as the page-backed HNSW (bridge + re-shrink via
+        :func:`repro.common.graph.repair_after_delete`), plus removal
+        of the nodes' tuples from the durable data fork so a restart
+        rebuild never resurrects them.
+        """
+        store = self.store
+        if store is None or not dead_tids:
+            return 0
+        dead = {
+            node
+            for node, tid in enumerate(self._heap_tids)
+            if node not in self._removed and tid in dead_tids
+        }
+        if not dead:
+            return 0
+        graph.repair_after_delete(store, self.params, dead | self._removed, store._levels)
+        self._remove_data_entries(dead)
+        self._removed |= dead
+        return len(dead)
+
+    def _remove_data_entries(self, dead: set[int]) -> None:
+        rel = self.relation_name("data")
+        if not self.buffer.disk.relation_exists(rel):
+            return
+        for blkno in range(self.buffer.disk.n_blocks(rel)):
+            frame = self.buffer.pin(rel, blkno)
+            dirty = False
+            try:
+                page = frame.page
+                for off in page.live_items():
+                    (node,) = struct.unpack_from("<I", page.get_item_view(off), 0)
+                    if node in dead:
+                        page.delete_item(off)
+                        dirty = True
+            finally:
+                self.buffer.unpin(frame, dirty=dirty)
 
     # ------------------------------------------------------------------
     # search

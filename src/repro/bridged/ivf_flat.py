@@ -129,6 +129,21 @@ class BridgedIVFFlat(PaseIVFFlat):
         self._mirror.bucket_tids[bucket].append(tid)
 
     # ------------------------------------------------------------------
+    # vacuum (ambulkdelete)
+    # ------------------------------------------------------------------
+    def ambulkdelete(self, dead_tids: set[TID]) -> int:
+        """Page compaction via the base class, then drop the mirror.
+
+        The mirror is rebuilt lazily from the compacted pages on the
+        next scan, so dead vectors leave both representations at once
+        (and a centroid re-centered by the base class is picked up too).
+        """
+        removed = super().ambulkdelete(dead_tids)
+        if removed:
+            self._mirror = None
+        return removed
+
+    # ------------------------------------------------------------------
     # search (Steps #1, #2, #3)
     # ------------------------------------------------------------------
     def scan(self, query: np.ndarray, k: int) -> Iterator[tuple[TID, float]]:

@@ -297,6 +297,66 @@ def _shrink_neighbor_list(
     return [candidate_ids[i] for i in kept]
 
 
+def repair_after_delete(
+    store: GraphStore,
+    params: HNSWParams,
+    dead: set[int],
+    node_levels: Sequence[int],
+) -> int:
+    """Unlink ``dead`` nodes from the graph, bridging around them.
+
+    The VACUUM-side counterpart of :func:`insert`, shared by both HNSW
+    substrates: survivors whose neighbor lists reference a dead node
+    get the dead node's own surviving neighbors spliced in as bridge
+    candidates (so the graph stays connected where the dead node was a
+    hub), then the list is re-shrunk with the same diversity heuristic
+    construction uses whenever it exceeds ``params.max_neighbors``.
+    If the entry point died, the surviving node with the highest level
+    takes over.  Dead nodes keep their ids (node ids are positional in
+    both stores) but end with empty neighbor lists and are unreachable.
+
+    Returns the number of nodes unlinked.
+    """
+    if not dead:
+        return 0
+    count = store.node_count()
+    survivors = [n for n in range(count) if n not in dead]
+    for node in survivors:
+        for level in range(node_levels[node] + 1):
+            nbrs = store.neighbors(node, level)
+            if not any(nb in dead for nb in nbrs):
+                continue
+            candidates = [nb for nb in nbrs if nb not in dead]
+            seen = set(candidates)
+            seen.add(node)
+            for nb in nbrs:
+                if nb not in dead:
+                    continue
+                for bridge in store.neighbors(nb, level):
+                    if bridge in dead or bridge in seen:
+                        continue
+                    seen.add(bridge)
+                    candidates.append(bridge)
+            capacity = params.max_neighbors(level)
+            if len(candidates) > capacity:
+                with store.profiler.section(SEC_SHRINK_NB_LIST):
+                    candidates = _shrink_neighbor_list(store, node, candidates, capacity)
+            store.set_neighbors(node, level, candidates)
+    if store.entry_point is not None and store.entry_point in dead:
+        if survivors:
+            best = max(survivors, key=lambda n: node_levels[n])
+            store.entry_point = best
+            store.max_level = node_levels[best]
+        else:
+            store.entry_point = None
+            store.max_level = -1
+    for node in dead:
+        if node < count:
+            for level in range(node_levels[node] + 1):
+                store.set_neighbors(node, level, [])
+    return sum(1 for node in dead if node < count)
+
+
 def insert(
     store: GraphStore,
     params: HNSWParams,

@@ -102,6 +102,9 @@ class PageGraphStore:
         self.entry_point: int | None = None
         self.max_level = -1
         self._nodes: list[_NodeMeta] = []
+        #: Node ids unlinked by VACUUM; their data tuples are gone, so
+        #: readers (and later vacuums) must skip them.
+        self.removed: set[int] = set()
         self.data_rel = am.create_fork("data")
         self.neighbor_rel = am.create_fork("neighbors")
         self._data_insert_block: int | None = None
@@ -329,6 +332,40 @@ class PaseHNSW(IndexAmRoutine):
             self.dim = int(vec.shape[0])
         node = graph.insert(self.store, self.params, vec, self._rng)
         self.store.set_heap_tid(node, tid)
+
+    # ------------------------------------------------------------------
+    # vacuum (ambulkdelete)
+    # ------------------------------------------------------------------
+    def ambulkdelete(self, dead_tids: set[TID]) -> int:
+        """Unlink graph nodes whose heap tuples were vacuumed.
+
+        Survivor neighbor lists are repaired by bridging through the
+        dead nodes' own neighbors (the shared
+        :func:`repro.common.graph.repair_after_delete`), then the dead
+        nodes' data tuples are deleted so their bytes stop counting as
+        used and their vectors stop costing distance computations.
+        """
+        store = self.store
+        if store is None or not dead_tids:
+            return 0
+        candidates = [n for n in range(store.node_count()) if n not in store.removed]
+        tids = store.heap_tids(candidates)
+        dead = {n for n, tid in zip(candidates, tids) if tid in dead_tids}
+        if not dead:
+            return 0
+        levels = [meta.level for meta in store._nodes]
+        # Previously removed nodes join the dead set so the repair
+        # never picks one as a bridge or replacement entry point.
+        graph.repair_after_delete(store, self.params, dead | store.removed, levels)
+        for node in dead:
+            meta = store._nodes[node]
+            frame = self.buffer.pin(store.data_rel, meta.data_blkno)
+            try:
+                frame.page.delete_item(meta.data_offset)
+            finally:
+                self.buffer.unpin(frame, dirty=True)
+        store.removed |= dead
+        return len(dead)
 
     # ------------------------------------------------------------------
     # search

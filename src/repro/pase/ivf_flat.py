@@ -36,7 +36,7 @@ from repro.pgsim.am import IndexAmRoutine, ScanBatch, register_am, topk_batch
 from repro.pgsim.paths import DISTANCE_OP_WEIGHT
 from repro.pgsim.constants import LINE_POINTER_SIZE, PAGE_HEADER_SIZE
 from repro.pgsim.heapam import TID
-from repro.pgsim.page import PageFullError
+from repro.pgsim.page import Page, PageFullError
 
 _META = struct.Struct("<III")  # dim, clusters, distance_type
 _CENTROID_HEAD = struct.Struct("<II")  # centroid_id, bucket_head_blkno
@@ -69,6 +69,9 @@ class PaseIVFFlat(IndexAmRoutine):
         #: most recent scan — lets ``amrescan_continue`` skip re-ranking
         #: the centroids when the over-fetch loop widens ``k``.
         self._rescan_cache: tuple[bytes, np.ndarray, list[int]] | None = None
+        #: Per-centroid count of post-build inserts, consulted by
+        #: VACUUM's re-centering heuristic (ivf_recluster_threshold).
+        self._bucket_inserts: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # build
@@ -110,6 +113,7 @@ class PaseIVFFlat(IndexAmRoutine):
         self.build_stats.add_seconds = time.perf_counter() - start
         self.build_stats.vectors_added = len(rows)
         self._rescan_cache = None
+        self._bucket_inserts = {}
 
     def _write_meta(self, n_clusters: int) -> None:
         rel = self.create_fork("meta")
@@ -179,6 +183,7 @@ class PaseIVFFlat(IndexAmRoutine):
             dist = float(np.dot(diff, diff))
             if dist < best_dist:
                 best_id, best_dist = cent_id, dist
+        self._bucket_inserts[best_id] = self._bucket_inserts.get(best_id, 0) + 1
         item = _DATA_HEAD.pack(tid.blkno, tid.offset) + vec.tobytes()
         head = self._bucket_head(best_id)
         rel = self.relation_name("data")
@@ -198,6 +203,61 @@ class PaseIVFFlat(IndexAmRoutine):
         finally:
             self.buffer.unpin(frame, dirty=True)
         self._set_bucket_head(best_id, blkno)
+
+    # ------------------------------------------------------------------
+    # vacuum (ambulkdelete)
+    # ------------------------------------------------------------------
+    #: Whether VACUUM may re-center centroids from surviving vectors.
+    #: True only where the data fork stores raw float32 vectors; the
+    #: quantized variants (PQ/SQ8) keep codes, so a recomputed centroid
+    #: would drift from the codec's training frame — they compact only.
+    _RECENTER_ON_VACUUM = True
+
+    def ambulkdelete(self, dead_tids: set[TID]) -> int:
+        """Compact bucket chains, dropping entries for vacuumed tuples.
+
+        Each bucket's page chain is rewritten in place with only the
+        surviving entries.  When a list has churned past the
+        ``ivf_recluster_threshold`` GUC — dead entries plus post-build
+        inserts as a fraction of its current size — its centroid is
+        re-centered to the mean of the surviving vectors, PASE's answer
+        to cluster drift under streaming ingest.
+        """
+        if self.dim is None or not dead_tids:
+            return 0
+        try:
+            threshold = float(self.catalog.get_setting("ivf_recluster_threshold"))
+        except Exception:
+            threshold = float("inf")
+        removed_total = 0
+        for cent_id, removed, survivors in compact_bucket_chains(self, dead_tids):
+            removed_total += removed
+            if not self._RECENTER_ON_VACUUM or not survivors:
+                continue
+            inserts = self._bucket_inserts.get(cent_id, 0)
+            if (removed + inserts) / len(survivors) <= threshold:
+                continue
+            mat = np.vstack(
+                [
+                    np.frombuffer(item, dtype=np.float32, offset=_DATA_HEAD.size)
+                    for item in survivors
+                ]
+            )
+            self._recenter(cent_id, mat.mean(axis=0).astype(np.float32))
+            self._bucket_inserts[cent_id] = 0
+        if removed_total:
+            self._rescan_cache = None
+        return removed_total
+
+    def _recenter(self, centroid_id: int, centroid: np.ndarray) -> None:
+        """Overwrite one centroid vector in place (chain head unchanged)."""
+        blkno, off = self._centroid_location(centroid_id)
+        frame = self.buffer.pin(self.relation_name("centroid"), blkno)
+        try:
+            view = frame.page.get_item_view(off)
+            view[_CENTROID_HEAD.size :] = centroid.tobytes()
+        finally:
+            self.buffer.unpin(frame, dirty=True)
 
     # ------------------------------------------------------------------
     # search
@@ -511,6 +571,79 @@ def _decode_data_page(page, n: int, item_size: int) -> tuple[np.ndarray, np.ndar
         keys[off - 1] = (heap_blk << 16) | heap_off
         vectors.append(np.frombuffer(view, dtype=np.float32, offset=_DATA_HEAD.size))
     return keys, np.vstack(vectors)
+
+
+def compact_bucket_chains(am, dead_tids: set[TID]) -> Iterator[tuple[int, int, list[bytes]]]:
+    """Drop dead entries from every bucket chain of an IVF-family index.
+
+    Shared by the PASE IVF variants (FLAT, PQ, SQ8): all three use the
+    same centroid-tuple head (``centroid_id (u32) | head_blkno (u32)``)
+    and data-page chain layout (``heap_blkno (u32) | heap_off (u16) |
+    pad`` item prefix, next-block pointer in an 8-byte special space),
+    so compaction only needs the raw item bytes — it never decodes the
+    per-AM payload (float32 vector, PQ code, SQ8 code).
+
+    For each bucket, yields ``(centroid_id, removed, survivor_items)``
+    where survivor items are byte copies of the entries kept.  Chains
+    with removals are rewritten in place: each page is re-initialized
+    (keeping its next pointer) and refilled front-to-back, so surviving
+    items stay contiguous — preserving ``_gather_bucket``'s fast path —
+    and trailing chain pages are simply left empty.  Index forks are
+    not WAL-logged (recovery rebuilds them from the DDL log), so the
+    wholesale page rewrite needs no log record.
+    """
+    rel = am.relation_name("data")
+    if not am.buffer.disk.relation_exists(rel):
+        return
+    buckets = [(cent_id, head) for cent_id, head, __ in am._iter_centroids()]
+    for cent_id, head in buckets:
+        survivors: list[bytes] = []
+        removed = 0
+        blkno = head
+        while blkno != _NO_BLOCK:
+            frame = am.buffer.pin(rel, blkno)
+            try:
+                page = frame.page
+                for off in range(1, page.item_count + 1):
+                    view = page.get_item_view(off)
+                    heap_blk, heap_off = _DATA_HEAD.unpack_from(view, 0)
+                    if TID(heap_blk, heap_off) in dead_tids:
+                        removed += 1
+                    else:
+                        # Copy: the view dangles once the frame is
+                        # unpinned (the buffer may recycle it).
+                        survivors.append(bytes(view))
+                (blkno,) = _NEXT.unpack(page.read_special())
+            finally:
+                am.buffer.unpin(frame)
+        if removed:
+            _refill_chain(am, rel, head, survivors)
+        yield cent_id, removed, survivors
+
+
+def _refill_chain(am, rel: str, head: int, survivors: list[bytes]) -> None:
+    """Rewrite a bucket chain's pages in place with the surviving items."""
+    pending = iter(survivors)
+    item = next(pending, None)
+    blkno = head
+    while blkno != _NO_BLOCK:
+        frame = am.buffer.pin(rel, blkno)
+        try:
+            page = frame.page
+            (nxt,) = _NEXT.unpack(page.read_special())
+            fresh = Page.init(page.page_size, special_size=_NEXT.size)
+            page.buf[:] = fresh.buf
+            page.write_special(_NEXT.pack(nxt))
+            while item is not None:
+                try:
+                    page.insert_item(item)
+                except PageFullError:
+                    break
+                item = next(pending, None)
+            blkno = nxt
+        finally:
+            am.buffer.unpin(frame, dirty=True)
+    assert item is None, "surviving items exceeded original chain capacity"
 
 
 def _tid_key(tid: TID) -> int:

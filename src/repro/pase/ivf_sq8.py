@@ -22,7 +22,7 @@ from repro.common.heap import BoundedMaxHeap, NaiveTopK
 from repro.common.kmeans import pase_kmeans, sample_training_rows
 from repro.common.profiling import NULL_PROFILER
 from repro.common.types import BuildStats, IndexSizeInfo
-from repro.pase.ivf_flat import _key_tid, _tid_key
+from repro.pase.ivf_flat import _key_tid, _tid_key, compact_bucket_chains
 from repro.pase.options import parse_ivf_options
 from repro.pgsim.am import IndexAmRoutine, register_am
 from repro.pgsim.paths import DISTANCE_OP_WEIGHT
@@ -192,6 +192,20 @@ class PaseIVFSQ8(IndexAmRoutine):
         finally:
             self.buffer.unpin(frame, dirty=True)
         self._set_bucket_head(best_id, blkno)
+
+    # ------------------------------------------------------------------
+    # vacuum (ambulkdelete)
+    # ------------------------------------------------------------------
+    def ambulkdelete(self, dead_tids: set[TID]) -> int:
+        """Compact bucket chains, dropping entries for vacuumed tuples.
+
+        Compaction only, no re-centering: the data fork stores SQ8 codes,
+        not raw vectors, so a centroid recomputed from decoded entries
+        would drift from the codec's training frame.
+        """
+        if self.dim is None or not dead_tids:
+            return 0
+        return sum(removed for __, removed, __s in compact_bucket_chains(self, dead_tids))
 
     # ------------------------------------------------------------------
     # search

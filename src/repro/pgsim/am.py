@@ -167,6 +167,19 @@ class IndexAmRoutine(abc.ABC):
         """Unindex a heap tuple (default: not supported)."""
         raise NotImplementedError(f"{self.amname} does not support deletes")
 
+    def ambulkdelete(self, dead_tids: set[TID]) -> int:
+        """Physically reclaim entries pointing at vacuumed heap tuples.
+
+        Called by ``VACUUM`` after the heap pass with the TIDs it
+        removed.  Until then searches merely *skip* dead entries via
+        snapshot checks on the heap; this hook is where an AM compacts
+        its structures (IVF list rewrite, HNSW neighbor repair) so dead
+        entries stop costing distance computations.  Returns the number
+        of index entries removed.  The default is a no-op: an AM that
+        does nothing here stays correct, just slower under churn.
+        """
+        return 0
+
     # ------------------------------------------------------------------
     # planner contract (amcostestimate / amrescan)
     # ------------------------------------------------------------------

@@ -67,6 +67,16 @@ DEFAULT_SETTINGS: dict[str, Any] = {
     "cpu_operator_cost": 0.0025,
     # ANALYZE sampling resolution: MCV list length and histogram buckets.
     "default_statistics_target": 100,
+    # Autovacuum-style maintenance (checked after each statement when
+    # ``autovacuum`` is on): vacuum a table once
+    # ``n_dead_tup > threshold + scale_factor * n_live_tup``.
+    "autovacuum": False,
+    "autovacuum_vacuum_threshold": 50,
+    "autovacuum_vacuum_scale_factor": 0.2,
+    # IVF list maintenance: re-center a cluster's centroid during
+    # VACUUM once (dead entries + post-build inserts) exceed this
+    # fraction of the list's size.
+    "ivf_recluster_threshold": 0.3,
 }
 
 _TRUTHY = {"on", "true", "yes", "1"}

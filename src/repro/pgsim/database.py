@@ -136,6 +136,22 @@ class PgSimDatabase:
         except Exception:
             return False
 
+    def _autovacuum_enabled(self) -> bool:
+        try:
+            return self.catalog.get_bool("autovacuum")
+        except Exception:
+            return False
+
+    def maybe_autovacuum(self) -> list[str]:
+        """Run one autovacuum cycle now (manual trigger for harnesses).
+
+        Applies the same dead-tuple thresholds the after-statement hook
+        uses; returns the names of vacuumed tables.  Takes the
+        statement lock so it never interleaves with a session.
+        """
+        with self._statement_lock:
+            return self.executor.maybe_autovacuum()
+
     def query(self, sql: str) -> list[tuple[Any, ...]]:
         """Run a query and return its rows."""
         return self.execute(sql).rows

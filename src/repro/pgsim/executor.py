@@ -20,7 +20,7 @@ from repro.pgsim.am import lookup_am
 from repro.pgsim.analyze import analyze_table
 from repro.pgsim.buffer import BufferManager
 from repro.pgsim.catalog import Catalog, CatalogError, IndexInfo, TableInfo
-from repro.pgsim.heapam import HeapTable
+from repro.pgsim.heapam import TID, HeapTable
 from repro.pgsim.planner import explain_plan, plan_select
 from repro.pgsim.sql import ast
 from repro.pgsim.stats import StatsCollector
@@ -180,21 +180,64 @@ class Executor:
         if isinstance(stmt, ast.Explain):
             return self._explain(stmt)
         if isinstance(stmt, ast.Vacuum):
-            table = self.catalog.table(stmt.table)
-            reclaimed = table.heap.vacuum(horizon=self.xact.safe_horizon())
-            if table.stats is not None:
-                # Like PostgreSQL's VACUUM updating pg_class: refresh
-                # the physical shape so the planner's table_shape()
-                # discount restarts from the post-vacuum baseline.
-                table.stats.reltuples = float(table.heap.tuple_count)
-                table.stats.relpages = max(table.heap.n_blocks(), 1)
-                table.stats.dead_at_analyze = float(table.heap.n_dead_tup)
-            return P.QueryResult(command=f"VACUUM {reclaimed}")
+            return self._vacuum(stmt.table)
         if isinstance(stmt, ast.Reindex):
             return self._reindex(stmt)
         if isinstance(stmt, ast.Analyze):
             return self._analyze(stmt)
         raise ExecutionError(f"unsupported statement: {type(stmt).__name__}")
+
+    def _vacuum(self, table_name: str, autovacuum: bool = False) -> P.QueryResult:
+        """VACUUM: reclaim dead heap tuples, then each index's entries.
+
+        The heap pass collects the reclaimed TIDs and forwards them to
+        every index AM's ``ambulkdelete`` so IVF lists compact and HNSW
+        neighbor lists repair in the same pass.  Afterwards the
+        planner's physical-shape stats rebase to the post-vacuum state.
+        """
+        table = self.catalog.table(table_name)
+        dead_tids: list[TID] = []
+        reclaimed = table.heap.vacuum(
+            horizon=self.xact.safe_horizon(), dead_tids=dead_tids
+        )
+        if autovacuum:
+            table.heap.autovacuum_count += 1
+        index_entries = 0
+        if dead_tids:
+            dead = set(dead_tids)
+            for index in table.indexes.values():
+                index_entries += index.am.ambulkdelete(dead)
+        if table.stats is not None:
+            # Like PostgreSQL's VACUUM updating pg_class: refresh
+            # the physical shape so the planner's table_shape()
+            # discount restarts from the post-vacuum baseline.
+            table.stats.reltuples = float(table.heap.tuple_count)
+            table.stats.relpages = max(table.heap.n_blocks(), 1)
+            table.stats.dead_at_analyze = float(table.heap.n_dead_tup)
+        return P.QueryResult(command=f"VACUUM {reclaimed}")
+
+    def maybe_autovacuum(self) -> list[str]:
+        """Autovacuum hook: vacuum tables past their dead-tuple threshold.
+
+        Mirrors PostgreSQL's launcher decision rule — a table qualifies
+        when ``n_dead_tup > autovacuum_vacuum_threshold +
+        autovacuum_vacuum_scale_factor * n_live_tup`` — but runs
+        synchronously when invoked (the session layer calls this after
+        each statement while the ``autovacuum`` GUC is on; harnesses
+        may call it directly).  Returns the names of vacuumed tables.
+        """
+        try:
+            threshold = float(self.catalog.get_setting("autovacuum_vacuum_threshold"))
+            scale = float(self.catalog.get_setting("autovacuum_vacuum_scale_factor"))
+        except CatalogError:
+            return []
+        vacuumed: list[str] = []
+        for name in self.catalog.table_names():
+            heap = self.catalog.table(name).heap
+            if heap.n_dead_tup > threshold + scale * heap.tuple_count:
+                self._vacuum(name, autovacuum=True)
+                vacuumed.append(name)
+        return vacuumed
 
     def _analyze(self, stmt: ast.Analyze) -> P.QueryResult:
         """ANALYZE [table]: collect planner statistics into the catalog."""
@@ -381,7 +424,12 @@ class Executor:
         return P.QueryResult(command=f"DELETE {len(victims)}")
 
     def _update(self, stmt: ast.Update) -> P.QueryResult:
-        """UPDATE = delete + re-insert (new TID), like PostgreSQL."""
+        """UPDATE = MVCC delete + re-insert (new TID), like PostgreSQL.
+
+        The old version keeps its index entries (searches skip it via
+        the snapshot until VACUUM reclaims them); the new version is
+        indexed in every AM on the table.
+        """
         table = self.catalog.table(stmt.table)
         names = table.column_names()
         unknown = {col for col, __ in stmt.assignments} - set(names)
@@ -402,8 +450,7 @@ class Executor:
             for col, expr in stmt.assignments:
                 idx = table.heap.column_index(col)
                 new_values[idx] = _coerce_for_column(table.columns[idx], E.evaluate(expr, row))
-            table.heap.delete(tid, xid=txn.xid)
-            new_tid = table.heap.insert(new_values, xid=txn.xid)
+            new_tid = table.heap.update(tid, new_values, xid=txn.xid)
             for index in indexes:
                 index.am.insert(
                     new_tid, new_values[table.heap.column_index(index.column_name)]
@@ -451,10 +498,10 @@ class Executor:
         inner = stmt.statement
         if isinstance(inner, ast.Select):
             return self._explain_select(stmt, inner)
-        if isinstance(inner, (ast.Insert, ast.Delete)):
+        if isinstance(inner, (ast.Insert, ast.Delete, ast.Update)):
             return self._explain_dml(stmt, inner)
         raise ExecutionError(
-            "EXPLAIN supports SELECT, INSERT and DELETE statements, "
+            "EXPLAIN supports SELECT, INSERT, UPDATE and DELETE statements, "
             f"not {type(inner).__name__}"
         )
 
@@ -564,7 +611,7 @@ class Executor:
         return lines
 
     def _explain_dml(self, stmt: ast.Explain, inner: ast.Statement) -> P.QueryResult:
-        """EXPLAIN [ANALYZE] for INSERT/DELETE: plan line + counters.
+        """EXPLAIN [ANALYZE] for INSERT/UPDATE/DELETE: plan line + counters.
 
         The write path has no Volcano plan tree to instrument, so
         ANALYZE executes the statement (with its side effects, exactly
@@ -575,6 +622,9 @@ class Executor:
         if isinstance(inner, ast.Insert):
             self.catalog.table(inner.table)  # validate before printing
             lines = [f"Insert on {inner.table} (rows={len(inner.rows)})"]
+        elif isinstance(inner, ast.Update):
+            self.catalog.table(inner.table)
+            lines = [f"Update on {inner.table}", "->  Seq Scan on " + inner.table]
         else:
             assert isinstance(inner, ast.Delete)
             self.catalog.table(inner.table)
@@ -590,6 +640,8 @@ class Executor:
         start = time.perf_counter()
         if isinstance(inner, ast.Insert):
             result = self._insert(inner)
+        elif isinstance(inner, ast.Update):
+            result = self._update(inner)
         else:
             result = self._delete(inner)
         total = time.perf_counter() - start

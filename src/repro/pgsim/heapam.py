@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Any, Iterator, Sequence
 
 from repro.pgsim.buffer import BufferManager
-from repro.pgsim.page import PageFullError
+from repro.pgsim.page import PageCorruptError, PageFullError
 from repro.pgsim.stats import HeapAccessStats
 from repro.pgsim.tuple_format import (
     Schema,
@@ -87,6 +87,10 @@ class HeapTable:
         #: feeds ``pg_stat_user_tables.n_dead_tup`` and the planner's
         #: stale-``reltuples`` discount (see ``analyze.table_shape``).
         self.n_dead_tup = 0
+        #: Per-relation maintenance counters for ``pg_stat_user_tables``.
+        self.n_tup_upd = 0
+        self.vacuum_count = 0
+        self.autovacuum_count = 0
         #: free-space hint: last block known to have room (mini-FSM).
         self._insert_block: int | None = None
         self._bootstrap_count()
@@ -232,7 +236,85 @@ class HeapTable:
         self.stats.tuples_deleted += 1
         self._note_delete(xid)
 
-    def vacuum(self, horizon: int | None = None) -> int:
+    def update(self, tid: TID, values: Sequence[Any], xid: int) -> TID:
+        """MVCC update: delete + insert as one operation; returns the new TID.
+
+        The old version's ``xmax`` is stamped with ``xid`` (same
+        first-updater-wins conflict rules as :meth:`delete`) and the
+        new version is inserted with ``xmin = xid``.  When the new
+        tuple fits on the old version's page, both halves are covered
+        by a single :data:`~repro.pgsim.wal.REC_UPDATE` record; a full
+        page falls back to separate delete + insert records.
+
+        Raises:
+            KeyError: if the tuple is already deleted by this
+                transaction (or by anyone, without a manager).
+            SerializationError: write-write conflict with another
+                in-progress or committed updater/deleter.
+        """
+        data = encode_tuple(self.schema, values, xmin=xid)
+        max_item = self.buffer.disk.page_size - 28
+        if len(data) > max_item:
+            raise ValueError(
+                f"tuple of {len(data)} bytes does not fit a "
+                f"{self.buffer.disk.page_size}-byte page; pgsim does not "
+                "implement TOAST"
+            )
+        new_offset: int | None = None
+        frame = self.buffer.pin(self.relation, tid.blkno)
+        try:
+            view = frame.page.get_item_view(tid.offset)
+            old_xmax = tuple_xmax(view)
+            if old_xmax != 0:
+                if self.xact is None or old_xmax == xid:
+                    raise KeyError(f"tuple {tid} is already deleted")
+                if self.xact.is_in_progress(old_xmax) or self.xact.is_committed(old_xmax):
+                    raise SerializationError()
+                # Previous deleter aborted: overwrite its xmax stamp.
+            off, length = frame.page._pointer(tid.offset)
+            set_tuple_xmax(_writable(frame.page.buf, off, length), xid)
+            try:
+                new_offset = frame.page.insert_item(data)
+            except PageFullError:
+                new_offset = None
+            if self.wal is not None:
+                try:
+                    if self.wal.ensure_page_image(xid, self.relation, tid.blkno, frame.page) is None:
+                        if new_offset is not None:
+                            frame.page.lsn = self.wal.log_update(
+                                xid, self.relation, tid.blkno, tid.offset, data
+                            )
+                        else:
+                            frame.page.lsn = self.wal.log_delete(
+                                xid, self.relation, tid.blkno, tid.offset
+                            )
+                except BaseException:
+                    # Unwind both halves: the WAL never heard of them.
+                    if new_offset is not None:
+                        frame.page.delete_item(new_offset)
+                    set_tuple_xmax(_writable(frame.page.buf, off, length), old_xmax)
+                    raise
+        finally:
+            self.buffer.unpin(frame, dirty=True)
+        if new_offset is not None:
+            new_tid = TID(tid.blkno, new_offset)
+        else:
+            # Old page is full: place the new version elsewhere (logs
+            # its own insert record).
+            blkno, offset = self._place(data, xid)
+            new_tid = TID(blkno, offset)
+        # Counter effects mirror delete + insert, so abort undo (which
+        # reverses per-heap insert/delete tallies) balances exactly.
+        self.n_dead_tup += 1
+        self.n_tup_upd += 1
+        self.stats.tuples_updated += 1
+        self._note_insert(xid)
+        self._note_delete(xid)
+        return new_tid
+
+    def vacuum(
+        self, horizon: int | None = None, dead_tids: list[TID] | None = None
+    ) -> int:
         """Physically remove dead rows; returns tuples reclaimed.
 
         Dead line pointers stay (TIDs of live tuples are stable);
@@ -243,6 +325,10 @@ class HeapTable:
         leftover xmax stamps from *aborted* deleters are cleared so the
         rows stop paying the clog lookup.  Without a manager every
         ``xmax != 0`` tuple is reclaimed, as before.
+
+        When ``dead_tids`` is given, every reclaimed tuple's TID is
+        appended to it — the executor forwards the list to each index
+        AM's :meth:`~repro.pgsim.am.IndexAmRoutine.ambulkdelete`.
         """
         reclaimed = 0
         unstamped = 0
@@ -275,6 +361,8 @@ class HeapTable:
                     set_tuple_xmax(_writable(page.buf, p_off, length), 0)
                 for off in dead:
                     page.delete_item(off)
+                if dead_tids is not None:
+                    dead_tids.extend(TID(blkno, off) for off in dead)
                 if dead:
                     page.defragment()
                     reclaimed += len(dead)
@@ -282,6 +370,7 @@ class HeapTable:
             finally:
                 self.buffer.unpin(frame, dirty=bool(dead or cleared))
         self.n_dead_tup = max(0, self.n_dead_tup - reclaimed)
+        self.vacuum_count += 1
         if reclaimed or unstamped:
             self._insert_block = None  # hint invalidated
         return reclaimed
@@ -361,6 +450,47 @@ class HeapTable:
                     view = page.get_item_view(tids[i].offset)
                     if not self._visible(view, snapshot):
                         raise KeyError(f"tuple {tids[i]} is deleted")
+                    out[i] = decode_column(self.schema, view, column_index)
+                    self.stats.tuples_fetched += 1
+        return out
+
+    def fetch_column_any(self, tid: TID, column_index: int) -> Any:
+        """Fetch one column of *any* tuple version, dead or alive.
+
+        No MVCC check: a tombstoned tuple's payload is still intact
+        until VACUUM physically removes it, and index AMs that keep
+        only TIDs (pgvector) need the payload of every version their
+        entries address — visibility is the executor's job.  Returns
+        ``None`` when the slot was physically reclaimed (the entry lags
+        a completed VACUUM).
+        """
+        with self.buffer.page(self.relation, tid.blkno) as page:
+            try:
+                view = page.get_item_view(tid.offset)
+            except PageCorruptError:
+                return None
+            self.stats.tuples_fetched += 1
+            return decode_column(self.schema, view, column_index)
+
+    def fetch_column_many_any(
+        self, tids: Sequence[TID], column_index: int
+    ) -> list[Any]:
+        """Batched :meth:`fetch_column_any`, one pin per heap block.
+
+        Results align with ``tids``; physically reclaimed slots come
+        back as ``None`` for the caller to filter.
+        """
+        out: list[Any] = [None] * len(tids)
+        by_block: dict[int, list[int]] = {}
+        for i, tid in enumerate(tids):
+            by_block.setdefault(tid.blkno, []).append(i)
+        for blkno, positions in by_block.items():
+            with self.buffer.page(self.relation, blkno) as page:
+                for i in positions:
+                    try:
+                        view = page.get_item_view(tids[i].offset)
+                    except PageCorruptError:
+                        continue
                     out[i] = decode_column(self.schema, view, column_index)
                     self.stats.tuples_fetched += 1
         return out

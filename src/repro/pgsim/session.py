@@ -100,6 +100,12 @@ class Session:
                         db.stats.record_statement(normalized[i], elapsed, len(result.rows))
                 db._log_ddl(stmt)
                 results.append(result)
+                # Autovacuum hook: with the GUC on, check dead-tuple
+                # thresholds after each statement while still holding
+                # the statement lock (a vacuum never interleaves with
+                # another session's statement).
+                if not isinstance(stmt, ast.Vacuum) and db._autovacuum_enabled():
+                    db.executor.maybe_autovacuum()
             finally:
                 db._statement_lock.release()
         return results

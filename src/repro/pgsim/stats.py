@@ -53,6 +53,7 @@ class HeapAccessStats(CounterDeltaMixin):
     tuples_fetched: int = 0
     tuples_inserted: int = 0
     tuples_deleted: int = 0
+    tuples_updated: int = 0
 
 
 @dataclass
@@ -416,6 +417,9 @@ def install_stat_views(catalog: Any, collector: StatsCollector) -> None:
                     stats.relpages if stats is not None else None,
                     table.heap.tuple_count,
                     table.heap.n_dead_tup,
+                    table.heap.n_tup_upd,
+                    table.heap.vacuum_count,
+                    table.heap.autovacuum_count,
                     stats.last_analyze if stats is not None else None,
                 )
             )
@@ -483,7 +487,17 @@ def install_stat_views(catalog: Any, collector: StatsCollector) -> None:
         ),
         StatView(
             "pg_stat_user_tables",
-            ["relname", "reltuples", "relpages", "n_live_tup", "n_dead_tup", "last_analyze"],
+            [
+                "relname",
+                "reltuples",
+                "relpages",
+                "n_live_tup",
+                "n_dead_tup",
+                "n_tup_upd",
+                "vacuum_count",
+                "autovacuum_count",
+                "last_analyze",
+            ],
             user_table_rows,
         ),
     ):

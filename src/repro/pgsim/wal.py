@@ -61,6 +61,7 @@ REC_INSERT = 4
 REC_DELETE = 5
 REC_BEGIN = 6
 REC_ABORT = 7
+REC_UPDATE = 8
 
 _REC_HEADER = struct.Struct("<QBIH")  # lsn, type, xid, rel name length
 
@@ -213,6 +214,20 @@ class WriteAheadLog:
     def log_delete(self, xid: int, rel: str, blkno: int, offset_number: int) -> int:
         """Record a heap delete (payload = 2-byte offset number)."""
         return self._append(REC_DELETE, xid, rel, blkno, struct.pack("<H", offset_number))
+
+    def log_update(
+        self, xid: int, rel: str, blkno: int, old_offset: int, tuple_bytes: bytes
+    ) -> int:
+        """Record a same-page heap update.
+
+        Payload = 2-byte old offset number + the serialized new tuple.
+        Both halves land on one page, so the single-block record format
+        carries a delete (xmax stamp on the old version) and an insert
+        (the new version) atomically; a cross-page update is logged as
+        separate delete + insert records instead.
+        """
+        payload = struct.pack("<H", old_offset) + tuple_bytes
+        return self._append(REC_UPDATE, xid, rel, blkno, payload)
 
     def log_begin(self, xid: int) -> int:
         """Record a transaction start (no flush; rides the next one).
@@ -517,6 +532,12 @@ def replay(wal: WriteAheadLog, disk: DiskManager) -> int:
                 # Stamp the deleter's xid; the purge pass (or, post-
                 # recovery, MVCC visibility) decides the tuple's fate.
                 struct.pack_into("<I", page.buf, off + 4, rec.xid)
+        elif rec.rec_type == REC_UPDATE:
+            (offset_number,) = struct.unpack_from("<H", rec.payload, 0)
+            off, length = page._pointer(offset_number)
+            if length != 0:
+                struct.pack_into("<I", page.buf, off + 4, rec.xid)
+            page.insert_item(rec.payload[2:])
         else:
             raise ValueError(f"unknown WAL record type: {rec.rec_type}")
         page.lsn = rec.lsn

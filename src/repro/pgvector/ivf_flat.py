@@ -26,7 +26,7 @@ from repro.common.kmeans import pase_kmeans, sample_training_rows
 from repro.common.profiling import NULL_PROFILER
 from repro.common.types import BuildStats, IndexSizeInfo
 from repro.pase.ivf_flat import _key_tid as key_to_tid
-from repro.pase.ivf_flat import _tid_key
+from repro.pase.ivf_flat import _tid_key, compact_bucket_chains
 from repro.pase.options import parse_ivf_options
 from repro.pgsim.am import IndexAmRoutine, ScanBatch, register_am, topk_batch
 from repro.pgsim.constants import LINE_POINTER_SIZE, PAGE_HEADER_SIZE
@@ -168,6 +168,21 @@ class PgVectorIVFFlat(IndexAmRoutine):
         self._set_bucket_head(best_id, blkno)
 
     # ------------------------------------------------------------------
+    # vacuum (ambulkdelete)
+    # ------------------------------------------------------------------
+    def ambulkdelete(self, dead_tids: set[TID]) -> int:
+        """Compact bucket chains, dropping entries for vacuumed tuples.
+
+        The TID-only tuples share the PASE chain layout (same 8-byte
+        ``blkno | offset | pad`` prefix, just no vector payload), so
+        the shared raw-bytes compaction applies unchanged.  No
+        re-centering: the index holds no vectors to recompute from.
+        """
+        if self.dim is None or not dead_tids:
+            return 0
+        return sum(removed for __, removed, __s in compact_bucket_chains(self, dead_tids))
+
+    # ------------------------------------------------------------------
     # search
     # ------------------------------------------------------------------
     def scan(self, query: np.ndarray, k: int) -> Iterator[tuple[TID, float]]:
@@ -192,9 +207,13 @@ class PgVectorIVFFlat(IndexAmRoutine):
             for tid in self._iter_bucket(heads[bucket]):
                 candidates += 1
                 # The defining pgvector cost: fetch the candidate's
-                # vector from the base heap table.
+                # vector from the base heap table.  Any-version fetch:
+                # tombstoned tuples still score (the executor filters
+                # by snapshot); only physically reclaimed slots skip.
                 with prof.section(SEC_HEAP_FETCH):
-                    vec = self.table.fetch_column(tid, self.column_index)
+                    vec = self.table.fetch_column_any(tid, self.column_index)
+                if vec is None:
+                    continue
                 with prof.section(SEC_DISTANCE):
                     dist = kernel(query, np.asarray(vec, dtype=np.float32))
                 with prof.section(SEC_HEAP):
@@ -237,7 +256,13 @@ class PgVectorIVFFlat(IndexAmRoutine):
         if not tids:
             return ScanBatch.empty()
         with prof.section(SEC_HEAP_FETCH):
-            columns = self.table.fetch_column_many(tids, self.column_index)
+            columns = self.table.fetch_column_many_any(tids, self.column_index)
+            if any(c is None for c in columns):
+                # Entries lagging a completed heap VACUUM: drop them.
+                tids = [t for t, c in zip(tids, columns) if c is not None]
+                columns = [c for c in columns if c is not None]
+            if not tids:
+                return ScanBatch.empty()
             vectors = np.asarray(columns, dtype=np.float32)
         with prof.section(SEC_DISTANCE):
             dists = rows(query, vectors)

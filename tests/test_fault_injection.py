@@ -379,6 +379,132 @@ class TestTransactionRecovery:
                 assert recovered == [0], f"op {op}: phantom commit {recovered}"
 
 
+class TestChurnRecovery:
+    """Crash sweeps across the churn path: UPDATE's delete+insert pair
+    must recover atomically, and VACUUM's physical reclaim (heap slots
+    plus index entries) must never lose committed rows."""
+
+    NEW_VEC = "77.5,1.25"
+
+    def _fresh(self, datadir, injector=None) -> PgSimDatabase:
+        return PgSimDatabase(
+            data_dir=datadir, buffer_pool_pages=POOL, fault_injector=injector
+        )
+
+    def _live_rows(self, datadir) -> dict[int, float]:
+        """Recovered ``{id: vec[0]}`` — the first component identifies
+        whether a row carries its original or its updated vector."""
+        db = PgSimDatabase(data_dir=datadir, buffer_pool_pages=POOL)
+        if not db.catalog.has_table("t"):
+            return {}
+        return {row[0]: float(row[1][0]) for row in db.query("SELECT id, vec FROM t")}
+
+    def test_crash_sweep_mid_update(self, tmp_path):
+        """Crash at every I/O boundary of a multi-row UPDATE: recovery
+        must expose all old versions or all new ones, never a mix of
+        the two (the delete+insert pair shares one transaction)."""
+
+        def run(datadir, injector):
+            marks = []
+            try:
+                db = self._fresh(datadir, injector)
+                db.execute("CREATE TABLE t (id int, vec float[])")
+                for i in range(4):
+                    _insert(db, i)
+                db.execute(
+                    "CREATE INDEX ix ON t USING pase_ivfflat (vec) "
+                    "WITH (clusters = 2, sample_ratio = 1.0, seed = 1)"
+                )
+                session = db.session("client")
+                session.execute("BEGIN")
+                marks.append(injector.ops if injector else 0)  # pre-update
+                session.execute(
+                    f"UPDATE t SET vec = '{self.NEW_VEC}'::PASE WHERE id < 2"
+                )
+                db.wal.flush()
+                marks.append(injector.ops if injector else 0)  # pre-commit
+                session.execute("COMMIT")
+                return marks, False
+            except (SimulatedCrash, SimulatedIOError, WalPanicError):
+                return marks, True
+
+        counter = FaultInjector()
+        marks, crashed = run(tmp_path / "baseline", counter)
+        assert not crashed
+        pre_update, pre_commit = marks
+        assert pre_commit > pre_update, "UPDATE produced no durable I/O"
+
+        # +2 covers the commit record's own write and fsync ops.
+        for op in range(pre_update, pre_commit + 2):
+            datadir = tmp_path / f"upd-crash-{op}"
+            __, crashed = run(datadir, FaultInjector.crash_at(op))
+            assert crashed, f"crash at op {op} did not fire"
+            rows = self._live_rows(datadir)
+            assert sorted(rows) == [0, 1, 2, 3], f"op {op}: cardinality {rows}"
+            updated = sorted(i for i, x in rows.items() if x == 77.5)
+            assert updated in ([], [0, 1]), f"op {op}: torn update {rows}"
+            if op <= pre_commit:
+                # The commit record can never be durable here, so the
+                # update must have rolled back in full.
+                assert updated == [], f"op {op}: phantom committed update"
+
+    def test_crash_sweep_mid_vacuum_index_reclaim(self, tmp_path):
+        """Crash at every I/O boundary while VACUUM's reclaim becomes
+        durable (the vacuum pass itself plus the checkpoint that
+        flushes the compacted heap and index pages): committed rows
+        must all survive with their post-churn values, and the
+        recovered index must serve exactly the live set."""
+
+        def run(datadir, injector):
+            marks = []
+            try:
+                db = self._fresh(datadir, injector)
+                db.execute("CREATE TABLE t (id int, vec float[])")
+                for i in range(N_ROWS):
+                    _insert(db, i)
+                db.execute(
+                    "CREATE INDEX ix ON t USING pase_ivfflat (vec) "
+                    "WITH (clusters = 2, sample_ratio = 1.0, seed = 1)"
+                )
+                db.execute("DELETE FROM t WHERE id >= 6")
+                db.execute(
+                    f"UPDATE t SET vec = '{self.NEW_VEC}'::PASE WHERE id < 2"
+                )
+                marks.append(injector.ops if injector else 0)  # pre-vacuum
+                db.execute("VACUUM t")
+                db.checkpoint()  # flush reclaimed pages, truncate the log
+                marks.append(injector.ops if injector else 0)  # post-vacuum
+                return marks, False
+            except (SimulatedCrash, SimulatedIOError, WalPanicError):
+                return marks, True
+
+        counter = FaultInjector()
+        marks, crashed = run(tmp_path / "baseline", counter)
+        assert not crashed
+        pre_vacuum, post_vacuum = marks
+        assert post_vacuum > pre_vacuum, "vacuum + checkpoint did no I/O"
+
+        for op in range(pre_vacuum, post_vacuum):
+            datadir = tmp_path / f"vac-crash-{op}"
+            __, crashed = run(datadir, FaultInjector.crash_at(op))
+            assert crashed, f"crash at op {op} did not fire"
+            rows = self._live_rows(datadir)
+            assert sorted(rows) == [0, 1, 2, 3, 4, 5], f"op {op}: {rows}"
+            assert sorted(i for i in rows if rows[i] == 77.5) == [0, 1], (
+                f"op {op}: updated values lost {rows}"
+            )
+            # The recovered index serves the live set and nothing else.
+            db = PgSimDatabase(data_dir=datadir, buffer_pool_pages=POOL)
+            db.execute("SET enable_seqscan = off")
+            got = [
+                r[0]
+                for r in db.query(
+                    "SELECT id FROM t ORDER BY vec <-> '0.5,1.25' LIMIT 10"
+                )
+            ]
+            assert sorted(got) == [0, 1, 2, 3, 4, 5], f"op {op}: index served {got}"
+
+
 class TestInjector:
     def test_counts_ops_without_faults(self, tmp_path):
         injector = FaultInjector()
