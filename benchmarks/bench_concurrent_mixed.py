@@ -17,7 +17,7 @@ QPS, and the wait-event breakdown.
 import threading
 import time
 
-from conftest import emit_bench
+from conftest import emit_bench, metrics_extras
 from repro.common.datasets import tiny_dataset
 from repro.pgsim import PgSimDatabase
 from repro.pgsim.xact import SerializationError
@@ -71,6 +71,10 @@ def test_concurrent_mixed_open_loop():
     # Warm plans and buffers single-threaded before the clock starts.
     for sql in search_sql:
         db.query(sql)
+    # Statement logging on for the contended phase: the slowest
+    # statements land in pg_slow_queries and ride along in the BENCH
+    # JSON (rendered by the trend gate on a regression).
+    db.execute("SET log_min_duration_statement = 0")
 
     samples: dict[str, list[float]] = {"search": [], "insert": [], "delete": []}
     lock = threading.Lock()
@@ -174,6 +178,7 @@ def test_concurrent_mixed_open_loop():
             }
             | {f"{kind}_p99_ms": pct(kind, 0.99) for kind in samples},
             "wait_events": waits,
-        },
+        }
+        | metrics_extras(db),
     )
     assert path.exists()

@@ -108,3 +108,61 @@ def test_tracing_overhead(ivf_study):
     )
     # Target is <1.10; the gate leaves headroom for shared-runner noise.
     assert ratio < 1.35, f"span tracing overhead too high: {ratio:.2f}x"
+
+
+def test_live_layer_overhead(ivf_study):
+    """The live serving-observability layer must stay under 10%.
+
+    "Live layer" = everything the PR arms on the hot path even when
+    nothing fires: pg_stat_activity bookkeeping around each statement,
+    a 1% recall-probe sampling decision per top-k scan, an armed (but
+    never crossed) ``log_min_duration_statement`` threshold, plus one
+    ``metrics_text()`` scrape per batch — the always-on production
+    configuration.  Compared against every surface disabled.
+    """
+    db = ivf_study.generalized.db
+    db.execute(f"SET pase.nprobe = {NPROBE}")
+    db.execute("SET track_query_stats = off")
+    sqls = _probe_sqls(ivf_study)
+    try:
+        for sql in sqls:  # warm the buffer pool and plan paths
+            db.execute(sql)
+
+        db.execute("SET vector_quality_probe_rate = 0")
+        db.execute("SET log_min_duration_statement = -1")
+        baseline = _best_batch_seconds(db, sqls)
+
+        db.execute("SET vector_quality_probe_rate = 0.01")
+        db.execute("SET log_min_duration_statement = 10000")
+        live = float("inf")
+        for __ in range(REPEATS):
+            start = time.perf_counter()
+            for sql in sqls:
+                db.execute(sql)
+            db.metrics_text()
+            live = min(live, time.perf_counter() - start)
+        scrape_bytes = len(db.metrics_text())
+    finally:
+        db.execute("SET vector_quality_probe_rate = 0")
+        db.execute("SET log_min_duration_statement = -1")
+        db.execute("SET track_query_stats = on")
+
+    ratio = live / baseline if baseline > 0 else 1.0
+    emit_bench(
+        "live_obs_overhead",
+        params={
+            "k": K,
+            "nprobe": NPROBE,
+            "n_queries": N_QUERIES,
+            "repeats": REPEATS,
+            "probe_rate": 0.01,
+        },
+        latency={
+            "live_ms": live / len(sqls) * 1e3,
+            "baseline_ms": baseline / len(sqls) * 1e3,
+        },
+        counters={"scrape_bytes": scrape_bytes},
+        extra={"overhead_ratio": ratio},
+    )
+    # Target is <1.10; the gate leaves headroom for shared-runner noise.
+    assert ratio < 1.35, f"live observability overhead too high: {ratio:.2f}x"

@@ -25,7 +25,7 @@ import time
 
 import numpy as np
 
-from conftest import emit_bench
+from conftest import emit_bench, metrics_extras
 from repro.common.datasets import tiny_dataset
 from repro.pgsim import PgSimDatabase
 
@@ -81,6 +81,14 @@ def _run_am(am: str, opts: str, latencies: list[float]) -> dict:
     db.execute("ANALYZE items")
     db.execute(f"SET pase.nprobe = {NPROBE}")
     db.execute("SET enable_seqscan = off")
+    # Live observability on for the whole churn run: every statement
+    # logs (the top-5 ride along in the BENCH JSON), and a quarter of
+    # the top-k scans are re-answered by the brute-force oracle into
+    # pg_stat_vector_quality — the online counterpart of the explicit
+    # recall checkpoints below.
+    db.execute("SET log_min_duration_statement = 0")
+    db.execute("SET vector_quality_probe_rate = 0.25")
+    db.execute("SET vector_quality_probe_seed = 7")
     queries = [np.asarray(q, dtype=np.float32) for q in dataset.queries]
 
     def churn_vector() -> np.ndarray:
@@ -127,6 +135,13 @@ def _run_am(am: str, opts: str, latencies: list[float]) -> dict:
     db.execute(f"CREATE INDEX ix ON items USING {am} (vec) {opts}")
     result["recall_rebuild"] = _recall(db, live, queries)
     result.update({f"ops_{kind}": n for kind, n in counts.items()})
+    # Columns: index, am, probes, mean_recall, min_recall, last_recall
+    # ("index" is reserved in the SQL grammar, hence SELECT *).
+    result["online_quality"] = [
+        {"index": row[0], "am": row[1], "probes": row[2], "mean_recall": row[3]}
+        for row in db.query("SELECT * FROM pg_stat_vector_quality")
+    ]
+    result.update(metrics_extras(db))
     return result
 
 

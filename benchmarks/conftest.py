@@ -85,3 +85,37 @@ def emit_bench(workload: str, **kwargs):
     follows ``$BENCH_RESULTS_DIR`` (CI sets it to the artifact dir).
     """
     return write_bench_json(workload, **kwargs)
+
+
+def metrics_extras(db) -> dict:
+    """Observability attachment for a bench's ``extra`` block.
+
+    ``metrics_snapshot`` is the final scrape flattened to plain
+    counters/gauges (histogram series dropped — they would bloat the
+    JSON); ``slow_queries`` is the top-5 of ``pg_slow_queries`` with
+    plan text omitted.  The trend gate renders the slow queries under
+    a regressed workload, so a latency regression in CI arrives with
+    the offending statements attached.
+    """
+    from repro.common.metrics_export import parse_exposition
+
+    snapshot: dict[str, float] = {}
+    for sample in parse_exposition(db.metrics_text()).samples:
+        if sample.name.endswith(("_bucket", "_sum", "_count")):
+            continue
+        key = sample.name
+        if sample.labels:
+            key += "{" + ",".join(f"{k}={v}" for k, v in sorted(sample.labels.items())) + "}"
+        snapshot[key] = sample.value
+    slow = [
+        {
+            "query": rec.query,
+            "kind": rec.kind,
+            "session": rec.session,
+            "elapsed_ms": rec.elapsed_ms,
+            "rows": rec.rows,
+            "rc_top": rec.rc_top(),
+        }
+        for rec in db.slowlog.top(5)
+    ]
+    return {"metrics_snapshot": snapshot, "slow_queries": slow}

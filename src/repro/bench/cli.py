@@ -7,6 +7,7 @@ Examples::
     repro-bench --experiment fig14 --scale 0.002
     repro-bench --all
     repro-bench trend --baseline benchmarks/results --current bench-results
+    repro-bench metrics --out bench-results/metrics.prom
 """
 
 from __future__ import annotations
@@ -27,6 +28,8 @@ def main(argv: list[str] | None = None) -> int:
         from repro.bench.trend import main as trend_main
 
         return trend_main(argv[1:])
+    if argv and argv[0] == "metrics":
+        return _metrics_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description="Regenerate the figures/tables of the PASE-vs-Faiss ICDE'24 study.",
@@ -71,6 +74,62 @@ def main(argv: list[str] | None = None) -> int:
         elapsed = time.perf_counter() - start
         print(result)
         print(f"\n[{exp_id} completed in {elapsed:.1f}s]\n")
+    return 0
+
+
+def _metrics_main(argv: list[str]) -> int:
+    """``repro-bench metrics``: exercise a tiny workload and scrape it.
+
+    Runs a small vector workload with every live-observability surface
+    enabled (statement logging, auto_explain, recall probes), scrapes
+    the database's Prometheus exposition, validates it with the strict
+    parser, and prints it (or writes it with ``--out``).  CI runs this
+    once per build to prove the scrape endpoint stays parseable.
+    """
+    import random
+
+    from repro.common.metrics_export import parse_exposition
+    from repro.pgsim.database import PgSimDatabase
+
+    parser = argparse.ArgumentParser(
+        prog="repro-bench metrics",
+        description="Scrape a demo workload's metrics in Prometheus text format.",
+    )
+    parser.add_argument("--out", default=None, help="write the exposition to this file")
+    parser.add_argument("--rows", type=int, default=200, help="demo table size")
+    parser.add_argument("--dim", type=int, default=16, help="vector dimensionality")
+    parser.add_argument("--queries", type=int, default=20, help="top-k queries to run")
+    args = parser.parse_args(argv)
+
+    rng = random.Random(42)
+    db = PgSimDatabase()
+    db.execute("CREATE TABLE metrics_demo (id int, v float[])")
+    for i in range(args.rows):
+        vec = "[" + ",".join(f"{rng.random():.5f}" for _ in range(args.dim)) + "]"
+        db.execute(f"INSERT INTO metrics_demo VALUES ({i}, '{vec}')")
+    db.execute(
+        "CREATE INDEX metrics_demo_idx ON metrics_demo "
+        "USING pase_ivfflat (v) WITH (clustering_sample_ratio = 1)"
+    )
+    db.execute("SET vector_quality_probe_rate = 0.5")
+    db.execute("SET log_min_duration_statement = 0")
+    for __ in range(args.queries):
+        q = "[" + ",".join(f"{rng.random():.5f}" for _ in range(args.dim)) + "]"
+        db.query(f"SELECT id FROM metrics_demo ORDER BY v <-> '{q}' LIMIT 10")
+    db.execute("DELETE FROM metrics_demo WHERE id < 20")
+    db.execute("VACUUM metrics_demo")
+
+    text = db.metrics_text()
+    exposition = parse_exposition(text)  # raises on malformed output
+    if args.out:
+        from pathlib import Path
+
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text)
+        print(f"wrote {len(exposition.samples)} samples to {out}")
+    else:
+        sys.stdout.write(text)
     return 0
 
 

@@ -60,6 +60,9 @@ class TrendReport:
     threshold: float
     only_baseline: list[str]  #: workloads missing from the current run
     only_current: list[str]  #: new workloads without a baseline
+    #: Per-workload diagnostic lines (slow queries captured by the
+    #: current run); rendered under a workload's REGRESSION line.
+    context: dict[str, list[str]]
 
     @property
     def regressions(self) -> list[MetricDelta]:
@@ -74,13 +77,18 @@ class TrendReport:
             f"benchmark trend: {len(self.deltas)} gated metrics, "
             f"threshold +{self.threshold * 100:.0f}%"
         ]
+        shown: set[str] = set()
         for d in sorted(self.deltas, key=lambda d: d.ratio, reverse=True):
-            flag = "REGRESSION" if d.regressed(self.threshold) else "ok"
+            regressed = d.regressed(self.threshold)
+            flag = "REGRESSION" if regressed else "ok"
             lines.append(
                 f"  {d.workload:<28} {d.metric:<8} "
                 f"{d.baseline:9.3f} -> {d.current:9.3f} ms "
                 f"({d.ratio:5.2f}x)  {flag}"
             )
+            if regressed and d.workload not in shown:
+                shown.add(d.workload)
+                lines.extend(f"      {note}" for note in self.context.get(d.workload, ()))
         if self.only_current:
             lines.append(f"  new workloads (no baseline): {', '.join(self.only_current)}")
         if self.only_baseline:
@@ -89,6 +97,32 @@ class TrendReport:
             "trend: OK" if self.ok else f"trend: {len(self.regressions)} regression(s)"
         )
         return "\n".join(lines)
+
+
+def _slow_query_notes(doc: dict) -> list[str]:
+    """Diagnostic lines from a BENCH doc's ``extra.slow_queries``.
+
+    Benches that run with statement logging on attach their slowest
+    captured statements (query, elapsed, top RC bucket); a regressed
+    workload renders them so the gate's failure output already points
+    at *which* statement got slow, not just that one did.
+    """
+    entries = (doc.get("extra") or {}).get("slow_queries")
+    if not isinstance(entries, list):
+        return []
+    notes = []
+    for entry in entries[:3]:
+        if not isinstance(entry, dict):
+            continue
+        query = str(entry.get("query", "?"))
+        if len(query) > 60:
+            query = query[:57] + "..."
+        note = f"slow: {query}  {float(entry.get('elapsed_ms', 0.0)):.3f} ms"
+        rc_top = entry.get("rc_top")
+        if rc_top:
+            note += f"  [{rc_top}]"
+        notes.append(note)
+    return notes
 
 
 def load_bench_dir(directory: str | Path) -> dict[str, dict]:
@@ -133,11 +167,17 @@ def compare(
                         current=float(c),
                     )
                 )
+    context = {
+        workload: notes
+        for workload, doc in current.items()
+        if (notes := _slow_query_notes(doc))
+    }
     return TrendReport(
         deltas=deltas,
         threshold=threshold,
         only_baseline=sorted(baseline.keys() - current.keys()),
         only_current=sorted(current.keys() - baseline.keys()),
+        context=context,
     )
 
 

@@ -127,6 +127,7 @@ class BridgedHNSW(IndexAmRoutine):
         graph.repair_after_delete(store, self.params, dead | self._removed, store._levels)
         self._remove_data_entries(dead)
         self._removed |= dead
+        self.vacuum_progress.tick_index_entries(len(dead))
         return len(dead)
 
     def _remove_data_entries(self, dead: set[int]) -> None:

@@ -137,6 +137,8 @@ class BridgedIVFFlat(PaseIVFFlat):
         The mirror is rebuilt lazily from the compacted pages on the
         next scan, so dead vectors leave both representations at once
         (and a centroid re-centered by the base class is picked up too).
+        Vacuum-progress ticks come from the inherited compaction loop —
+        ticking here as well would double-count reclaimed entries.
         """
         removed = super().ambulkdelete(dead_tids)
         if removed:

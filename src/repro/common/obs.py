@@ -205,6 +205,70 @@ class _NullProgress(BuildProgress):
 NULL_PROGRESS = _NullProgress()
 
 
+class VacuumProgress:
+    """Live phase progress of one VACUUM (``pg_stat_progress_vacuum``).
+
+    The executor drives the heap-scan / index-vacuum / cleanup phases;
+    each index AM ticks :meth:`tick_index_entries` from inside its
+    ``ambulkdelete`` so observers watch per-index reclamation advance
+    in real time, the way PostgreSQL reports ``vacuuming indexes``.
+    """
+
+    __slots__ = (
+        "table_name",
+        "phase",
+        "heap_blks_total",
+        "heap_blks_scanned",
+        "tuples_removed",
+        "index_name",
+        "index_vacuum_count",
+        "index_entries_removed",
+        "phases_seen",
+        "finished",
+    )
+
+    def __init__(self, table_name: str = "") -> None:
+        self.table_name = table_name
+        self.phase = "initializing"
+        self.heap_blks_total = 0
+        self.heap_blks_scanned = 0
+        self.tuples_removed = 0
+        #: Index currently under ``ambulkdelete`` (empty between).
+        self.index_name = ""
+        self.index_vacuum_count = 0
+        self.index_entries_removed = 0
+        #: Phases in the order the executor entered them.
+        self.phases_seen: list[str] = []
+        self.finished = False
+
+    def set_phase(self, phase: str) -> None:
+        self.phase = phase
+        self.phases_seen.append(phase)
+
+    def tick_heap(self, n: int = 1) -> None:
+        self.heap_blks_scanned += n
+
+    def tick_index_entries(self, n: int = 1) -> None:
+        self.index_entries_removed += n
+
+
+class _NullVacuumProgress(VacuumProgress):
+    """Do-nothing vacuum progress sink (default on every index AM)."""
+
+    def set_phase(self, phase: str) -> None:
+        return None
+
+    def tick_heap(self, n: int = 1) -> None:
+        return None
+
+    def tick_index_entries(self, n: int = 1) -> None:
+        return None
+
+
+#: Shared no-op vacuum-progress reporter.
+NULL_VACUUM_PROGRESS = _NullVacuumProgress()
+
+
 @dataclass(slots=True)
 class IndexScanStats(CounterDeltaMixin):
     """Cumulative index-AM work counters (``pg_stat_indexes``).
@@ -299,6 +363,67 @@ class LatencyHistogram:
         self.count += other.count
         self.total_seconds += other.total_seconds
         self.max_seconds = max(self.max_seconds, other.max_seconds)
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(upper_bound_seconds, cumulative_count)`` pairs, ascending.
+
+        The Prometheus histogram shape: each entry counts every sample
+        at or below its bound, so counts are non-decreasing and the
+        last entry equals ``count`` (the exporter adds the ``+Inf``
+        bucket itself).  Only occupied buckets are materialized — the
+        log-bucket grid is sparse by construction.
+        """
+        out: list[tuple[float, int]] = []
+        seen = 0
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            out.append((self._upper_bound(index), seen))
+        return out
+
+
+class RecallHistogram:
+    """Fixed-bucket recall@k histogram for the online quality probes.
+
+    Recall lives in [0, 1], so linear buckets 0.05 wide beat the
+    latency histogram's log spacing: the interesting signal is mass
+    shifting from the 1.0 bucket toward 0.9 and below as an index
+    degrades under churn.  Tracks count/sum/min and the most recent
+    observation so a view can show both the trend and "right now".
+    """
+
+    N_BUCKETS = 20
+
+    __slots__ = ("_buckets", "count", "total", "min_value", "last_value")
+
+    def __init__(self) -> None:
+        #: bucket index -> count; bucket i covers (i/20, (i+1)/20].
+        self._buckets: dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.min_value = 1.0
+        self.last_value = 0.0
+
+    def record(self, recall: float) -> None:
+        recall = min(max(recall, 0.0), 1.0)
+        self.count += 1
+        self.total += recall
+        self.min_value = min(self.min_value, recall)
+        self.last_value = recall
+        index = min(int(recall * self.N_BUCKETS), self.N_BUCKETS - 1)
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` over the full [0, 1] grid."""
+        out: list[tuple[float, int]] = []
+        seen = 0
+        for index in range(self.N_BUCKETS):
+            seen += self._buckets.get(index, 0)
+            out.append(((index + 1) / self.N_BUCKETS, seen))
+        return out
 
 
 # ----------------------------------------------------------------------

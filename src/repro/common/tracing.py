@@ -31,6 +31,14 @@ from typing import Any, Iterator
 #: tracing long loops without ``reset()``).
 DEFAULT_MAX_SPANS = 1_000_000
 
+#: Span bound for always-on capture paths (auto_explain): statements
+#: crossing the slow-query threshold trace with this much smaller cap,
+#: so a pathological query can't balloon the serving process the way
+#: an explicit EXPLAIN (ANALYZE, TRACE) is allowed to.  The RC
+#: attribution degrades gracefully — dropped spans only lose leaf
+#: detail, the section totals still reconcile.
+AUTO_CAPTURE_MAX_SPANS = 50_000
+
 
 class SpanEvent:
     """A point-in-time annotation attached to a span."""

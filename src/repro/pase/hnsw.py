@@ -365,6 +365,7 @@ class PaseHNSW(IndexAmRoutine):
             finally:
                 self.buffer.unpin(frame, dirty=True)
         store.removed |= dead
+        self.vacuum_progress.tick_index_entries(len(dead))
         return len(dead)
 
     # ------------------------------------------------------------------

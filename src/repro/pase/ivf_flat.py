@@ -232,6 +232,10 @@ class PaseIVFFlat(IndexAmRoutine):
         removed_total = 0
         for cent_id, removed, survivors in compact_bucket_chains(self, dead_tids):
             removed_total += removed
+            if removed:
+                # Per-bucket progress tick (pg_stat_progress_vacuum):
+                # observers see entry reclamation advance chain by chain.
+                self.vacuum_progress.tick_index_entries(removed)
             if not self._RECENTER_ON_VACUUM or not survivors:
                 continue
             inserts = self._bucket_inserts.get(cent_id, 0)

@@ -205,7 +205,12 @@ class PaseIVFSQ8(IndexAmRoutine):
         """
         if self.dim is None or not dead_tids:
             return 0
-        return sum(removed for __, removed, __s in compact_bucket_chains(self, dead_tids))
+        removed_total = 0
+        for __, removed, __s in compact_bucket_chains(self, dead_tids):
+            removed_total += removed
+            if removed:
+                self.vacuum_progress.tick_index_entries(removed)
+        return removed_total
 
     # ------------------------------------------------------------------
     # search

@@ -18,7 +18,7 @@ from typing import Any, Iterator
 
 import numpy as np
 
-from repro.common.obs import NULL_PROGRESS, IndexScanStats
+from repro.common.obs import NULL_PROGRESS, NULL_VACUUM_PROGRESS, IndexScanStats
 from repro.common.profiling import NULL_PROFILER
 from repro.common.types import IndexSizeInfo
 from repro.pgsim.buffer import BufferManager
@@ -132,6 +132,10 @@ class IndexAmRoutine(abc.ABC):
         #: Build-progress reporter (``pg_stat_progress_create_index``);
         #: the executor installs a live one around :meth:`build`.
         self.progress = NULL_PROGRESS
+        #: Vacuum-progress reporter (``pg_stat_progress_vacuum``); the
+        #: executor installs a live one around :meth:`ambulkdelete`, and
+        #: AMs tick ``tick_index_entries`` as they reclaim entries.
+        self.vacuum_progress = NULL_VACUUM_PROGRESS
 
     # ------------------------------------------------------------------
     # lifecycle (ambuild / aminsert / ambulkdelete / amgettuple)

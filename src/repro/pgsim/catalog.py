@@ -77,6 +77,25 @@ DEFAULT_SETTINGS: dict[str, Any] = {
     # VACUUM once (dead entries + post-build inserts) exceed this
     # fraction of the list's size.
     "ivf_recluster_threshold": 0.3,
+    # Slow-query logging (PostgreSQL semantics): statements taking at
+    # least this many milliseconds are recorded in the structured
+    # slow-query ring; -1 disables, 0 logs everything.
+    "log_min_duration_statement": -1,
+    # auto_explain: statements crossing this threshold (ms) capture
+    # their EXPLAIN (ANALYZE, BUFFERS) plan + RC attribution into the
+    # slow-query record; -1 disables.
+    "auto_explain_log_min_duration": -1,
+    # Autovacuum runs taking at least this many ms are logged; -1 off.
+    "log_autovacuum_min_duration": -1,
+    # Capacity of the in-memory slow-query ring (applied at database
+    # creation) and an optional JSONL file sink ("" = in-memory only).
+    "slow_query_log_size": 256,
+    "slow_query_log_file": "",
+    # Online recall probes: fraction of top-k index scans re-answered
+    # by the brute-force oracle (0.0 = off), with a deterministic
+    # per-scan sampling seed.
+    "vector_quality_probe_rate": 0.0,
+    "vector_quality_probe_seed": 0,
 }
 
 _TRUTHY = {"on", "true", "yes", "1"}

@@ -13,6 +13,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.common.obs import WaitEventStats
+from repro.pgsim.activity import SessionRegistry, install_activity_view
 from repro.pgsim.buffer import BufferManager
 from repro.pgsim.catalog import Catalog
 from repro.pgsim.constants import DEFAULT_BUFFER_POOL_PAGES, DEFAULT_PAGE_SIZE
@@ -20,6 +21,7 @@ from repro.pgsim.executor import Executor
 from repro.pgsim.faults import FaultInjector
 from repro.pgsim.plan import QueryResult
 from repro.pgsim.session import Session
+from repro.pgsim.slowlog import SlowQueryLog, install_slowlog_view
 from repro.pgsim.sql import parse_sql
 from repro.pgsim.sql import ast
 from repro.pgsim.stats import StatsCollector, install_stat_views
@@ -91,7 +93,24 @@ class PgSimDatabase:
         self.executor = Executor(
             self.catalog, self.buffer, self.wal, stats=self.stats, xact=self.xact
         )
+        #: Backend registry behind ``pg_stat_activity``; sessions mint
+        #: their backend ids here.
+        self.activity = SessionRegistry()
+        #: Bounded ring behind ``pg_slow_queries`` (statement logging
+        #: and auto_explain captures land here).
+        try:
+            slowlog_capacity = int(self.catalog.get_setting("slow_query_log_size"))
+        except Exception:
+            slowlog_capacity = 256
+        self.slowlog = SlowQueryLog(capacity=slowlog_capacity)
+        self.executor.slowlog = self.slowlog
         install_stat_views(self.catalog, self.stats)
+        install_activity_view(self.catalog, self.activity)
+        install_slowlog_view(self.catalog, self.slowlog)
+        # ``SELECT pg_stat_reset()`` clears these surfaces along with
+        # the core counter families.
+        self.stats.register_resettable(self.slowlog)
+        self.stats.register_resettable(self.activity)
         _register_default_ams()
         #: Serializes statement execution across sessions; contention
         #: is recorded under the ``SessionStatementLock`` wait event.
@@ -121,20 +140,43 @@ class PgSimDatabase:
         """Run statements and return every result."""
         return self._default_session.execute_all(sql)
 
-    def session(self, name: str = "session") -> Session:
+    def session(self, name: str | None = None) -> Session:
         """Open a new client session (one per simulated client/thread).
 
         Sessions share this database's storage, catalog and transaction
         manager but hold their own transaction state, so concurrent
-        sessions see each other only through committed snapshots.
+        sessions see each other only through committed snapshots.  Each
+        session gets a unique monotonic backend id (its ``pid`` in
+        ``pg_stat_activity``); the default name is derived from it, so
+        two unnamed sessions never collide in the view.
         """
         return Session(self, name=name)
+
+    def metrics_text(self) -> str:
+        """Every counter family as Prometheus text exposition.
+
+        One consolidated scrape surface over the same numbers the
+        pg_stat_* views expose (see
+        :mod:`repro.common.metrics_export`); also served by the
+        ``repro-bench metrics`` CLI subcommand.
+        """
+        from repro.common.metrics_export import MetricsRegistry
+
+        return MetricsRegistry(self).render()
 
     def _tracking_enabled(self) -> bool:
         try:
             return self.catalog.get_bool("track_query_stats")
         except Exception:
             return False
+
+    def _sync_slowlog_sink(self) -> None:
+        """Point the slow-query log's file sink at the current GUC."""
+        try:
+            path = str(self.catalog.get_setting("slow_query_log_file"))
+        except Exception:
+            path = ""
+        self.slowlog.configure_sink(path or None)
 
     def _autovacuum_enabled(self) -> bool:
         try:

@@ -10,9 +10,13 @@ round trip per result, exactly PostgreSQL's index-scan contract.
 from __future__ import annotations
 
 import itertools
+import random
 import time
 from typing import Any, Iterator
 
+import numpy as np
+
+from repro.common.distance import batch_kernel
 from repro.common.profiling import NULL_PROFILER
 from repro.pgsim import expr as E
 from repro.pgsim import plan as P
@@ -22,6 +26,7 @@ from repro.pgsim.buffer import BufferManager
 from repro.pgsim.catalog import Catalog, CatalogError, IndexInfo, TableInfo
 from repro.pgsim.heapam import TID, HeapTable
 from repro.pgsim.planner import explain_plan, plan_select
+from repro.pgsim.slowlog import SlowQueryRecord
 from repro.pgsim.sql import ast
 from repro.pgsim.stats import StatsCollector
 from repro.pgsim.tuple_format import Column, TypeOid
@@ -79,6 +84,16 @@ class Executor:
         self.trace_profiler = NULL_PROFILER
         #: Tracer of the most recent EXPLAIN (ANALYZE, TRACE) run.
         self.last_trace = None
+        #: Slow-query ring (installed by the database facade); None in
+        #: bare-executor unit tests, which disables auto_explain and
+        #: autovacuum logging without further checks.
+        self.slowlog = None
+        #: auto_explain capture of the most recent SELECT: the session
+        #: layer pops it via :meth:`take_plan_capture` after the
+        #: statement finishes.  ``{"plan": str, "rc": dict,
+        #: "elapsed_ms": float}`` when the last SELECT crossed
+        #: ``auto_explain_log_min_duration``, else None.
+        self.last_plan_capture = None
 
     # ------------------------------------------------------------------
     # transaction lifecycle
@@ -196,17 +211,37 @@ class Executor:
         planner's physical-shape stats rebase to the post-vacuum state.
         """
         table = self.catalog.table(table_name)
-        dead_tids: list[TID] = []
-        reclaimed = table.heap.vacuum(
-            horizon=self.xact.safe_horizon(), dead_tids=dead_tids
-        )
-        if autovacuum:
-            table.heap.autovacuum_count += 1
-        index_entries = 0
-        if dead_tids:
-            dead = set(dead_tids)
-            for index in table.indexes.values():
-                index_entries += index.am.ambulkdelete(dead)
+        # Progress reporting (pg_stat_progress_vacuum): phase names
+        # follow PostgreSQL's — "scanning heap", "vacuuming indexes",
+        # "performing final cleanup".
+        progress = self.stats.start_vacuum(table_name)
+        try:
+            progress.set_phase("scanning heap")
+            progress.heap_blks_total = table.heap.n_blocks()
+            dead_tids: list[TID] = []
+            reclaimed = table.heap.vacuum(
+                horizon=self.xact.safe_horizon(), dead_tids=dead_tids
+            )
+            progress.heap_blks_scanned = progress.heap_blks_total
+            progress.tuples_removed = reclaimed
+            if autovacuum:
+                table.heap.autovacuum_count += 1
+            index_entries = 0
+            if dead_tids:
+                dead = set(dead_tids)
+                progress.set_phase("vacuuming indexes")
+                for index in table.indexes.values():
+                    progress.index_name = index.name
+                    saved = index.am.vacuum_progress
+                    index.am.vacuum_progress = progress
+                    try:
+                        index_entries += index.am.ambulkdelete(dead)
+                    finally:
+                        index.am.vacuum_progress = saved
+                    progress.index_vacuum_count += 1
+            progress.set_phase("performing final cleanup")
+        finally:
+            self.stats.finish_vacuum()
         if table.stats is not None:
             # Like PostgreSQL's VACUUM updating pg_class: refresh
             # the physical shape so the planner's table_shape()
@@ -231,13 +266,37 @@ class Executor:
             scale = float(self.catalog.get_setting("autovacuum_vacuum_scale_factor"))
         except CatalogError:
             return []
+        log_ms = self._duration_setting_ms("log_autovacuum_min_duration")
         vacuumed: list[str] = []
         for name in self.catalog.table_names():
             heap = self.catalog.table(name).heap
             if heap.n_dead_tup > threshold + scale * heap.tuple_count:
-                self._vacuum(name, autovacuum=True)
+                start = time.perf_counter()
+                result = self._vacuum(name, autovacuum=True)
+                elapsed_ms = (time.perf_counter() - start) * 1e3
                 vacuumed.append(name)
+                if log_ms is not None and elapsed_ms >= log_ms and self.slowlog is not None:
+                    self.slowlog.record(
+                        SlowQueryRecord(
+                            logged_at=time.time(),
+                            backend_id=0,
+                            session="autovacuum",
+                            kind="autovacuum",
+                            query=f"VACUUM {name}",
+                            elapsed_ms=elapsed_ms,
+                            rows=int(result.command.split()[-1]),
+                        )
+                    )
         return vacuumed
+
+    def _duration_setting_ms(self, name: str) -> float | None:
+        """Read a ``log_min_duration``-style GUC: -1 (or garbage)
+        disables, 0 logs everything, N logs statements >= N ms."""
+        try:
+            value = float(self.catalog.get_setting(name))
+        except (CatalogError, TypeError, ValueError):
+            return None
+        return value if value >= 0 else None
 
     def _analyze(self, stmt: ast.Analyze) -> P.QueryResult:
         """ANALYZE [table]: collect planner statistics into the catalog."""
@@ -468,6 +527,96 @@ class Executor:
             )
         plan = plan_select(stmt, self.catalog)
         assert isinstance(plan, P.Project)
+        auto_ms = None
+        if self.slowlog is not None:
+            auto_ms = self._duration_setting_ms("auto_explain_log_min_duration")
+        if auto_ms is not None:
+            return self._select_captured(plan, auto_ms)
+        if plan.batch:
+            rows = list(self._project_rows_batch(plan))
+        else:
+            rows = list(self._project_rows(plan))
+        return P.QueryResult(command=f"SELECT {len(rows)}", columns=plan.columns, rows=rows)
+
+    def _select_captured(self, plan: P.Project, auto_ms: float) -> P.QueryResult:
+        """auto_explain path: run the SELECT instrumented and traced.
+
+        The plan executes exactly as the plain path would (same rows,
+        same order) but with per-node instrumentation and a span tracer
+        armed, so a statement that crosses
+        ``auto_explain_log_min_duration`` leaves behind its
+        EXPLAIN (ANALYZE, BUFFERS) plan text plus the RC#1–RC#7
+        attribution — reconstructed after the fact, like PostgreSQL's
+        auto_explain logging the plan it already ran.  Under-threshold
+        statements discard the capture.  The tracer is bounded at
+        :data:`~repro.common.tracing.AUTO_CAPTURE_MAX_SPANS` spans so
+        an always-on setting cannot grow memory without limit.
+        """
+        from repro.common.tracing import AUTO_CAPTURE_MAX_SPANS
+
+        # Function-level import: repro.core imports pgsim packages.
+        from repro.core.rc_attribution import attribute_profile
+
+        self.last_plan_capture = None
+        instrument: dict[int, list] = {}
+        profiler, tracer, restore = self._begin_trace(plan, max_spans=AUTO_CAPTURE_MAX_SPANS)
+        waits_before = self.stats.waits.snapshot()
+        start = time.perf_counter()
+        try:
+            with profiler.section("Executor"):
+                if plan.batch:
+                    rows = list(self._project_rows_batch(plan, instrument))
+                else:
+                    rows = list(self._project_rows(plan, instrument))
+        finally:
+            restore()
+        total = time.perf_counter() - start
+        if total * 1e3 >= auto_ms:
+            waits_delta = self.stats.waits.delta(waits_before)
+            attribution = attribute_profile(tracer, wait_events=waits_delta)
+            self.last_plan_capture = {
+                "plan": "\n".join(
+                    self._annotated_lines(plan, 0, instrument, buffers=True, timing=True)
+                ),
+                "rc": attribution.as_dict(),
+                "elapsed_ms": total * 1e3,
+            }
+        return P.QueryResult(command=f"SELECT {len(rows)}", columns=plan.columns, rows=rows)
+
+    def take_plan_capture(self) -> dict | None:
+        """Pop the last auto_explain capture (one-shot, per statement)."""
+        capture, self.last_plan_capture = self.last_plan_capture, None
+        return capture
+
+    def try_execute_virtual(self, stmt: ast.Statement) -> P.QueryResult | None:
+        """Lock-free monitoring path: run a virtual-view SELECT without
+        the statement lock and without :meth:`_dispatch`.
+
+        Plans over virtual views bottom out in
+        :class:`~repro.pgsim.plan.VirtualScan` leaves that read
+        point-in-time snapshots of the stats surfaces — no heap, no
+        MVCC snapshot, no executor transaction state.  That makes them
+        safe to run concurrently with a statement holding the lock,
+        which is the whole point: ``pg_stat_activity`` must answer
+        while another session is stuck waiting.  Returns None for
+        anything that is not a pure view SELECT, sending the statement
+        down the ordinary locked path.
+        """
+        if not isinstance(stmt, ast.Select):
+            return None
+        if stmt.table is None or self.catalog.has_table(stmt.table):
+            return None
+        if not self.catalog.has_view(stmt.table):
+            return None
+        plan = plan_select(stmt, self.catalog)
+        assert isinstance(plan, P.Project)
+        # Defensive: every leaf must be a VirtualScan.  Anything that
+        # could touch heap or transaction state needs the lock.
+        node: P.PlanNode | None = plan.child
+        while node is not None:
+            if isinstance(node, (P.SeqScan, P.IndexScan)):
+                return None
+            node = getattr(node, "child", None)
         if plan.batch:
             rows = list(self._project_rows_batch(plan))
         else:
@@ -558,7 +707,7 @@ class Executor:
             rows=[(line,) for line in lines],
         )
 
-    def _begin_trace(self, plan: P.PlanNode):
+    def _begin_trace(self, plan: P.PlanNode, max_spans: int | None = None):
         """Arm span tracing for one EXPLAIN (ANALYZE, TRACE) run.
 
         One tracer-backed profiler is shared by the executor (heap
@@ -569,9 +718,9 @@ class Executor:
         ``restore()`` puts the previous profilers back.
         """
         from repro.common.profiling import Profiler
-        from repro.common.tracing import Tracer
+        from repro.common.tracing import DEFAULT_MAX_SPANS, Tracer
 
-        tracer = Tracer()
+        tracer = Tracer(max_spans=max_spans if max_spans is not None else DEFAULT_MAX_SPANS)
         profiler = Profiler(tracer=tracer)
         ams = []
         node: P.PlanNode | None = plan
@@ -830,6 +979,7 @@ class Executor:
         am = node.index.am
         fetch_k = max(node.fetch_k or node.k, node.k)
         emitted = 0
+        probe = self._begin_quality_probe(node)
         seen: set = set()
         hits: Iterator = am.scan(node.query_vector, fetch_k)
         while True:
@@ -853,11 +1003,22 @@ class Executor:
                 if node.filter is not None and not E.evaluate(node.filter, row):
                     continue  # index-time post-filter
                 emitted += 1
+                if probe is not None:
+                    probe.append(tid)
+                    if emitted >= node.k:
+                        # Finish before yielding the k-th row: a Limit
+                        # above stops pulling at exactly k, leaving the
+                        # generator suspended forever after this yield.
+                        self._finish_quality_probe(node, probe)
+                        probe = None
                 yield row
                 if emitted >= node.k:
                     return
             if n_hits < fetch_k:
-                return  # index exhausted: fewer candidates than requested
+                # Index exhausted: fewer candidates than requested.
+                if probe is not None:
+                    self._finish_quality_probe(node, probe)
+                return
             fetch_k *= 2
             hits = am.amrescan_continue(node.query_vector, fetch_k)
 
@@ -1001,6 +1162,7 @@ class Executor:
         prof = self.trace_profiler
         am = node.index.am
         fetch_k = max(node.fetch_k or node.k, node.k)
+        probe = self._begin_quality_probe(node)
         seen: set = set()
         out: list[dict[str, Any]] = []
         batch = am.get_batch(node.query_vector, fetch_k)
@@ -1026,11 +1188,91 @@ class Executor:
                     continue  # index-time post-filter
                 out.append(row)
                 if len(out) >= node.k:
+                    if probe is not None:
+                        self._finish_quality_probe(node, [r["__tid__"] for r in out])
                     return out
             if n_hits < fetch_k:
-                return out  # index exhausted: fewer candidates than requested
+                # Index exhausted: fewer candidates than requested.
+                if probe is not None:
+                    self._finish_quality_probe(node, [r["__tid__"] for r in out])
+                return out
             fetch_k *= 2
             batch = am.amrescan_continue_batch(node.query_vector, fetch_k)
+
+    # ------------------------------------------------------------------
+    # online recall probes (``SET vector_quality_probe_rate = 0.01``)
+    # ------------------------------------------------------------------
+    def _begin_quality_probe(self, node: P.IndexScan) -> list[TID] | None:
+        """Decide whether this top-k scan is sampled for a recall probe.
+
+        Sampling is deterministic: each candidate scan consumes one
+        monotonic ticket from the stats collector and a PRNG seeded
+        from ``(vector_quality_probe_seed, ticket)`` decides.  The
+        ticket is consumed whether or not the scan is chosen, so a
+        fixed seed reproduces the exact same probe schedule across
+        runs.  Hybrid (filtered) scans are never probed — their output
+        is not a pure top-k, so brute-force recall is undefined.
+        Returns the TID accumulator for chosen scans, else None.
+        """
+        if node.filter is not None:
+            return None
+        settings = self.catalog.settings
+        try:
+            rate = float(settings.get("vector_quality_probe_rate", 0.0) or 0.0)
+        except (TypeError, ValueError):
+            return None
+        if rate <= 0.0:
+            return None
+        try:
+            seed = int(settings.get("vector_quality_probe_seed", 0) or 0)
+        except (TypeError, ValueError):
+            seed = 0
+        ticket = self.stats.next_probe_ticket()
+        if random.Random(seed * 1_000_003 + ticket).random() >= rate:
+            return None
+        return []
+
+    def _finish_quality_probe(self, node: P.IndexScan, emitted: list[TID]) -> None:
+        """Re-answer a sampled scan exactly and record observed recall.
+
+        The oracle is a brute-force pass over the heap under the same
+        snapshot the index scan used, with the index's own distance
+        metric — so the only divergence it can see is the index's
+        approximation (plus dead entries awaiting vacuum), which is
+        precisely what ``pg_stat_vector_quality`` is meant to expose.
+        """
+        from repro.common.types import DistanceType
+
+        heap = node.table.heap
+        col = heap.column_index(node.index.column_name)
+        tids: list[TID] = []
+        vectors: list[Any] = []
+        for tid, values in heap.scan(snapshot=self._snapshot):
+            vec = values[col]
+            if vec is None:
+                continue
+            tids.append(tid)
+            vectors.append(vec)
+        if not tids:
+            return
+        try:
+            metric = DistanceType(node.index.options.get("distance_type", DistanceType.L2))
+        except ValueError:
+            metric = DistanceType.L2
+        query = np.ascontiguousarray(node.query_vector, dtype=np.float32)
+        matrix = np.ascontiguousarray(np.vstack(vectors), dtype=np.float32)
+        dists = batch_kernel(metric)(query, matrix)[0]
+        # Ties break on TID so the oracle is deterministic.
+        order = sorted(
+            range(len(tids)),
+            key=lambda i: (float(dists[i]), tids[i].blkno, tids[i].offset),
+        )
+        truth = {tids[i] for i in order[: node.k]}
+        denom = min(node.k, len(truth))
+        if denom <= 0:
+            return
+        recall = len(truth.intersection(emitted)) / denom
+        self.stats.record_quality(node.index.name, node.index.am_name, recall)
 
     def _aggregate_row(
         self,

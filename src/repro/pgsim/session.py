@@ -34,6 +34,7 @@ from typing import TYPE_CHECKING, Any
 from repro.common.obs import EV_STATEMENT_LOCK
 from repro.pgsim.executor import ExecutionError
 from repro.pgsim.plan import QueryResult
+from repro.pgsim.slowlog import SlowQueryRecord
 from repro.pgsim.sql import ast, parse_sql
 from repro.pgsim.stats import normalize_sql
 from repro.pgsim.xact import Transaction
@@ -50,9 +51,14 @@ class Session:
     statement lock makes cross-session interleaving safe.
     """
 
-    def __init__(self, db: "PgSimDatabase", name: str = "session") -> None:
+    def __init__(self, db: "PgSimDatabase", name: str | None = None) -> None:
         self.db = db
-        self.name = name
+        #: Backend id — unique and monotonic per database, like a
+        #: PostgreSQL backend pid.  Minted here so two sessions never
+        #: collide in ``pg_stat_activity`` even with the same name.
+        self.backend_id = db.activity.next_backend_id()
+        self.name = name if name is not None else f"session-{self.backend_id}"
+        self._activity = db.activity.register(self.backend_id, self.name)
         #: Open explicit transaction (``BEGIN`` ... ``COMMIT`` block).
         self._txn: Transaction | None = None
 
@@ -79,25 +85,58 @@ class Session:
         db = self.db
         statements = parse_sql(sql)
         track = db._tracking_enabled()
-        normalized = normalize_sql(sql) if track else []
+        log_ms = db.executor._duration_setting_ms("log_min_duration_statement")
+        normalized = normalize_sql(sql)
+        activity = self._activity
         results: list[QueryResult] = []
         for i, stmt in enumerate(statements):
+            query_text = (
+                normalized[i] if i < len(normalized) else f"<{type(stmt).__name__}>"
+            )
+            # Lock-free monitoring path: a SELECT over a virtual view
+            # runs without the statement lock, so ``pg_stat_activity``
+            # answers even while another session's statement is in
+            # flight (the scenario monitoring exists for).
+            if self._txn is None and isinstance(stmt, ast.Select):
+                activity.begin_statement(query_text, time.time())
+                start = time.perf_counter()
+                fast = db.executor.try_execute_virtual(stmt)
+                if fast is not None:
+                    elapsed = time.perf_counter() - start
+                    if track:
+                        db.stats.record_statement(query_text, elapsed, len(fast.rows))
+                    if log_ms is not None and elapsed * 1e3 >= log_ms:
+                        self._record_slow(query_text, elapsed * 1e3, fast, None)
+                    activity.end_statement(False, None)
+                    results.append(fast)
+                    continue
+                # Not a pure view read: fall through to the locked path
+                # (begin_statement below re-arms the activity record).
+            activity.begin_statement(query_text, time.time())
             # Non-blocking fast path: only actual contention between
             # sessions is recorded as blocked time.
             if not db._statement_lock.acquire(blocking=False):
+                activity.wait_event = EV_STATEMENT_LOCK
                 wait_start = time.perf_counter()
                 db._statement_lock.acquire()
-                db.waits.record(EV_STATEMENT_LOCK, time.perf_counter() - wait_start)
+                waited = time.perf_counter() - wait_start
+                db.waits.record(EV_STATEMENT_LOCK, waited)
+                activity.note_lock_wait(waited)
+                activity.wait_event = None
             try:
+                measure = track or log_ms is not None
+                elapsed = None
                 if track:
                     baseline = db.stats.begin()
+                if measure:
                     start = time.perf_counter()
                 result = self._execute_one(stmt)
-                if track:
+                if measure:
                     elapsed = time.perf_counter() - start
+                if track:
                     result.stats = db.stats.finish(baseline, elapsed)
-                    if i < len(normalized):
-                        db.stats.record_statement(normalized[i], elapsed, len(result.rows))
+                    db.stats.record_statement(query_text, elapsed, len(result.rows))
+                self._maybe_log_slow(query_text, elapsed, result, log_ms)
                 db._log_ddl(stmt)
                 results.append(result)
                 # Autovacuum hook: with the GUC on, check dead-tuple
@@ -107,8 +146,72 @@ class Session:
                 if not isinstance(stmt, ast.Vacuum) and db._autovacuum_enabled():
                     db.executor.maybe_autovacuum()
             finally:
+                activity.end_statement(
+                    self._txn is not None,
+                    self._txn.xid if self._txn is not None else None,
+                )
                 db._statement_lock.release()
         return results
+
+    # ------------------------------------------------------------------
+    # slow-query logging (log_min_duration_statement / auto_explain)
+    # ------------------------------------------------------------------
+    def _maybe_log_slow(
+        self,
+        query_text: str,
+        elapsed: float | None,
+        result: QueryResult,
+        log_ms: float | None,
+    ) -> None:
+        """Log the statement if it crossed a duration threshold.
+
+        Two triggers, both PostgreSQL's: ``log_min_duration_statement``
+        logs the statement line, and an auto_explain capture (armed by
+        the executor when ``auto_explain_log_min_duration`` crossed)
+        attaches the EXPLAIN (ANALYZE, BUFFERS) plan text and RC
+        attribution.  The capture is popped here even when unused so a
+        stale plan never leaks onto the next statement's record.
+        """
+        capture = self.db.executor.take_plan_capture()
+        if elapsed is not None:
+            elapsed_ms = elapsed * 1e3
+        elif capture is not None:
+            elapsed_ms = capture["elapsed_ms"]
+        else:
+            return
+        if capture is None and (log_ms is None or elapsed_ms < log_ms):
+            return
+        self._record_slow(query_text, elapsed_ms, result, capture)
+
+    def _record_slow(
+        self,
+        query_text: str,
+        elapsed_ms: float,
+        result: QueryResult,
+        capture: dict | None,
+    ) -> None:
+        db = self.db
+        if db.slowlog is None:
+            return
+        db._sync_slowlog_sink()
+        wait_events: dict = {}
+        stats = getattr(result, "stats", None)
+        if stats is not None:
+            wait_events = stats.wait_events.as_dict()
+        db.slowlog.record(
+            SlowQueryRecord(
+                logged_at=time.time(),
+                backend_id=self.backend_id,
+                session=self.name,
+                kind="statement",
+                query=query_text,
+                elapsed_ms=elapsed_ms,
+                rows=len(result.rows),
+                plan=capture["plan"] if capture is not None else None,
+                rc=capture["rc"] if capture is not None else None,
+                wait_events=wait_events,
+            )
+        )
 
     def close(self) -> None:
         """End the session, rolling back any open transaction."""
@@ -116,6 +219,7 @@ class Session:
             txn, self._txn = self._txn, None
             with self.db._statement_lock:
                 self.db.executor.abort_transaction(txn)
+        self.db.activity.deregister(self.backend_id)
 
     def __enter__(self) -> "Session":
         return self

@@ -13,9 +13,12 @@ Three pieces, mirroring how PostgreSQL exposes its own bookkeeping:
 * :class:`StatView` + :func:`install_stat_views` — read-only virtual
   tables (``pg_stat_buffers``, ``pg_stat_wal``, ``pg_stat_indexes``,
   ``pg_stat_statements``, ``pg_stat_wait_events``,
-  ``pg_stat_progress_create_index``, and the ANALYZE-backed
-  ``pg_stats`` / ``pg_stat_user_tables``) the planner exposes to
-  ordinary SQL.
+  ``pg_stat_progress_create_index``, ``pg_stat_progress_vacuum``,
+  ``pg_stat_vector_quality``, and the ANALYZE-backed ``pg_stats`` /
+  ``pg_stat_user_tables``) the planner exposes to ordinary SQL.
+  ``pg_stat_activity`` and ``pg_slow_queries`` live in
+  :mod:`repro.pgsim.activity` / :mod:`repro.pgsim.slowlog` and are
+  installed by the database facade alongside these.
 
 Per-query tracking is controlled by the ``track_query_stats`` GUC
 (default on); the cumulative counters themselves are always live —
@@ -34,6 +37,8 @@ from repro.common.obs import (
     CounterDeltaMixin,
     IndexScanStats,
     LatencyHistogram,
+    RecallHistogram,
+    VacuumProgress,
     WaitEventStats,
 )
 from repro.pgsim.buffer import BufferManager, BufferStats
@@ -185,6 +190,20 @@ class _Baseline:
 #: Completed build-progress records the progress view keeps around.
 _BUILD_HISTORY_LIMIT = 32
 
+#: Completed vacuum-progress records pg_stat_progress_vacuum keeps.
+_VACUUM_HISTORY_LIMIT = 32
+
+
+class QualityEntry:
+    """Accumulated recall-probe observations for one index."""
+
+    __slots__ = ("index_name", "am_name", "histogram")
+
+    def __init__(self, index_name: str, am_name: str) -> None:
+        self.index_name = index_name
+        self.am_name = am_name
+        self.histogram = RecallHistogram()
+
 
 class StatsCollector:
     """Aggregation point for one database's statistics."""
@@ -211,6 +230,17 @@ class StatsCollector:
         #: is ``self.current_build``.
         self.builds: list[BuildProgress] = []
         self.current_build: BuildProgress | None = None
+        #: Vacuum runs, most recent last (pg_stat_progress_vacuum).
+        self.vacuums: list[VacuumProgress] = []
+        self.current_vacuum: VacuumProgress | None = None
+        #: Online recall-probe accumulators, keyed by index name.
+        self.quality: dict[str, QualityEntry] = {}
+        #: Monotonic probe-ticket counter driving deterministic probe
+        #: sampling (reset with pg_stat_reset for replayability).
+        self._probe_ticket = 0
+        #: External surfaces whose reset() joins pg_stat_reset()
+        #: (slow-query ring, activity counters).
+        self._resettables: list[Any] = []
 
     # ------------------------------------------------------------------
     # per-query windows
@@ -254,6 +284,44 @@ class StatsCollector:
             self.current_build = None
 
     # ------------------------------------------------------------------
+    # vacuum progress (pg_stat_progress_vacuum)
+    # ------------------------------------------------------------------
+    def start_vacuum(self, table_name: str) -> VacuumProgress:
+        """Open a progress record for a VACUUM about to run."""
+        progress = VacuumProgress(table_name)
+        self.vacuums.append(progress)
+        del self.vacuums[:-_VACUUM_HISTORY_LIMIT]
+        self.current_vacuum = progress
+        return progress
+
+    def finish_vacuum(self) -> None:
+        """Close the in-flight vacuum's progress record."""
+        if self.current_vacuum is not None:
+            self.current_vacuum.finished = True
+            self.current_vacuum = None
+
+    # ------------------------------------------------------------------
+    # online recall probes (pg_stat_vector_quality)
+    # ------------------------------------------------------------------
+    def next_probe_ticket(self) -> int:
+        """Monotonic per-scan ticket feeding the probe sampling hash."""
+        self._probe_ticket += 1
+        return self._probe_ticket
+
+    def record_quality(self, index_name: str, am_name: str, recall: float) -> None:
+        entry = self.quality.get(index_name)
+        if entry is None:
+            entry = self.quality[index_name] = QualityEntry(index_name, am_name)
+        entry.histogram.record(recall)
+
+    # ------------------------------------------------------------------
+    # reset wiring
+    # ------------------------------------------------------------------
+    def register_resettable(self, surface: Any) -> None:
+        """Enroll an object with a ``reset()`` into ``pg_stat_reset()``."""
+        self._resettables.append(surface)
+
+    # ------------------------------------------------------------------
     # cumulative rollups
     # ------------------------------------------------------------------
     def iter_indexes(self) -> Iterator[Any]:
@@ -286,14 +354,21 @@ class StatsCollector:
     def reset(self) -> None:
         """``SELECT pg_stat_reset()``: zero the resettable accumulators.
 
-        Clears ``pg_stat_statements`` and the wait-event accumulator.
-        The buffer/WAL/heap/index counters are monotonic by design
-        (consumers window them with snapshot/delta, see
+        Clears ``pg_stat_statements``, the wait-event accumulator, the
+        recall-probe accumulators (plus the probe ticket, so sampling
+        replays deterministically after a reset) and every registered
+        external surface — the slow-query ring and per-backend activity
+        counters.  The buffer/WAL/heap/index counters are monotonic by
+        design (consumers window them with snapshot/delta, see
         :class:`~repro.common.obs.CounterDeltaMixin`) and are left
-        untouched, as is the build-progress history.
+        untouched, as are the build/vacuum progress histories.
         """
         self.reset_statements()
         self.waits.reset()
+        self.quality.clear()
+        self._probe_ticket = 0
+        for surface in self._resettables:
+            surface.reset()
 
 
 def install_stat_views(catalog: Any, collector: StatsCollector) -> None:
@@ -337,7 +412,9 @@ def install_stat_views(catalog: Any, collector: StatsCollector) -> None:
 
     def statement_rows() -> list[tuple]:
         rows = []
-        for text, entry in collector.statements.items():
+        # .copy(): the view may be read lock-free while another
+        # session's statement inserts a new entry mid-iteration.
+        for text, entry in collector.statements.copy().items():
             h = entry.histogram
             rows.append(
                 (
@@ -355,7 +432,8 @@ def install_stat_views(catalog: Any, collector: StatsCollector) -> None:
         return rows
 
     def wait_event_rows() -> list[tuple]:
-        waits = collector.waits
+        # snapshot(): lock-free readers vs a concurrent record().
+        waits = collector.waits.snapshot()
         return [
             (
                 WAIT_EVENT_TYPES.get(event, "Extension"),
@@ -378,6 +456,40 @@ def install_stat_views(catalog: Any, collector: StatsCollector) -> None:
             )
             for p in collector.builds
         ]
+
+    def vacuum_progress_rows() -> list[tuple]:
+        return [
+            (
+                p.table_name,
+                p.phase,
+                p.heap_blks_total,
+                p.heap_blks_scanned,
+                p.tuples_removed,
+                p.index_name or None,
+                p.index_vacuum_count,
+                p.index_entries_removed,
+                ",".join(p.phases_seen),
+                "done" if p.finished else "in progress",
+            )
+            for p in list(collector.vacuums)
+        ]
+
+    def vector_quality_rows() -> list[tuple]:
+        rows = []
+        for name in sorted(collector.quality.copy()):
+            entry = collector.quality[name]
+            h = entry.histogram
+            rows.append(
+                (
+                    entry.index_name,
+                    entry.am_name,
+                    h.count,
+                    h.mean,
+                    h.min_value if h.count else None,
+                    h.last_value if h.count else None,
+                )
+            )
+        return rows
 
     def _render_list(values: list) -> str | None:
         """pg_stats-style array text: ``{v1,v2,...}`` (None when empty)."""
@@ -471,6 +583,27 @@ def install_stat_views(catalog: Any, collector: StatsCollector) -> None:
             "pg_stat_progress_create_index",
             ["index", "am", "phase", "tuples_done", "tuples_total", "status"],
             progress_rows,
+        ),
+        StatView(
+            "pg_stat_progress_vacuum",
+            [
+                "table",
+                "phase",
+                "heap_blks_total",
+                "heap_blks_scanned",
+                "tuples_removed",
+                "index_name",
+                "index_vacuum_count",
+                "index_entries_removed",
+                "phases",
+                "status",
+            ],
+            vacuum_progress_rows,
+        ),
+        StatView(
+            "pg_stat_vector_quality",
+            ["index", "am", "probes", "mean_recall", "min_recall", "last_recall"],
+            vector_quality_rows,
         ),
         StatView(
             "pg_stats",

@@ -1,0 +1,497 @@
+"""Live serving observability: pg_stat_activity, slow-query capture,
+vacuum progress, and online recall probes.
+
+The load-bearing property throughout: the monitoring surfaces answer
+*while the system is busy*.  A session stuck behind the statement lock
+must be visible as ``active`` + ``SessionStatementLock`` from another
+session, which requires the view read path to bypass the lock — the
+scenario the blocked-visibility test below stages explicitly.
+"""
+
+import json
+import random
+import threading
+import time
+
+import pytest
+
+from repro.pgsim import PgSimDatabase
+from repro.pgsim.slowlog import SlowQueryLog, SlowQueryRecord
+
+DIM = 8
+
+ALL_AMS = {
+    "pase_ivfflat": "WITH (clusters = 4, sample_ratio = 1, seed = 42)",
+    "pase_ivfpq": "WITH (clusters = 4, m = 4, c_pq = 8, sample_ratio = 1, seed = 42)",
+    "pase_ivfsq8": "WITH (clusters = 4, sample_ratio = 1, seed = 42)",
+    "pase_hnsw": "WITH (bnn = 4, efb = 16, seed = 42)",
+    "ivfflat": "WITH (lists = 4, sample_ratio = 1, seed = 42)",
+    "bridged_ivfflat": "WITH (clusters = 4, sample_ratio = 1, seed = 42)",
+    "bridged_hnsw": "WITH (bnn = 4, efb = 16, seed = 42)",
+}
+
+
+def _lit(rng: random.Random) -> str:
+    return "[" + ",".join(f"{rng.random():.5f}" for _ in range(DIM)) + "]"
+
+
+def _load(db: PgSimDatabase, n: int = 60, seed: int = 0) -> random.Random:
+    rng = random.Random(seed)
+    db.execute("CREATE TABLE items (id int, vec float[])")
+    for i in range(n):
+        db.execute(f"INSERT INTO items VALUES ({i}, '{_lit(rng)}')")
+    return rng
+
+
+def _activity_rows(db: PgSimDatabase) -> dict[int, dict]:
+    cols = db.catalog.view("pg_stat_activity").column_names()
+    return {
+        row[0]: dict(zip(cols, row))
+        for row in db.query("SELECT * FROM pg_stat_activity")
+    }
+
+
+class TestBackendIdentity:
+    def test_backend_ids_unique_and_monotonic(self):
+        db = PgSimDatabase()
+        sessions = [db.session() for _ in range(5)]
+        ids = [s.backend_id for s in sessions]
+        assert len(set(ids)) == len(ids)
+        assert ids == sorted(ids)
+        # The facade's default session minted the first id.
+        assert db._default_session.backend_id < min(ids)
+        # Default names derive from the backend id — no collisions.
+        names = {s.name for s in sessions}
+        assert len(names) == len(sessions)
+
+    def test_sessions_appear_and_deregister(self):
+        db = PgSimDatabase()
+        with db.session("worker") as session:
+            session.execute("CREATE TABLE t (id int)")
+            rows = _activity_rows(db)
+            assert rows[session.backend_id]["name"] == "worker"
+            assert rows[session.backend_id]["state"] == "idle"
+            assert rows[session.backend_id]["statements"] == 1
+        assert session.backend_id not in _activity_rows(db)
+
+    def test_idle_in_transaction_state_and_xid(self):
+        db = PgSimDatabase()
+        db.execute("CREATE TABLE t (id int)")
+        session = db.session("txn-holder")
+        session.execute("BEGIN")
+        session.execute("INSERT INTO t VALUES (1)")
+        row = _activity_rows(db)[session.backend_id]
+        assert row["state"] == "idle in transaction"
+        assert row["backend_xid"] is not None
+        session.execute("COMMIT")
+        row = _activity_rows(db)[session.backend_id]
+        assert row["state"] == "idle"
+        assert row["backend_xid"] is None
+
+
+class TestBlockedSessionVisibility:
+    def test_blocked_session_visible_from_another_session(self):
+        """The tentpole scenario: while one session is stuck waiting
+        for the statement lock, a second session's pg_stat_activity
+        read (lock-free) sees it as active with the lock wait event."""
+        db = PgSimDatabase()
+        db.execute("CREATE TABLE t (id int)")
+        blocked = db.session("blocked")
+        observer = db.session("observer")
+        # Stand in for an in-flight statement of some other backend.
+        db._statement_lock.acquire()
+        done = threading.Event()
+
+        def run_blocked():
+            blocked.execute("INSERT INTO t VALUES (42)")
+            done.set()
+
+        thread = threading.Thread(target=run_blocked)
+        thread.start()
+        try:
+            seen = None
+            deadline = time.time() + 5.0
+            while time.time() < deadline:
+                row = _activity_rows(observer.db)[blocked.backend_id]
+                if row["wait_event"] == "SessionStatementLock":
+                    seen = row
+                    break
+                time.sleep(0.005)
+            assert seen is not None, "blocked session never became visible"
+            assert seen["state"] == "active"
+            assert seen["wait_event_type"] == "Lock"
+            assert "insert into t" in seen["query"]
+        finally:
+            db._statement_lock.release()
+            thread.join(timeout=5.0)
+        assert done.is_set()
+        row = _activity_rows(db)[blocked.backend_id]
+        assert row["state"] == "idle"
+        assert row["wait_event"] is None
+        assert row["lock_waits"] >= 1
+        assert row["lock_wait_ms"] > 0.0
+        assert db.query("SELECT count(*) FROM t")[0][0] == 1
+
+    def test_view_reads_skip_the_statement_lock(self):
+        """A pure view SELECT never takes the statement lock (it would
+        deadlock here, since the test holds the lock)."""
+        db = PgSimDatabase()
+        session = db.session("monitor")
+        with db._statement_lock:
+            rows = session.query("SELECT * FROM pg_stat_activity")
+        assert any(r[0] == session.backend_id for r in rows)
+
+
+class TestVacuumProgress:
+    def test_vacuum_progress_phases_over_all_ams(self):
+        """One vacuum drives every AM's ambulkdelete through the shared
+        progress record: all three phases, one index_vacuum_count tick
+        per index, and reclaimed index entries reported."""
+        db = PgSimDatabase()
+        _load(db, n=60)
+        for am, opts in ALL_AMS.items():
+            db.execute(f"CREATE INDEX ix_{am} ON items USING {am} (vec) {opts}")
+        db.execute("DELETE FROM items WHERE id < 20")
+        db.execute("VACUUM items")
+        rows = db.query("SELECT * FROM pg_stat_progress_vacuum")
+        assert len(rows) == 1
+        cols = db.catalog.view("pg_stat_progress_vacuum").column_names()
+        row = dict(zip(cols, rows[0]))
+        assert row["table"] == "items"
+        assert row["status"] == "done"
+        assert row["phases"].split(",") == [
+            "scanning heap",
+            "vacuuming indexes",
+            "performing final cleanup",
+        ]
+        assert row["tuples_removed"] == 20
+        assert row["heap_blks_scanned"] == row["heap_blks_total"] > 0
+        assert row["index_vacuum_count"] == len(ALL_AMS)
+        # Every AM reclaimed the 20 dead TIDs' entries.
+        assert row["index_entries_removed"] == 20 * len(ALL_AMS)
+
+    def test_vacuum_history_keeps_multiple_runs(self):
+        db = PgSimDatabase()
+        db.execute("CREATE TABLE t (id int)")
+        db.execute("INSERT INTO t VALUES (1)")
+        db.execute("VACUUM t")
+        db.execute("VACUUM t")
+        rows = db.query("SELECT * FROM pg_stat_progress_vacuum")
+        assert len(rows) == 2
+
+
+class TestSlowQueryLog:
+    def test_ring_is_bounded_and_total_monotonic(self):
+        log = SlowQueryLog(capacity=3)
+        for i in range(7):
+            log.record(
+                SlowQueryRecord(
+                    logged_at=float(i),
+                    backend_id=1,
+                    session="s",
+                    kind="statement",
+                    query=f"q{i}",
+                    elapsed_ms=float(i),
+                    rows=0,
+                )
+            )
+        assert log.total_logged == 7
+        assert [r.query for r in log.records()] == ["q4", "q5", "q6"]
+        assert [r.query for r in log.top(2)] == ["q6", "q5"]
+        log.reset()
+        assert log.records() == []
+        assert log.total_logged == 7  # monotonic across reset
+
+    def test_log_min_duration_statement_view(self):
+        db = PgSimDatabase()
+        _load(db, n=10)
+        db.execute("SET log_min_duration_statement = 0")
+        db.query("SELECT count(*) FROM items")
+        db.execute("SET log_min_duration_statement = -1")
+        rows = db.query("SELECT * FROM pg_slow_queries")
+        cols = db.catalog.view("pg_slow_queries").column_names()
+        records = [dict(zip(cols, r)) for r in rows]
+        assert any("select count" in r["query"] for r in records)
+        # Slowest-first ordering.
+        elapsed = [r["elapsed_ms"] for r in records]
+        assert elapsed == sorted(elapsed, reverse=True)
+
+    def test_threshold_filters_fast_statements(self):
+        db = PgSimDatabase()
+        _load(db, n=10)
+        db.execute("SET log_min_duration_statement = 100000")
+        db.query("SELECT count(*) FROM items")
+        db.execute("SET log_min_duration_statement = -1")
+        assert db.slowlog.records() == []
+
+    def test_file_sink_writes_jsonl(self, tmp_path):
+        db = PgSimDatabase()
+        _load(db, n=10)
+        sink = tmp_path / "slow.jsonl"
+        db.execute(f"SET slow_query_log_file = '{sink}'")
+        db.execute("SET log_min_duration_statement = 0")
+        db.query("SELECT count(*) FROM items")
+        db.execute("SET log_min_duration_statement = -1")
+        lines = [json.loads(line) for line in sink.read_text().splitlines()]
+        assert any("select count" in rec["query"] for rec in lines)
+        assert all(rec["session"] for rec in lines)
+
+    def test_autovacuum_logged_under_its_own_guc(self):
+        db = PgSimDatabase()
+        _load(db, n=40)
+        db.execute("SET autovacuum = on")
+        db.execute("SET autovacuum_vacuum_threshold = 1")
+        db.execute("SET autovacuum_vacuum_scale_factor = 0")
+        db.execute("SET log_autovacuum_min_duration = 0")
+        db.execute("DELETE FROM items WHERE id < 10")
+        db.execute("SELECT count(*) FROM items")  # triggers the hook
+        kinds = {r.kind for r in db.slowlog.records()}
+        assert "autovacuum" in kinds
+        record = next(r for r in db.slowlog.records() if r.kind == "autovacuum")
+        assert record.query == "VACUUM items"
+        assert record.rows == 10
+        assert record.session == "autovacuum"
+
+
+class TestAutoExplain:
+    def test_capture_only_for_threshold_crossers(self):
+        db = PgSimDatabase()
+        rng = _load(db, n=40)
+        db.execute(
+            "CREATE INDEX ix ON items USING pase_ivfflat (vec) "
+            "WITH (clusters = 4, sample_ratio = 1, seed = 42)"
+        )
+        knn = f"SELECT id FROM items ORDER BY vec <-> '{_lit(rng)}' LIMIT 5"
+        # Threshold no statement can cross: nothing captured.
+        db.execute("SET auto_explain_log_min_duration = 1000000")
+        db.query(knn)
+        assert db.slowlog.records() == []
+        # Threshold 0: exactly the SELECT is captured, with plan + RC.
+        db.execute("SET auto_explain_log_min_duration = 0")
+        db.query(knn)
+        db.execute("SET auto_explain_log_min_duration = -1")
+        with_plan = [r for r in db.slowlog.records() if r.plan is not None]
+        assert len(with_plan) == 1
+        record = with_plan[0]
+        assert "select id from items" in record.query
+        assert record.elapsed_ms > 0
+        assert "Index Scan using ix" in record.plan
+        assert "Buffers:" in record.plan
+        assert "actual rows=" in record.plan
+
+    def test_capture_reconciles_with_explain_analyze_trace(self):
+        """The auto_explain capture is the same artifact EXPLAIN
+        (ANALYZE, BUFFERS, TRACE) produces: same plan shape, and RC
+        buckets drawn from the same attribution vocabulary."""
+        db = PgSimDatabase()
+        rng = _load(db, n=40)
+        db.execute(
+            "CREATE INDEX ix ON items USING pase_ivfflat (vec) "
+            "WITH (clusters = 4, sample_ratio = 1, seed = 42)"
+        )
+        knn = f"SELECT id FROM items ORDER BY vec <-> '{_lit(rng)}' LIMIT 5"
+        db.execute("SET auto_explain_log_min_duration = 0")
+        db.query(knn)
+        db.execute("SET auto_explain_log_min_duration = -1")
+        record = db.slowlog.top(1)[0]
+        explain = "\n".join(
+            row[0] for row in db.query(f"EXPLAIN (ANALYZE, BUFFERS, TRACE) {knn}")
+        )
+        # Same plan shape: every node head line of the capture appears
+        # in the EXPLAIN output too (actuals differ between runs).
+        for line in record.plan.splitlines():
+            head = line.strip().split(" (")[0]
+            if head.startswith(("->", "Project", "Limit", "Index Scan")):
+                assert head.lstrip("-> ") in explain
+        # Same attribution vocabulary: each captured RC label shows up
+        # in the TRACE breakdown.
+        assert record.rc is not None and record.rc["buckets"]
+        for bucket in record.rc["buckets"]:
+            assert bucket["label"] in explain
+        assert record.rc_top() is not None
+
+    def test_no_stale_capture_leaks_to_next_statement(self):
+        db = PgSimDatabase()
+        _load(db, n=10)
+        db.execute("SET auto_explain_log_min_duration = 0")
+        db.query("SELECT count(*) FROM items")
+        db.execute("SET auto_explain_log_min_duration = -1")
+        db.execute("SET log_min_duration_statement = 0")
+        db.query("SELECT count(*) FROM items")
+        db.execute("SET log_min_duration_statement = -1")
+        captured = [r for r in db.slowlog.records() if r.plan is not None]
+        assert len(captured) == 1  # only the auto_explain-armed run
+
+
+class TestOnlineRecallProbes:
+    def _probe_db(self, seed: int = 7) -> PgSimDatabase:
+        db = PgSimDatabase()
+        rng = _load(db, n=50, seed=1)
+        db.execute(
+            "CREATE INDEX ix ON items USING pase_ivfflat (vec) "
+            "WITH (clusters = 4, sample_ratio = 1, seed = 42)"
+        )
+        db.execute("SET vector_quality_probe_rate = 0.5")
+        db.execute(f"SET vector_quality_probe_seed = {seed}")
+        self._rng = rng
+        return db
+
+    def _run_queries(self, db: PgSimDatabase, n: int = 20) -> list[tuple]:
+        rng = random.Random(123)
+        for _ in range(n):
+            db.query(f"SELECT id FROM items ORDER BY vec <-> '{_lit(rng)}' LIMIT 5")
+        return db.query("SELECT * FROM pg_stat_vector_quality")
+
+    def test_probes_record_quality(self):
+        db = self._probe_db()
+        rows = self._run_queries(db)
+        assert len(rows) == 1
+        index, am, probes, mean_recall, min_recall, last_recall = rows[0]
+        assert (index, am) == ("ix", "pase_ivfflat")
+        assert 0 < probes < 20  # sampled, not every query
+        assert 0.0 <= min_recall <= mean_recall <= 1.0
+        assert 0.0 <= last_recall <= 1.0
+
+    def test_sampling_deterministic_under_fixed_seed(self):
+        first = self._run_queries(self._probe_db(seed=7))
+        second = self._run_queries(self._probe_db(seed=7))
+        assert first == second
+        other = self._run_queries(self._probe_db(seed=8))
+        assert first[0][2] != other[0][2] or first != other
+
+    def test_rate_zero_probes_nothing(self):
+        db = self._probe_db()
+        db.execute("SET vector_quality_probe_rate = 0")
+        assert self._run_queries(db) == []
+
+    def test_filtered_scans_never_probed(self):
+        db = self._probe_db()
+        db.execute("SET vector_quality_probe_rate = 1.0")
+        rng = random.Random(5)
+        db.query(
+            f"SELECT id FROM items WHERE id < 25 "
+            f"ORDER BY vec <-> '{_lit(rng)}' LIMIT 5"
+        )
+        rows = db.query("SELECT * FROM pg_stat_vector_quality")
+        assert rows == []  # hybrid scan: recall@k undefined, skipped
+
+    def test_exact_index_probes_at_full_recall(self):
+        """nprobe = clusters makes IVF_FLAT exact, so every probe must
+        report recall 1.0 — the oracle and the index agree exactly."""
+        db = self._probe_db()
+        db.execute("SET vector_quality_probe_rate = 1.0")
+        db.execute("SET pase.nprobe = 4")
+        rows = self._run_queries(db, n=5)
+        assert rows[0][3] == 1.0  # mean recall
+
+
+class TestStatReset:
+    #: Families pg_stat_reset() must clear — the regression list; a new
+    #: resettable surface belongs here and in the assertions below.
+    RESETTABLE_VIEWS = (
+        "pg_stat_statements",
+        "pg_stat_wait_events",
+        "pg_stat_vector_quality",
+        "pg_slow_queries",
+    )
+
+    def test_reset_clears_every_resettable_family(self):
+        db = PgSimDatabase()
+        rng = _load(db, n=50, seed=1)
+        db.execute(
+            "CREATE INDEX ix ON items USING pase_ivfflat (vec) "
+            "WITH (clusters = 4, sample_ratio = 1, seed = 42)"
+        )
+        db.execute("SET vector_quality_probe_rate = 1.0")
+        db.execute("SET log_min_duration_statement = 0")
+        db.query(f"SELECT id FROM items ORDER BY vec <-> '{_lit(rng)}' LIMIT 5")
+        db.execute("SET log_min_duration_statement = -1")
+        # This single-session workload never contends on the statement
+        # lock, so seed the wait-event family the way the session layer
+        # would on contention.
+        db.waits.record("SessionStatementLock", 0.001)
+        for view in self.RESETTABLE_VIEWS:
+            assert db.query(f"SELECT * FROM {view}") != [], view
+        statements_before = _activity_rows(db)[db._default_session.backend_id][
+            "statements"
+        ]
+        assert statements_before > 0
+        assert db.slowlog.total_logged > 0
+
+        result = db.execute("SELECT pg_stat_reset()")
+        assert result.columns == ["pg_stat_reset"]
+
+        # Statements issued after the wipe (the reset call itself, the
+        # view reads below) re-enter pg_stat_statements immediately, so
+        # the emptiness check there is "the old workload is gone".
+        assert all(
+            "order by" not in row[0]
+            for row in db.query("SELECT * FROM pg_stat_statements")
+        )
+        for view in self.RESETTABLE_VIEWS[1:]:
+            assert db.query(f"SELECT * FROM {view}") == [], view
+        # Per-backend counters reset; the backends themselves stay
+        # registered (a connection does not vanish on stats reset).
+        rows = _activity_rows(db)
+        assert db._default_session.backend_id in rows
+        # The counter restarted from zero at the reset: only the
+        # handful of statements issued since (the reset call and the
+        # view reads above) are counted.
+        assert 0 < rows[db._default_session.backend_id]["statements"] <= 6
+        assert rows[db._default_session.backend_id]["statements"] < statements_before
+        # Monotonic lifetime counters survive (same contract as the
+        # buffer/WAL counters): total_logged is not zeroed.
+        assert db.slowlog.total_logged > 0
+
+    def test_reset_restarts_probe_ticket_sequence(self):
+        """After pg_stat_reset() the deterministic probe schedule
+        replays from ticket 0 — same seed, same decisions."""
+        db = PgSimDatabase()
+        _load(db, n=50, seed=1)
+        db.execute(
+            "CREATE INDEX ix ON items USING pase_ivfflat (vec) "
+            "WITH (clusters = 4, sample_ratio = 1, seed = 42)"
+        )
+        db.execute("SET vector_quality_probe_rate = 0.5")
+        db.execute("SET vector_quality_probe_seed = 7")
+
+        def run():
+            rng = random.Random(123)
+            for _ in range(12):
+                db.query(
+                    f"SELECT id FROM items ORDER BY vec <-> '{_lit(rng)}' LIMIT 5"
+                )
+            rows = db.query("SELECT * FROM pg_stat_vector_quality")
+            return rows[0][2] if rows else 0
+
+        first = run()
+        db.execute("SELECT pg_stat_reset()")
+        second = run()
+        assert first == second
+
+
+class TestLockFreePathSemantics:
+    def test_view_select_inside_failed_txn_still_raises(self):
+        """The lock-free fast path must not bypass transaction-block
+        poisoning: a failed block rejects view reads too."""
+        db = PgSimDatabase()
+        session = db.session()
+        session.execute("BEGIN")
+        with pytest.raises(Exception):
+            session.execute("SELECT * FROM missing_table")
+        with pytest.raises(Exception, match="transaction is aborted"):
+            session.execute("SELECT * FROM pg_stat_activity")
+        session.execute("ROLLBACK")
+        assert session.query("SELECT * FROM pg_stat_activity")
+
+    def test_pg_stat_reset_not_routed_through_fast_path(self):
+        db = PgSimDatabase()
+        db.execute("CREATE TABLE t (id int)")
+        db.execute("INSERT INTO t VALUES (1)")
+        assert db.query("SELECT * FROM pg_stat_statements") != []
+        db.execute("SELECT pg_stat_reset()")
+        # Only post-reset statements remain (the reset call itself is
+        # recorded after the wipe) — the pre-reset workload is gone.
+        remaining = {row[0] for row in db.query("SELECT * FROM pg_stat_statements")}
+        assert all("insert into t" not in q for q in remaining)
+        assert any("pg_stat_reset" in q for q in remaining)
