@@ -18,6 +18,7 @@ import threading
 import time
 
 from conftest import emit_bench, metrics_extras
+from repro.bench.report import write_report
 from repro.common.datasets import tiny_dataset
 from repro.pgsim import PgSimDatabase
 from repro.pgsim.xact import SerializationError
@@ -75,6 +76,15 @@ def test_concurrent_mixed_open_loop():
     # statements land in pg_slow_queries and ride along in the BENCH
     # JSON (rendered by the trend gate on a regression).
     db.execute("SET log_min_duration_statement = 0")
+    # Time-series layer on for the contended phase: the ASH sampler
+    # snapshots backend states (including SessionStatementLock waits),
+    # stat history records counter deltas, and estimation probes feed
+    # pg_stat_estimation_errors — all of it lands in the workload
+    # report attached as a CI artifact below.
+    db.execute("SET ash_sampling_interval_ms = 2")
+    db.execute("SET stat_history_interval_ms = 50")
+    db.execute("SET estimation_probe_rate = 0.25")
+    db.execute("SET ash_enable = on")
 
     samples: dict[str, list[float]] = {"search": [], "insert": [], "delete": []}
     lock = threading.Lock()
@@ -125,6 +135,7 @@ def test_concurrent_mixed_open_loop():
     for t in threads:
         t.join()
     elapsed = time.perf_counter() - start
+    db.execute("SET ash_enable = off")  # joins the sampler thread
     assert not errors, errors[0]
 
     all_samples = [lat for kinds in samples.values() for lat in kinds]
@@ -179,6 +190,21 @@ def test_concurrent_mixed_open_loop():
             | {f"{kind}_p99_ms": pct(kind, 0.99) for kind in samples},
             "wait_events": waits,
         }
-        | metrics_extras(db),
+        | metrics_extras(db)
+        | {
+            "ash_samples": db.ash.total_samples,
+            "history_ticks": db.stat_history.total_ticks,
+            "estimation_records": db.executor.estimation.total_recorded,
+        },
     )
     assert path.exists()
+
+    # Workload report artifact: the one-page join of ASH, stat
+    # history, slow queries, estimation errors, and recall quality,
+    # uploaded by CI next to the BENCH JSON.
+    report_path = write_report(db, "concurrent_mixed")
+    assert report_path.exists()
+    report_text = report_path.read_text()
+    assert "pg_wait_profile" in report_text
+    assert "pg_stat_estimation_errors" in report_text
+    db.close()

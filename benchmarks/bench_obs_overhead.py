@@ -166,3 +166,59 @@ def test_live_layer_overhead(ivf_study):
     )
     # Target is <1.10; the gate leaves headroom for shared-runner noise.
     assert ratio < 1.35, f"live observability overhead too high: {ratio:.2f}x"
+
+
+def test_ash_sampler_overhead(ivf_study):
+    """The time-series layer (ASH sampler + stat history) stays under 10%.
+
+    Runs the search batch with the background sampler snapshotting
+    every 5ms and stat-history deltas every 50ms — far more aggressive
+    than the 10ms/1s production defaults — against the sampler fully
+    off.  The sampler reads backend fields without taking the
+    statement lock, so its cost should be near-zero for the foreground
+    path; this gate catches any future regression that adds a lock
+    handshake to the hot path.
+    """
+    db = ivf_study.generalized.db
+    db.execute(f"SET pase.nprobe = {NPROBE}")
+    sqls = _probe_sqls(ivf_study)
+    try:
+        for sql in sqls:  # warm the buffer pool and plan paths
+            db.execute(sql)
+
+        db.execute("SET ash_enable = off")
+        baseline = _best_batch_seconds(db, sqls)
+
+        db.execute("SET ash_sampling_interval_ms = 5")
+        db.execute("SET stat_history_interval_ms = 50")
+        db.execute("SET ash_enable = on")
+        sampled = _best_batch_seconds(db, sqls)
+        samples_taken = db.ash.total_samples
+        ticks_taken = db.stat_history.total_ticks
+    finally:
+        # ivf_study's database is session-scoped: leave the sampler off
+        # and the intervals back at their defaults for later benches.
+        db.execute("SET ash_enable = off")
+        db.execute("SET ash_sampling_interval_ms = 10")
+        db.execute("SET stat_history_interval_ms = 1000")
+
+    ratio = sampled / baseline if baseline > 0 else 1.0
+    emit_bench(
+        "ash_sampler_overhead",
+        params={
+            "k": K,
+            "nprobe": NPROBE,
+            "n_queries": N_QUERIES,
+            "repeats": REPEATS,
+            "sampling_interval_ms": 5,
+            "history_interval_ms": 50,
+        },
+        latency={
+            "sampled_ms": sampled / len(sqls) * 1e3,
+            "baseline_ms": baseline / len(sqls) * 1e3,
+        },
+        counters={"ash_samples": samples_taken, "history_ticks": ticks_taken},
+        extra={"overhead_ratio": ratio},
+    )
+    # Target is <1.10; the gate leaves headroom for shared-runner noise.
+    assert ratio < 1.35, f"ASH sampler overhead too high: {ratio:.2f}x"

@@ -26,6 +26,7 @@ import time
 import numpy as np
 
 from conftest import emit_bench, metrics_extras
+from repro.bench.report import write_report
 from repro.common.datasets import tiny_dataset
 from repro.pgsim import PgSimDatabase
 
@@ -89,6 +90,14 @@ def _run_am(am: str, opts: str, latencies: list[float]) -> dict:
     db.execute("SET log_min_duration_statement = 0")
     db.execute("SET vector_quality_probe_rate = 0.25")
     db.execute("SET vector_quality_probe_seed = 7")
+    # Time-series layer on as well: the ASH sampler and stat-history
+    # ring run across the whole churn stream and land in the workload
+    # report artifact written by the test body.
+    db.execute("SET ash_sampling_interval_ms = 2")
+    db.execute("SET stat_history_interval_ms = 50")
+    db.execute("SET estimation_probe_rate = 0.25")
+    db.execute("SET estimation_probe_seed = 7")
+    db.execute("SET ash_enable = on")
     queries = [np.asarray(q, dtype=np.float32) for q in dataset.queries]
 
     def churn_vector() -> np.ndarray:
@@ -142,6 +151,14 @@ def _run_am(am: str, opts: str, latencies: list[float]) -> dict:
         for row in db.query("SELECT * FROM pg_stat_vector_quality")
     ]
     result.update(metrics_extras(db))
+    db.execute("SET ash_enable = off")  # joins the sampler thread
+    result["ash_samples"] = db.ash.total_samples
+    # Per-AM workload report artifact (uploaded by CI): joins the ASH
+    # wait profile, stat history, slow queries, estimation errors and
+    # online recall for this churn run.
+    report_path = write_report(db, f"churn_{am}")
+    assert report_path.exists()
+    db.close()
     return result
 
 

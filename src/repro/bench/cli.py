@@ -8,6 +8,7 @@ Examples::
     repro-bench --all
     repro-bench trend --baseline benchmarks/results --current bench-results
     repro-bench metrics --out bench-results/metrics.prom
+    repro-bench report --out bench-results/REPORT_demo.txt
 """
 
 from __future__ import annotations
@@ -30,6 +31,8 @@ def main(argv: list[str] | None = None) -> int:
         return trend_main(argv[1:])
     if argv and argv[0] == "metrics":
         return _metrics_main(argv[1:])
+    if argv and argv[0] == "report":
+        return _report_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description="Regenerate the figures/tables of the PASE-vs-Faiss ICDE'24 study.",
@@ -128,6 +131,73 @@ def _metrics_main(argv: list[str]) -> int:
         out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(text)
         print(f"wrote {len(exposition.samples)} samples to {out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _report_main(argv: list[str]) -> int:
+    """``repro-bench report``: run a demo workload and print its report.
+
+    Exercises the full time-series surface — ASH sampling, stat-history
+    ticks, estimation probes, slow-query logging, recall probes — over
+    a small vector workload, then renders the one-page workload report
+    (see :mod:`repro.bench.report`).  Sampling is driven manually
+    (``sample_once``/``tick``) instead of by the background thread so
+    the demo is deterministic and fast.
+    """
+    import random
+
+    from repro.bench.report import build_report
+    from repro.pgsim.database import PgSimDatabase
+
+    parser = argparse.ArgumentParser(
+        prog="repro-bench report",
+        description="Render a demo workload's observability report.",
+    )
+    parser.add_argument("--out", default=None, help="write the report to this file")
+    parser.add_argument("--rows", type=int, default=200, help="demo table size")
+    parser.add_argument("--dim", type=int, default=16, help="vector dimensionality")
+    parser.add_argument("--queries", type=int, default=20, help="top-k queries to run")
+    args = parser.parse_args(argv)
+
+    rng = random.Random(42)
+    db = PgSimDatabase()
+    db.execute("CREATE TABLE report_demo (id int, v float[])")
+    for i in range(args.rows):
+        vec = "[" + ",".join(f"{rng.random():.5f}" for _ in range(args.dim)) + "]"
+        db.execute(f"INSERT INTO report_demo VALUES ({i}, '{vec}')")
+    db.execute(
+        "CREATE INDEX report_demo_idx ON report_demo "
+        "USING pase_ivfflat (v) WITH (clustering_sample_ratio = 1)"
+    )
+    db.execute("SET vector_quality_probe_rate = 0.5")
+    db.execute("SET estimation_probe_rate = 1.0")
+    db.execute("SET log_min_duration_statement = 0")
+    db.stat_history.tick()
+    with db.session("report-demo") as sess:
+        for i in range(args.queries):
+            q = "[" + ",".join(f"{rng.random():.5f}" for _ in range(args.dim)) + "]"
+            sess.query(f"SELECT id FROM report_demo ORDER BY v <-> '{q}' LIMIT 10")
+            sess.query(f"SELECT id FROM report_demo WHERE id < {10 + i}")
+            # Deterministic sampling: snapshot between statements so
+            # pg_ash/pg_wait_profile have rows without a live sampler.
+            db.activity.get(sess.backend_id).begin_statement(
+                "select id from report_demo ...", time.time()
+            )
+            db.ash.sample_once()
+            db.activity.get(sess.backend_id).end_statement(False, None)
+    db.stat_history.tick()
+
+    text = build_report(db, "demo")
+    db.close()
+    if args.out:
+        from pathlib import Path
+
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text)
+        print(f"wrote report to {out}")
     else:
         sys.stdout.write(text)
     return 0

@@ -32,12 +32,72 @@ from typing import Any, Iterable
 
 _METRIC_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
 
+#: Old family name -> current name.  Families renamed for Prometheus
+#: naming-convention compliance stay resolvable through
+#: :meth:`Exposition.value`, so dashboards migrating off the old names
+#: keep working against fresh scrapes during the transition.
+LEGACY_RENAMES = {
+    "pgsim_index_recall_last": "pgsim_index_recall_last_ratio",
+    "pgsim_index_recall": "pgsim_index_recall_ratio",
+}
+
+#: Unit suffixes that violate the base-unit rule (prometheus.io/docs
+#: naming): durations are ``_seconds``, sizes are ``_bytes``, ratios
+#: are ``_ratio`` — never milliseconds, kilobytes, or percentages.
+_NON_BASE_UNIT_SUFFIXES = (
+    "_ms",
+    "_millis",
+    "_milliseconds",
+    "_us",
+    "_micros",
+    "_microseconds",
+    "_ns",
+    "_nanos",
+    "_nanoseconds",
+    "_minutes",
+    "_hours",
+    "_days",
+    "_kb",
+    "_kib",
+    "_mb",
+    "_mib",
+    "_gb",
+    "_gib",
+    "_kilobytes",
+    "_megabytes",
+    "_gigabytes",
+    "_percent",
+    "_pct",
+)
+
 _NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
 _SAMPLE_RE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
     r"(?:\{(?P<labels>.*)\})?"
     r" (?P<value>[^ ]+)$"
 )
+
+
+def check_family_name(name: str, metric_type: str) -> None:
+    """Enforce Prometheus naming conventions on one metric family.
+
+    Raises ``ValueError`` when a counter family does not end in
+    ``_total``, or when any family carries a non-base-unit suffix
+    (``_ms``, ``_kb``, ``_minutes``, ...).  Applied at both ends:
+    :class:`_Writer` refuses to emit a non-conforming family, and
+    :func:`parse_exposition` rejects payloads containing one.
+    """
+    if not _NAME_RE.fullmatch(name):
+        raise ValueError(f"invalid metric name {name!r}")
+    if metric_type == "counter" and not name.endswith("_total"):
+        raise ValueError(f"counter family {name!r} must end in '_total'")
+    base = name[: -len("_total")] if name.endswith("_total") else name
+    for suffix in _NON_BASE_UNIT_SUFFIXES:
+        if base.endswith(suffix):
+            raise ValueError(
+                f"metric family {name!r} uses non-base unit suffix "
+                f"{suffix!r}; use base units (_seconds, _bytes, _ratio)"
+            )
 
 
 def _escape_label(value: str) -> str:
@@ -64,6 +124,7 @@ class _Writer:
         self._lines: list[str] = []
 
     def family(self, name: str, metric_type: str, help_text: str) -> None:
+        check_family_name(name, metric_type)
         self._lines.append(f"# HELP {name} {help_text}")
         self._lines.append(f"# TYPE {name} {metric_type}")
 
@@ -121,6 +182,15 @@ class MetricsRegistry:
         slowlog = getattr(self.db, "slowlog", None)
         if slowlog is not None:
             self._slowlog_family(w, slowlog)
+        ash = getattr(self.db, "ash", None)
+        if ash is not None:
+            self._ash_family(w, ash)
+        history = getattr(self.db, "stat_history", None)
+        if history is not None:
+            self._history_family(w, history)
+        estimation = getattr(getattr(self.db, "executor", None), "estimation", None)
+        if estimation is not None:
+            self._estimation_family(w, estimation)
         return w.render()
 
     # ------------------------------------------------------------------
@@ -253,7 +323,7 @@ class MetricsRegistry:
     def _quality_family(self, w: _Writer, stats: Any) -> None:
         quality = dict(getattr(stats, "quality", {}) or {})
         w.family(
-            "pgsim_index_recall",
+            "pgsim_index_recall_ratio",
             "histogram",
             "Observed recall@k of sampled index scans vs the brute-force oracle.",
         )
@@ -261,19 +331,21 @@ class MetricsRegistry:
             entry = quality[name]
             h = entry.histogram
             w.histogram(
-                "pgsim_index_recall",
+                "pgsim_index_recall_ratio",
                 h.cumulative_buckets(),
                 h.count,
                 h.total,
                 {"index": entry.index_name, "am": entry.am_name},
             )
         w.family(
-            "pgsim_index_recall_last", "gauge", "Most recently observed recall@k."
+            "pgsim_index_recall_last_ratio",
+            "gauge",
+            "Most recently observed recall@k.",
         )
         for name in sorted(quality):
             entry = quality[name]
             w.sample(
-                "pgsim_index_recall_last",
+                "pgsim_index_recall_last_ratio",
                 entry.histogram.last_value,
                 {"index": entry.index_name, "am": entry.am_name},
             )
@@ -319,6 +391,46 @@ class MetricsRegistry:
         )
         w.sample("pgsim_slow_queries_retained", len(slowlog.records()))
 
+    def _ash_family(self, w: _Writer, ash: Any) -> None:
+        w.family(
+            "pgsim_ash_samples_total",
+            "counter",
+            "Active-session-history samples taken (pg_ash).",
+        )
+        w.sample("pgsim_ash_samples_total", ash.total_samples)
+        w.family(
+            "pgsim_ash_retained", "gauge", "ASH samples currently in the ring."
+        )
+        w.sample("pgsim_ash_retained", len(ash))
+
+    def _history_family(self, w: _Writer, history: Any) -> None:
+        w.family(
+            "pgsim_stat_history_ticks_total",
+            "counter",
+            "Stat-history sampling ticks taken (pg_stat_history).",
+        )
+        w.sample("pgsim_stat_history_ticks_total", history.total_ticks)
+        w.family(
+            "pgsim_stat_history_retained",
+            "gauge",
+            "Stat-history rows currently in the ring.",
+        )
+        w.sample("pgsim_stat_history_retained", len(history))
+
+    def _estimation_family(self, w: _Writer, estimation: Any) -> None:
+        w.family(
+            "pgsim_estimation_records_total",
+            "counter",
+            "Plan nodes recorded into pg_stat_estimation_errors.",
+        )
+        w.sample("pgsim_estimation_records_total", estimation.total_recorded)
+        w.family(
+            "pgsim_estimation_max_q_error",
+            "gauge",
+            "Worst estimate-vs-actual q-error across tracked plan nodes.",
+        )
+        w.sample("pgsim_estimation_max_q_error", estimation.max_q_error())
+
 
 # ----------------------------------------------------------------------
 # parser (test/CLI round-trip validation)
@@ -343,11 +455,23 @@ class Exposition:
     helps: dict[str, str] = field(default_factory=dict)
 
     def value(self, name: str, **labels: str) -> float | None:
-        """The value of the sample matching ``name`` and ``labels`` exactly."""
+        """The value of the sample matching ``name`` and ``labels`` exactly.
+
+        Legacy family names (see :data:`LEGACY_RENAMES`) resolve to
+        their renamed successors, including derived histogram series —
+        ``pgsim_index_recall_count`` finds
+        ``pgsim_index_recall_ratio_count``.
+        """
         want = {k: str(v) for k, v in labels.items()}
         for s in self.samples:
             if s.name == name and s.labels == want:
                 return s.value
+        for old, new in LEGACY_RENAMES.items():
+            if name == old or name.startswith(old + "_"):
+                renamed = name.replace(old, new, 1)
+                for s in self.samples:
+                    if s.name == renamed and s.labels == want:
+                        return s.value
         return None
 
     def family(self, name: str) -> list[Sample]:
@@ -406,9 +530,11 @@ def parse_exposition(text: str) -> Exposition:
     """Strictly parse a Prometheus text-format payload.
 
     Raises ``ValueError`` on any malformed line, on a ``# TYPE`` with
-    an unknown metric type, and on histogram families whose ``le``
-    buckets are not cumulative (non-decreasing with ascending bound,
-    ``+Inf`` bucket equal to ``_count``).
+    an unknown metric type, on families violating Prometheus naming
+    conventions (counters without ``_total``, non-base-unit suffixes —
+    see :func:`check_family_name`), and on histogram families whose
+    ``le`` buckets are not cumulative (non-decreasing with ascending
+    bound, ``+Inf`` bucket equal to ``_count``).
     """
     exp = Exposition()
     for lineno, line in enumerate(text.splitlines(), 1):
@@ -428,6 +554,10 @@ def parse_exposition(text: str) -> Exposition:
                 raise ValueError(f"line {lineno}: bad TYPE metric name {name!r}")
             if metric_type not in _METRIC_TYPES:
                 raise ValueError(f"line {lineno}: unknown metric type {metric_type!r}")
+            try:
+                check_family_name(name, metric_type)
+            except ValueError as exc:
+                raise ValueError(f"line {lineno}: {exc}") from None
             exp.types[name] = metric_type
             continue
         if line.startswith("#"):

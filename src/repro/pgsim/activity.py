@@ -112,6 +112,11 @@ class SessionRegistry:
         with self._lock:
             return [self._backends[bid] for bid in sorted(self._backends)]
 
+    def get(self, backend_id: int) -> BackendActivity | None:
+        """The live entry for ``backend_id``, if still registered."""
+        with self._lock:
+            return self._backends.get(backend_id)
+
     def state_counts(self) -> dict[str, int]:
         """``state -> number of backends`` (the exporter's gauge family)."""
         counts: dict[str, int] = {}

@@ -96,6 +96,23 @@ DEFAULT_SETTINGS: dict[str, Any] = {
     # per-scan sampling seed.
     "vector_quality_probe_rate": 0.0,
     "vector_quality_probe_seed": 0,
+    # Active Session History: a background thread samples every active
+    # backend's state/query/wait-event into a bounded ring every
+    # ``ash_sampling_interval_ms``, served as pg_ash/pg_wait_profile.
+    "ash_enable": False,
+    "ash_sampling_interval_ms": 10,
+    "ash_ring_size": 4096,
+    # Stat-history ring: the same sampler thread records deltas of the
+    # cumulative counter families into pg_stat_history every
+    # ``stat_history_interval_ms`` (ring size in rows, not ticks).
+    "stat_history_interval_ms": 1000,
+    "stat_history_ring_size": 512,
+    # Planner estimate-vs-actual probes: fraction of ordinary SELECTs
+    # executed with per-node instrumentation feeding
+    # pg_stat_estimation_errors (EXPLAIN ANALYZE always records).
+    # Deterministic per-statement sampling, like the recall probes.
+    "estimation_probe_rate": 0.0,
+    "estimation_probe_seed": 0,
 }
 
 _TRUTHY = {"on", "true", "yes", "1"}

@@ -14,9 +14,16 @@ from typing import Any
 
 from repro.common.obs import WaitEventStats
 from repro.pgsim.activity import SessionRegistry, install_activity_view
+from repro.pgsim.ash import (
+    ActiveSessionHistory,
+    StatHistory,
+    TimeSeriesSampler,
+    install_timeseries_views,
+)
 from repro.pgsim.buffer import BufferManager
 from repro.pgsim.catalog import Catalog
 from repro.pgsim.constants import DEFAULT_BUFFER_POOL_PAGES, DEFAULT_PAGE_SIZE
+from repro.pgsim.estimation import install_estimation_view
 from repro.pgsim.executor import Executor
 from repro.pgsim.faults import FaultInjector
 from repro.pgsim.plan import QueryResult
@@ -104,13 +111,30 @@ class PgSimDatabase:
             slowlog_capacity = 256
         self.slowlog = SlowQueryLog(capacity=slowlog_capacity)
         self.executor.slowlog = self.slowlog
+        #: Active Session History ring + stat-history ring, fed by the
+        #: background sampler thread while ``ash_enable`` is on (the
+        #: rings also accept manual ``sample_once()``/``tick()`` calls,
+        #: which is what deterministic tests and the report CLI use).
+        self.ash = ActiveSessionHistory(
+            self.activity, ring_size=self._int_setting("ash_ring_size", 4096)
+        )
+        self.stat_history = StatHistory(
+            self.stats, ring_size=self._int_setting("stat_history_ring_size", 512)
+        )
+        self._sampler = TimeSeriesSampler(self.catalog, self.ash, self.stat_history)
+        self.executor.settings_listener = self._on_setting_changed
         install_stat_views(self.catalog, self.stats)
         install_activity_view(self.catalog, self.activity)
         install_slowlog_view(self.catalog, self.slowlog)
+        install_timeseries_views(self.catalog, self.ash, self.stat_history)
+        install_estimation_view(self.catalog, self.executor.estimation)
         # ``SELECT pg_stat_reset()`` clears these surfaces along with
         # the core counter families.
         self.stats.register_resettable(self.slowlog)
         self.stats.register_resettable(self.activity)
+        self.stats.register_resettable(self.ash)
+        self.stats.register_resettable(self.stat_history)
+        self.stats.register_resettable(self.executor.estimation)
         _register_default_ams()
         #: Serializes statement execution across sessions; contention
         #: is recorded under the ``SessionStatementLock`` wait event.
@@ -169,6 +193,44 @@ class PgSimDatabase:
             return self.catalog.get_bool("track_query_stats")
         except Exception:
             return False
+
+    def _int_setting(self, name: str, default: int) -> int:
+        try:
+            return int(self.catalog.get_setting(name))
+        except Exception:
+            return default
+
+    def _on_setting_changed(self, name: str, value: Any) -> None:
+        """React to SET: drive the ASH sampler and ring sizes live.
+
+        Installed as the executor's ``settings_listener``, so ``SET
+        ash_enable = on`` starts the background sampler thread without
+        polling and ``off`` joins it; ring-size GUCs re-bound their
+        rings in place (keeping the newest entries).
+        """
+        if name == "ash_enable":
+            try:
+                enable = self.catalog.get_bool("ash_enable")
+            except Exception:
+                enable = False
+            if enable:
+                self._sampler.start()
+            else:
+                self._sampler.stop()
+        elif name == "ash_ring_size":
+            self.ash.resize(self._int_setting("ash_ring_size", 4096))
+        elif name == "stat_history_ring_size":
+            self.stat_history.resize(self._int_setting("stat_history_ring_size", 512))
+
+    def close(self) -> None:
+        """Shut the database down: stop the sampler, flush the sinks.
+
+        Idempotent.  Stops the ASH sampler thread (if running) and
+        flushes + closes the slow-query JSONL sink so every record is
+        durable on disk when the process moves on.
+        """
+        self._sampler.stop()
+        self.slowlog.close_sink()
 
     def _sync_slowlog_sink(self) -> None:
         """Point the slow-query log's file sink at the current GUC."""

@@ -1,0 +1,214 @@
+"""Planner estimate-vs-actual tracking (``pg_stat_estimation_errors``).
+
+The adaptive filtered-search work (ROADMAP item 3) needs to know
+*where the selectivity model is wrong* before strategy crossovers can
+be costed honestly.  This module accumulates, per (normalized query,
+plan-node type):
+
+* estimated vs. actual row counts and their **q-error**
+  ``max(est/actual, actual/est)`` — the standard cardinality-quality
+  metric (both sides clamped to >= 1 row, matching the planner's own
+  row-count floor);
+* estimated vs. measured selectivity, where the plan carries one
+  (``Filter`` over a seq scan; hybrid ``IndexScan`` with a pushed-down
+  predicate, measured as emitted/examined).
+
+Actual row counts come from the same per-node instrument dict both
+executor paths feed ``EXPLAIN ANALYZE`` from, so the view reconciles
+exactly with the ``actual rows=N`` annotations — differential-tested
+in ``tests/test_timeseries_obs.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def q_error(est_rows: float, actual_rows: float) -> float:
+    """``max(est/actual, actual/est)`` with both sides clamped to 1."""
+    est = max(float(est_rows), 1.0)
+    act = max(float(actual_rows), 1.0)
+    return max(est / act, act / est)
+
+
+class EstimationEntry:
+    """Accumulated estimate-vs-actual record for one (query, node)."""
+
+    __slots__ = (
+        "query",
+        "node",
+        "calls",
+        "est_rows",
+        "actual_rows",
+        "sum_q_error",
+        "max_q_error",
+        "est_selectivity",
+        "actual_selectivity",
+    )
+
+    def __init__(self, query: str, node: str) -> None:
+        self.query = query
+        self.node = node
+        self.calls = 0
+        self.est_rows = 0.0
+        self.actual_rows = 0
+        self.sum_q_error = 0.0
+        self.max_q_error = 0.0
+        self.est_selectivity: float | None = None
+        self.actual_selectivity: float | None = None
+
+    def record(
+        self,
+        est_rows: float,
+        actual_rows: int,
+        est_selectivity: float | None,
+        actual_selectivity: float | None,
+    ) -> None:
+        self.calls += 1
+        self.est_rows = float(est_rows)
+        self.actual_rows = int(actual_rows)
+        q = q_error(est_rows, actual_rows)
+        self.sum_q_error += q
+        if q > self.max_q_error:
+            self.max_q_error = q
+        if est_selectivity is not None:
+            self.est_selectivity = est_selectivity
+        if actual_selectivity is not None:
+            self.actual_selectivity = actual_selectivity
+
+
+class EstimationStats:
+    """Per-database accumulator behind ``pg_stat_estimation_errors``."""
+
+    __slots__ = ("_entries", "total_recorded")
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple[str, str], EstimationEntry] = {}
+        #: Lifetime recorded nodes; survives :meth:`reset`.
+        self.total_recorded = 0
+
+    def record(
+        self,
+        query: str,
+        node: str,
+        est_rows: float,
+        actual_rows: int,
+        est_selectivity: float | None = None,
+        actual_selectivity: float | None = None,
+    ) -> None:
+        entry = self._entries.get((query, node))
+        if entry is None:
+            entry = self._entries[(query, node)] = EstimationEntry(query, node)
+        entry.record(est_rows, actual_rows, est_selectivity, actual_selectivity)
+        self.total_recorded += 1
+
+    def entries(self) -> list[EstimationEntry]:
+        # .copy(): read lock-free while another session records.
+        return list(self._entries.copy().values())
+
+    def entry(self, query: str, node: str) -> EstimationEntry | None:
+        return self._entries.get((query, node))
+
+    def max_q_error(self) -> float:
+        return max((e.max_q_error for e in self.entries()), default=0.0)
+
+    def reset(self) -> None:
+        """``pg_stat_reset()``: drop entries, keep the lifetime total."""
+        self._entries.clear()
+
+    def rows(self) -> list[tuple]:
+        """``pg_stat_estimation_errors`` rows, worst offenders first."""
+        rows = [
+            (
+                e.query,
+                e.node,
+                e.calls,
+                e.est_rows,
+                e.actual_rows,
+                e.sum_q_error / e.calls if e.calls else 0.0,
+                e.max_q_error,
+                e.est_selectivity,
+                e.actual_selectivity,
+            )
+            for e in self.entries()
+        ]
+        rows.sort(key=lambda r: (-r[6], r[0], r[1]))
+        return rows
+
+
+def record_plan(
+    stats: EstimationStats, query: str, plan: Any, instrument: dict[int, list]
+) -> int:
+    """Walk an executed plan and record every estimated node.
+
+    ``instrument`` is the per-node ``[rows, seconds, hits, misses]``
+    dict the executor filled while running the plan — the identical
+    source ``EXPLAIN ANALYZE`` renders, which is what makes the view
+    reconcile exactly with the ``actual rows=N`` annotations.  Nodes
+    the planner left uncosted (virtual-view scans) carry
+    ``plan_rows is None`` and are skipped.  Returns the number of
+    nodes recorded.
+    """
+    recorded = 0
+    node = plan
+    while node is not None:
+        entry = instrument.get(id(node))
+        if entry is not None and node.plan_rows is not None:
+            actual = int(entry[0])
+            actual_sel = _actual_selectivity(node, instrument, actual)
+            stats.record(
+                query,
+                type(node).__name__,
+                float(node.plan_rows),
+                actual,
+                node.est_selectivity,
+                actual_sel,
+            )
+            recorded += 1
+        node = getattr(node, "child", None)
+    return recorded
+
+
+def _actual_selectivity(node: Any, instrument: dict[int, list], actual: int) -> float | None:
+    """Measured selectivity for nodes that carry an estimate.
+
+    * ``Filter``: rows out / rows in (the child's actual rows);
+    * hybrid ``IndexScan``: rows emitted / candidates the scan
+      actually examined against the predicate (stashed on the node by
+      the executor as ``actual_examined``).
+    """
+    if node.est_selectivity is None:
+        return None
+    child = getattr(node, "child", None)
+    if child is not None:
+        child_entry = instrument.get(id(child))
+        if child_entry and child_entry[0]:
+            return actual / child_entry[0]
+        return None
+    examined = getattr(node, "actual_examined", None)
+    if examined:
+        return actual / examined
+    return None
+
+
+def install_estimation_view(catalog: Any, stats: EstimationStats) -> None:
+    """Register ``pg_stat_estimation_errors`` on a catalog."""
+    from repro.pgsim.stats import StatView
+
+    catalog.register_view(
+        StatView(
+            "pg_stat_estimation_errors",
+            [
+                "query",
+                "node",
+                "calls",
+                "est_rows",
+                "actual_rows",
+                "mean_q_error",
+                "max_q_error",
+                "est_selectivity",
+                "actual_selectivity",
+            ],
+            stats.rows,
+        )
+    )

@@ -24,6 +24,7 @@ from repro.pgsim.am import lookup_am
 from repro.pgsim.analyze import analyze_table
 from repro.pgsim.buffer import BufferManager
 from repro.pgsim.catalog import Catalog, CatalogError, IndexInfo, TableInfo
+from repro.pgsim.estimation import EstimationStats, record_plan
 from repro.pgsim.heapam import TID, HeapTable
 from repro.pgsim.planner import explain_plan, plan_select
 from repro.pgsim.slowlog import SlowQueryRecord
@@ -94,6 +95,17 @@ class Executor:
         #: "elapsed_ms": float}`` when the last SELECT crossed
         #: ``auto_explain_log_min_duration``, else None.
         self.last_plan_capture = None
+        #: Estimate-vs-actual accumulator (pg_stat_estimation_errors).
+        #: Fed by EXPLAIN ANALYZE / auto_explain runs and by ordinary
+        #: SELECTs sampled via ``estimation_probe_rate``.
+        self.estimation = EstimationStats()
+        #: Normalized text of the statement currently dispatching, set
+        #: by the session layer; keys the estimation entries.
+        self.current_query: str | None = None
+        #: Callback ``(name, value)`` invoked after a SET applies; the
+        #: database facade uses it to start/stop the ASH sampler and
+        #: resize the time-series rings without polling.
+        self.settings_listener = None
 
     # ------------------------------------------------------------------
     # transaction lifecycle
@@ -185,6 +197,8 @@ class Executor:
             return self._select(stmt)
         if isinstance(stmt, ast.SetStatement):
             self.catalog.set_setting(stmt.name, stmt.value)
+            if self.settings_listener is not None:
+                self.settings_listener(stmt.name.lower(), stmt.value)
             return P.QueryResult(command="SET")
         if isinstance(stmt, ast.ShowStatement):
             if stmt.name == "all":
@@ -532,10 +546,13 @@ class Executor:
             auto_ms = self._duration_setting_ms("auto_explain_log_min_duration")
         if auto_ms is not None:
             return self._select_captured(plan, auto_ms)
+        instrument = self._begin_estimation_probe()
         if plan.batch:
-            rows = list(self._project_rows_batch(plan))
+            rows = list(self._project_rows_batch(plan, instrument))
         else:
-            rows = list(self._project_rows(plan))
+            rows = list(self._project_rows(plan, instrument))
+        if instrument is not None:
+            self._record_estimation(plan, instrument)
         return P.QueryResult(command=f"SELECT {len(rows)}", columns=plan.columns, rows=rows)
 
     def _select_captured(self, plan: P.Project, auto_ms: float) -> P.QueryResult:
@@ -571,6 +588,7 @@ class Executor:
         finally:
             restore()
         total = time.perf_counter() - start
+        self._record_estimation(plan, instrument)
         if total * 1e3 >= auto_ms:
             waits_delta = self.stats.waits.delta(waits_before)
             attribution = attribute_profile(tracer, wait_events=waits_delta)
@@ -691,6 +709,7 @@ class Executor:
             if stmt.trace:
                 restore()
         total = time.perf_counter() - start
+        self._record_estimation(plan, instrument)
         lines = self._annotated_lines(
             plan, 0, instrument, buffers=stmt.buffers, timing=timing, costs=stmt.costs
         )
@@ -1011,11 +1030,16 @@ class Executor:
                         # generator suspended forever after this yield.
                         self._finish_quality_probe(node, probe)
                         probe = None
+                # Refresh before the yield, not after: once the k-th
+                # row is out a Limit above never resumes us, and the
+                # estimation recorder reads the stash from the node.
+                node.actual_examined = len(seen)
                 yield row
                 if emitted >= node.k:
                     return
             if n_hits < fetch_k:
                 # Index exhausted: fewer candidates than requested.
+                node.actual_examined = len(seen)
                 if probe is not None:
                     self._finish_quality_probe(node, probe)
                 return
@@ -1188,16 +1212,75 @@ class Executor:
                     continue  # index-time post-filter
                 out.append(row)
                 if len(out) >= node.k:
+                    node.actual_examined = len(seen)
                     if probe is not None:
                         self._finish_quality_probe(node, [r["__tid__"] for r in out])
                     return out
             if n_hits < fetch_k:
                 # Index exhausted: fewer candidates than requested.
+                node.actual_examined = len(seen)
                 if probe is not None:
                     self._finish_quality_probe(node, [r["__tid__"] for r in out])
                 return out
             fetch_k *= 2
             batch = am.amrescan_continue_batch(node.query_vector, fetch_k)
+
+    # ------------------------------------------------------------------
+    # estimate-vs-actual probes (``SET estimation_probe_rate = 0.05``)
+    # ------------------------------------------------------------------
+    def _begin_estimation_probe(self) -> dict[int, list] | None:
+        """Decide whether this ordinary SELECT runs instrumented.
+
+        Same deterministic ticket machinery as the recall probes, on a
+        *separate* ticket stream so the two sampling schedules never
+        perturb each other.  Returns the instrument dict to execute
+        with for chosen statements, else None (uninstrumented run).
+        """
+        settings = self.catalog.settings
+        try:
+            rate = float(settings.get("estimation_probe_rate", 0.0) or 0.0)
+        except (TypeError, ValueError):
+            return None
+        if rate <= 0.0:
+            return None
+        try:
+            seed = int(settings.get("estimation_probe_seed", 0) or 0)
+        except (TypeError, ValueError):
+            seed = 0
+        ticket = self.stats.next_estimation_ticket()
+        if random.Random(seed * 1_000_003 + ticket).random() >= rate:
+            return None
+        return {}
+
+    def _record_estimation(self, plan: P.PlanNode, instrument: dict[int, list]) -> None:
+        """Fold one instrumented run into pg_stat_estimation_errors."""
+        record_plan(self.estimation, self._estimation_query_key(), plan, instrument)
+
+    def _estimation_query_key(self) -> str:
+        """Estimation-entry key: the normalized statement text.
+
+        An ``EXPLAIN ANALYZE inner`` run is keyed under *inner*'s
+        normalized text (the leading ``explain``/option tokens are
+        stripped), so explained and sampled executions of the same
+        statement accumulate into one entry.
+        """
+        text = self.current_query
+        if not text:
+            return "<unknown>"
+        tokens = text.split()
+        if tokens and tokens[0].lower() == "explain":
+            i = 1
+            if i < len(tokens) and tokens[i] == "(":
+                while i < len(tokens) and tokens[i] != ")":
+                    i += 1
+                i += 1
+            else:
+                while i < len(tokens) and tokens[i].lower() in ("analyze", "verbose"):
+                    i += 1
+            stripped = " ".join(tokens[i:])
+            if stripped:
+                return stripped
+        return text
 
     # ------------------------------------------------------------------
     # online recall probes (``SET vector_quality_probe_rate = 0.01``)

@@ -192,6 +192,7 @@ class SeqScanPath(Path):
         if stmt.where is not None:
             node = P.Filter(node, stmt.where)
             _set_cost(node, 0.0, self._filter_total, self._filter_rows)
+            node.est_selectivity = self.selectivity
         if stmt.order_by is not None:
             node = P.Sort(node, stmt.order_by.expr, stmt.order_by.ascending)
             _set_cost(node, self._sort_startup, self._sort_total, self._filter_rows)
@@ -261,6 +262,8 @@ class IndexScanPath(Path):
             fetch_k=self.fetch_k,
         )
         _set_cost(node, self.startup_cost, self.total_cost, self.rows)
+        if self.filter is not None:
+            node.est_selectivity = self.selectivity
         # LIMIT stays in the plan even though the scan is k-bounded:
         # it documents the bound and guards the batch executor path.
         limit = P.Limit(node, self.k)

@@ -35,6 +35,10 @@ class PlanNode:
     startup_cost: float | None = None
     total_cost: float | None = None
     plan_rows: int | None = None
+    #: Estimated predicate selectivity, set by the path layer on the
+    #: nodes that apply one (Filter; hybrid IndexScan).  Feeds
+    #: pg_stat_estimation_errors' est-vs-measured comparison.
+    est_selectivity: float | None = None
 
     def own_lines(self, depth: int = 0, costs: bool = True) -> list[str]:
         """This node's EXPLAIN lines (head + detail), children excluded."""

@@ -124,6 +124,10 @@ class Session:
                 activity.note_lock_wait(waited)
                 activity.wait_event = None
             try:
+                # Key for the estimation accumulator (the executor has
+                # no raw SQL of its own); stale values are harmless —
+                # only instrumented runs read it.
+                db.executor.current_query = query_text
                 measure = track or log_ms is not None
                 elapsed = None
                 if track:

@@ -75,24 +75,49 @@ class SlowQueryLog:
         #: and reset — the exporter's counter semantics).
         self.total_logged = 0
         self._sink_path: str | None = None
+        self._sink_file: Any = None
 
     @property
     def capacity(self) -> int:
         return self._ring.maxlen or 0
 
     def configure_sink(self, path: str | None) -> None:
-        """Point the JSONL file sink at ``path`` (falsy = in-memory only)."""
-        self._sink_path = path or None
+        """Point the JSONL file sink at ``path`` (falsy = in-memory only).
+
+        Repointing (or disabling) the sink closes the previous handle;
+        the new file opens lazily on the first record written to it.
+        """
+        path = path or None
+        if path == self._sink_path:
+            return
+        self.close_sink()
+        self._sink_path = path
+
+    def close_sink(self) -> None:
+        """Flush and close the sink file handle (``db.close()``)."""
+        with self._lock:
+            handle, self._sink_file = self._sink_file, None
+        if handle is not None:
+            try:
+                handle.close()
+            except OSError:
+                pass
 
     def record(self, record: SlowQueryRecord) -> None:
         with self._lock:
             self._ring.append(record)
             self.total_logged += 1
         if self._sink_path:
+            # One persistent append handle, flushed per record so a
+            # tail -f (or a crashed process) never misses entries —
+            # not a per-record open/close, which dominated the cost of
+            # logging under log_min_duration_statement = 0.
             try:
-                with open(self._sink_path, "a") as f:
-                    f.write(json.dumps(record.as_dict(), sort_keys=True) + "\n")
-            except OSError:
+                if self._sink_file is None:
+                    self._sink_file = open(self._sink_path, "a")
+                self._sink_file.write(json.dumps(record.as_dict(), sort_keys=True) + "\n")
+                self._sink_file.flush()
+            except (OSError, ValueError):
                 pass  # a broken sink must not fail the statement
 
     def records(self) -> list[SlowQueryRecord]:

@@ -238,6 +238,10 @@ class StatsCollector:
         #: Monotonic probe-ticket counter driving deterministic probe
         #: sampling (reset with pg_stat_reset for replayability).
         self._probe_ticket = 0
+        #: Separate ticket stream for the estimation probes, so adding
+        #: or removing estimation sampling never perturbs which scans
+        #: the *recall* probes pick (and vice versa).
+        self._estimation_ticket = 0
         #: External surfaces whose reset() joins pg_stat_reset()
         #: (slow-query ring, activity counters).
         self._resettables: list[Any] = []
@@ -308,6 +312,11 @@ class StatsCollector:
         self._probe_ticket += 1
         return self._probe_ticket
 
+    def next_estimation_ticket(self) -> int:
+        """Monotonic per-statement ticket for estimation sampling."""
+        self._estimation_ticket += 1
+        return self._estimation_ticket
+
     def record_quality(self, index_name: str, am_name: str, recall: float) -> None:
         entry = self.quality.get(index_name)
         if entry is None:
@@ -355,10 +364,12 @@ class StatsCollector:
         """``SELECT pg_stat_reset()``: zero the resettable accumulators.
 
         Clears ``pg_stat_statements``, the wait-event accumulator, the
-        recall-probe accumulators (plus the probe ticket, so sampling
-        replays deterministically after a reset) and every registered
-        external surface — the slow-query ring and per-backend activity
-        counters.  The buffer/WAL/heap/index counters are monotonic by
+        recall-probe accumulators (plus the probe and estimation
+        tickets, so sampling replays deterministically after a reset)
+        and every registered external surface — the slow-query ring,
+        per-backend activity counters, the ASH and stat-history rings,
+        and the estimation-error entries (each keeps its own lifetime
+        totals).  The buffer/WAL/heap/index counters are monotonic by
         design (consumers window them with snapshot/delta, see
         :class:`~repro.common.obs.CounterDeltaMixin`) and are left
         untouched, as are the build/vacuum progress histories.
@@ -367,6 +378,7 @@ class StatsCollector:
         self.waits.reset()
         self.quality.clear()
         self._probe_ticket = 0
+        self._estimation_ticket = 0
         for surface in self._resettables:
             surface.reset()
 

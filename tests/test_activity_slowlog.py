@@ -393,6 +393,10 @@ class TestStatReset:
         "pg_stat_wait_events",
         "pg_stat_vector_quality",
         "pg_slow_queries",
+        "pg_ash",
+        "pg_wait_profile",
+        "pg_stat_history",
+        "pg_stat_estimation_errors",
     )
 
     def test_reset_clears_every_resettable_family(self):
@@ -403,13 +407,22 @@ class TestStatReset:
             "WITH (clusters = 4, sample_ratio = 1, seed = 42)"
         )
         db.execute("SET vector_quality_probe_rate = 1.0")
+        db.execute("SET estimation_probe_rate = 1.0")
         db.execute("SET log_min_duration_statement = 0")
         db.query(f"SELECT id FROM items ORDER BY vec <-> '{_lit(rng)}' LIMIT 5")
         db.execute("SET log_min_duration_statement = -1")
+        db.execute("SET estimation_probe_rate = 0")
         # This single-session workload never contends on the statement
         # lock, so seed the wait-event family the way the session layer
         # would on contention.
         db.waits.record("SessionStatementLock", 0.001)
+        # Seed the time-series rings the way the sampler would: one
+        # ASH pass over a staged active backend, one history tick.
+        activity = db.activity.get(db._default_session.backend_id)
+        activity.begin_statement("select 1", time.time())
+        assert db.ash.sample_once() == 1
+        activity.end_statement(False, None)
+        db.stat_history.tick()
         for view in self.RESETTABLE_VIEWS:
             assert db.query(f"SELECT * FROM {view}") != [], view
         statements_before = _activity_rows(db)[db._default_session.backend_id][
@@ -417,6 +430,12 @@ class TestStatReset:
         ]
         assert statements_before > 0
         assert db.slowlog.total_logged > 0
+        lifetime_before = (
+            db.ash.total_samples,
+            db.stat_history.total_ticks,
+            db.executor.estimation.total_recorded,
+        )
+        assert all(v > 0 for v in lifetime_before)
 
         result = db.execute("SELECT pg_stat_reset()")
         assert result.columns == ["pg_stat_reset"]
@@ -437,11 +456,17 @@ class TestStatReset:
         # The counter restarted from zero at the reset: only the
         # handful of statements issued since (the reset call and the
         # view reads above) are counted.
-        assert 0 < rows[db._default_session.backend_id]["statements"] <= 6
+        assert 0 < rows[db._default_session.backend_id]["statements"] <= 10
         assert rows[db._default_session.backend_id]["statements"] < statements_before
         # Monotonic lifetime counters survive (same contract as the
-        # buffer/WAL counters): total_logged is not zeroed.
+        # buffer/WAL counters): total_logged is not zeroed, and neither
+        # are the time-series layers' lifetime totals.
         assert db.slowlog.total_logged > 0
+        assert (
+            db.ash.total_samples,
+            db.stat_history.total_ticks,
+            db.executor.estimation.total_recorded,
+        ) == lifetime_before
 
     def test_reset_restarts_probe_ticket_sequence(self):
         """After pg_stat_reset() the deterministic probe schedule

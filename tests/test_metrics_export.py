@@ -63,9 +63,12 @@ class TestExposition:
         for row in db.query("SELECT * FROM pg_stat_vector_quality"):
             index, am, probes, _mean, _min, last = row
             assert (
-                exp.value("pgsim_index_recall_count", index=index, am=am) == probes
+                exp.value("pgsim_index_recall_ratio_count", index=index, am=am)
+                == probes
             )
-            assert exp.value("pgsim_index_recall_last", index=index, am=am) == last
+            assert (
+                exp.value("pgsim_index_recall_last_ratio", index=index, am=am) == last
+            )
         # Slow-query ring vs its gauge/counter pair.
         assert exp.value("pgsim_slow_queries_total") == db.slowlog.total_logged
         assert exp.value("pgsim_slow_queries_retained") == len(db.slowlog.records())
@@ -172,6 +175,61 @@ class TestParserStrictness:
         assert exp.samples[0].labels["q"] == 'a"b\\c\nd'
 
 
+class TestNamingConventions:
+    """Prometheus naming rules, enforced at both ends of the pipe."""
+
+    def test_writer_rejects_counter_without_total(self):
+        from repro.common.metrics_export import _Writer
+
+        w = _Writer()
+        with pytest.raises(ValueError, match="must end in '_total'"):
+            w.family("pgsim_requests", "counter", "bad counter name")
+
+    def test_writer_rejects_non_base_unit_suffix(self):
+        from repro.common.metrics_export import _Writer
+
+        w = _Writer()
+        with pytest.raises(ValueError, match="non-base unit suffix"):
+            w.family("pgsim_latency_ms", "gauge", "milliseconds are not a base unit")
+        with pytest.raises(ValueError, match="non-base unit suffix"):
+            w.family("pgsim_wal_kb_total", "counter", "kilobytes are not a base unit")
+
+    def test_parser_rejects_convention_violations(self):
+        with pytest.raises(ValueError, match="must end in '_total'"):
+            parse_exposition("# HELP m m\n# TYPE m counter\nm 1\n")
+        with pytest.raises(ValueError, match="non-base unit suffix"):
+            parse_exposition("# HELP m_ms m\n# TYPE m_ms gauge\nm_ms 1\n")
+
+    def test_every_exported_family_conforms(self):
+        from repro.common.metrics_export import check_family_name
+
+        exp = parse_exposition(_workload_db().metrics_text())
+        for name, metric_type in exp.types.items():
+            check_family_name(name, metric_type)  # raises on violation
+
+
+class TestLegacyRenames:
+    """Dashboards on the pre-rename recall family keep resolving."""
+
+    def test_legacy_names_resolve_to_renamed_series(self):
+        db = _workload_db()
+        exp = parse_exposition(db.metrics_text())
+        # No sample carries the old name any more...
+        assert not any(s.name.startswith("pgsim_index_recall_last ") for s in exp.samples)
+        new_last = exp.value("pgsim_index_recall_last_ratio", index="ix", am="pase_ivfflat")
+        new_count = exp.value("pgsim_index_recall_ratio_count", index="ix", am="pase_ivfflat")
+        assert new_last is not None and new_count is not None
+        # ...but lookups through the old names still land, including
+        # the derived histogram series.
+        assert exp.value("pgsim_index_recall_last", index="ix", am="pase_ivfflat") == new_last
+        assert exp.value("pgsim_index_recall_count", index="ix", am="pase_ivfflat") == new_count
+        assert exp.value("pgsim_index_recall_sum", index="ix", am="pase_ivfflat") is not None
+
+    def test_unknown_names_still_miss(self):
+        exp = parse_exposition(_workload_db().metrics_text())
+        assert exp.value("pgsim_index_recall_nonsense") is None
+
+
 class TestCli:
     def test_metrics_subcommand_writes_parseable_file(self, tmp_path, capsys):
         from repro.bench.cli import main
@@ -183,7 +241,7 @@ class TestCli:
         assert code == 0
         exp = parse_exposition(out.read_text())
         assert exp.value("pgsim_slow_queries_total") > 0
-        assert any(s.name == "pgsim_index_recall_count" for s in exp.samples)
+        assert any(s.name == "pgsim_index_recall_ratio_count" for s in exp.samples)
         assert "samples" in capsys.readouterr().out
 
     def test_metrics_subcommand_stdout(self, capsys):
