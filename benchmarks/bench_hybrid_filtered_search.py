@@ -1,45 +1,57 @@
-"""Hybrid filtered vector search: latency vs WHERE-clause selectivity.
+"""Hybrid filtered vector search: three-way strategy sweep.
 
-Sweeps ``WHERE a < cut AND ORDER BY vec <-> q LIMIT k`` over filter
-selectivities of 1%, 10%, 50% and 90% for IVF_FLAT and HNSW after
-ANALYZE, exercising the three-stage optimizer end to end: at high
-selectivity the planner pushes the filter into an over-fetching index
-scan; at low selectivity it flips to seq-scan + sort.  Reports pooled
-per-query latency through the repro-bench/v1 schema (gated by the CI
-trend check) plus per-configuration means and the plan each
-selectivity chose.
+Sweeps ``WHERE a < cut ORDER BY vec <-> q LIMIT k`` over filter
+selectivities of 0.1%, 1%, 10%, 50% and 90%, timing each of the three
+filtered-search strategies (pre-filter, post-filter, in-filter) forced
+through the ``filtered_search_strategy`` GUC plus the planner's
+cost-based ``auto`` pick.  Asserts the crossover the optimizer exists
+to exploit — pre-filter empirically fastest at <= 1% selectivity,
+post- or in-filter fastest at >= 50% — and that auto's latency lands
+within 25% of the per-point fastest strategy at every swept
+selectivity.  Reports pooled auto-mode per-query latency through the
+repro-bench/v1 schema (gated by the CI trend check) plus per-strategy
+medians and the strategy each selectivity chose.
 """
 
+import statistics
 import time
 
 from conftest import emit_bench
 from repro.common.datasets import tiny_dataset
 from repro.pgsim import PgSimDatabase
 
-N = 600
+N = 2000
 DIM = 16
-K = 10
+#: k equals the 1%-selectivity match count (20 of 2000 rows), so the
+#: in-filter traversal cannot stop early at the low end of the sweep —
+#: surfacing every match means widening across nearly all lists, which
+#: is exactly the regime where pre-filter's single heap pass wins.
+K = 20
 N_QUERIES = 6
-#: Fraction of rows satisfying the WHERE clause (a is uniform 0..99).
-SELECTIVITIES = (0.01, 0.10, 0.50, 0.90)
+#: Fraction of rows satisfying ``a < cut`` (a is uniform 0..999).
+SELECTIVITIES = (0.001, 0.01, 0.10, 0.50, 0.90)
+STRATEGIES = ("pre-filter", "post-filter", "in-filter")
+#: Auto must land within 25% of the fastest forced strategy (the
+#: acceptance window), plus a small absolute slack for timer noise on
+#: millisecond-scale runs.
+AUTO_WINDOW = 1.25
+NOISE_S = 5e-4
 
-AM_SPECS = {
-    "ivf_flat": ("pase_ivfflat", "clusters = 16, sample_ratio = 0.5, seed = 42"),
-    "hnsw": ("pase_hnsw", "bnn = 12, efb = 32, seed = 42"),
-}
+INDEX_OPTIONS = "clusters = 16, sample_ratio = 1.0, seed = 42"
 
 
-def _build_db(amname: str, options: str) -> tuple[PgSimDatabase, list[str]]:
+def _build_db() -> tuple[PgSimDatabase, list[str]]:
     """Load the shared micro dataset, index it, ANALYZE, return queries."""
     dataset = tiny_dataset(n=N, dim=DIM, n_queries=N_QUERIES, seed=1234)
     db = PgSimDatabase(buffer_pool_pages=512)
     db.execute("CREATE TABLE items (a INT4, vec FLOAT4[])")
     table = db.catalog.table("items")
     for i, vec in enumerate(dataset.base):
-        table.heap.insert([i % 100, vec], xid=1)
+        table.heap.insert([i % 1000, vec], xid=1)
     db.wal.log_commit(1)
-    db.execute(f"CREATE INDEX ix ON items USING {amname} (vec) WITH ({options})")
+    db.execute(f"CREATE INDEX ix ON items USING pase_ivfflat (vec) WITH ({INDEX_OPTIONS})")
     db.execute("ANALYZE items")
+    db.execute("SET pase.nprobe = 4")
     queries = [",".join(f"{x:.6f}" for x in q) for q in dataset.queries]
     return db, queries
 
@@ -51,42 +63,74 @@ def _hybrid_sql(literal: str, cut: int) -> str:
     )
 
 
+def _median_latency(db: PgSimDatabase, queries: list[str], cut: int) -> float:
+    """Median per-query latency (seconds) after one warm-up pass."""
+    for literal in queries:
+        db.execute(_hybrid_sql(literal, cut))
+    samples: list[float] = []
+    for literal in queries:
+        sql = _hybrid_sql(literal, cut)
+        start = time.perf_counter()
+        rows = db.query(sql)
+        samples.append(time.perf_counter() - start)
+        # Exact-k acceptance: each value of a occurs N/1000 times, so
+        # cut * N/1000 rows match the filter.
+        matching = cut * N // 1000
+        assert len(rows) == min(K, matching), (cut, len(rows))
+        assert all(a < cut for (a,) in rows)
+    return statistics.median(samples)
+
+
+def _auto_strategy(db: PgSimDatabase, sql: str) -> str:
+    for line in db.explain(sql).splitlines():
+        line = line.strip().lstrip("-> ")
+        if line.startswith("Strategy:"):
+            return line.split(":", 1)[1].strip()
+    raise AssertionError("EXPLAIN output has no Strategy line")
+
+
 def test_hybrid_filtered_search_sweep():
-    """Time the selectivity sweep for both AMs and emit the bench JSON."""
-    all_latencies: list[float] = []
-    per_config: dict[str, float] = {}
-    plans: dict[str, str] = {}
-    for label, (amname, options) in AM_SPECS.items():
-        db, queries = _build_db(amname, options)
-        for sel in SELECTIVITIES:
-            cut = max(1, round(sel * 100))
-            for literal in queries:  # warm buffers and plan paths
-                db.execute(_hybrid_sql(literal, cut))
-            plan = db.explain(_hybrid_sql(queries[0], cut))
-            plans[f"{label}_sel{sel:g}"] = (
-                "index_scan" if "Index Scan" in plan else "seq_scan"
-            )
-            config_lat: list[float] = []
-            for literal in queries:
-                sql = _hybrid_sql(literal, cut)
-                start = time.perf_counter()
-                rows = db.query(sql)
-                config_lat.append(time.perf_counter() - start)
-                # Exact-k acceptance: every value of a occurs N/100
-                # times, so cut * N/100 rows match the filter.
-                matching = cut * N // 100
-                assert len(rows) == min(K, matching), (label, sel, len(rows))
-                assert all(a < cut for (a,) in rows)
-            per_config[f"{label}_sel{sel:g}_ms"] = (
-                sum(config_lat) / len(config_lat) * 1e3
-            )
-            all_latencies.extend(config_lat)
-        # The cost-based flip itself (IVF is deterministic at this
-        # scale; HNSW's ef-bounded cost sits near the crossover, so
-        # only the endpoints are pinned for it via exact-k above).
-        if label == "ivf_flat":
-            assert plans["ivf_flat_sel0.01"] == "seq_scan"
-            assert plans["ivf_flat_sel0.9"] == "index_scan"
+    """Time the three-way sweep, check the crossover, emit bench JSON."""
+    db, queries = _build_db()
+    auto_latencies: list[float] = []
+    medians: dict[str, float] = {}
+    picks: dict[str, str] = {}
+    for sel in SELECTIVITIES:
+        cut = max(1, round(sel * 1000))
+        per_strategy: dict[str, float] = {}
+        for strategy in STRATEGIES:
+            db.execute(f"SET filtered_search_strategy = '{strategy}'")
+            try:
+                per_strategy[strategy] = _median_latency(db, queries, cut)
+            finally:
+                db.execute("SET filtered_search_strategy = 'auto'")
+        picks[f"sel{sel:g}"] = _auto_strategy(db, _hybrid_sql(queries[0], cut))
+        # Warm pass inside _median_latency keeps auto's numbers honest.
+        auto_median = _median_latency(db, queries, cut)
+        for literal in queries:
+            sql = _hybrid_sql(literal, cut)
+            start = time.perf_counter()
+            db.query(sql)
+            auto_latencies.append(time.perf_counter() - start)
+
+        fastest = min(per_strategy, key=per_strategy.get)
+        for strategy, median in per_strategy.items():
+            medians[f"sel{sel:g}_{strategy}_ms"] = median * 1e3
+        medians[f"sel{sel:g}_auto_ms"] = auto_median * 1e3
+
+        # The three-way crossover itself.
+        if sel <= 0.01:
+            assert fastest == "pre-filter", (sel, per_strategy)
+        if sel >= 0.50:
+            assert fastest in ("post-filter", "in-filter"), (sel, per_strategy)
+        # Auto within the acceptance window of the per-point fastest.
+        floor = per_strategy[fastest]
+        assert auto_median <= floor * AUTO_WINDOW + NOISE_S, (
+            sel,
+            picks[f"sel{sel:g}"],
+            auto_median,
+            per_strategy,
+        )
 
     path = emit_bench(
         "hybrid_filtered_search",
@@ -96,9 +140,10 @@ def test_hybrid_filtered_search_sweep():
             "k": K,
             "n_queries": N_QUERIES,
             "selectivities": list(SELECTIVITIES),
-            "ams": sorted(AM_SPECS),
+            "strategies": list(STRATEGIES),
+            "index": f"pase_ivfflat ({INDEX_OPTIONS}), nprobe = 4",
         },
-        latencies_seconds=all_latencies,
-        extra={"per_config_mean_ms": per_config, "plans": plans},
+        latencies_seconds=auto_latencies,
+        extra={"per_strategy_median_ms": medians, "auto_picks": picks},
     )
     assert path.exists()

@@ -6,7 +6,8 @@ time, what was slow and why, where did the planner mis-estimate, and
 did recall hold* — by issuing plain SQL against the observability
 views (``pg_stat_statements``, ``pg_wait_profile``,
 ``pg_stat_history``, ``pg_slow_queries``,
-``pg_stat_estimation_errors``, ``pg_stat_vector_quality``) and
+``pg_stat_estimation_errors``, ``pg_stat_filtered_search``,
+``pg_stat_vector_quality``) and
 correlating the answers in Python (pgsim SQL has no JOINs; the views
 pre-aggregate, the report cross-references).
 
@@ -73,6 +74,7 @@ def build_report(db: Any, workload: str = "workload") -> str:
     history = _rows(db, "pg_stat_history")
     slow = _rows(db, "pg_slow_queries")
     estimation = _rows(db, "pg_stat_estimation_errors")
+    strategies = _rows(db, "pg_stat_filtered_search")
     quality = _rows(db, "pg_stat_vector_quality")
     ash_samples = _rows(db, "pg_ash")
 
@@ -157,6 +159,21 @@ def build_report(db: Any, workload: str = "workload") -> str:
             else "planner mis-estimates present (q-error >= 4)"
         )
         out.append(f"  worst q-error {worst:.2f} -> {verdict}")
+    out.append("")
+
+    out.append("-- filtered-search strategies (pg_stat_filtered_search) --")
+    out.extend(
+        _table(
+            ["strategy", "chosen", "fallbacks", "est_sel", "actual_sel"],
+            strategies,
+        )
+    )
+    fallbacks = sum(r[2] for r in strategies)
+    if fallbacks:
+        out.append(
+            f"  {fallbacks} over-fetch fallback(s) -> post-filter hit "
+            "max_filtered_overfetch; check predicate selectivity estimates"
+        )
     out.append("")
 
     out.append("-- online recall quality (pg_stat_vector_quality) --")

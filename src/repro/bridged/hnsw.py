@@ -36,6 +36,7 @@ class BridgedHNSW(IndexAmRoutine):
     """HNSW with a memory-resident graph behind the SQL surface."""
 
     amname = "bridged_hnsw"
+    amcanfilter = True
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
@@ -162,6 +163,64 @@ class BridgedHNSW(IndexAmRoutine):
         self.scan_stats.candidates += self.store.counters.distance_computations - dist0
         for neighbor in neighbors:
             yield self._heap_tids[neighbor.vector_id], neighbor.distance
+
+    # ------------------------------------------------------------------
+    # in-filter search (amsearch_filtered)
+    # ------------------------------------------------------------------
+    def amsearch_filtered(
+        self, query: np.ndarray, k: int, mask_fn: Any
+    ) -> Iterator[tuple[TID, float]]:
+        """In-filter beam over the in-memory graph.
+
+        Same design as the page-backed HNSW: filtered-out nodes route,
+        only allowed nodes enter the result heap, and the beam widens
+        geometrically when fewer than k allowed nodes come back.  The
+        node-to-TID map is the positional ``_heap_tids`` list, so the
+        mask lookup costs no page pins at all.
+        """
+        store = self.store
+        if store is None or store.node_count() == 0:
+            self.last_filtered_examined = 0
+            return iter(())
+        efs = int(self.catalog.get_setting("pase.efs"))
+        query = np.ascontiguousarray(query, dtype=np.float32)
+        store.profiler = self.profiler
+        allowed_cache: dict[int, bool] = {}
+
+        def allow(nodes: list[int]) -> list[bool]:
+            fresh = [n for n in nodes if n not in allowed_cache]
+            if fresh:
+                live = [n for n in fresh if n not in self._removed]
+                for n in fresh:
+                    allowed_cache[n] = False
+                if live:
+                    tids = [self._heap_tids[n] for n in live]
+                    for n, ok in zip(live, mask_fn(tids)):
+                        allowed_cache[n] = bool(ok)
+            return [allowed_cache[n] for n in nodes]
+
+        live_nodes = max(store.node_count() - len(self._removed), 1)
+        ef = max(efs, k)
+        dist0 = store.counters.distance_computations
+        while True:
+            neighbors = graph.search_filtered(
+                store, self.params, query, k, allow, efs=ef
+            )
+            if len(neighbors) >= k or ef >= live_nodes:
+                break
+            ef = min(live_nodes, ef * 2)
+        self.scan_stats.scans += 1
+        self.scan_stats.candidates += store.counters.distance_computations - dist0
+        self.last_filtered_examined = len(allowed_cache)
+        return iter(
+            (self._heap_tids[n.vector_id], n.distance) for n in neighbors
+        )
+
+    def amestimate_candidates(self, ntuples: float, fetch_k: int) -> float:
+        """Beam size the in-filter mask is charged for: ``ef * log2(n)``."""
+        n = max(float(ntuples), 2.0)
+        ef = float(max(int(self.catalog.get_setting("pase.efs")), fetch_k, 1))
+        return min(n, ef * math.log2(n))
 
     # ------------------------------------------------------------------
     # planner cost estimate

@@ -220,6 +220,65 @@ class BridgedIVFFlat(PaseIVFFlat):
         return topk_batch(np.concatenate(key_parts), np.concatenate(dist_parts), k)
 
     # ------------------------------------------------------------------
+    # in-filter search (amsearch_filtered)
+    # ------------------------------------------------------------------
+    def amsearch_filtered(
+        self, query: np.ndarray, k: int, mask_fn: Any
+    ) -> Iterator[tuple[TID, float]]:
+        """Tuple-stream form of the mirror-based in-filter scan."""
+        return iter(self.amsearch_filtered_batch(query, k, mask_fn).pairs())
+
+    def amsearch_filtered_batch(self, query: np.ndarray, k: int, mask_fn: Any) -> ScanBatch:
+        """In-filter off the memory mirror: a boolean mask over each
+        probed bucket's TIDs ahead of the SGEMM distance call, widening
+        the probe set geometrically while fewer than k survive."""
+        mirror = self._ensure_mirror()
+        query = np.ascontiguousarray(query, dtype=np.float32)
+        if query.shape != (self.dim,):
+            raise ValueError(f"query must be {self.dim}-dim, got shape {query.shape}")
+        kernel = batch_kernel(self.opts.distance_type)
+        cent_dists = kernel(query, mirror.centroids)[0]
+        order = np.argsort(cent_dists, kind="stable").tolist()
+        nprobe = min(max(int(self.catalog.get_setting("pase.nprobe")), 1), len(order))
+
+        key_parts: list[np.ndarray] = []
+        dist_parts: list[np.ndarray] = []
+        examined = 0
+        matched = 0
+        probed = 0
+        target = nprobe
+        self.scan_stats.scans += 1
+        while True:
+            for bucket in order[probed:target]:
+                tids = mirror.bucket_tids[bucket]
+                if not tids:
+                    continue
+                examined += len(tids)
+                mask = np.asarray(list(mask_fn(tids)), dtype=bool)
+                keep = int(mask.sum())
+                if not keep:
+                    continue
+                matched += keep
+                self.scan_stats.candidates += keep
+                dist_parts.append(
+                    kernel(query, mirror.bucket_vectors[bucket][mask])[0].astype(np.float64)
+                )
+                key_parts.append(
+                    np.asarray(
+                        [_pack(t) for t, ok in zip(tids, mask.tolist()) if ok],
+                        dtype=np.int64,
+                    )
+                )
+            probed = target
+            if matched >= k or probed >= len(order):
+                break
+            target = min(len(order), target * 2)
+        self.last_filtered_examined = examined
+        if not key_parts:
+            return ScanBatch.empty()
+        return topk_batch(np.concatenate(key_parts), np.concatenate(dist_parts), k)
+
+    # ------------------------------------------------------------------
     # planner contract
     # ------------------------------------------------------------------
     def amcostestimate(self, ntuples: float, fetch_k: int, cost: Any) -> tuple[float, float]:

@@ -289,6 +289,7 @@ class PaseHNSW(IndexAmRoutine):
 
     amname = "pase_hnsw"
     aliases = ("hnsw_fun",)
+    amcanfilter = True
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
@@ -409,6 +410,64 @@ class PaseHNSW(IndexAmRoutine):
             offsets=np.array([t.offset for t in tids], dtype=np.int64),
             distances=np.array([n.distance for n in neighbors], dtype=np.float64),
         )
+
+    # ------------------------------------------------------------------
+    # in-filter search (amsearch_filtered)
+    # ------------------------------------------------------------------
+    def amsearch_filtered(
+        self, query: np.ndarray, k: int, mask_fn: Any
+    ) -> Iterator[tuple[TID, float]]:
+        """In-filter search: the predicate rides inside the beam.
+
+        ``mask_fn`` is evaluated on candidates' heap TIDs (batched per
+        hop, cached across ef expansions); filtered-out nodes still
+        route through the frontier but never enter the result heap.
+        When fewer than k allowed nodes come back, the beam widens
+        geometrically until k match or ef covers the live graph.
+        """
+        store = self.store
+        if store is None or store.node_count() == 0:
+            self.last_filtered_examined = 0
+            return iter(())
+        efs = int(self.catalog.get_setting("pase.efs"))
+        query = np.ascontiguousarray(query, dtype=np.float32)
+        store.profiler = self.profiler
+        allowed_cache: dict[int, bool] = {}
+
+        def allow(nodes: list[int]) -> list[bool]:
+            fresh = [n for n in nodes if n not in allowed_cache]
+            if fresh:
+                live = [n for n in fresh if n not in store.removed]
+                for n in fresh:
+                    allowed_cache[n] = False
+                if live:
+                    tids = store.heap_tids(live)
+                    for n, ok in zip(live, mask_fn(tids)):
+                        allowed_cache[n] = bool(ok)
+            return [allowed_cache[n] for n in nodes]
+
+        live_nodes = max(store.node_count() - len(store.removed), 1)
+        ef = max(efs, k)
+        dist0 = store.counters.distance_computations
+        while True:
+            neighbors = graph.search_filtered(
+                store, self.params, query, k, allow, efs=ef
+            )
+            if len(neighbors) >= k or ef >= live_nodes:
+                break
+            ef = min(live_nodes, ef * 2)
+        self.scan_stats.scans += 1
+        self.scan_stats.candidates += store.counters.distance_computations - dist0
+        self.last_filtered_examined = len(allowed_cache)
+        return iter(
+            (store.heap_tid(n.vector_id), n.distance) for n in neighbors
+        )
+
+    def amestimate_candidates(self, ntuples: float, fetch_k: int) -> float:
+        """Beam size the in-filter mask is charged for: ``ef * log2(n)``."""
+        n = max(float(ntuples), 2.0)
+        ef = float(max(int(self.catalog.get_setting("pase.efs")), fetch_k, 1))
+        return min(n, ef * math.log2(n))
 
     # ------------------------------------------------------------------
     # planner cost estimate

@@ -57,6 +57,7 @@ class PaseIVFFlat(IndexAmRoutine):
 
     amname = "pase_ivfflat"
     aliases = ("ivfflat_fun",)
+    amcanfilter = True
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
@@ -402,6 +403,81 @@ class PaseIVFFlat(IndexAmRoutine):
             return topk_batch(np.concatenate(key_parts), np.concatenate(dist_parts), k)
 
     # ------------------------------------------------------------------
+    # in-filter search (amsearch_filtered)
+    # ------------------------------------------------------------------
+    def amsearch_filtered(
+        self, query: np.ndarray, k: int, mask_fn: Any
+    ) -> Iterator[tuple[TID, float]]:
+        """In-filter scan: each probed bucket's TIDs go through the
+        predicate mask before any distance work, so rejected candidates
+        never reach a kernel call or the heap."""
+        query = self._check_query(query)
+        kernel = pairwise_kernel(self.opts.distance_type)
+        order, heads = self._rank_centroids(query, kernel)
+        prof = self.profiler
+
+        def score(vec: np.ndarray) -> float:
+            with prof.section(SEC_DISTANCE):
+                return kernel(query, vec)
+
+        return iter(
+            ivf_filtered_scan(self, k, mask_fn, order.tolist(), heads, self._iter_bucket, score)
+        )
+
+    def amsearch_filtered_batch(self, query: np.ndarray, k: int, mask_fn: Any) -> ScanBatch:
+        """Batched in-filter: a per-bucket boolean mask ahead of one
+        row-kernel call over the survivors, widening the probe set
+        geometrically while fewer than k candidates pass."""
+        query = self._check_query(query)
+        kernel = pairwise_kernel(self.opts.distance_type)
+        rows = rows_kernel(self.opts.distance_type)
+        order, heads = self._rank_centroids(query, kernel)
+        order_list = order.tolist()
+        nprobe = max(int(self.catalog.get_setting("pase.nprobe")), 1)
+        prof = self.profiler
+        key_parts: list[np.ndarray] = []
+        dist_parts: list[np.ndarray] = []
+        examined = 0
+        matched = 0
+        probed = 0
+        target = min(nprobe, len(order_list))
+        while True:
+            for bucket in order_list[probed:target]:
+                with prof.section(SEC_TUPLE_ACCESS):
+                    keys, vectors = self._gather_bucket(heads[bucket])
+                if keys.shape[0] == 0:
+                    continue
+                examined += int(keys.shape[0])
+                tids = [_key_tid(int(key)) for key in keys.tolist()]
+                mask = np.asarray(list(mask_fn(tids)), dtype=bool)
+                keep = int(mask.sum())
+                if not keep:
+                    continue
+                matched += keep
+                with prof.section(SEC_DISTANCE):
+                    dist_parts.append(rows(query, vectors[mask]))
+                key_parts.append(keys[mask])
+            probed = target
+            if matched >= k or probed >= len(order_list):
+                break
+            target = min(len(order_list), target * 2)
+        self.scan_stats.scans += 1
+        self.scan_stats.candidates += matched
+        self.last_filtered_examined = examined
+        with prof.section(SEC_HEAP):
+            if not key_parts:
+                return ScanBatch.empty()
+            return topk_batch(np.concatenate(key_parts), np.concatenate(dist_parts), k)
+
+    def amestimate_candidates(self, ntuples: float, fetch_k: int) -> float:
+        """Candidates the in-filter mask must judge: the probed share
+        of the indexed tuples (``nprobe/clusters`` of n)."""
+        n = max(float(ntuples), 1.0)
+        clusters = max(1.0, min(float(self.opts.clusters), n))
+        nprobe = float(min(max(int(self.catalog.get_setting("pase.nprobe")), 1), int(clusters)))
+        return n * (nprobe / clusters)
+
+    # ------------------------------------------------------------------
     # planner cost estimate
     # ------------------------------------------------------------------
     #: Cost weight of one candidate distance evaluation, in
@@ -648,6 +724,66 @@ def _refill_chain(am, rel: str, head: int, survivors: list[bytes]) -> None:
         finally:
             am.buffer.unpin(frame, dirty=True)
     assert item is None, "surviving items exceeded original chain capacity"
+
+
+def ivf_filtered_scan(
+    am,
+    k: int,
+    mask_fn,
+    order: list[int],
+    heads: list[int],
+    iter_candidates,
+    score_one,
+) -> list[tuple[TID, float]]:
+    """Shared in-filter scan for the IVF family (FLAT, PQ, SQ8, pgvector).
+
+    Walks bucket chains in the caller's *full* centroid ranking,
+    applies ``mask_fn`` to each probed bucket's candidate TIDs before
+    any distance work, and pushes only the survivors into a k-bounded
+    heap.  When fewer than k candidates pass the mask, the probe set
+    widens geometrically over the remaining centroid ranking until k
+    match or every list has been scanned.
+
+    ``iter_candidates(head)`` yields ``(tid, payload)`` for one bucket
+    chain; ``score_one(payload)`` turns a payload into a distance (or
+    None for entries lagging a completed heap VACUUM — the pgvector
+    layout).  Sets ``am.last_filtered_examined`` to the number of
+    mask-judged candidates and returns the ordered ``(tid, distance)``
+    list.
+    """
+    prof = am.profiler
+    nprobe = max(int(am.catalog.get_setting("pase.nprobe")), 1)
+    heap = BoundedMaxHeap(k)
+    examined = 0
+    scored = 0
+    matched = 0
+    probed = 0
+    target = min(nprobe, len(order))
+    while True:
+        for bucket in order[probed:target]:
+            entries = list(iter_candidates(heads[bucket]))
+            if not entries:
+                continue
+            examined += len(entries)
+            mask = mask_fn([tid for tid, __ in entries])
+            for (tid, payload), ok in zip(entries, mask):
+                if not ok:
+                    continue
+                matched += 1
+                dist = score_one(payload)
+                if dist is None:
+                    continue
+                scored += 1
+                with prof.section(SEC_HEAP):
+                    heap.push(dist, _tid_key(tid))
+        probed = target
+        if matched >= k or probed >= len(order):
+            break
+        target = min(len(order), target * 2)
+    am.scan_stats.scans += 1
+    am.scan_stats.candidates += scored
+    am.last_filtered_examined = examined
+    return [(_key_tid(nb.vector_id), nb.distance) for nb in heap.results()]
 
 
 def _tid_key(tid: TID) -> int:

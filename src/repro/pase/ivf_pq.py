@@ -30,7 +30,12 @@ from repro.common.heap import BoundedMaxHeap, NaiveTopK
 from repro.common.kmeans import pase_kmeans, sample_training_rows
 from repro.common.profiling import NULL_PROFILER
 from repro.common.types import BuildStats, IndexSizeInfo
-from repro.pase.ivf_flat import _key_tid, _tid_key, compact_bucket_chains
+from repro.pase.ivf_flat import (
+    _key_tid,
+    _tid_key,
+    compact_bucket_chains,
+    ivf_filtered_scan,
+)
 from repro.pase.options import parse_ivfpq_options
 from repro.pgsim.am import IndexAmRoutine, ScanBatch, register_am, topk_batch
 from repro.pgsim.constants import LINE_POINTER_SIZE, PAGE_HEADER_SIZE
@@ -58,6 +63,7 @@ class PaseIVFPQ(IndexAmRoutine):
 
     amname = "pase_ivfpq"
     aliases = ("ivfpq_fun",)
+    amcanfilter = True
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
@@ -365,6 +371,52 @@ class PaseIVFPQ(IndexAmRoutine):
     # ------------------------------------------------------------------
     # planner cost estimate
     # ------------------------------------------------------------------
+    # ------------------------------------------------------------------
+    # in-filter search (amsearch_filtered)
+    # ------------------------------------------------------------------
+    def amsearch_filtered(
+        self, query: np.ndarray, k: int, mask_fn: Any
+    ) -> Iterator[tuple[TID, float]]:
+        """In-filter ADC scan: candidate TIDs are masked before any
+        table lookups, and the probe set widens geometrically while
+        fewer than k candidates survive."""
+        if self.dim is None:
+            raise RuntimeError("index has not been built")
+        prof = self.profiler
+        query = np.ascontiguousarray(query, dtype=np.float32)
+        if query.shape != (self.dim,):
+            raise ValueError(f"query must be {self.dim}-dim, got shape {query.shape}")
+        codebook = self._load_codebook()
+        with prof.section(SEC_PCTABLE):
+            if self.catalog.get_bool("pase.optimized_pctable"):
+                table = pq.optimized_adc_table(codebook, query)
+            else:
+                table = pq.naive_adc_table(codebook, query)
+
+        cent_dists: list[float] = []
+        heads: list[int] = []
+        for __, head, centroid in self._iter_centroids():
+            with prof.section(SEC_DISTANCE):
+                diff = centroid - query
+                cent_dists.append(float(np.dot(diff, diff)))
+            heads.append(head)
+        order = np.argsort(np.asarray(cent_dists), kind="stable")
+
+        def score(code: np.ndarray) -> float:
+            with prof.section(SEC_DISTANCE):
+                return pq.adc_distance_single(table, code)
+
+        return iter(
+            ivf_filtered_scan(self, k, mask_fn, order.tolist(), heads, self._iter_bucket, score)
+        )
+
+    def amestimate_candidates(self, ntuples: float, fetch_k: int) -> float:
+        """Candidates the in-filter mask must judge (probed share of n)."""
+        n = max(float(ntuples), 1.0)
+        clusters = max(1.0, min(float(self.opts.ivf.clusters), n))
+        nprobe = float(min(max(int(self.catalog.get_setting("pase.nprobe")), 1), int(clusters)))
+        return n * (nprobe / clusters)
+
     def amcostestimate(self, ntuples: float, fetch_k: int, cost: Any) -> tuple[float, float]:
         """IVF cost with ADC distances: building the per-query lookup
         table costs ``c_pq * m`` operators up front, after which each

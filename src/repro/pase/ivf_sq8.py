@@ -22,7 +22,12 @@ from repro.common.heap import BoundedMaxHeap, NaiveTopK
 from repro.common.kmeans import pase_kmeans, sample_training_rows
 from repro.common.profiling import NULL_PROFILER
 from repro.common.types import BuildStats, IndexSizeInfo
-from repro.pase.ivf_flat import _key_tid, _tid_key, compact_bucket_chains
+from repro.pase.ivf_flat import (
+    _key_tid,
+    _tid_key,
+    compact_bucket_chains,
+    ivf_filtered_scan,
+)
 from repro.pase.options import parse_ivf_options
 from repro.pgsim.am import IndexAmRoutine, register_am
 from repro.pgsim.paths import DISTANCE_OP_WEIGHT
@@ -48,6 +53,7 @@ class PaseIVFSQ8(IndexAmRoutine):
 
     amname = "pase_ivfsq8"
     aliases = ("ivfsq8_fun",)
+    amcanfilter = True
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
@@ -264,6 +270,50 @@ class PaseIVFSQ8(IndexAmRoutine):
     # ------------------------------------------------------------------
     # planner cost estimate
     # ------------------------------------------------------------------
+    # ------------------------------------------------------------------
+    # in-filter search (amsearch_filtered)
+    # ------------------------------------------------------------------
+    def amsearch_filtered(
+        self, query: np.ndarray, k: int, mask_fn: Any
+    ) -> Iterator[tuple[TID, float]]:
+        """In-filter SQ8 scan: candidate TIDs are masked before any
+        dequantize-and-distance work; the probe set widens while fewer
+        than k candidates survive."""
+        if self.dim is None:
+            raise RuntimeError("index has not been built")
+        prof = self.profiler
+        query = np.ascontiguousarray(query, dtype=np.float32)
+        if query.shape != (self.dim,):
+            raise ValueError(f"query must be {self.dim}-dim, got shape {query.shape}")
+        codec = self._load_codec()
+        scale = codec.vdiff / sq.LEVELS
+
+        cent_dists: list[float] = []
+        heads: list[int] = []
+        for __, head, centroid in self._iter_centroids():
+            with prof.section(SEC_DISTANCE):
+                diff = centroid - query
+                cent_dists.append(float(np.dot(diff, diff)))
+            heads.append(head)
+        order = np.argsort(np.asarray(cent_dists), kind="stable")
+
+        def score(code: np.ndarray) -> float:
+            with prof.section(SEC_DISTANCE):
+                vec = code.astype(np.float32) * scale + codec.vmin
+                diff = vec - query
+                return float(np.dot(diff, diff))
+
+        return iter(
+            ivf_filtered_scan(self, k, mask_fn, order.tolist(), heads, self._iter_bucket, score)
+        )
+
+    def amestimate_candidates(self, ntuples: float, fetch_k: int) -> float:
+        """Candidates the in-filter mask must judge (probed share of n)."""
+        n = max(float(ntuples), 1.0)
+        clusters = max(1.0, min(float(self.opts.clusters), n))
+        nprobe = float(min(max(int(self.catalog.get_setting("pase.nprobe")), 1), int(clusters)))
+        return n * (nprobe / clusters)
+
     def amcostestimate(self, ntuples: float, fetch_k: int, cost: Any) -> tuple[float, float]:
         """IVF cost, with each probed candidate also paying a
         tuple-at-a-time SQ8 dequantization before its distance."""

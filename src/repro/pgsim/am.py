@@ -105,6 +105,11 @@ class IndexAmRoutine(abc.ABC):
     #: alternative SQL names for the AM (PASE exposes e.g.
     #: ``ivfflat_fun``, the name used in the paper's CREATE INDEX).
     aliases: tuple[str, ...] = ()
+    #: True when the AM implements :meth:`amsearch_filtered` — in-filter
+    #: traversal with the predicate pushed *inside* the index scan.  AMs
+    #: that leave this False degrade to the post-filter strategy (the
+    #: planner never generates an in-filter path for them).
+    amcanfilter: bool = False
 
     def __init__(
         self,
@@ -219,6 +224,50 @@ class IndexAmRoutine(abc.ABC):
     def amrescan_continue_batch(self, query: np.ndarray, k: int) -> ScanBatch:
         """Batched counterpart of :meth:`amrescan_continue`."""
         return self.get_batch(query, k)
+
+    # ------------------------------------------------------------------
+    # in-filter contract (amsearch_filtered)
+    # ------------------------------------------------------------------
+    #: Candidates the last :meth:`amsearch_filtered`/``_batch`` call
+    #: evaluated the predicate mask against (feeds the executor's
+    #: actual-selectivity measurement for ``pg_stat_estimation_errors``).
+    last_filtered_examined: int = 0
+
+    def amsearch_filtered(
+        self, query: np.ndarray, k: int, mask_fn: Any
+    ) -> Iterator[tuple[TID, float]]:
+        """In-filter ordered scan: yield the k nearest *matching* tuples.
+
+        ``mask_fn`` takes a sequence of candidate TIDs and returns a
+        boolean array — True where the heap row is visible and satisfies
+        the pushed-down predicate.  The AM applies it *inside* its
+        traversal: IVF list scans mask candidates before the distance
+        top-k; HNSW neighbor expansion keeps routing through masked-out
+        nodes but never admits them to the result heap.  When fewer than
+        ``k`` candidates survive the AM widens its own search (more
+        probe lists, larger ef) until k match or the index is exhausted.
+        Only called when :attr:`amcanfilter` is True.
+        """
+        raise NotImplementedError(f"{self.amname} does not support in-filter search")
+
+    def amsearch_filtered_batch(self, query: np.ndarray, k: int, mask_fn: Any) -> ScanBatch:
+        """Batched counterpart of :meth:`amsearch_filtered`.
+
+        The default wraps the tuple form; vectorized AMs override it.
+        """
+        return ScanBatch.from_pairs(self.amsearch_filtered(query, k, mask_fn))
+
+    def amestimate_candidates(self, ntuples: float, fetch_k: int) -> float:
+        """Candidates one scan pass examines (planner's in-filter model).
+
+        The in-filter path charges the predicate mask per *examined*
+        candidate (an attribute fetch + qual eval each), which for list-
+        or beam-pruned AMs is far more than the ``fetch_k`` results
+        returned.  The default assumes an exhaustive scan; pruning AMs
+        override with the same candidate count their ``amcostestimate``
+        uses.
+        """
+        return float(ntuples)
 
     @abc.abstractmethod
     def size_info(self) -> IndexSizeInfo:

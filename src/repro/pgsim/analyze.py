@@ -23,6 +23,7 @@ into an ordered index scan.
 from __future__ import annotations
 
 import bisect
+import math
 import time
 from collections import Counter
 from dataclasses import dataclass, field
@@ -38,6 +39,11 @@ from repro.pgsim.tuple_format import TypeOid
 DEFAULT_EQ_SEL = 0.005
 DEFAULT_RANGE_SEL = 1.0 / 3.0
 DEFAULT_UNK_SEL = 0.25
+
+#: Rows kept in ANALYZE's joint-selectivity sample (a stride sample of
+#: the scalar columns, consulted when a WHERE clause touches two or
+#: more columns and the independence assumption would otherwise apply).
+SAMPLE_TARGET = 300
 
 #: Column types ANALYZE collects value statistics for.
 _SCALAR_TYPES = {
@@ -63,6 +69,13 @@ class ColumnStats:
     #: (``len(bounds) - 1`` equal-mass buckets); empty when the column
     #: had too few distinct non-MCV values to bucket.
     histogram_bounds: list[Any] = field(default_factory=list)
+    #: Physical-order correlation (``pg_stats.correlation``): Spearman
+    #: rank correlation between a value and its heap position, in
+    #: [-1, 1].  Near ±1 means the column is laid out in value order —
+    #: a skew signal for the filtered-search strategy crossover (a
+    #: predicate on a correlated column concentrates its matches in a
+    #: few IVF lists / graph regions instead of spreading uniformly).
+    correlation: float = 0.0
 
     def mcv_mass(self) -> float:
         """Total row fraction covered by the MCV list."""
@@ -82,6 +95,9 @@ class TableStats:
     #: discounts them so a bulk DELETE doesn't leave the planner
     #: costing scans over rows that no longer exist.
     dead_at_analyze: float = 0.0
+    #: Stride sample of the scalar columns (row dicts, heap order) for
+    #: joint-selectivity estimation of multi-column predicates.
+    sample: list[dict[str, Any]] = field(default_factory=list)
 
 
 def analyze_table(table: TableInfo, catalog: Catalog) -> TableStats:
@@ -92,33 +108,83 @@ def analyze_table(table: TableInfo, catalog: Catalog) -> TableStats:
     the result on ``table.stats``.
     """
     target = int(catalog.get_setting("default_statistics_target"))
+    scalar_cols = [
+        (i, col) for i, col in enumerate(table.columns) if col.type_oid in _SCALAR_TYPES
+    ]
     values_by_col: list[list[Any]] = [[] for _ in table.columns]
     nulls_by_col = [0 for _ in table.columns]
+    scalar_rows: list[dict[str, Any]] = []
     ntuples = 0
     for _tid, values in table.heap.scan():
         ntuples += 1
-        for i, col in enumerate(table.columns):
-            if col.type_oid not in _SCALAR_TYPES:
-                continue
+        for i, col in scalar_cols:
             value = values[i]
             if value is None:
                 nulls_by_col[i] += 1
             else:
                 values_by_col[i].append(value)
+        scalar_rows.append({col.name: values[i] for i, col in scalar_cols})
     stats = TableStats(
         reltuples=float(ntuples),
         relpages=max(table.heap.n_blocks(), 1),
         last_analyze=time.time(),
         dead_at_analyze=float(table.heap.n_dead_tup),
+        sample=_stride_sample(scalar_rows),
     )
-    for i, col in enumerate(table.columns):
-        if col.type_oid not in _SCALAR_TYPES:
-            continue
-        stats.columns[col.name] = _column_stats(
-            values_by_col[i], nulls_by_col[i], ntuples, target
-        )
+    for i, col in scalar_cols:
+        col_stats = _column_stats(values_by_col[i], nulls_by_col[i], ntuples, target)
+        col_stats.correlation = _correlation(values_by_col[i])
+        stats.columns[col.name] = col_stats
     table.stats = stats
     return stats
+
+
+def _stride_sample(rows: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Every ``stride``-th row, capped near :data:`SAMPLE_TARGET`.
+
+    Deterministic (no RNG state to manage) and order-preserving; the
+    stride makes the sample span the whole heap, so physically
+    clustered values are represented proportionally.
+    """
+    if not rows:
+        return []
+    stride = max(1, len(rows) // SAMPLE_TARGET)
+    return rows[::stride]
+
+
+def _correlation(values: list[Any]) -> float:
+    """Spearman rank correlation of value order vs heap order.
+
+    This is ``pg_stats.correlation`` computed over the full column
+    (pgsim skips row sampling): rank each value (average ranks on
+    ties), then Pearson-correlate the ranks against the physical scan
+    positions.  Returns 0.0 when the column is constant or too small.
+    """
+    n = len(values)
+    if n < 2:
+        return 0.0
+    try:
+        order = sorted(range(n), key=values.__getitem__)
+    except TypeError:
+        return 0.0
+    ranks = [0.0] * n
+    i = 0
+    while i < n:
+        j = i
+        while j + 1 < n and values[order[j + 1]] == values[order[i]]:
+            j += 1
+        avg = (i + j) / 2.0
+        for t in range(i, j + 1):
+            ranks[order[t]] = avg
+        i = j + 1
+    mean_pos = (n - 1) / 2.0
+    mean_rank = sum(ranks) / n
+    num = sum((p - mean_pos) * (r - mean_rank) for p, r in enumerate(ranks))
+    den_pos = sum((p - mean_pos) ** 2 for p in range(n))
+    den_rank = sum((r - mean_rank) ** 2 for r in ranks)
+    if den_pos <= 0.0 or den_rank <= 0.0:
+        return 0.0
+    return num / math.sqrt(den_pos * den_rank)
 
 
 def _column_stats(values: list[Any], nulls: int, ntuples: int, target: int) -> ColumnStats:
@@ -181,10 +247,21 @@ def clause_selectivity(expr: ast.Expr | None, table: TableInfo) -> float:
     attribute-independence assumption: AND multiplies, OR adds minus
     the overlap, NOT complements.  Unestimatable leaves fall back to
     :data:`DEFAULT_UNK_SEL`.
+
+    Exception to independence: a boolean combination touching two or
+    more distinct columns is estimated from ANALYZE's row sample when
+    one is available — evaluating the predicate over the sampled rows
+    captures cross-column correlation that multiplying per-column
+    fractions cannot (the skew case the filtered-search strategy
+    crossover depends on).
     """
     if expr is None:
         return 1.0
     if isinstance(expr, ast.BinaryOp):
+        if expr.op in ("and", "or"):
+            joint = _sampled_joint_selectivity(expr, table)
+            if joint is not None:
+                return joint
         if expr.op == "and":
             return _clamp(
                 clause_selectivity(expr.left, table) * clause_selectivity(expr.right, table)
@@ -202,6 +279,48 @@ def clause_selectivity(expr: ast.Expr | None, table: TableInfo) -> float:
         if expr.value in (False, None):
             return 0.0
     return DEFAULT_UNK_SEL
+
+
+def _sampled_joint_selectivity(expr: ast.Expr, table: TableInfo) -> float | None:
+    """Joint selectivity of a multi-column clause from the row sample.
+
+    Returns None (caller falls back to independence) when no sample is
+    available, the clause references fewer than two distinct columns
+    (per-column MCV/histogram stats resolve finer than a ~300-row
+    sample), a referenced column is missing from the sample (non-scalar
+    type), or evaluation fails on the sample rows.
+    """
+    stats = table.stats
+    if stats is None or not stats.sample:
+        return None
+    columns = _referenced_columns(expr)
+    if len(columns) < 2 or not columns.issubset(stats.sample[0].keys()):
+        return None
+    try:
+        matched = sum(1 for row in stats.sample if evaluate(expr, row) is True)
+    except Exception:
+        return None
+    # Add-half smoothing: an empty sample count estimates "rare", not
+    # "impossible" — the over-fetch sizing divides by this number.
+    return _clamp((matched + 0.5) / (len(stats.sample) + 1.0))
+
+
+def _referenced_columns(expr: ast.Expr | None) -> set[str]:
+    """Distinct column names referenced anywhere in ``expr``."""
+    if expr is None:
+        return set()
+    if isinstance(expr, ast.ColumnRef):
+        return {expr.name}
+    columns: set[str] = set()
+    if isinstance(expr, ast.BinaryOp):
+        columns |= _referenced_columns(expr.left)
+        columns |= _referenced_columns(expr.right)
+    elif isinstance(expr, ast.UnaryOp):
+        columns |= _referenced_columns(expr.operand)
+    elif isinstance(expr, ast.FuncCall):
+        for arg in expr.args:
+            columns |= _referenced_columns(arg)
+    return columns
 
 
 def _comparison_selectivity(expr: ast.BinaryOp, table: TableInfo) -> float:

@@ -58,6 +58,16 @@ DEFAULT_SETTINGS: dict[str, Any] = {
     "enable_indexscan": True,
     "enable_seqscan": True,
     "enable_batch_exec": False,  # RC#3 ablation: batch-at-a-time executor
+    # Hybrid filtered search: force one strategy ("pre-filter" /
+    # "post-filter" / "in-filter") instead of costing all three;
+    # "auto" keeps the cost-based choice.
+    "filtered_search_strategy": "auto",
+    # Hard cap on post-filter over-fetching, as a multiple of k: the
+    # planner never sizes fetch_k above max_filtered_overfetch * k and
+    # the executor's geometric rescan loop stops doubling there —
+    # falling back to a brute-force pre-filter pass instead of
+    # re-scanning the whole index on a mis-estimated rare predicate.
+    "max_filtered_overfetch": 32,
     "track_query_stats": True,  # per-statement QueryStats + pg_stat_statements
     # Planner cost model (PostgreSQL costsize.c defaults).
     "seq_page_cost": 1.0,

@@ -23,7 +23,7 @@ from repro.pgsim.ash import (
 from repro.pgsim.buffer import BufferManager
 from repro.pgsim.catalog import Catalog
 from repro.pgsim.constants import DEFAULT_BUFFER_POOL_PAGES, DEFAULT_PAGE_SIZE
-from repro.pgsim.estimation import install_estimation_view
+from repro.pgsim.estimation import install_estimation_view, install_strategy_view
 from repro.pgsim.executor import Executor
 from repro.pgsim.faults import FaultInjector
 from repro.pgsim.plan import QueryResult
@@ -128,6 +128,7 @@ class PgSimDatabase:
         install_slowlog_view(self.catalog, self.slowlog)
         install_timeseries_views(self.catalog, self.ash, self.stat_history)
         install_estimation_view(self.catalog, self.executor.estimation)
+        install_strategy_view(self.catalog, self.executor.strategies)
         # ``SELECT pg_stat_reset()`` clears these surfaces along with
         # the core counter families.
         self.stats.register_resettable(self.slowlog)
@@ -135,6 +136,7 @@ class PgSimDatabase:
         self.stats.register_resettable(self.ash)
         self.stats.register_resettable(self.stat_history)
         self.stats.register_resettable(self.executor.estimation)
+        self.stats.register_resettable(self.executor.strategies)
         _register_default_ams()
         #: Serializes statement execution across sessions; contention
         #: is recorded under the ``SessionStatementLock`` wait event.

@@ -32,11 +32,15 @@ def q_error(est_rows: float, actual_rows: float) -> float:
 
 
 class EstimationEntry:
-    """Accumulated estimate-vs-actual record for one (query, node)."""
+    """Accumulated estimate-vs-actual record for one (query, node,
+    strategy) — strategy is the filtered-search strategy that executed
+    the node ("pre-filter"/"post-filter"/"in-filter"), None elsewhere,
+    so mis-estimates attribute to the strategy that suffered them."""
 
     __slots__ = (
         "query",
         "node",
+        "strategy",
         "calls",
         "est_rows",
         "actual_rows",
@@ -46,9 +50,10 @@ class EstimationEntry:
         "actual_selectivity",
     )
 
-    def __init__(self, query: str, node: str) -> None:
+    def __init__(self, query: str, node: str, strategy: str | None = None) -> None:
         self.query = query
         self.node = node
+        self.strategy = strategy
         self.calls = 0
         self.est_rows = 0.0
         self.actual_rows = 0
@@ -83,7 +88,7 @@ class EstimationStats:
     __slots__ = ("_entries", "total_recorded")
 
     def __init__(self) -> None:
-        self._entries: dict[tuple[str, str], EstimationEntry] = {}
+        self._entries: dict[tuple[str, str, str | None], EstimationEntry] = {}
         #: Lifetime recorded nodes; survives :meth:`reset`.
         self.total_recorded = 0
 
@@ -95,10 +100,13 @@ class EstimationStats:
         actual_rows: int,
         est_selectivity: float | None = None,
         actual_selectivity: float | None = None,
+        strategy: str | None = None,
     ) -> None:
-        entry = self._entries.get((query, node))
+        entry = self._entries.get((query, node, strategy))
         if entry is None:
-            entry = self._entries[(query, node)] = EstimationEntry(query, node)
+            entry = self._entries[(query, node, strategy)] = EstimationEntry(
+                query, node, strategy
+            )
         entry.record(est_rows, actual_rows, est_selectivity, actual_selectivity)
         self.total_recorded += 1
 
@@ -107,7 +115,11 @@ class EstimationStats:
         return list(self._entries.copy().values())
 
     def entry(self, query: str, node: str) -> EstimationEntry | None:
-        return self._entries.get((query, node))
+        """First entry for (query, node), any strategy."""
+        for entry in self.entries():
+            if entry.query == query and entry.node == node:
+                return entry
+        return None
 
     def max_q_error(self) -> float:
         return max((e.max_q_error for e in self.entries()), default=0.0)
@@ -129,6 +141,7 @@ class EstimationStats:
                 e.max_q_error,
                 e.est_selectivity,
                 e.actual_selectivity,
+                e.strategy,
             )
             for e in self.entries()
         ]
@@ -163,32 +176,129 @@ def record_plan(
                 actual,
                 node.est_selectivity,
                 actual_sel,
+                strategy=node_strategy(node),
             )
             recorded += 1
         node = getattr(node, "child", None)
     return recorded
 
 
+def node_strategy(node: Any) -> str | None:
+    """The filtered-search strategy a plan node executes under, if any."""
+    strategy = getattr(node, "strategy", None)
+    if isinstance(strategy, str):
+        return strategy
+    return None
+
+
 def _actual_selectivity(node: Any, instrument: dict[int, list], actual: int) -> float | None:
     """Measured selectivity for nodes that carry an estimate.
 
+    * Nodes stashing ``actual_matched``/``actual_examined`` (the three
+      filtered-search scan strategies): matched / examined — the
+      executor's own count of predicate survivors among the candidates
+      it actually checked;
     * ``Filter``: rows out / rows in (the child's actual rows);
-    * hybrid ``IndexScan``: rows emitted / candidates the scan
-      actually examined against the predicate (stashed on the node by
-      the executor as ``actual_examined``).
+    * hybrid ``IndexScan`` without a matched stash: rows emitted /
+      candidates examined (``actual_examined``).
     """
     if node.est_selectivity is None:
         return None
+    matched = getattr(node, "actual_matched", None)
+    examined = getattr(node, "actual_examined", None)
+    if matched is not None and examined:
+        return matched / examined
     child = getattr(node, "child", None)
     if child is not None:
         child_entry = instrument.get(id(child))
         if child_entry and child_entry[0]:
             return actual / child_entry[0]
         return None
-    examined = getattr(node, "actual_examined", None)
     if examined:
         return actual / examined
     return None
+
+
+class StrategyEntry:
+    """Accumulated counters for one filtered-search strategy."""
+
+    __slots__ = (
+        "strategy",
+        "chosen",
+        "fallbacks",
+        "sum_est_sel",
+        "n_est",
+        "sum_actual_sel",
+        "n_actual",
+    )
+
+    def __init__(self, strategy: str) -> None:
+        self.strategy = strategy
+        self.chosen = 0
+        self.fallbacks = 0
+        self.sum_est_sel = 0.0
+        self.n_est = 0
+        self.sum_actual_sel = 0.0
+        self.n_actual = 0
+
+
+class StrategyStats:
+    """Per-strategy filtered-search accounting (``pg_stat_filtered_search``).
+
+    One record per hybrid-query execution: which strategy the plan
+    ran, the planner's estimated selectivity, the selectivity the
+    executor measured (predicate survivors / candidates checked), and
+    whether a post-filter scan hit the ``max_filtered_overfetch`` cap
+    and fell back to brute force.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self) -> None:
+        self._entries: dict[str, StrategyEntry] = {}
+
+    def record(
+        self,
+        strategy: str,
+        est_selectivity: float | None = None,
+        actual_matched: int | None = None,
+        actual_examined: int | None = None,
+        fell_back: bool = False,
+    ) -> None:
+        entry = self._entries.get(strategy)
+        if entry is None:
+            entry = self._entries[strategy] = StrategyEntry(strategy)
+        entry.chosen += 1
+        if fell_back:
+            entry.fallbacks += 1
+        if est_selectivity is not None:
+            entry.sum_est_sel += float(est_selectivity)
+            entry.n_est += 1
+        if actual_matched is not None and actual_examined:
+            entry.sum_actual_sel += actual_matched / actual_examined
+            entry.n_actual += 1
+
+    def entries(self) -> list[StrategyEntry]:
+        return list(self._entries.copy().values())
+
+    def entry(self, strategy: str) -> StrategyEntry | None:
+        return self._entries.get(strategy)
+
+    def reset(self) -> None:
+        self._entries.clear()
+
+    def rows(self) -> list[tuple]:
+        """``pg_stat_filtered_search`` rows, one per strategy."""
+        return [
+            (
+                e.strategy,
+                e.chosen,
+                e.fallbacks,
+                e.sum_est_sel / e.n_est if e.n_est else None,
+                e.sum_actual_sel / e.n_actual if e.n_actual else None,
+            )
+            for e in sorted(self.entries(), key=lambda e: e.strategy)
+        ]
 
 
 def install_estimation_view(catalog: Any, stats: EstimationStats) -> None:
@@ -206,6 +316,26 @@ def install_estimation_view(catalog: Any, stats: EstimationStats) -> None:
                 "actual_rows",
                 "mean_q_error",
                 "max_q_error",
+                "est_selectivity",
+                "actual_selectivity",
+                "strategy",
+            ],
+            stats.rows,
+        )
+    )
+
+
+def install_strategy_view(catalog: Any, stats: StrategyStats) -> None:
+    """Register ``pg_stat_filtered_search`` on a catalog."""
+    from repro.pgsim.stats import StatView
+
+    catalog.register_view(
+        StatView(
+            "pg_stat_filtered_search",
+            [
+                "strategy",
+                "chosen",
+                "fallbacks",
                 "est_selectivity",
                 "actual_selectivity",
             ],

@@ -18,13 +18,15 @@ import numpy as np
 
 from repro.common.distance import batch_kernel
 from repro.common.profiling import NULL_PROFILER
+from repro.common.types import DistanceType
 from repro.pgsim import expr as E
 from repro.pgsim import plan as P
 from repro.pgsim.am import lookup_am
 from repro.pgsim.analyze import analyze_table
 from repro.pgsim.buffer import BufferManager
 from repro.pgsim.catalog import Catalog, CatalogError, IndexInfo, TableInfo
-from repro.pgsim.estimation import EstimationStats, record_plan
+from repro.pgsim.estimation import EstimationStats, StrategyStats, record_plan
+from repro.pgsim.paths import METRIC_TO_TYPE
 from repro.pgsim.heapam import TID, HeapTable
 from repro.pgsim.planner import explain_plan, plan_select
 from repro.pgsim.slowlog import SlowQueryRecord
@@ -99,6 +101,10 @@ class Executor:
         #: Fed by EXPLAIN ANALYZE / auto_explain runs and by ordinary
         #: SELECTs sampled via ``estimation_probe_rate``.
         self.estimation = EstimationStats()
+        #: Per-strategy filtered-search accounting
+        #: (pg_stat_filtered_search): chosen counts, over-fetch
+        #: fallbacks, estimated vs. measured selectivity.
+        self.strategies = StrategyStats()
         #: Normalized text of the statement currently dispatching, set
         #: by the session layer; keys the estimation entries.
         self.current_query: str | None = None
@@ -553,6 +559,7 @@ class Executor:
             rows = list(self._project_rows(plan, instrument))
         if instrument is not None:
             self._record_estimation(plan, instrument)
+        self._record_strategy(plan)
         return P.QueryResult(command=f"SELECT {len(rows)}", columns=plan.columns, rows=rows)
 
     def _select_captured(self, plan: P.Project, auto_ms: float) -> P.QueryResult:
@@ -589,6 +596,7 @@ class Executor:
             restore()
         total = time.perf_counter() - start
         self._record_estimation(plan, instrument)
+        strategy = self._record_strategy(plan)
         if total * 1e3 >= auto_ms:
             waits_delta = self.stats.waits.delta(waits_before)
             attribution = attribute_profile(tracer, wait_events=waits_delta)
@@ -598,6 +606,7 @@ class Executor:
                 ),
                 "rc": attribution.as_dict(),
                 "elapsed_ms": total * 1e3,
+                "strategy": strategy,
             }
         return P.QueryResult(command=f"SELECT {len(rows)}", columns=plan.columns, rows=rows)
 
@@ -605,6 +614,32 @@ class Executor:
         """Pop the last auto_explain capture (one-shot, per statement)."""
         capture, self.last_plan_capture = self.last_plan_capture, None
         return capture
+
+    def _record_strategy(self, plan: P.PlanNode) -> str | None:
+        """Fold one executed hybrid SELECT into pg_stat_filtered_search.
+
+        Walks the plan for the strategy-bearing scan (PreFilterScan, or
+        an IndexScan with a pushed-down filter) and records which
+        strategy ran, the planner's estimated selectivity, the measured
+        one (from the ``actual_matched``/``actual_examined`` stashes the
+        scan leaves behind on every execution, instrumented or not) and
+        whether the over-fetch cap forced a brute-force fallback.
+        Returns the strategy name, None for non-hybrid plans.
+        """
+        node: P.PlanNode | None = plan
+        while node is not None:
+            strategy = getattr(node, "strategy", None)
+            if isinstance(strategy, str):
+                self.strategies.record(
+                    strategy,
+                    est_selectivity=node.est_selectivity,
+                    actual_matched=getattr(node, "actual_matched", None),
+                    actual_examined=getattr(node, "actual_examined", None),
+                    fell_back=bool(getattr(node, "overfetch_fell_back", False)),
+                )
+                return strategy
+            node = getattr(node, "child", None)
+        return None
 
     def try_execute_virtual(self, stmt: ast.Statement) -> P.QueryResult | None:
         """Lock-free monitoring path: run a virtual-view SELECT without
@@ -632,7 +667,7 @@ class Executor:
         # could touch heap or transaction state needs the lock.
         node: P.PlanNode | None = plan.child
         while node is not None:
-            if isinstance(node, (P.SeqScan, P.IndexScan)):
+            if isinstance(node, (P.SeqScan, P.IndexScan, P.PreFilterScan)):
                 return None
             node = getattr(node, "child", None)
         if plan.batch:
@@ -710,6 +745,7 @@ class Executor:
                 restore()
         total = time.perf_counter() - start
         self._record_estimation(plan, instrument)
+        self._record_strategy(plan)
         lines = self._annotated_lines(
             plan, 0, instrument, buffers=stmt.buffers, timing=timing, costs=stmt.costs
         )
@@ -950,6 +986,9 @@ class Executor:
         if isinstance(node, P.IndexScan):
             yield from self._index_scan_rows(node)
             return
+        if isinstance(node, P.PreFilterScan):
+            yield from self._pre_filter_topk(self._plan_rows(node.child, instrument), node)
+            return
         if isinstance(node, P.VirtualScan):
             names = node.view.column_names()
             for values in node.view.rows():
@@ -990,14 +1029,25 @@ class Executor:
         planner's ``k / selectivity`` over-fetch), and each exhausted
         pass doubles the request through ``amrescan_continue`` until k
         rows survive or the index returns fewer candidates than asked
-        (index exhausted).
+        (index exhausted) — or the ``max_filtered_overfetch`` cap is
+        hit, at which point the scan answers the remainder with one
+        brute-force pre-filter pass instead of re-scanning ever-larger
+        prefixes of the index.
+
+        The in-filter strategy bypasses this loop entirely: the
+        predicate mask rides inside the AM traversal.
         """
+        if node.strategy == "in-filter":
+            yield from self._in_filter_scan_rows(node)
+            return
         names = node.table.column_names()
         heap = node.table.heap
         prof = self.trace_profiler
         am = node.index.am
         fetch_k = max(node.fetch_k or node.k, node.k)
+        max_fetch = self._max_overfetch(node)
         emitted = 0
+        emitted_tids: list[TID] = []
         probe = self._begin_quality_probe(node)
         seen: set = set()
         hits: Iterator = am.scan(node.query_vector, fetch_k)
@@ -1022,6 +1072,7 @@ class Executor:
                 if node.filter is not None and not E.evaluate(node.filter, row):
                     continue  # index-time post-filter
                 emitted += 1
+                emitted_tids.append(tid)
                 if probe is not None:
                     probe.append(tid)
                     if emitted >= node.k:
@@ -1034,17 +1085,223 @@ class Executor:
                 # row is out a Limit above never resumes us, and the
                 # estimation recorder reads the stash from the node.
                 node.actual_examined = len(seen)
+                node.actual_matched = emitted
                 yield row
                 if emitted >= node.k:
                     return
             if n_hits < fetch_k:
-                # Index exhausted: fewer candidates than requested.
+                # Probed lists exhausted: fewer candidates than
+                # requested.  A pure KNN scan legitimately returns
+                # short here, but a filtered scan still owes exactly k
+                # rows whenever k rows match — e.g. nprobe < clusters
+                # leaves unprobed lists holding the matches — so finish
+                # with the brute-force fallback instead.
                 node.actual_examined = len(seen)
+                node.actual_matched = emitted
                 if probe is not None:
                     self._finish_quality_probe(node, probe)
+                if node.filter is not None and emitted < node.k:
+                    node.overfetch_fell_back = True
+                    for row in self._filtered_bruteforce(
+                        node, set(emitted_tids), node.k - emitted
+                    ):
+                        emitted += 1
+                        node.actual_matched = emitted
+                        yield row
+                return
+            if max_fetch is not None and fetch_k >= max_fetch:
+                # Over-fetch budget exhausted on a (mis-estimated) rare
+                # predicate: one exact brute-force pass for the
+                # remaining rows beats scanning the whole index.
+                node.overfetch_fell_back = True
+                for row in self._filtered_bruteforce(
+                    node, set(emitted_tids), node.k - emitted
+                ):
+                    emitted += 1
+                    node.actual_examined = len(seen)
+                    node.actual_matched = emitted
+                    yield row
                 return
             fetch_k *= 2
             hits = am.amrescan_continue(node.query_vector, fetch_k)
+
+    def _max_overfetch(self, node: P.IndexScan) -> int | None:
+        """``max_filtered_overfetch * k`` for hybrid scans, else None."""
+        if node.filter is None:
+            return None
+        try:
+            cap = int(self.catalog.get_setting("max_filtered_overfetch"))
+        except (CatalogError, TypeError, ValueError):
+            return None
+        return cap * node.k if cap > 0 else None
+
+    def _filtered_bruteforce(
+        self, node: P.IndexScan, exclude: set, limit: int
+    ) -> list[dict[str, Any]]:
+        """Exact pre-filter pass backing the over-fetch fallback.
+
+        Scans the heap under the statement snapshot, keeps rows passing
+        the pushed-down filter that were not already emitted, and
+        returns the ``limit`` nearest by the index's own metric
+        (tie-broken on TID, matching every other scan path).  Because
+        the index scan is approximate, these rows are not guaranteed to
+        sort after the already-emitted ones — the fallback favours
+        returning k correct-predicate rows over global distance order,
+        the same trade the post-filter strategy already makes.
+        """
+        if limit <= 0:
+            return []
+        names = node.table.column_names()
+        heap = node.table.heap
+        col = heap.column_index(node.index.column_name)
+        rows: list[dict[str, Any]] = []
+        vectors: list[Any] = []
+        for tid, values in heap.scan(snapshot=self._snapshot):
+            if tid in exclude:
+                continue
+            vec = values[col]
+            if vec is None:
+                continue
+            row = dict(zip(names, values))
+            row["__tid__"] = tid
+            if node.filter is not None and not E.evaluate(node.filter, row):
+                continue
+            rows.append(row)
+            vectors.append(vec)
+        if not rows:
+            return []
+        try:
+            metric = DistanceType(node.index.options.get("distance_type", DistanceType.L2))
+        except ValueError:
+            metric = DistanceType.L2
+        query = np.ascontiguousarray(node.query_vector, dtype=np.float32)
+        matrix = np.ascontiguousarray(np.vstack(vectors), dtype=np.float32)
+        dists = batch_kernel(metric)(query, matrix)[0]
+        order = sorted(
+            range(len(rows)),
+            key=lambda i: (
+                float(dists[i]),
+                rows[i]["__tid__"].blkno,
+                rows[i]["__tid__"].offset,
+            ),
+        )
+        out = []
+        for i in order[:limit]:
+            rows[i]["__distance__"] = float(dists[i])
+            out.append(rows[i])
+        return out
+
+    def _make_predicate_mask(self, node: P.IndexScan):
+        """Visibility + predicate mask closure for ``amsearch_filtered``.
+
+        The AM hands batches of candidate TIDs mid-traversal; each
+        unseen TID costs one snapshot heap fetch plus one predicate
+        evaluation, cached so widening passes never re-check a TID.
+        Rows that pass are kept for the emit phase — the winners don't
+        pay a second heap fetch.  Returns ``(mask_fn, rows, state)``
+        where ``state`` counts unique TIDs checked/matched.
+        """
+        names = node.table.column_names()
+        heap = node.table.heap
+        snapshot = self._snapshot
+        predicate = node.filter
+        prof = self.trace_profiler
+        verdicts: dict = {}
+        rows: dict = {}
+        state = {"examined": 0, "matched": 0}
+
+        def mask_fn(tids):
+            out = []
+            for tid in tids:
+                ok = verdicts.get(tid)
+                if ok is None:
+                    state["examined"] += 1
+                    try:
+                        if prof.enabled:
+                            with prof.section("Tuple Access"):
+                                values = heap.fetch(tid, snapshot=snapshot)
+                        else:
+                            values = heap.fetch(tid, snapshot=snapshot)
+                    except KeyError:
+                        ok = False  # dead/invisible: entry awaiting vacuum
+                    else:
+                        row = dict(zip(names, values))
+                        row["__tid__"] = tid
+                        ok = predicate is None or bool(E.evaluate(predicate, row))
+                        if ok:
+                            rows[tid] = row
+                            state["matched"] += 1
+                    verdicts[tid] = ok
+                out.append(ok)
+            return out
+
+        return mask_fn, rows, state
+
+    def _in_filter_scan_rows(self, node: P.IndexScan) -> Iterator[dict[str, Any]]:
+        """In-filter strategy, tuple path: the AM traversal applies the
+        predicate mask itself and only matching TIDs come back."""
+        am = node.index.am
+        mask_fn, rows, state = self._make_predicate_mask(node)
+        emitted = 0
+        for tid, distance in am.amsearch_filtered(node.query_vector, node.k, mask_fn):
+            row = rows.get(tid)
+            if row is None:
+                continue  # defensive: the mask admitted this TID
+            row["__distance__"] = distance
+            emitted += 1
+            node.actual_examined = state["examined"]
+            node.actual_matched = state["matched"]
+            yield row
+            if emitted >= node.k:
+                return
+        node.actual_examined = state["examined"]
+        node.actual_matched = state["matched"]
+
+    def _pre_filter_topk(
+        self, child_rows: Iterator[dict[str, Any]], node: P.PreFilterScan
+    ) -> list[dict[str, Any]]:
+        """Pre-filter strategy core, shared by both executor paths.
+
+        Consumes the child scan fully (blocking, like Sort), keeps the
+        rows passing the predicate, runs the metric's vectorized kernel
+        once over the survivors' vectors, and selects k by
+        ``(distance, tid)`` — the same tie-break as ``topk_batch``, so
+        every strategy and both executor paths agree on output order.
+        """
+        examined = 0
+        survivors: list[dict[str, Any]] = []
+        vectors: list[Any] = []
+        for row in child_rows:
+            examined += 1
+            if not E.evaluate(node.filter, row):
+                continue
+            vec = row.get(node.column)
+            if vec is None:
+                continue
+            survivors.append(row)
+            vectors.append(vec)
+        node.actual_examined = examined
+        node.actual_matched = len(survivors)
+        if not survivors:
+            return []
+        metric = METRIC_TO_TYPE[ast.DISTANCE_OPERATORS[node.metric]]
+        query = np.ascontiguousarray(node.query_vector, dtype=np.float32)
+        matrix = np.ascontiguousarray(np.vstack(vectors), dtype=np.float32)
+        dists = batch_kernel(metric)(query, matrix)[0]
+        order = sorted(
+            range(len(survivors)),
+            key=lambda i: (
+                float(dists[i]),
+                survivors[i]["__tid__"].blkno,
+                survivors[i]["__tid__"].offset,
+            ),
+        )
+        out = []
+        for i in order[: node.k]:
+            row = survivors[i]
+            row["__distance__"] = float(dists[i])
+            out.append(row)
+        return out
 
     # ------------------------------------------------------------------
     # batch-at-a-time execution (``SET enable_batch_exec = on``)
@@ -1127,6 +1384,14 @@ class Executor:
             if rows:
                 yield rows
             return
+        if isinstance(node, P.PreFilterScan):
+            rows = self._pre_filter_topk(
+                (r for batch in self._plan_batches(node.child, instrument) for r in batch),
+                node,
+            )
+            if rows:
+                yield rows
+            return
         if isinstance(node, P.VirtualScan):
             names = node.view.column_names()
             batch = [dict(zip(names, values)) for values in node.view.rows()]
@@ -1177,15 +1442,19 @@ class Executor:
         Same survivor semantics and over-fetch/rescan loop as
         :meth:`_index_scan_rows` (dead tuples skipped, pushed-down
         filter applied, ``fetch_k`` doubled via
-        ``amrescan_continue_batch`` until k survivors or exhaustion),
+        ``amrescan_continue_batch`` until k survivors or exhaustion,
+        brute-force fallback at the ``max_filtered_overfetch`` cap),
         but candidates arrive as arrays and heap fetches are grouped
         by block (one pin per page).
         """
+        if node.strategy == "in-filter":
+            return self._in_filter_scan_batch(node)
         names = node.table.column_names()
         heap = node.table.heap
         prof = self.trace_profiler
         am = node.index.am
         fetch_k = max(node.fetch_k or node.k, node.k)
+        max_fetch = self._max_overfetch(node)
         probe = self._begin_quality_probe(node)
         seen: set = set()
         out: list[dict[str, Any]] = []
@@ -1213,17 +1482,65 @@ class Executor:
                 out.append(row)
                 if len(out) >= node.k:
                     node.actual_examined = len(seen)
+                    node.actual_matched = len(out)
                     if probe is not None:
                         self._finish_quality_probe(node, [r["__tid__"] for r in out])
                     return out
             if n_hits < fetch_k:
-                # Index exhausted: fewer candidates than requested.
-                node.actual_examined = len(seen)
+                # Probed lists exhausted: fewer candidates than
+                # requested.  As on the tuple path, a filtered scan
+                # still owes exactly k rows whenever k rows match, so
+                # answer any shortfall with the brute-force fallback.
                 if probe is not None:
                     self._finish_quality_probe(node, [r["__tid__"] for r in out])
+                    probe = None
+                if node.filter is not None and len(out) < node.k:
+                    node.overfetch_fell_back = True
+                    out.extend(
+                        self._filtered_bruteforce(
+                            node, {r["__tid__"] for r in out}, node.k - len(out)
+                        )
+                    )
+                node.actual_examined = len(seen)
+                node.actual_matched = len(out)
+                return out
+            if max_fetch is not None and fetch_k >= max_fetch:
+                # Same cap-and-fall-back as the tuple path: answer the
+                # remainder with one exact brute-force pass.
+                node.overfetch_fell_back = True
+                out.extend(
+                    self._filtered_bruteforce(
+                        node, {r["__tid__"] for r in out}, node.k - len(out)
+                    )
+                )
+                node.actual_examined = len(seen)
+                node.actual_matched = len(out)
                 return out
             fetch_k *= 2
             batch = am.amrescan_continue_batch(node.query_vector, fetch_k)
+
+    def _in_filter_scan_batch(self, node: P.IndexScan) -> list[dict[str, Any]]:
+        """In-filter strategy, batch path: ``amsearch_filtered_batch``.
+
+        The predicate mask runs inside the AM traversal, so only
+        matching TIDs come back; their rows were cached by the mask
+        (no second heap fetch).
+        """
+        am = node.index.am
+        mask_fn, rows, state = self._make_predicate_mask(node)
+        batch = am.amsearch_filtered_batch(node.query_vector, node.k, mask_fn)
+        out: list[dict[str, Any]] = []
+        for tid, distance in zip(batch.tids(), batch.distances.tolist()):
+            row = rows.get(tid)
+            if row is None:
+                continue  # defensive: the mask admitted this TID
+            row["__distance__"] = distance
+            out.append(row)
+            if len(out) >= node.k:
+                break
+        node.actual_examined = state["examined"]
+        node.actual_matched = state["matched"]
+        return out
 
     # ------------------------------------------------------------------
     # estimate-vs-actual probes (``SET estimation_probe_rate = 0.05``)

@@ -9,10 +9,22 @@ This module is that middle layer for pgsim's single-table SELECT core
 * :class:`IndexScanPath` — ordered vector-index scan satisfying
   ``ORDER BY vec <op> const LIMIT k`` with no predicate (PASE's
   ``amgettuple`` path, Sec. II-E).
-* :class:`OrderedIndexScanPath` — the hybrid shape: the same ordered
-  scan with the WHERE clause pushed into the scan as an index-time
-  post-filter, over-fetching ``k / selectivity`` candidates and
-  re-scanning geometrically (``amrescan_continue``) until k survive.
+* :class:`OrderedIndexScanPath` — hybrid **post-filter** strategy: the
+  same ordered scan with the WHERE clause pushed into the scan as an
+  index-time post-filter, over-fetching ``k / selectivity`` candidates
+  and re-scanning geometrically (``amrescan_continue``) until k
+  survive (capped by ``max_filtered_overfetch``).
+* :class:`InFilterIndexScanPath` — hybrid **in-filter** strategy: the
+  predicate mask is pushed *inside* the AM traversal
+  (``amsearch_filtered``), so only matching tuples reach the result
+  heap; costed by charging the mask per examined candidate.
+* :class:`PreFilterPath` — hybrid **pre-filter** strategy: evaluate
+  the predicate first over a heap scan, then brute-force the
+  survivors' distances into a k-bounded top-k — no index at all.
+
+The hybrid shape ``WHERE p ORDER BY vec <-> q LIMIT k`` thus gets a
+genuine three-way costed choice; ``SET filtered_search_strategy``
+forces one of them (for benchmarking the crossover).
 
 Costs follow PostgreSQL's ``costsize.c`` vocabulary: page fetches are
 charged ``seq_page_cost``/``random_page_cost``, per-tuple CPU is
@@ -102,6 +114,11 @@ class Path:
     #: disable_cost surcharge (kept separate so EXPLAIN shows honest
     #: estimates while comparisons still respect enable_* GUCs).
     disabled: bool = False
+    #: Hybrid filtered-search strategy this path embodies
+    #: ("pre-filter" / "post-filter" / "in-filter"), None for
+    #: non-hybrid paths.  ``filtered_search_strategy`` forcing and the
+    #: per-strategy statistics key off this.
+    strategy: str | None = None
 
     def compare_cost(self) -> float:
         """Cost used to pick the cheapest path."""
@@ -123,6 +140,29 @@ def _qual_cost_per_row(where: ast.Expr | None, cost: CostParams) -> float:
         elif isinstance(node, ast.UnaryOp):
             ops += 1.0
     return ops * cost.cpu_operator_cost
+
+
+def _bruteforce_topk_cost(
+    where: ast.Expr | None,
+    ntuples: float,
+    relpages: float,
+    survivors: float,
+    k: int,
+    cost: CostParams,
+) -> float:
+    """Cost of a filtered brute-force top-k over the whole heap.
+
+    Full heap scan + qual on every row, then a distance, a tuple copy
+    and a log2(k) bounded-heap comparison per surviving row.  Used as
+    the pre-filter path's entire cost and as the post-filter path's
+    fallback surcharge when its over-fetch budget is capped.
+    """
+    total = relpages * cost.seq_page_cost + ntuples * cost.cpu_tuple_cost
+    total += ntuples * _qual_cost_per_row(where, cost)
+    total += survivors * DISTANCE_OP_WEIGHT * cost.cpu_operator_cost
+    total += survivors * cost.cpu_tuple_cost
+    total += survivors * math.log2(max(float(k), 2.0)) * cost.cpu_operator_cost
+    return total
 
 
 def _plan_rows(estimate: float) -> int:
@@ -235,11 +275,15 @@ class IndexScanPath(Path):
         self.fetch_k = self._initial_fetch_k(ntuples)
 
         am_startup, am_total = index.am.amcostestimate(ntuples, self.fetch_k, cost)
-        # Heap side: each candidate costs a by-TID fetch.  Random page
-        # reads are bounded by the relation size (repeat visits to a
-        # page hit shared buffers — the Mackert-Lohman intuition).
+        # Heap side: each candidate costs a by-TID fetch.  Page reads
+        # are bounded by the relation size (repeat visits hit shared
+        # buffers — the Mackert-Lohman intuition) and priced at
+        # seq_page_cost: a scan that just probed the index has the hot
+        # part of the heap in the buffer pool, so charging the cold
+        # random_page_cost systematically overprices every index
+        # strategy against the pre-filter heap scan.
         pages = min(float(self.fetch_k), float(relpages))
-        heap_total = pages * cost.random_page_cost + self.fetch_k * cost.cpu_tuple_cost
+        heap_total = pages * cost.seq_page_cost + self.fetch_k * cost.cpu_tuple_cost
         heap_total += self.fetch_k * _qual_cost_per_row(self.filter, cost)
         total = am_total + heap_total
         self.startup_cost = am_startup
@@ -260,6 +304,7 @@ class IndexScanPath(Path):
             order_expr=stmt.order_by.expr,
             filter=self.filter,
             fetch_k=self.fetch_k,
+            strategy=self.strategy,
         )
         _set_cost(node, self.startup_cost, self.total_cost, self.rows)
         if self.filter is not None:
@@ -280,8 +325,65 @@ class OrderedIndexScanPath(IndexScanPath):
     survive or the index is exhausted, so the query returns exactly k
     rows whenever at least k rows match.  The cost model sizes the
     first pass at ``k / selectivity`` candidates, which is what makes
-    this path lose to seq-scan + sort at low selectivity.
+    this path lose to the pre-filter strategy at low selectivity.
     """
+
+    strategy = "post-filter"
+
+    def __init__(
+        self,
+        stmt: ast.Select,
+        table: TableInfo,
+        index: IndexInfo,
+        query_vector: np.ndarray,
+        catalog: Catalog,
+    ) -> None:
+        assert stmt.where is not None
+        self.filter = stmt.where
+        self._overfetch_cap = max(int(catalog.get_setting("max_filtered_overfetch")), 1)
+        self._capped = False
+        super().__init__(stmt, table, index, query_vector, catalog)
+        if self._capped:
+            # The estimate says even the capped pass is unlikely to
+            # surface k matches, so the executor will probably hit
+            # ``max_filtered_overfetch`` and answer the remainder with
+            # its brute-force pre-filter fallback — charge that scan,
+            # which is what hands rare predicates to PreFilterPath.
+            ntuples, relpages = table_shape(table)
+            survivors = max(ntuples * self.selectivity, 0.0)
+            self.total_cost += _bruteforce_topk_cost(
+                stmt.where, ntuples, relpages, survivors, self.k, self.cost
+            )
+            self.startup_cost = self.total_cost
+
+    def _initial_fetch_k(self, ntuples: float) -> int:
+        floor = 1.0 / ntuples if ntuples >= 1.0 else 1.0
+        fetch = math.ceil(self.k / max(self.selectivity, floor))
+        fetch = min(max(fetch, self.k), max(ntuples, self.k))
+        # max_filtered_overfetch caps how far over-fetching may grow
+        # (the executor applies the same cap to its geometric rescans
+        # and falls back to a brute-force pre-filter beyond it).
+        capped = int(min(fetch, float(self._overfetch_cap * self.k)))
+        self._capped = capped < fetch
+        return capped
+
+
+class InFilterIndexScanPath(IndexScanPath):
+    """Hybrid in-filter strategy: the predicate mask rides inside the
+    AM traversal (``amsearch_filtered``), so non-matching tuples still
+    route the search but never occupy result slots — no over-fetch and
+    no rescan.  Only generated for AMs advertising ``amcanfilter``.
+
+    Cost = the AM's ordered-scan estimate for ``k`` results, plus one
+    visibility + predicate check per *examined* candidate (the mask is
+    evaluated on every candidate the traversal touches), plus the heap
+    fetch of the k winners.  The examined count is the larger of the
+    AM's natural probe footprint and ``k / selectivity`` — a rare
+    predicate forces the traversal to widen until k matches surface,
+    which is exactly where pre-filter takes over.
+    """
+
+    strategy = "in-filter"
 
     def __init__(
         self,
@@ -294,17 +396,105 @@ class OrderedIndexScanPath(IndexScanPath):
         assert stmt.where is not None
         self.filter = stmt.where
         super().__init__(stmt, table, index, query_vector, catalog)
+        cost = self.cost
+        ntuples, relpages = table_shape(table)
+        floor = 1.0 / ntuples if ntuples >= 1.0 else 1.0
+        widened = min(ntuples, self.k / max(self.selectivity, floor))
+        self.est_examined = max(
+            index.am.amestimate_candidates(ntuples, self.k), widened
+        )
+        # The mask is a by-TID heap visit per examined candidate: page
+        # reads (buffer-bounded, like the base class's heap side) plus
+        # a tuple deform and the qual itself.
+        mask_pages = min(self.est_examined, float(relpages))
+        self.total_cost += mask_pages * cost.seq_page_cost
+        self.total_cost += self.est_examined * (
+            cost.cpu_tuple_cost + _qual_cost_per_row(self.filter, cost)
+        )
 
     def _initial_fetch_k(self, ntuples: float) -> int:
-        floor = 1.0 / ntuples if ntuples >= 1.0 else 1.0
-        fetch = math.ceil(self.k / max(self.selectivity, floor))
-        return int(min(max(fetch, self.k), max(ntuples, self.k)))
+        # Only matching tuples come back: the scan is k-bounded.
+        return self.k
+
+
+class PreFilterPath(Path):
+    """Hybrid pre-filter strategy: predicate first, then brute force.
+
+    Lowers to ``Limit(PreFilterScan(SeqScan))`` — scan the heap, keep
+    the rows passing the predicate, compute distances over just the
+    survivors and top-k them with a bounded heap.  No index, so the
+    cost is insensitive to selectivity *mis*-estimates; it wins when
+    the predicate is rare and every index strategy would trawl most of
+    its lists/beams hunting for matches.
+    """
+
+    strategy = "pre-filter"
+
+    def __init__(
+        self,
+        stmt: ast.Select,
+        table: TableInfo,
+        catalog: Catalog,
+        column: str,
+        query_vector: np.ndarray,
+    ) -> None:
+        assert stmt.where is not None
+        assert stmt.order_by is not None and stmt.limit is not None
+        self.stmt = stmt
+        self.table = table
+        self.column = column
+        self.query_vector = query_vector
+        self.cost = CostParams.from_catalog(catalog)
+        # Contains a full heap scan, so it honours enable_seqscan
+        # (``SET enable_seqscan = off`` keeps pinning index strategies).
+        self.disabled = not catalog.get_bool("enable_seqscan")
+        cost = self.cost
+        ntuples, relpages = table_shape(table)
+        self.k = stmt.limit
+        self.selectivity = clause_selectivity(stmt.where, table)
+        survivors = max(ntuples * self.selectivity, 0.0)
+
+        # Seq Scan child: every page, every tuple (the qual and the
+        # survivor-side work live in _bruteforce_topk_cost, shared
+        # with the post-filter path's fallback estimate).
+        self._scan_total = relpages * cost.seq_page_cost + ntuples * cost.cpu_tuple_cost
+        self._scan_rows = ntuples
+        total = _bruteforce_topk_cost(
+            stmt.where, ntuples, relpages, survivors, self.k, cost
+        )
+        # Everything materializes before the first row comes back.
+        self.startup_cost = total
+        self.total_cost = total
+        self.rows = min(float(self.k), survivors)
+
+    def lower(self) -> P.PlanNode:
+        stmt = self.stmt
+        child = P.SeqScan(self.table)
+        _set_cost(child, 0.0, self._scan_total, self._scan_rows)
+        node = P.PreFilterScan(
+            child=child,
+            table=self.table,
+            column=self.column,
+            query_vector=self.query_vector,
+            k=self.k,
+            order_expr=stmt.order_by.expr,
+            filter=stmt.where,
+            metric=stmt.order_by.expr.op,
+        )
+        _set_cost(node, self.startup_cost, self.total_cost, self.rows)
+        node.est_selectivity = self.selectivity
+        limit = P.Limit(node, self.k)
+        _set_cost(limit, self.startup_cost, self.total_cost, self.rows)
+        return limit
 
 
 def generate_paths(stmt: ast.Select, table: TableInfo, catalog: Catalog) -> list[Path]:
     """All viable paths for a SELECT over a real table.
 
-    A seq-scan path always exists; index paths require the
+    A seq-scan path always exists, except for the hybrid filtered-KNN
+    shape, where the pre-filter path strictly dominates it (identical
+    scan + filter work, but a k-bounded selection over the survivors
+    instead of a full sort) and replaces it; index paths require the
     ``ORDER BY vec <op> const ASC LIMIT k`` shape, a metric-matching
     index, and ``enable_indexscan`` on.
     """
@@ -316,7 +506,36 @@ def generate_paths(stmt: ast.Select, table: TableInfo, catalog: Catalog) -> list
             paths.append(IndexScanPath(stmt, table, index, query_vector, catalog))
         else:
             paths.append(OrderedIndexScanPath(stmt, table, index, query_vector, catalog))
+            if index.am.amcanfilter:
+                paths.append(
+                    InFilterIndexScanPath(stmt, table, index, query_vector, catalog)
+                )
+    if stmt.where is not None:
+        target = _distance_order_target(stmt)
+        if target is not None:
+            column, query_vector = target
+            paths[0] = PreFilterPath(stmt, table, catalog, column, query_vector)
+    _apply_strategy_force(paths, catalog)
     return paths
+
+
+def _apply_strategy_force(paths: list[Path], catalog: Catalog) -> None:
+    """Apply ``SET filtered_search_strategy = pre-filter|post-filter|in-filter``.
+
+    Only touches the hybrid shape, and only when a path for the forced
+    strategy was actually generated (forcing in-filter on an AM without
+    ``amcanfilter`` is a no-op rather than an error); every other path
+    — including the plain seq-scan — is disabled so the forced strategy
+    wins even where it is naturally more expensive.
+    """
+    forced = str(catalog.get_setting("filtered_search_strategy")).lower()
+    if forced in ("", "auto"):
+        return
+    if not any(path.strategy == forced for path in paths):
+        return
+    for path in paths:
+        if path.strategy != forced:
+            path.disabled = True
 
 
 def choose_path(paths: list[Path]) -> Path:
@@ -327,16 +546,14 @@ def choose_path(paths: list[Path]) -> Path:
     return min(paths, key=lambda p: p.compare_cost())
 
 
-def _ordered_index_match(
-    stmt: ast.Select, table: TableInfo, catalog: Catalog
-) -> tuple[IndexInfo, np.ndarray] | None:
-    """Find an index whose ordering satisfies the query's ORDER BY."""
+def _distance_order_target(stmt: ast.Select) -> tuple[str, np.ndarray] | None:
+    """``(column, query_vector)`` when the query is the ordered-KNN
+    shape ``ORDER BY vec <op> const ASC LIMIT k`` — no index required
+    (the pre-filter strategy brute-forces without one)."""
     if stmt.order_by is None or stmt.limit is None:
         return None
     if not stmt.order_by.ascending:
-        return None  # farthest-first is not an index-supported order
-    if not catalog.get_bool("enable_indexscan"):
-        return None
+        return None  # farthest-first is not a supported search order
     order_expr = stmt.order_by.expr
     if not isinstance(order_expr, ast.BinaryOp):
         return None
@@ -345,13 +562,26 @@ def _ordered_index_match(
     column, const_side = _split_distance_operands(order_expr)
     if column is None or const_side is None:
         return None
-    metric = METRIC_TO_TYPE[ast.DISTANCE_OPERATORS[order_expr.op]]
+    query = expr_eval.coerce_vector(expr_eval.evaluate(const_side, row=None))
+    return column, np.ascontiguousarray(query, dtype=np.float32)
+
+
+def _ordered_index_match(
+    stmt: ast.Select, table: TableInfo, catalog: Catalog
+) -> tuple[IndexInfo, np.ndarray] | None:
+    """Find an index whose ordering satisfies the query's ORDER BY."""
+    if not catalog.get_bool("enable_indexscan"):
+        return None
+    target = _distance_order_target(stmt)
+    if target is None:
+        return None
+    column, query = target
+    metric = METRIC_TO_TYPE[ast.DISTANCE_OPERATORS[stmt.order_by.expr.op]]
     for index in catalog.indexes_on(table.name, column):
         index_metric = DistanceType(index.options.get("distance_type", DistanceType.L2))
         if index_metric != metric:
             continue
-        query = expr_eval.coerce_vector(expr_eval.evaluate(const_side, row=None))
-        return index, np.ascontiguousarray(query, dtype=np.float32)
+        return index, query
     return None
 
 

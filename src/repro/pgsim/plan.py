@@ -110,6 +110,11 @@ class IndexScan(PlanNode):
     #: First-pass candidate count (``k / estimated_selectivity``,
     #: clamped); ``None`` behaves as ``k``.
     fetch_k: int | None = None
+    #: Hybrid-query strategy executing this scan: "post-filter"
+    #: (over-fetch + predicate on the fetched rows) or "in-filter"
+    #: (predicate mask pushed inside the AM traversal).  None for pure
+    #: k-NN scans with no predicate.
+    strategy: str | None = None
 
     def own_lines(self, depth: int = 0, costs: bool = True) -> list[str]:
         suffix = ", batch" if self.batch else ""
@@ -121,10 +126,55 @@ class IndexScan(PlanNode):
         lines = [head]
         if self.filter is not None:
             detail = "  " * (depth + 1)
+            if self.strategy is not None:
+                lines.append(f"{detail}Strategy: {self.strategy}")
             lines.append(f"{detail}Filter: {ast.to_sql(self.filter)}")
-            if costs and self.fetch_k is not None:
+            if costs and self.fetch_k is not None and self.strategy != "in-filter":
                 lines.append(f"{detail}Over-fetch: fetch_k={self.fetch_k}")
         return lines
+
+
+@dataclass
+class PreFilterScan(PlanNode):
+    """Pre-filter strategy for the hybrid shape (predicate first).
+
+    Runs the child scan (a :class:`SeqScan`), keeps the rows passing
+    ``filter``, brute-forces distances over the survivors with the
+    batch kernels, and emits the k nearest — no index involved, so
+    cost is independent of how badly an over-fetch estimate would have
+    missed.  Wins at low predicate selectivity, where the survivor set
+    is small and any index strategy would scan most of its lists/beams
+    looking for matches.
+    """
+
+    child: PlanNode
+    table: TableInfo
+    #: Vector column the distances are computed over.
+    column: str
+    query_vector: np.ndarray
+    k: int
+    order_expr: ast.Expr
+    filter: ast.Expr
+    #: Distance operator (``<->``/``<=>``/``<#>``) selecting the kernel.
+    metric: str = "<->"
+    batch: bool = False
+
+    #: Class attribute (not a dataclass field): the strategy label,
+    #: read by the estimation/strategy statistics like
+    #: ``IndexScan.strategy``.
+    strategy = "pre-filter"
+
+    def own_lines(self, depth: int = 0, costs: bool = True) -> list[str]:
+        suffix = ", batch" if self.batch else ""
+        head = _line(
+            depth, f"Pre-Filter Scan on {self.table.name} (k={self.k}{suffix})"
+        ) + self.cost_suffix(costs)
+        detail = "  " * (depth + 1)
+        return [
+            head,
+            f"{detail}Strategy: pre-filter",
+            f"{detail}Filter: {ast.to_sql(self.filter)}",
+        ]
 
 
 @dataclass

@@ -6,9 +6,10 @@ Planning is now three-stage, PostgreSQL-style:
    reltuples/relpages and per-column n_distinct/MCVs/histograms, from
    which WHERE-clause selectivity is estimated.
 2. **Paths** — :mod:`repro.pgsim.paths` generates the viable access
-   paths (seq scan, ordered index scan, hybrid ordered index scan with
-   a pushed-down filter) and costs each one, pricing index candidate
-   generation through each AM's ``amcostestimate``.
+   paths (seq scan, ordered index scan, and for the hybrid filtered
+   shape all three of pre-filter / post-filter / in-filter) and costs
+   each one, pricing index candidate generation through each AM's
+   ``amcostestimate``.
 3. **Lowering** — the winning path becomes a plan-node subtree, each
    node annotated with ``(cost=.. rows=..)`` estimates for EXPLAIN.
 
@@ -16,10 +17,11 @@ The decision the paper revolves around is unchanged: a query shaped
 ``SELECT ... FROM t ORDER BY vec <op> '...'::PASE ASC LIMIT k`` over a
 column with a metric-matching vector index becomes an ordered
 :class:`~repro.pgsim.plan.IndexScan` — PASE's ``amgettuple`` path
-(Sec. II-E).  New is the hybrid shape: with a WHERE clause the filter
-is pushed into the index scan (adaptive over-fetch) *when the
-estimated selectivity makes that cheaper*, and falls back to
-seq-scan + sort below the crossover.
+(Sec. II-E).  New is the hybrid shape: with a WHERE clause the planner
+costs three filtered-search strategies — pre-filter (predicate first,
+brute-force the survivors), post-filter (index scan with adaptive
+over-fetch), and in-filter (predicate mask inside the AM traversal) —
+and lowers the cheapest; ``SET filtered_search_strategy`` forces one.
 """
 
 from __future__ import annotations
@@ -121,7 +123,7 @@ def _mark_batch(project: P.Project, catalog: Catalog) -> P.Project:
     project.batch = True
     node: P.PlanNode | None = project.child
     while node is not None:
-        if isinstance(node, (P.SeqScan, P.IndexScan, P.VirtualScan)):
+        if isinstance(node, (P.SeqScan, P.IndexScan, P.VirtualScan, P.PreFilterScan)):
             node.batch = True
         node = getattr(node, "child", None)
     return project

@@ -214,6 +214,7 @@ class Session:
                 plan=capture["plan"] if capture is not None else None,
                 rc=capture["rc"] if capture is not None else None,
                 wait_events=wait_events,
+                strategy=capture.get("strategy") if capture is not None else None,
             )
         )
 

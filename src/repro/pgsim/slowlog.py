@@ -41,6 +41,10 @@ class SlowQueryRecord:
     rc: dict[str, Any] | None = None
     #: Wait-event deltas of the statement's window, when tracked.
     wait_events: dict[str, Any] = field(default_factory=dict)
+    #: Filtered-search strategy the captured plan executed
+    #: ("pre-filter"/"post-filter"/"in-filter"), None for non-hybrid
+    #: statements or when no plan was captured.
+    strategy: str | None = None
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -54,6 +58,7 @@ class SlowQueryRecord:
             "plan": self.plan,
             "rc": self.rc,
             "wait_events": self.wait_events,
+            "strategy": self.strategy,
         }
 
     def rc_top(self) -> str | None:
@@ -155,6 +160,7 @@ def install_slowlog_view(catalog: Any, slowlog: SlowQueryLog) -> None:
                 r.rows,
                 r.rc_top(),
                 r.plan,
+                r.strategy,
             )
             for r in sorted(
                 slowlog.records(), key=lambda r: r.elapsed_ms, reverse=True
@@ -174,6 +180,7 @@ def install_slowlog_view(catalog: Any, slowlog: SlowQueryLog) -> None:
                 "rows",
                 "rc_top",
                 "plan",
+                "strategy",
             ],
             rows,
         )

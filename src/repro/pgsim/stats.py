@@ -525,6 +525,7 @@ def install_stat_views(catalog: Any, collector: StatsCollector) -> None:
                         _render_list(col.mcv_values),
                         _render_list([f"{f:.6g}" for f in col.mcv_freqs]),
                         _render_list(col.histogram_bounds),
+                        round(col.correlation, 6),
                     )
                 )
         return rows
@@ -627,6 +628,7 @@ def install_stat_views(catalog: Any, collector: StatsCollector) -> None:
                 "most_common_vals",
                 "most_common_freqs",
                 "histogram_bounds",
+                "correlation",
             ],
             pg_stats_rows,
         ),

@@ -26,7 +26,7 @@ from repro.common.kmeans import pase_kmeans, sample_training_rows
 from repro.common.profiling import NULL_PROFILER
 from repro.common.types import BuildStats, IndexSizeInfo
 from repro.pase.ivf_flat import _key_tid as key_to_tid
-from repro.pase.ivf_flat import _tid_key, compact_bucket_chains
+from repro.pase.ivf_flat import _tid_key, compact_bucket_chains, ivf_filtered_scan
 from repro.pase.options import parse_ivf_options
 from repro.pgsim.am import IndexAmRoutine, ScanBatch, register_am, topk_batch
 from repro.pgsim.constants import LINE_POINTER_SIZE, PAGE_HEADER_SIZE
@@ -50,6 +50,7 @@ class PgVectorIVFFlat(IndexAmRoutine):
     """IVF_FLAT with TID-only index entries (pgvector's design)."""
 
     amname = "ivfflat"
+    amcanfilter = True
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
@@ -274,6 +275,56 @@ class PgVectorIVFFlat(IndexAmRoutine):
         with prof.section(SEC_HEAP):
             keys = np.asarray([_tid_key(tid) for tid in tids], dtype=np.int64)
             return topk_batch(keys, dists, k)
+
+    # ------------------------------------------------------------------
+    # in-filter search (amsearch_filtered)
+    # ------------------------------------------------------------------
+    def amsearch_filtered(
+        self, query: np.ndarray, k: int, mask_fn: Any
+    ) -> Iterator[tuple[TID, float]]:
+        """In-filter scan: the mask runs on the bucket's bare TIDs, so
+        rejected candidates skip the per-candidate heap-table fetch —
+        the dominant cost of this TID-only layout."""
+        if self.dim is None:
+            raise RuntimeError("index has not been built")
+        prof = self.profiler
+        query = np.ascontiguousarray(query, dtype=np.float32)
+        kernel = pairwise_kernel(self.opts.distance_type)
+
+        cent_dists: list[float] = []
+        heads: list[int] = []
+        for __, head, centroid in self._iter_centroids():
+            with prof.section(SEC_DISTANCE):
+                cent_dists.append(kernel(query, centroid))
+            heads.append(head)
+        order = np.argsort(np.asarray(cent_dists), kind="stable")
+
+        def score(tid: TID) -> float | None:
+            with prof.section(SEC_HEAP_FETCH):
+                vec = self.table.fetch_column_any(tid, self.column_index)
+            if vec is None:
+                return None
+            with prof.section(SEC_DISTANCE):
+                return kernel(query, np.asarray(vec, dtype=np.float32))
+
+        return iter(
+            ivf_filtered_scan(
+                self,
+                k,
+                mask_fn,
+                order.tolist(),
+                heads,
+                lambda head: ((tid, tid) for tid in self._iter_bucket(head)),
+                score,
+            )
+        )
+
+    def amestimate_candidates(self, ntuples: float, fetch_k: int) -> float:
+        """Candidates the in-filter mask must judge (probed share of n)."""
+        n = max(float(ntuples), 1.0)
+        clusters = max(1.0, min(float(self.opts.clusters), n))
+        nprobe = float(min(max(int(self.catalog.get_setting("pase.nprobe")), 1), int(clusters)))
+        return n * (nprobe / clusters)
 
     # ------------------------------------------------------------------
     # planner cost estimate

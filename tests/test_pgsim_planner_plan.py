@@ -101,7 +101,8 @@ class TestPlannerDecisions:
             nodes.append(node)
             node = getattr(node, "child", None)
         has_pushed = any(
-            isinstance(n, P.IndexScan) and n.filter is not None for n in nodes
+            isinstance(n, (P.IndexScan, P.PreFilterScan)) and n.filter is not None
+            for n in nodes
         )
         has_filter_node = any(isinstance(n, P.Filter) for n in nodes)
         assert has_pushed or has_filter_node
